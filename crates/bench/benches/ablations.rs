@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! VirusTotal positives threshold, blacklist consensus threshold, and
+//! the content-upload (cloaking-defeat) path. Each bench measures the
+//! cost of the variant; the printed summaries quantify the accuracy
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::countermeasures::detection_ablation;
+use malware_slums::study::{Study, StudyConfig};
+use slum_detect::blacklist::BlacklistDb;
+use slum_detect::virustotal::VirusTotal;
+use slum_websim::build::{MaliciousOptions, WebBuilder};
+use slum_websim::{GroundTruth, JsAttack, MaliceKind, Tld};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    // --- VT positives-threshold sweep -------------------------------
+    let mut builder = WebBuilder::new(77);
+    let mut urls = Vec::new();
+    for i in 0..40 {
+        let spec = if i % 2 == 0 {
+            builder.benign_site(Default::default())
+        } else {
+            builder.js_site(
+                JsAttack::HiddenIframe,
+                Tld::Com,
+                slum_websim::ContentCategory::Business,
+                false,
+            )
+        };
+        urls.push(spec.url);
+    }
+    let web = builder.finish();
+
+    for threshold in [1usize, 2, 4] {
+        let vt = VirusTotal::new(&web).with_threshold(threshold);
+        // Report accuracy once per threshold (stderr, outside timing).
+        let (mut tp, mut fp) = (0u32, 0u32);
+        for url in &urls {
+            let truth = web.oracle_page(url).map(|p| p.truth.is_malicious()).unwrap_or(false);
+            let verdict = vt.scan_url(url).is_malicious();
+            if verdict && truth {
+                tp += 1;
+            }
+            if verdict && !truth {
+                fp += 1;
+            }
+        }
+        eprintln!("[ablation] vt_threshold={threshold}: tp={tp}/20 fp={fp}/20");
+        group.bench_function(format!("vt_threshold_{threshold}"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for url in urls.iter().take(8) {
+                    if vt.scan_url(url).is_malicious() {
+                        hits += 1;
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+
+    // --- blacklist consensus sweep -----------------------------------
+    let mut builder2 = WebBuilder::new(78);
+    for _ in 0..60 {
+        builder2.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Blacklisted),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+    }
+    for _ in 0..300 {
+        builder2.benign_site(Default::default());
+    }
+    let web2 = builder2.finish();
+    let db = BlacklistDb::populate_from_web(&web2);
+    let domains: Vec<String> =
+        web2.oracle_pages().map(|p| p.url.registered_domain()).collect();
+    let truths: Vec<bool> = web2
+        .oracle_pages()
+        .map(|p| matches!(p.truth, GroundTruth::Malicious(MaliceKind::Blacklisted)))
+        .collect();
+    // Accuracy summaries per consensus threshold (1 list vs 2 lists).
+    for threshold in [1usize, 2] {
+        let (mut tp, mut fp) = (0u32, 0u32);
+        for (domain, truth) in domains.iter().zip(&truths) {
+            let hits = db.check(domain).hits.len();
+            let verdict = hits >= threshold;
+            if verdict && *truth {
+                tp += 1;
+            }
+            if verdict && !truth {
+                fp += 1;
+            }
+        }
+        eprintln!("[ablation] blacklist_consensus>={threshold}: tp={tp} fp={fp}");
+    }
+    group.bench_function("blacklist_check_400_domains", |b| {
+        b.iter(|| {
+            let mut count = 0;
+            for domain in &domains {
+                if db.check(domain).is_blacklisted() {
+                    count += 1;
+                }
+            }
+            std::hint::black_box(count)
+        })
+    });
+
+    // --- content-upload path on/off -----------------------------------
+    let study =
+        Study::run(&StudyConfig { seed: 79, crawl_scale: 0.0005, domain_scale: 0.04 });
+    let ablation = detection_ablation(&study.outcomes);
+    eprintln!(
+        "[ablation] detection paths: url_scan={} upload={} blacklist_only={} total={}",
+        ablation.url_scan_only,
+        ablation.added_by_upload,
+        ablation.added_by_blacklists,
+        ablation.total
+    );
+    group.bench_function("detection_ablation_compute", |b| {
+        b.iter(|| std::hint::black_box(detection_ablation(&study.outcomes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

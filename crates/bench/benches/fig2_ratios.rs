@@ -1,0 +1,18 @@
+//! Benchmarks Figure 2 (malware-ratio bars) and its rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::report::render_fig2;
+use malware_slums::study::{Study, StudyConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("build_bars", |b| b.iter(|| std::hint::black_box(study.fig2())));
+    let bars = study.fig2();
+    group.bench_function("render", |b| b.iter(|| std::hint::black_box(render_fig2(&bars))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

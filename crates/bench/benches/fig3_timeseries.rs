@@ -1,0 +1,29 @@
+//! Benchmarks Figure 3 (cumulative malicious time series) construction,
+//! burstiness scoring and burst detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::study::{Study, StudyConfig};
+use malware_slums::temporal::CumulativeSeries;
+
+fn bench_fig3(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("build_all_series", |b| {
+        b.iter(|| std::hint::black_box(study.fig3()))
+    });
+
+    // Synthetic long series for the sliding-window analyses.
+    let flags: Vec<bool> = (0..100_000).map(|i| i % 9 == 0 || (40_000..41_000).contains(&i)).collect();
+    let series = CumulativeSeries::from_flags("bench", &flags);
+    group.bench_function("burstiness_100k", |b| {
+        b.iter(|| std::hint::black_box(series.burstiness(500)))
+    });
+    group.bench_function("bursts_100k", |b| {
+        b.iter(|| std::hint::black_box(series.bursts(500, 3.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks Figure 5 (redirect-count histogram) and redirect-chain
+//! traversal in the browser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::study::{Study, StudyConfig};
+use slum_browser::Browser;
+use slum_websim::build::WebBuilder;
+use slum_websim::{ContentCategory, Tld};
+
+fn bench_fig5(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("histogram_build", |b| {
+        b.iter(|| std::hint::black_box(study.fig5()))
+    });
+
+    let mut builder = WebBuilder::new(1);
+    let chain = builder.redirect_chain_site(7, Tld::Com, ContentCategory::Business);
+    let web = builder.finish();
+    let browser = Browser::new(&web);
+    group.bench_function("follow_7_hop_chain", |b| {
+        b.iter(|| std::hint::black_box(browser.load(&chain.url).redirect_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmarks Figures 6 and 7 (TLD and content-category breakdowns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::study::{Study, StudyConfig};
+
+fn bench_breakdowns(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.bench_function("fig6_tld", |b| b.iter(|| std::hint::black_box(study.fig6())));
+    group.bench_function("fig7_content", |b| b.iter(|| std::hint::black_box(study.fig7())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdowns);
+criterion_main!(benches);

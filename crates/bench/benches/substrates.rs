@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the substrate crates: HTML parsing, JS sandbox
+//! execution (packed and plain), URL parsing, browser loads, scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slum_browser::Browser;
+use slum_detect::virustotal::VirusTotal;
+use slum_js::obfuscate::pack_layers;
+use slum_js::sandbox::Sandbox;
+use slum_websim::build::WebBuilder;
+use slum_websim::{payload, ContentCategory, JsAttack, Tld, Url};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    // HTML parse of a representative malicious page.
+    let html = payload::deceptive_download_page("bench.example.com", "dl.example.net");
+    group.bench_function("html_parse_page", |b| {
+        b.iter(|| std::hint::black_box(slum_html::Document::parse(&html)))
+    });
+
+    // JS sandbox: plain and 3-layer-packed injector.
+    let injector = "document.write('<iframe src=\"http://x.example/\" width=1 height=1></iframe>');";
+    let packed = pack_layers(injector, 3);
+    group.bench_function("js_sandbox_plain", |b| {
+        b.iter(|| {
+            let mut sandbox = Sandbox::new();
+            std::hint::black_box(sandbox.run(injector).effects.len())
+        })
+    });
+    group.bench_function("js_sandbox_packed3", |b| {
+        b.iter(|| {
+            let mut sandbox = Sandbox::new();
+            std::hint::black_box(sandbox.run(&packed).effects.len())
+        })
+    });
+
+    // URL parse.
+    group.bench_function("url_parse", |b| {
+        b.iter(|| {
+            std::hint::black_box(Url::parse("http://sub.example.com/path/page?sid=Ab3xYz&t=9"))
+        })
+    });
+
+    // Browser load + VT scan over a small web.
+    let mut builder = WebBuilder::new(3);
+    let benign = builder.benign_site(Default::default());
+    let evil = builder.js_site(JsAttack::DynamicIframe, Tld::Com, ContentCategory::Business, false);
+    let web = builder.finish();
+    let browser = Browser::new(&web);
+    group.bench_function("browser_load_benign", |b| {
+        b.iter(|| std::hint::black_box(browser.load(&benign.url).failed))
+    });
+    group.bench_function("browser_load_malicious_js", |b| {
+        b.iter(|| std::hint::black_box(browser.load(&evil.url).js.effects.len()))
+    });
+    let vt = VirusTotal::new(&web);
+    group.bench_function("virustotal_scan_url", |b| {
+        b.iter(|| std::hint::black_box(vt.scan_url(&evil.url).positives()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

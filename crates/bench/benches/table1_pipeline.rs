@@ -1,0 +1,32 @@
+//! Benchmarks the full Table I pipeline: build ecosystem → crawl all
+//! nine exchanges → scan → tabulate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::study::{Study, StudyConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("study_end_to_end_tiny", |b| {
+        b.iter(|| {
+            let study = Study::run(&StudyConfig {
+                seed: 2016,
+                crawl_scale: 0.0002,
+                domain_scale: 0.03,
+            });
+            std::hint::black_box(study.table1().overall_malicious_fraction())
+        })
+    });
+
+    // Tabulation alone, over a prebuilt study.
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05 });
+    group.bench_function("tabulate_only", |b| {
+        b.iter(|| std::hint::black_box(study.table1()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

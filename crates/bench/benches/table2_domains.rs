@@ -1,0 +1,19 @@
+//! Benchmarks Table II (per-exchange domain statistics) construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::breakdown::domain_rows;
+use malware_slums::study::{Study, StudyConfig};
+
+fn bench_table2(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let regular = study.regular_mask();
+    c.benchmark_group("table2").bench_function("domain_rows", |b| {
+        b.iter(|| {
+            std::hint::black_box(domain_rows(study.store.records(), &study.outcomes, &regular))
+        })
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmarks Table III (malware categorization) over a scanned corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::categorize::{categorize, tally};
+use malware_slums::study::{Study, StudyConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("tally_full_corpus", |b| {
+        b.iter(|| std::hint::black_box(study.table3()))
+    });
+    let record = &study.store.records()[0];
+    let outcome = &study.outcomes[0];
+    group.bench_function("categorize_single", |b| {
+        b.iter(|| std::hint::black_box(categorize(record, outcome)))
+    });
+    // Direct tally without the regular-filter copy.
+    group.bench_function("tally_direct", |b| {
+        b.iter(|| std::hint::black_box(tally(study.store.records(), &study.outcomes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

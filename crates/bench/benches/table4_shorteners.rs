@@ -1,0 +1,30 @@
+//! Benchmarks Table IV (shortened-URL statistics) and the shortener
+//! service itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malware_slums::study::{Study, StudyConfig};
+use slum_websim::shortener::ShortenerService;
+use slum_websim::Url;
+
+fn bench_table4(c: &mut Criterion) {
+    let study =
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+    let mut group = c.benchmark_group("table4");
+    group.bench_function("shortened_rows", |b| {
+        b.iter(|| std::hint::black_box(study.table4()))
+    });
+
+    let svc = ShortenerService::new("goo.gl");
+    let target = Url::http("landing.example.com", "/");
+    svc.register("bench", target);
+    group.bench_function("service_resolve", |b| {
+        b.iter(|| std::hint::black_box(svc.resolve("bench", "USA", "10khits.example")))
+    });
+    group.bench_function("service_stats", |b| {
+        b.iter(|| std::hint::black_box(svc.stats("bench")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

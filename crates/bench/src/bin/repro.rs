@@ -1,0 +1,263 @@
+//! `repro` — regenerate every table and figure of *Malware Slums*
+//! (DSN 2016) from the simulated ecosystem.
+//!
+//! ```sh
+//! cargo run --release -p slum-bench --bin repro -- all
+//! cargo run --release -p slum-bench --bin repro -- table1 --scale 0.01
+//! cargo run --release -p slum-bench --bin repro -- vetting burst cloaking cases
+//! ```
+//!
+//! Artifacts: `table1`..`table4`, `fig2`..`fig7`, the auxiliary
+//! experiments `vetting` (§III-B), `burst` (§IV), `cloaking` (§III
+//! fn. 1) and `cases` (§V), plus `json` (the full study as one JSON
+//! document). Options: `--scale <f64>` (crawl scale, default 0.002),
+//! `--seed <u64>` (default 2016).
+
+use std::sync::OnceLock;
+
+use malware_slums::report;
+use malware_slums::study::{Study, StudyConfig};
+
+struct Args {
+    artifacts: Vec<String>,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut artifacts = Vec::new();
+    let mut scale = 0.002;
+    let mut seed = 2016;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a float"));
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [artifacts..] [--scale F] [--seed N]\n\
+                     artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
+                     vetting burst cloaking staleness cases json"
+                );
+                std::process::exit(0);
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_string());
+    }
+    Args { artifacts, scale, seed }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |name: &str| args.artifacts.iter().any(|a| a == name || a == "all");
+    let study_cell: OnceLock<Study> = OnceLock::new();
+    let study = || {
+        study_cell.get_or_init(|| {
+            eprintln!(
+                "[repro] running study: crawl_scale={} seed={} ...",
+                args.scale, args.seed
+            );
+            let t0 = std::time::Instant::now();
+            let study = Study::run(&StudyConfig {
+                seed: args.seed,
+                crawl_scale: args.scale,
+                domain_scale: (args.scale * 25.0).clamp(0.03, 1.0),
+            });
+            eprintln!(
+                "[repro] study done: {} visits in {:?}\n",
+                study.store.len(),
+                t0.elapsed()
+            );
+            study
+        })
+    };
+
+    if wants("table1") {
+        println!("=== Table I: statistics of data from traffic exchanges ===");
+        println!("{}", study().table1().render());
+    }
+    if wants("table2") {
+        println!("=== Table II: statistics of domains on traffic exchanges ===");
+        println!("{}", report::render_table2(&study().table2()));
+    }
+    if wants("table3") {
+        println!("=== Table III: malware categorization ===");
+        println!("{}", report::render_table3(&study().table3()));
+    }
+    if wants("table4") {
+        println!("=== Table IV: statistics of malicious shortened URLs ===");
+        let rows = study().table4();
+        println!("{}", report::render_table4(&rows[..rows.len().min(24)]));
+    }
+    if wants("fig2") {
+        println!("=== Figure 2: malware ratio in exchanges ===");
+        println!("{}", report::render_fig2(&study().fig2()));
+    }
+    if wants("fig3") {
+        println!("=== Figure 3: time series of malicious URLs ===");
+        println!("{}", report::render_fig3(&study().fig3()));
+    }
+    if wants("fig4") {
+        println!("=== Figure 4: example suspicious redirection chain ===");
+        match study().fig4() {
+            Some(chain) => {
+                println!("observed on {}, {} hops:", chain.exchange, chain.hops);
+                for (i, host) in chain.hosts.iter().enumerate() {
+                    println!("  {}{host}", if i == 0 { "" } else { "-> " });
+                }
+                println!();
+            }
+            None => println!("(no malicious redirect chain at this scale)\n"),
+        }
+    }
+    if wants("fig5") {
+        println!("=== Figure 5: distribution of URL redirection count ===");
+        println!("{}", report::render_fig5(&study().fig5()));
+    }
+    if wants("fig6") {
+        println!("=== Figure 6: malicious URLs across TLDs ===");
+        println!("{}", report::render_fig6(&study().fig6()));
+    }
+    if wants("fig7") {
+        println!("=== Figure 7: malicious content across categories ===");
+        println!("{}", report::render_fig7(&study().fig7()));
+    }
+    if wants("vetting") {
+        println!("=== SIII-B: gold-standard tool vetting ===");
+        let gold = slum_detect::vetting::build_gold_standard(args.seed, 50);
+        for row in slum_detect::vetting::run_vetting(&gold) {
+            println!(
+                "{:<16} {:>3}/{:<3} = {:>4.0}%   (paper {:>4.0}%){}",
+                row.tool.name(),
+                row.detected,
+                row.total,
+                row.accuracy() * 100.0,
+                row.tool.paper_accuracy() * 100.0,
+                if row.tool.selected() { "  <- selected" } else { "" }
+            );
+        }
+        println!();
+    }
+    if wants("burst") {
+        println!("=== SIV: paid-campaign burst validation ===");
+        let mut builder = slum_websim::build::WebBuilder::new(args.seed);
+        let dummy = builder.benign_site(Default::default());
+        let profile = slum_exchange::params::profile("Cash N Hits").expect("profile");
+        let mut exchange = slum_exchange::build_exchange(&mut builder, profile, 0.05, 500_000);
+        let mut rng = slum_websim::rng::seeded(args.seed);
+        let exp = slum_crawler::burst::run_burst_experiment(
+            &mut exchange,
+            &dummy.url,
+            5,
+            100_000,
+            &mut rng,
+        )
+        .expect("fresh account");
+        println!("purchased {} visits for ${}", exp.report.purchased, exp.campaign.dollars);
+        println!("delivered {} visits (paper: 4,621)", exp.report.delivered);
+        println!("unique IPs {} (paper: 2,685)", exp.report.unique_ips);
+        println!("span {}s (paper: <1h)\n", exp.report.span_secs);
+    }
+    if wants("cloaking") {
+        println!("=== SIII fn.1: cloaking vs content upload ===");
+        let s = study();
+        let uploads = s.outcomes.iter().filter(|o| o.needed_content_upload).count();
+        let malicious = s.outcomes.iter().filter(|o| o.malicious).count();
+        println!(
+            "{} of {} malicious URLs were only caught by uploading crawler-captured content\n",
+            uploads, malicious
+        );
+    }
+    if args.artifacts.iter().any(|a| a == "json") {
+        match malware_slums::export::to_json(study()) {
+            Ok(json) => println!("{json}"),
+            Err(e) => eprintln!("repro: JSON export failed: {e}"),
+        }
+    }
+    if wants("staleness") {
+        println!("=== Blacklist update-lag experiment ===");
+        let report = malware_slums::staleness::run_lag_experiment(
+            &malware_slums::staleness::LagConfig { seed: args.seed, ..Default::default() },
+        );
+        println!(
+            "fresh-detectable visits: {}   caught through lagged lists: {}   missed: {} ({:.1}%)",
+            report.flagged_fresh,
+            report.flagged_stale,
+            report.missed_by_lag,
+            report.miss_fraction() * 100.0
+        );
+        println!(
+            "mean onset-to-consensus lag: {:.1} days\n",
+            report.mean_consensus_lag_secs / 86_400.0
+        );
+    }
+    if wants("cases") {
+        println!("=== SV: case studies ===");
+        let s = study();
+        let iframes = s.iframe_case_studies();
+        let mut by_kind = std::collections::BTreeMap::new();
+        for e in &iframes {
+            *by_kind.entry(format!("{:?}", e.kind)).or_insert(0u64) += 1;
+        }
+        println!("iframe injections: {} exhibits {:?}", iframes.len(), by_kind);
+        let downloads = s.download_case_studies();
+        println!("deceptive downloads: {} exhibits", downloads.len());
+        for d in downloads.iter().take(3) {
+            println!("  {} -> {:?}", d.url, d.filenames);
+        }
+        let flash = s.flash_case_studies();
+        println!("flash click-jacks: {} exhibits", flash.len());
+        for f in flash.iter().take(3) {
+            println!("  {} movie={} calls={:?}", f.url, f.movie_name, f.external_calls);
+        }
+        let fps = s.false_positive_case_studies();
+        println!("false positives: {} exhibits", fps.len());
+        for fp in fps.iter().take(3) {
+            println!("  {} kind={:?} labels={:?}", fp.url, fp.kind, fp.labels);
+        }
+
+        // The paper's Code-listing style exhibits.
+        let regular: Vec<bool> = s.regular_mask();
+        let records: Vec<_> = s
+            .store
+            .records()
+            .iter()
+            .zip(&regular)
+            .filter(|(_, keep)| **keep)
+            .map(|(r, _)| r.clone())
+            .collect();
+        let outcomes: Vec<_> = s
+            .outcomes
+            .iter()
+            .zip(&regular)
+            .filter(|(_, keep)| **keep)
+            .map(|(o, _)| o.clone())
+            .collect();
+        let snippets = malware_slums::snippets::collect(&s.web, &records, &outcomes);
+        for snippet in &snippets {
+            println!("\n--- {} ({})", snippet.caption, snippet.url);
+            for line in snippet.listing.lines().take(12) {
+                println!("    {line}");
+            }
+        }
+        println!();
+    }
+}

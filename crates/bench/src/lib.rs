@@ -1,0 +1,1 @@
+//! Bench crate library stub.

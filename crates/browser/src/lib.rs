@@ -1,0 +1,36 @@
+//! # slum-browser
+//!
+//! A headless mini-browser over the [`slum_websim::SyntheticWeb`]
+//! substrate, reproducing the measurement client of *Malware Slums*
+//! (DSN 2016): Firefox + Firebug + NetExport. Loading a URL follows
+//! HTTP 302 chains, meta refreshes and JavaScript `location`
+//! navigations; parses the final page into a DOM; executes inline and
+//! external scripts in the [`slum_js`] sandbox; simulates a user click
+//! (exposing click-hijacking Flash movies and deceptive download
+//! prompts); and records everything — including an HTTP Archive (HAR)
+//! log, the format the paper's NetExport extension emitted.
+//!
+//! ## Example
+//!
+//! ```
+//! use slum_browser::Browser;
+//! use slum_websim::build::WebBuilder;
+//!
+//! let mut builder = WebBuilder::new(7);
+//! let site = builder.benign_site(Default::default());
+//! let web = builder.finish();
+//!
+//! let browser = Browser::new(&web);
+//! let load = browser.load(&site.url);
+//! assert_eq!(load.final_url, site.url);
+//! assert!(load.dom.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod har;
+pub mod session;
+
+pub use har::{HarEntry, HarLog};
+pub use session::{Browser, Download, LoadResult, RedirectHop, RedirectKind};

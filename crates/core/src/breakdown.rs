@@ -1,0 +1,269 @@
+//! TLD and content-category breakdowns of malicious URLs
+//! (Figures 6 and 7) and per-exchange domain statistics (Table II).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use slum_crawler::CrawlRecord;
+use slum_websim::{SyntheticWeb, Url};
+
+use crate::scanpipe::ScanOutcome;
+
+/// Figure 6: malicious URLs bucketed by top-level domain
+/// (`com`/`net`/`de`/`org`/`others`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TldBreakdown {
+    /// bucket → count.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl TldBreakdown {
+    /// Builds the breakdown over malicious records (keyed by the surfed
+    /// URL's TLD, matching the paper's per-URL accounting).
+    pub fn build(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> TldBreakdown {
+        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+        let mut counts = BTreeMap::new();
+        for (record, outcome) in records.iter().zip(outcomes) {
+            if outcome.malicious {
+                let bucket = record.url.tld().figure6_bucket().to_string();
+                *counts.entry(bucket).or_insert(0) += 1;
+            }
+        }
+        TldBreakdown { counts }
+    }
+
+    /// Total malicious URLs counted.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Share of one bucket.
+    pub fn share(&self, bucket: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.get(bucket).copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// Figure 7: malicious URLs bucketed by content category.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContentBreakdown {
+    /// category label → count.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl ContentBreakdown {
+    /// Builds the breakdown. Category comes from the synthetic web's
+    /// page metadata for the *final* URL (standing in for the
+    /// VirusTotal category feed the paper used); URLs whose landing page
+    /// is unknown fall into "Others".
+    pub fn build(
+        web: &SyntheticWeb,
+        records: &[CrawlRecord],
+        outcomes: &[ScanOutcome],
+    ) -> ContentBreakdown {
+        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+        let mut counts = BTreeMap::new();
+        for (record, outcome) in records.iter().zip(outcomes) {
+            if outcome.malicious {
+                let category = page_category(web, &record.final_url)
+                    .or_else(|| page_category(web, &record.url))
+                    .unwrap_or("Others");
+                *counts.entry(category.to_string()).or_insert(0) += 1;
+            }
+        }
+        ContentBreakdown { counts }
+    }
+
+    /// Total malicious URLs counted.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Share of one category label.
+    pub fn share(&self, label: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.get(label).copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+fn page_category<'w>(web: &'w SyntheticWeb, url: &Url) -> Option<&'w str> {
+    web.oracle_page(url).map(|p| p.category.label())
+}
+
+/// One Table II row: per-exchange domain statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainRow {
+    /// Exchange name.
+    pub exchange: String,
+    /// Distinct registered domains among regular URLs.
+    pub domains: u64,
+    /// Domains with at least one malicious URL.
+    pub malware_domains: u64,
+}
+
+impl DomainRow {
+    /// Table II's "% Malware" column.
+    pub fn malware_fraction(&self) -> f64 {
+        if self.domains == 0 {
+            0.0
+        } else {
+            self.malware_domains as f64 / self.domains as f64
+        }
+    }
+}
+
+/// Builds Table II: for each exchange, distinct domains and the subset
+/// hosting malware. `regular` marks which records survived referral
+/// filtering.
+pub fn domain_rows(
+    records: &[CrawlRecord],
+    outcomes: &[ScanOutcome],
+    regular: &[bool],
+) -> Vec<DomainRow> {
+    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+    assert_eq!(records.len(), regular.len(), "records and regular flags must align");
+    let mut per_exchange: BTreeMap<&str, (BTreeSet<String>, BTreeSet<String>)> = BTreeMap::new();
+    for ((record, outcome), &is_regular) in records.iter().zip(outcomes).zip(regular) {
+        if !is_regular {
+            continue;
+        }
+        let entry = per_exchange.entry(record.exchange.as_str()).or_default();
+        let domain = record.domain();
+        entry.0.insert(domain.clone());
+        if outcome.malicious {
+            entry.1.insert(domain);
+        }
+    }
+    per_exchange
+        .into_iter()
+        .map(|(exchange, (domains, malware))| DomainRow {
+            exchange: exchange.to_string(),
+            domains: domains.len() as u64,
+            malware_domains: malware.len() as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_browser::har::HarLog;
+    use slum_detect::quttera::{QutteraReport, QutteraVerdict};
+    use slum_detect::virustotal::VtReport;
+
+    fn record(exchange: &str, url: &str) -> CrawlRecord {
+        let u = Url::parse(url).unwrap();
+        CrawlRecord {
+            exchange: exchange.into(),
+            seq: 0,
+            at: 0,
+            url: u.clone(),
+            final_url: u,
+            redirect_hops: 0,
+            chain_hosts: vec![],
+            via_shortener: false,
+            via_js_redirect: false,
+            content: None,
+            download_filenames: vec![],
+            har: HarLog::new(),
+            failed: false,
+        }
+    }
+
+    fn outcome(malicious: bool) -> ScanOutcome {
+        ScanOutcome {
+            malicious,
+            vt: VtReport { detections: vec![], total_engines: 12, threshold: 2 },
+            quttera: QutteraReport {
+                url: Url::parse("http://x.example/").unwrap(),
+                findings: vec![],
+                verdict: QutteraVerdict::Clean,
+            },
+            blacklisted_domain: None,
+            needed_content_upload: false,
+        }
+    }
+
+    #[test]
+    fn tld_breakdown_buckets() {
+        let records = vec![
+            record("X", "http://a-site.com/"),
+            record("X", "http://b-site.com/"),
+            record("X", "http://c-site.net/"),
+            record("X", "http://d-site.ru/"),
+            record("X", "http://e-site.org/"),
+        ];
+        let outcomes: Vec<_> = (0..5).map(|_| outcome(true)).collect();
+        let t = TldBreakdown::build(&records, &outcomes);
+        assert_eq!(t.total(), 5);
+        assert!((t.share("com") - 0.4).abs() < 1e-9);
+        assert!((t.share("net") - 0.2).abs() < 1e-9);
+        assert!((t.share("others") - 0.2).abs() < 1e-9);
+        assert!((t.share("org") - 0.2).abs() < 1e-9);
+        assert_eq!(t.share("de"), 0.0);
+    }
+
+    #[test]
+    fn benign_records_excluded_from_breakdowns() {
+        let records = vec![record("X", "http://a-site.com/"), record("X", "http://b-site.net/")];
+        let outcomes = vec![outcome(true), outcome(false)];
+        let t = TldBreakdown::build(&records, &outcomes);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn domain_rows_count_distinct_and_malicious() {
+        let records = vec![
+            record("A", "http://one-site.com/p1"),
+            record("A", "http://one-site.com/p2"),
+            record("A", "http://two-site.com/"),
+            record("A", "http://10khits.exchange.example/"),
+            record("B", "http://three-site.net/"),
+        ];
+        let outcomes =
+            vec![outcome(true), outcome(false), outcome(false), outcome(false), outcome(true)];
+        let regular = vec![true, true, true, false, true];
+        let rows = domain_rows(&records, &outcomes, &regular);
+        assert_eq!(rows.len(), 2);
+        let a = rows.iter().find(|r| r.exchange == "A").unwrap();
+        assert_eq!(a.domains, 2, "self-referral excluded, one-site deduped");
+        assert_eq!(a.malware_domains, 1);
+        assert!((a.malware_fraction() - 0.5).abs() < 1e-9);
+        let b = rows.iter().find(|r| r.exchange == "B").unwrap();
+        assert_eq!((b.domains, b.malware_domains), (1, 1));
+    }
+
+    #[test]
+    fn content_breakdown_uses_oracle_categories() {
+        use slum_websim::build::{MaliciousOptions, WebBuilder};
+        use slum_websim::{ContentCategory, MaliceKind};
+
+        let mut b = WebBuilder::new(210);
+        let spec = b.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Misc),
+            category: Some(ContentCategory::Business),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+        let web = b.finish();
+        let records = vec![record("X", &spec.url.to_string())];
+        let outcomes = vec![outcome(true)];
+        let c = ContentBreakdown::build(&web, &records, &outcomes);
+        assert_eq!(c.counts.get("Business"), Some(&1));
+    }
+
+    #[test]
+    fn unknown_landing_page_falls_to_others() {
+        let b = slum_websim::build::WebBuilder::new(211);
+        let web = b.finish();
+        let records = vec![record("X", "http://ghost-site.com/")];
+        let outcomes = vec![outcome(true)];
+        let c = ContentBreakdown::build(&web, &records, &outcomes);
+        assert_eq!(c.counts.get("Others"), Some(&1));
+    }
+}

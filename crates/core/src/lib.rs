@@ -1,0 +1,56 @@
+//! # malware-slums
+//!
+//! A full reproduction of *Malware Slums: Measurement and Analysis of
+//! Malware on Traffic Exchanges* (DSN 2016).
+//!
+//! The paper crawled nine auto-surf and manual-surf traffic exchanges
+//! for several months (1,003,087 URLs), scanned everything with
+//! VirusTotal, Quttera and six public blacklists, and found that more
+//! than 26% of the URLs surfed on exchanges were malicious. This crate
+//! is the study pipeline itself, running over the simulated ecosystem
+//! provided by the `slum-*` substrate crates:
+//!
+//! 1. **Crawl** the simulated exchanges ([`slum_crawler`]).
+//! 2. **Filter** self-referrals and popular referrals ([`filter`]).
+//! 3. **Scan** every regular URL — URL scans first, then
+//!    cloaking-defeating content uploads ([`scanpipe`]).
+//! 4. **Categorize** detected malware into the paper's five classes +
+//!    miscellaneous ([`categorize`]).
+//! 5. **Analyze**: per-exchange rates (Table I/II, Figure 2), temporal
+//!    bursts (Figure 3), redirect chains (Figures 4/5), TLD and content
+//!    breakdowns (Figures 6/7), shortened-URL statistics (Table IV),
+//!    and the case studies of §V ([`temporal`], [`redirects`],
+//!    [`breakdown`], [`shortened`], [`case_studies`]).
+//!
+//! The one-call entry point is [`study::Study::run`]:
+//!
+//! ```
+//! use malware_slums::study::{Study, StudyConfig};
+//!
+//! let study = Study::run(&StudyConfig { crawl_scale: 0.0002, ..Default::default() });
+//! let table1 = study.table1();
+//! assert_eq!(table1.rows.len(), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod case_studies;
+pub mod categorize;
+pub mod countermeasures;
+pub mod export;
+pub mod filter;
+pub mod redirects;
+pub mod report;
+pub mod scanpipe;
+pub mod shortened;
+pub mod snippets;
+pub mod staleness;
+pub mod study;
+pub mod temporal;
+
+pub use categorize::Category;
+pub use filter::ReferralClass;
+pub use scanpipe::{ScanOutcome, ScanPipeline};
+pub use study::{Study, StudyConfig};

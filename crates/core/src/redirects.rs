@@ -1,0 +1,164 @@
+//! Redirect-chain analysis (Figures 4 and 5).
+//!
+//! §IV-A4: "URLs involved in redirections sometimes make long chains by
+//! redirecting multiple times before reaching their destination URLs"
+//! (Figure 4 shows a five-hop example) and "several malicious URLs
+//! redirect users up to 7 times" (Figure 5 plots the histogram).
+
+use std::collections::BTreeMap;
+
+use slum_crawler::CrawlRecord;
+
+use crate::scanpipe::ScanOutcome;
+
+/// Figure 5: histogram of redirect counts among malicious URLs that
+/// redirect at least once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RedirectHistogram {
+    /// hop count → number of URLs.
+    pub counts: BTreeMap<u32, u64>,
+}
+
+impl RedirectHistogram {
+    /// Builds the histogram over malicious redirecting records.
+    pub fn build(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> RedirectHistogram {
+        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+        let mut counts = BTreeMap::new();
+        for (record, outcome) in records.iter().zip(outcomes) {
+            if outcome.malicious && record.redirect_hops > 0 {
+                *counts.entry(record.redirect_hops).or_insert(0) += 1;
+            }
+        }
+        RedirectHistogram { counts }
+    }
+
+    /// Total redirecting malicious URLs.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The maximum hop count observed.
+    pub fn max_hops(&self) -> u32 {
+        self.counts.keys().max().copied().unwrap_or(0)
+    }
+
+    /// Count at exactly `hops`.
+    pub fn at(&self, hops: u32) -> u64 {
+        self.counts.get(&hops).copied().unwrap_or(0)
+    }
+
+    /// True when counts decrease as hop count grows (the Figure 5
+    /// monotone shape), tolerating ties.
+    pub fn is_monotone_decreasing(&self) -> bool {
+        let values: Vec<u64> = self.counts.values().copied().collect();
+        values.windows(2).all(|w| w[0] >= w[1])
+    }
+}
+
+/// A rendered redirect chain — the Figure 4 exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainExhibit {
+    /// Exchange the chain was observed on.
+    pub exchange: String,
+    /// Hosts from entry to destination.
+    pub hosts: Vec<String>,
+    /// Hop count.
+    pub hops: u32,
+}
+
+/// Picks the longest malicious redirect chain in the corpus as the
+/// Figure 4 exhibit.
+pub fn longest_chain(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> Option<ChainExhibit> {
+    records
+        .iter()
+        .zip(outcomes)
+        .filter(|(r, o)| o.malicious && r.redirect_hops > 0)
+        .max_by_key(|(r, _)| r.redirect_hops)
+        .map(|(r, _)| ChainExhibit {
+            exchange: r.exchange.clone(),
+            hosts: r.chain_hosts.clone(),
+            hops: r.redirect_hops,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_browser::har::HarLog;
+    use slum_detect::quttera::{QutteraReport, QutteraVerdict};
+    use slum_detect::virustotal::VtReport;
+    use slum_websim::Url;
+
+    fn record(hops: u32) -> CrawlRecord {
+        CrawlRecord {
+            exchange: "X".into(),
+            seq: 0,
+            at: 0,
+            url: Url::parse("http://entry.example/").unwrap(),
+            final_url: Url::parse("http://dest.example/").unwrap(),
+            redirect_hops: hops,
+            chain_hosts: (0..=hops).map(|i| format!("h{i}.example")).collect(),
+            via_shortener: false,
+            via_js_redirect: false,
+            content: None,
+            download_filenames: vec![],
+            har: HarLog::new(),
+            failed: false,
+        }
+    }
+
+    fn outcome(malicious: bool) -> ScanOutcome {
+        ScanOutcome {
+            malicious,
+            vt: VtReport { detections: vec![], total_engines: 12, threshold: 2 },
+            quttera: QutteraReport {
+                url: Url::parse("http://x.example/").unwrap(),
+                findings: vec![],
+                verdict: QutteraVerdict::Clean,
+            },
+            blacklisted_domain: None,
+            needed_content_upload: false,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_only_malicious_redirecting() {
+        let records = vec![record(1), record(1), record(2), record(0), record(3)];
+        let outcomes =
+            vec![outcome(true), outcome(true), outcome(true), outcome(true), outcome(false)];
+        let h = RedirectHistogram::build(&records, &outcomes);
+        assert_eq!(h.at(1), 2);
+        assert_eq!(h.at(2), 1);
+        assert_eq!(h.at(3), 0, "benign chains excluded");
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max_hops(), 2);
+    }
+
+    #[test]
+    fn monotone_check() {
+        let mut h = RedirectHistogram::default();
+        h.counts.insert(1, 100);
+        h.counts.insert(2, 50);
+        h.counts.insert(3, 50);
+        assert!(h.is_monotone_decreasing());
+        h.counts.insert(4, 80);
+        assert!(!h.is_monotone_decreasing());
+    }
+
+    #[test]
+    fn longest_chain_selected() {
+        let records = vec![record(2), record(5), record(7), record(6)];
+        let outcomes = vec![outcome(true), outcome(true), outcome(false), outcome(true)];
+        let exhibit = longest_chain(&records, &outcomes).unwrap();
+        assert_eq!(exhibit.hops, 6, "the 7-hop chain is benign");
+        assert_eq!(exhibit.hosts.len(), 7);
+    }
+
+    #[test]
+    fn empty_corpus_has_no_exhibit() {
+        assert!(longest_chain(&[], &[]).is_none());
+        let h = RedirectHistogram::build(&[], &[]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_hops(), 0);
+    }
+}

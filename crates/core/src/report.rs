@@ -1,0 +1,351 @@
+//! Table and figure structures plus text rendering — the artifacts the
+//! paper's evaluation section publishes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
+use crate::categorize::{Category, CategoryCounts};
+use crate::redirects::RedirectHistogram;
+use crate::shortened::ShortenedRow;
+use crate::temporal::CumulativeSeries;
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table1Row {
+    /// Exchange name.
+    pub exchange: String,
+    /// "Auto-surf" / "Manual-surf".
+    pub kind: String,
+    /// URLs crawled.
+    pub crawled: u64,
+    /// Self-referrals.
+    pub self_referrals: u64,
+    /// Popular referrals.
+    pub popular_referrals: u64,
+    /// Regular URLs.
+    pub regular: u64,
+    /// Malicious URLs.
+    pub malicious: u64,
+}
+
+impl Table1Row {
+    /// "% Malicious URLs" column.
+    pub fn malicious_fraction(&self) -> f64 {
+        if self.regular == 0 {
+            0.0
+        } else {
+            self.malicious as f64 / self.regular as f64
+        }
+    }
+}
+
+/// Table I: statistics of data from traffic exchanges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table1 {
+    /// Rows in profile order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Overall malicious fraction across all regular URLs (the paper's
+    /// ">26%" headline).
+    pub fn overall_malicious_fraction(&self) -> f64 {
+        let regular: u64 = self.rows.iter().map(|r| r.regular).sum();
+        let malicious: u64 = self.rows.iter().map(|r| r.malicious).sum();
+        if regular == 0 {
+            0.0
+        } else {
+            malicious as f64 / regular as f64
+        }
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<12} {:>9} {:>7} {:>9} {:>9} {:>10} {:>7}",
+            "Exchange", "Type", "Crawled", "Self", "Popular", "Regular", "Malicious", "%Mal"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<12} {:>9} {:>7} {:>9} {:>9} {:>10} {:>6.1}%",
+                r.exchange,
+                r.kind,
+                r.crawled,
+                r.self_referrals,
+                r.popular_referrals,
+                r.regular,
+                r.malicious,
+                r.malicious_fraction() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} overall malicious fraction: {:.1}%",
+            "",
+            self.overall_malicious_fraction() * 100.0
+        );
+        out
+    }
+}
+
+/// Table II render helper.
+pub fn render_table2(rows: &[DomainRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {:>9} {:>9} {:>9}", "Exchange", "#Domains", "#Malware", "%Malware");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>8.1}%",
+            r.exchange,
+            r.domains,
+            r.malware_domains,
+            r.malware_fraction() * 100.0
+        );
+    }
+    out
+}
+
+/// Table III render helper: measured vs paper shares.
+pub fn render_table3(counts: &CategoryCounts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<26} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
+    for category in Category::ALL {
+        if category == Category::Misc {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9} {:>9.1}% {:>9.1}%",
+            category.label(),
+            counts.count(category),
+            counts.categorized_share(category) * 100.0,
+            category.paper_share().unwrap_or(0.0) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<26} {:>9} ({:.1}% of all malicious; paper 66.4%)",
+        "Miscellaneous",
+        counts.count(Category::Misc),
+        counts.misc_fraction() * 100.0
+    );
+    out
+}
+
+/// Table IV render helper.
+pub fn render_table4(rows: &[ShortenedRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>10} {:>12} {:<12} {:<28}",
+        "Shortened URL", "Hits", "LongHits", "TopCountry", "TopReferrer"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<30} {:>10} {:>12} {:<12} {:<28}",
+            r.short_url.to_string(),
+            r.short_hits,
+            r.long_url_hits,
+            r.top_country,
+            r.top_referrer
+        );
+    }
+    out
+}
+
+/// Figure 2 data: per-exchange benign/malware counts (the stacked-bar
+/// content).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Fig2Bar {
+    /// Exchange name.
+    pub exchange: String,
+    /// Benign regular URLs.
+    pub benign: u64,
+    /// Malicious regular URLs.
+    pub malicious: u64,
+}
+
+/// Renders Figure 2 as a text bar chart (one row per exchange).
+pub fn render_fig2(bars: &[Fig2Bar]) -> String {
+    let mut out = String::new();
+    for bar in bars {
+        let total = (bar.benign + bar.malicious).max(1);
+        let frac = bar.malicious as f64 / total as f64;
+        let filled = (frac * 40.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:<16} [{}{}] {:>5.1}%  (benign {} / malware {})",
+            bar.exchange,
+            "#".repeat(filled),
+            "-".repeat(40 - filled),
+            frac * 100.0,
+            bar.benign,
+            bar.malicious
+        );
+    }
+    out
+}
+
+/// Renders a Figure 3 series bundle as downsampled text.
+pub fn render_fig3(series: &[CumulativeSeries]) -> String {
+    let mut out = String::new();
+    for s in series {
+        let _ = writeln!(
+            out,
+            "{}: crawled {} / malicious {} / burstiness {:.2}",
+            s.exchange,
+            s.len(),
+            s.total_malicious(),
+            s.burstiness((s.len() / 20).max(5))
+        );
+        let samples = s.downsample(10);
+        let line: Vec<String> =
+            samples.iter().map(|(i, c)| format!("{i}:{c}")).collect();
+        let _ = writeln!(out, "  {}", line.join("  "));
+    }
+    out
+}
+
+/// Renders the Figure 5 histogram as text bars.
+pub fn render_fig5(hist: &RedirectHistogram) -> String {
+    let mut out = String::new();
+    let max = hist.counts.values().max().copied().unwrap_or(1).max(1);
+    for (hops, count) in &hist.counts {
+        let filled = ((*count as f64 / max as f64) * 40.0).round() as usize;
+        let _ = writeln!(out, "{hops} redirects {:>6}  {}", count, "#".repeat(filled));
+    }
+    out
+}
+
+/// Renders Figure 6 with paper comparison.
+pub fn render_fig6(tld: &TldBreakdown) -> String {
+    let paper: BTreeMap<&str, f64> = [
+        ("com", 0.70),
+        ("net", 0.22),
+        ("de", 0.02),
+        ("org", 0.01),
+        ("others", 0.05),
+    ]
+    .into_iter()
+    .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<8} {:>9} {:>10} {:>10}", "TLD", "Count", "Measured", "Paper");
+    for (bucket, expected) in paper {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>9.1}% {:>9.1}%",
+            bucket,
+            tld.counts.get(bucket).copied().unwrap_or(0),
+            tld.share(bucket) * 100.0,
+            expected * 100.0
+        );
+    }
+    out
+}
+
+/// Renders Figure 7 with paper comparison.
+pub fn render_fig7(content: &ContentBreakdown) -> String {
+    let paper: [(&str, f64); 5] = [
+        ("Business", 0.586),
+        ("Advertisement", 0.218),
+        ("Entertainment", 0.087),
+        ("Information Technology", 0.086),
+        ("Others", 0.026),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
+    for (label, expected) in paper {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>9.1}% {:>9.1}%",
+            label,
+            content.counts.get(label).copied().unwrap_or(0),
+            content.share(label) * 100.0,
+            expected * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> Table1 {
+        Table1 {
+            rows: vec![
+                Table1Row {
+                    exchange: "A".into(),
+                    kind: "Auto-surf".into(),
+                    crawled: 100,
+                    self_referrals: 10,
+                    popular_referrals: 10,
+                    regular: 80,
+                    malicious: 40,
+                },
+                Table1Row {
+                    exchange: "B".into(),
+                    kind: "Manual-surf".into(),
+                    crawled: 50,
+                    self_referrals: 5,
+                    popular_referrals: 5,
+                    regular: 40,
+                    malicious: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table1_fractions() {
+        let t = table1();
+        assert!((t.rows[0].malicious_fraction() - 0.5).abs() < 1e-9);
+        assert!((t.overall_malicious_fraction() - 44.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_contain_key_numbers() {
+        let t = table1();
+        let text = t.render();
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("Auto-surf"));
+        assert!(text.contains("overall malicious fraction"));
+    }
+
+    #[test]
+    fn fig2_bars_render_scaled() {
+        let bars = vec![Fig2Bar { exchange: "X".into(), benign: 50, malicious: 50 }];
+        let text = render_fig2(&bars);
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("####################"));
+    }
+
+    #[test]
+    fn fig5_render_handles_empty() {
+        let hist = RedirectHistogram::default();
+        assert!(render_fig5(&hist).is_empty());
+    }
+
+    #[test]
+    fn zero_regular_rows_do_not_divide_by_zero() {
+        let row = Table1Row {
+            exchange: "Z".into(),
+            kind: "Auto-surf".into(),
+            crawled: 0,
+            self_referrals: 0,
+            popular_referrals: 0,
+            regular: 0,
+            malicious: 0,
+        };
+        assert_eq!(row.malicious_fraction(), 0.0);
+        let t = Table1 { rows: vec![row] };
+        assert_eq!(t.overall_malicious_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Scanning orchestration: VirusTotal + Quttera + blacklists, with the
+//! cloaking-defeating content-upload fallback.
+//!
+//! Methodology (§III-B + footnote 1): every regular URL is scanned
+//! through the detection services. Some malicious sites cloak — they
+//! serve benign content to scanner fetches — so for URLs whose URL scan
+//! comes back clean, the pipeline uploads the page content the crawler's
+//! *browser* captured, which defeats the cloak.
+
+use std::collections::HashMap;
+
+use slum_browser::Browser;
+use slum_crawler::CrawlRecord;
+use slum_detect::blacklist::BlacklistDb;
+use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport};
+use slum_detect::virustotal::{VirusTotal, VtReport};
+use slum_detect::Features;
+use slum_websim::{RequestContext, SyntheticWeb, Url};
+
+/// Verdict and evidence for one scanned record.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// Final verdict.
+    pub malicious: bool,
+    /// VirusTotal report (URL scan, or content scan when that was the
+    /// deciding path).
+    pub vt: VtReport,
+    /// Quttera report.
+    pub quttera: QutteraReport,
+    /// Blacklist consensus hit on any chain domain.
+    pub blacklisted_domain: Option<String>,
+    /// Whether the verdict required the content-upload path (i.e. the
+    /// URL scan was clean but the uploaded browser capture was not).
+    pub needed_content_upload: bool,
+}
+
+impl ScanOutcome {
+    /// All threat labels from the VT report.
+    pub fn labels(&self) -> Vec<&str> {
+        self.vt.labels()
+    }
+
+    /// Quttera findings.
+    pub fn findings(&self) -> &[QutteraFinding] {
+        &self.quttera.findings
+    }
+}
+
+/// The scanning pipeline, holding the services and a feature cache.
+pub struct ScanPipeline<'w> {
+    web: &'w SyntheticWeb,
+    vt: VirusTotal<'w>,
+    quttera: Quttera<'w>,
+    blacklists: BlacklistDb,
+    /// URL-scan features cache: one scanner fetch per distinct URL.
+    url_features: HashMap<String, Features>,
+}
+
+impl<'w> ScanPipeline<'w> {
+    /// Creates the pipeline; blacklists are populated from the web
+    /// oracle (standing in for the six public snapshots).
+    pub fn new(web: &'w SyntheticWeb) -> Self {
+        ScanPipeline {
+            web,
+            vt: VirusTotal::new(web),
+            quttera: Quttera::new(web),
+            blacklists: BlacklistDb::populate_from_web(web),
+            url_features: HashMap::new(),
+        }
+    }
+
+    /// Direct access to the blacklist database.
+    pub fn blacklists(&self) -> &BlacklistDb {
+        &self.blacklists
+    }
+
+    /// Scans one crawl record.
+    pub fn scan(&mut self, record: &CrawlRecord) -> ScanOutcome {
+        // 1. Blacklist consensus over every domain on the redirect chain
+        //    (the entry URL may be benign while the destination is not).
+        let blacklisted_domain = record
+            .chain_hosts
+            .iter()
+            .map(|h| slum_websim::domain::registered_domain(h))
+            .find(|d| self.blacklists.check(d).is_blacklisted());
+
+        // 2. URL scans (scanner-side fetch; cloaking applies).
+        let url_features = self.url_features(&record.url);
+        let key = record.url.canonical();
+        let mut vt = self.vt.aggregate(&key, &url_features);
+        let mut quttera = self.quttera.report(&record.url, &url_features);
+        let mut needed_content_upload = false;
+
+        // 3. Content upload for URL-scan-clean pages with captured
+        //    content (the cloaking defeat).
+        if !vt.is_malicious() && !quttera.is_malicious() {
+            if let Some(content) = &record.content {
+                let vt_content = self.vt.scan_content(&record.url, content);
+                let quttera_content = self.quttera.scan_content(&record.url, content);
+                if vt_content.is_malicious() || quttera_content.is_malicious() {
+                    needed_content_upload = true;
+                    vt = vt_content;
+                    quttera = quttera_content;
+                }
+            }
+        }
+
+        let malicious =
+            vt.is_malicious() || quttera.is_malicious() || blacklisted_domain.is_some();
+        ScanOutcome { malicious, vt, quttera, blacklisted_domain, needed_content_upload }
+    }
+
+    /// Scans a batch, preserving order.
+    pub fn scan_all(&mut self, records: &[CrawlRecord]) -> Vec<ScanOutcome> {
+        records.iter().map(|r| self.scan(r)).collect()
+    }
+
+    /// Cached feature extraction for the URL-scan path: one scanner
+    /// fetch per distinct URL, shared between VT and Quttera. Redirected
+    /// loads mark the redirect feature the way the Quttera URL scan
+    /// does.
+    fn url_features(&mut self, url: &Url) -> Features {
+        let key = url.canonical();
+        if let Some(f) = self.url_features.get(&key) {
+            return f.clone();
+        }
+        let browser =
+            Browser::new(self.web).with_context(RequestContext::scanner("pipeline"));
+        let load = browser.load(url);
+        let mut features = Features::from_load(&load);
+        if load.was_redirected() {
+            features.js_redirect = true;
+        }
+        self.url_features.insert(key, features.clone());
+        features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_browser::Browser;
+    use slum_crawler::CrawlRecord;
+    use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+    use slum_websim::{ContentCategory, JsAttack, MaliceKind, Tld};
+
+    fn record_for(web: &SyntheticWeb, url: &Url) -> CrawlRecord {
+        let load = Browser::new(web).load(url);
+        CrawlRecord::from_load("test", 0, 0, &load)
+    }
+
+    #[test]
+    fn benign_record_scans_clean() {
+        let mut b = WebBuilder::new(200);
+        let site = b.benign_site(BenignOptions::default());
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let outcome = pipe.scan(&record_for(&web, &site.url));
+        assert!(!outcome.malicious);
+        assert!(!outcome.needed_content_upload);
+    }
+
+    #[test]
+    fn blacklisted_record_flagged_via_consensus() {
+        let mut b = WebBuilder::new(201);
+        let spec = b.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Blacklisted),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let outcome = pipe.scan(&record_for(&web, &spec.url));
+        assert!(outcome.malicious);
+        assert_eq!(outcome.blacklisted_domain, Some(spec.url.registered_domain()));
+    }
+
+    #[test]
+    fn js_attack_flagged_by_engines() {
+        let mut b = WebBuilder::new(202);
+        let spec = b.js_site(JsAttack::DynamicIframe, Tld::Com, ContentCategory::Business, false);
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let outcome = pipe.scan(&record_for(&web, &spec.url));
+        assert!(outcome.malicious);
+        assert!(outcome.vt.is_malicious() || outcome.quttera.is_malicious());
+    }
+
+    #[test]
+    fn cloaked_misc_needs_content_upload() {
+        let mut b = WebBuilder::new(203);
+        let spec = b.misc_site(Tld::Com, ContentCategory::Business, true);
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let outcome = pipe.scan(&record_for(&web, &spec.url));
+        assert!(outcome.malicious);
+        assert!(outcome.needed_content_upload, "cloak must force the upload path");
+    }
+
+    #[test]
+    fn cloaked_page_without_capture_evades_entirely() {
+        let mut b = WebBuilder::new(204);
+        let spec = b.misc_site(Tld::Com, ContentCategory::Business, true);
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let mut record = record_for(&web, &spec.url);
+        record.content = None; // crawler didn't keep the page
+        let outcome = pipe.scan(&record);
+        assert!(!outcome.malicious, "no content, no blacklist entry, cloaked: evades");
+    }
+
+    #[test]
+    fn scan_all_preserves_order_and_caches() {
+        let mut b = WebBuilder::new(205);
+        let benign = b.benign_site(BenignOptions::default());
+        let bad = b.js_site(JsAttack::HiddenIframe, Tld::Com, ContentCategory::Business, false);
+        let web = b.finish();
+        let mut pipe = ScanPipeline::new(&web);
+        let records = vec![
+            record_for(&web, &benign.url),
+            record_for(&web, &bad.url),
+            record_for(&web, &benign.url),
+        ];
+        let outcomes = pipe.scan_all(&records);
+        assert_eq!(outcomes.len(), 3);
+        assert!(!outcomes[0].malicious);
+        assert!(outcomes[1].malicious);
+        assert!(!outcomes[2].malicious);
+    }
+}

@@ -1,0 +1,159 @@
+//! Shortened-URL statistics (Table IV, §IV-A5).
+//!
+//! For every malicious shortened URL encountered on the exchanges, the
+//! paper tabulates the public hit statistics the shortening services
+//! expose: the short URL's hit count, the aggregate hit count of the
+//! long URL it points to, the top visitor country, and the top referrer.
+
+use std::collections::BTreeSet;
+
+use slum_crawler::CrawlRecord;
+use slum_websim::{SyntheticWeb, Url};
+
+use crate::scanpipe::ScanOutcome;
+
+/// One Table IV row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortenedRow {
+    /// The shortened URL (e.g. `http://goo.gl/VAdNHA`).
+    pub short_url: Url,
+    /// Hits on the shortened URL.
+    pub short_hits: u64,
+    /// Aggregate hits across all short codes of this service pointing at
+    /// the same long URL.
+    pub long_url_hits: u64,
+    /// Top visitor country, `"-"` when unknown.
+    pub top_country: String,
+    /// Top referrer, `"-"` when the hits carried no referrer.
+    pub top_referrer: String,
+}
+
+/// Builds Table IV: collects the distinct malicious shortened URLs in
+/// the corpus and queries the services' public statistics.
+pub fn shortened_rows(
+    web: &SyntheticWeb,
+    records: &[CrawlRecord],
+    outcomes: &[ScanOutcome],
+) -> Vec<ShortenedRow> {
+    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut rows = Vec::new();
+    for (record, outcome) in records.iter().zip(outcomes) {
+        if !outcome.malicious || !record.via_shortener {
+            continue;
+        }
+        // The short URL is the first shortener host on the chain — for
+        // listings the surfed URL itself. Exchanges append tracking
+        // query parameters; the canonical short link is host + code.
+        let short_url = if web.shorteners().is_shortener_host(record.url.host()) {
+            Url::http(record.url.host(), record.url.path())
+        } else {
+            continue;
+        };
+        if !seen.insert(short_url.canonical()) {
+            continue;
+        }
+        let service = web
+            .shorteners()
+            .service(short_url.host())
+            .expect("host checked as shortener");
+        let code = short_url.path().trim_start_matches('/');
+        let Some(stats) = service.stats(code) else { continue };
+        let long_url_hits = service
+            .peek(code)
+            .map(|target| service.long_url_hits(&target))
+            .unwrap_or(stats.hits);
+        rows.push(ShortenedRow {
+            short_url,
+            short_hits: stats.hits,
+            long_url_hits,
+            top_country: stats.top_country().unwrap_or("-").to_string(),
+            top_referrer: stats.top_referrer().unwrap_or("-").to_string(),
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.short_hits));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_browser::Browser;
+    use slum_detect::quttera::{QutteraReport, QutteraVerdict};
+    use slum_detect::virustotal::VtReport;
+    use slum_websim::build::WebBuilder;
+    use slum_websim::{ContentCategory, Tld};
+
+    fn outcome(malicious: bool) -> ScanOutcome {
+        ScanOutcome {
+            malicious,
+            vt: VtReport { detections: vec![], total_engines: 12, threshold: 2 },
+            quttera: QutteraReport {
+                url: Url::parse("http://x.example/").unwrap(),
+                findings: vec![],
+                verdict: QutteraVerdict::Clean,
+            },
+            blacklisted_domain: None,
+            needed_content_upload: false,
+        }
+    }
+
+    #[test]
+    fn rows_built_from_crawled_short_urls() {
+        let mut b = WebBuilder::new(220);
+        let spec1 = b.shortened_site(Tld::Com, ContentCategory::Business);
+        let spec2 = b.shortened_site(Tld::Net, ContentCategory::Advertisement);
+        let web = b.finish();
+
+        let records: Vec<CrawlRecord> = [&spec1.url, &spec2.url]
+            .iter()
+            .map(|u| {
+                let load = Browser::new(&web).load(u);
+                CrawlRecord::from_load("X", 0, 0, &load)
+            })
+            .collect();
+        let outcomes = vec![outcome(true), outcome(true)];
+        let rows = shortened_rows(&web, &records, &outcomes);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(web.shorteners().is_shortener_host(row.short_url.host()));
+            assert!(row.short_hits > 1_000, "organic traffic seeded: {}", row.short_hits);
+            assert!(row.long_url_hits >= row.short_hits);
+            assert_ne!(row.top_country, "");
+        }
+        // Sorted by hits descending.
+        assert!(rows[0].short_hits >= rows[1].short_hits);
+    }
+
+    #[test]
+    fn duplicates_and_benign_excluded() {
+        let mut b = WebBuilder::new(221);
+        let spec = b.shortened_site(Tld::Com, ContentCategory::Business);
+        let web = b.finish();
+        let load = Browser::new(&web).load(&spec.url);
+        let rec = CrawlRecord::from_load("X", 0, 0, &load);
+        let records = vec![rec.clone(), rec.clone(), rec];
+        let outcomes = vec![outcome(true), outcome(true), outcome(false)];
+        let rows = shortened_rows(&web, &records, &outcomes);
+        assert_eq!(rows.len(), 1, "dedup by short URL; benign visit ignored");
+    }
+
+    #[test]
+    fn non_shortener_records_skipped() {
+        let mut b = WebBuilder::new(222);
+        let site = b.benign_site(Default::default());
+        let web = b.finish();
+        let load = Browser::new(&web).load(&site.url);
+        let mut rec = CrawlRecord::from_load("X", 0, 0, &load);
+        rec.via_shortener = true; // inconsistent flag; host check must catch it
+        let rows = shortened_rows(&web, &[rec], &[outcome(true)]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn empty_store_yields_no_rows() {
+        let b = WebBuilder::new(223);
+        let web = b.finish();
+        assert!(shortened_rows(&web, &[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Blacklist-staleness experiment.
+//!
+//! §III-B notes that "blacklists are updated infrequently" — which both
+//! creates the stale-entry false positives the consensus rule suppresses
+//! *and* opens a detection-lag window on fresh threats. The paper's
+//! crawl ran for months, so domains that turned malicious mid-study were
+//! visited both before and after the lists caught up. This experiment
+//! quantifies that: how many blacklisted-category visits are missed when
+//! lookups go through realistically-lagged list snapshots instead of an
+//! oracle-fresh database.
+
+use slum_detect::blacklist::{BlacklistDb, StalenessModel};
+use slum_websim::build::{MaliciousOptions, WebBuilder};
+use slum_websim::rng::seeded;
+use slum_websim::MaliceKind;
+
+use rand::Rng;
+
+/// Parameters of the staleness experiment.
+#[derive(Debug, Clone)]
+pub struct LagConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of blacklist-worthy domains that turn malicious during the
+    /// study window.
+    pub domains: usize,
+    /// Visits per domain, spread across the window.
+    pub visits_per_domain: usize,
+    /// Study window in virtual seconds (the paper crawled for months).
+    pub window_secs: u64,
+    /// Per-list update periods (defaults to
+    /// [`StalenessModel::DEFAULT_PERIODS`]).
+    pub periods: [u64; 6],
+}
+
+impl Default for LagConfig {
+    fn default() -> Self {
+        LagConfig {
+            seed: 2016,
+            domains: 120,
+            visits_per_domain: 20,
+            // ~3 months.
+            window_secs: 90 * 86_400,
+            periods: StalenessModel::DEFAULT_PERIODS,
+        }
+    }
+}
+
+/// Outcome of the staleness experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagReport {
+    /// Visits that an oracle-fresh database would have flagged.
+    pub flagged_fresh: u64,
+    /// Visits flagged through the lagged snapshots.
+    pub flagged_stale: u64,
+    /// Visits missed purely due to update lag.
+    pub missed_by_lag: u64,
+    /// Mean seconds from a domain turning malicious to consensus
+    /// availability (over domains that ever reach consensus).
+    pub mean_consensus_lag_secs: f64,
+}
+
+impl LagReport {
+    /// Fraction of fresh-detectable visits lost to staleness.
+    pub fn miss_fraction(&self) -> f64 {
+        if self.flagged_fresh == 0 {
+            0.0
+        } else {
+            self.missed_by_lag as f64 / self.flagged_fresh as f64
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run_lag_experiment(config: &LagConfig) -> LagReport {
+    let mut rng = seeded(config.seed);
+    let mut builder = WebBuilder::new(config.seed);
+
+    // Domains turn malicious at uniform times in the first half of the
+    // window (so every domain gets post-onset visits).
+    let mut domains: Vec<(String, u64)> = Vec::with_capacity(config.domains);
+    for _ in 0..config.domains {
+        let spec = builder.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Blacklisted),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+        let onset = rng.gen_range(0..config.window_secs / 2);
+        domains.push((spec.url.registered_domain(), onset));
+    }
+    let web = builder.finish();
+
+    let db = BlacklistDb::populate_from_web(&web);
+    let first_seen: std::collections::HashMap<String, u64> =
+        domains.iter().cloned().collect();
+    let model = StalenessModel::new(db.clone(), first_seen).with_periods(config.periods);
+
+    let mut report = LagReport {
+        flagged_fresh: 0,
+        flagged_stale: 0,
+        missed_by_lag: 0,
+        mean_consensus_lag_secs: 0.0,
+    };
+    let mut lag_sum = 0.0;
+    let mut lag_count = 0u64;
+    for (domain, onset) in &domains {
+        if let Some(when) = model.consensus_time(domain) {
+            lag_sum += (when - onset) as f64;
+            lag_count += 1;
+        }
+        for _ in 0..config.visits_per_domain {
+            // Visits occur only after the domain turned malicious.
+            let at = rng.gen_range(*onset..config.window_secs);
+            let fresh = db.check(domain).is_blacklisted();
+            let stale = model.check_at(domain, at).is_blacklisted();
+            if fresh {
+                report.flagged_fresh += 1;
+                if stale {
+                    report.flagged_stale += 1;
+                } else {
+                    report.missed_by_lag += 1;
+                }
+            }
+        }
+    }
+    report.mean_consensus_lag_secs =
+        if lag_count == 0 { 0.0 } else { lag_sum / lag_count as f64 };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_misses_some_but_not_most_visits() {
+        let report = run_lag_experiment(&LagConfig::default());
+        assert!(report.flagged_fresh > 0);
+        assert_eq!(
+            report.flagged_stale + report.missed_by_lag,
+            report.flagged_fresh,
+            "every fresh-detectable visit is either caught or lag-missed"
+        );
+        let miss = report.miss_fraction();
+        // Over a ~90-day window with day-to-month update periods, a small
+        // but real fraction of visits precedes consensus.
+        assert!(miss > 0.0, "lag must cost something: {report:?}");
+        assert!(miss < 0.5, "but the window dwarfs the lag: {miss}");
+        assert!(report.mean_consensus_lag_secs > 0.0);
+    }
+
+    #[test]
+    fn instant_updates_miss_nothing() {
+        let config = LagConfig { periods: [1, 1, 1, 1, 1, 1], ..Default::default() };
+        let report = run_lag_experiment(&config);
+        assert_eq!(report.missed_by_lag, 0, "{report:?}");
+        assert!(report.mean_consensus_lag_secs <= 1.0);
+    }
+
+    #[test]
+    fn slower_updates_miss_more() {
+        let fast = run_lag_experiment(&LagConfig::default());
+        let slow_periods = StalenessModel::DEFAULT_PERIODS.map(|p| p * 10);
+        let slow = run_lag_experiment(&LagConfig {
+            periods: slow_periods,
+            ..Default::default()
+        });
+        assert!(
+            slow.miss_fraction() > fast.miss_fraction(),
+            "10x slower lists must miss more: {} vs {}",
+            slow.miss_fraction(),
+            fast.miss_fraction()
+        );
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run_lag_experiment(&LagConfig::default());
+        let b = run_lag_experiment(&LagConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,364 @@
+//! The end-to-end study runner: build the ecosystem, crawl, scan,
+//! analyze — everything the paper's evaluation reports, in one object.
+
+use slum_crawler::drive::estimated_duration_secs;
+use slum_crawler::{crawl_all, CrawlRecord, RecordStore};
+use slum_exchange::params::PROFILES;
+use slum_exchange::Exchange;
+use slum_websim::build::WebBuilder;
+use slum_websim::SyntheticWeb;
+
+use crate::breakdown::{domain_rows, ContentBreakdown, DomainRow, TldBreakdown};
+use crate::case_studies;
+use crate::categorize::{tally, CategoryCounts};
+use crate::filter::{ReferralClass, ReferralFilter};
+use crate::redirects::{longest_chain, ChainExhibit, RedirectHistogram};
+use crate::report::{Fig2Bar, Table1, Table1Row};
+use crate::scanpipe::{ScanOutcome, ScanPipeline};
+use crate::shortened::{shortened_rows, ShortenedRow};
+use crate::temporal::CumulativeSeries;
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of the paper's per-exchange crawl volumes to replay
+    /// (1.0 = the full 1,003,087 visits; the default keeps CI-sized
+    /// runs fast while preserving every shape).
+    pub crawl_scale: f64,
+    /// Fraction of the paper's per-exchange domain pools to install.
+    pub domain_scale: f64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05 }
+    }
+}
+
+/// A completed study: the corpus, verdicts, and every derived artifact.
+pub struct Study {
+    /// The synthetic web (with its oracle and shortener registry).
+    pub web: SyntheticWeb,
+    /// The crawl corpus.
+    pub store: RecordStore,
+    /// Scan outcome per record (aligned with `store.records()`).
+    pub outcomes: Vec<ScanOutcome>,
+    /// Referral class per record (aligned).
+    pub referrals: Vec<ReferralClass>,
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Runs the full pipeline.
+    pub fn run(config: &StudyConfig) -> Study {
+        // 1. Build the web population + the nine exchanges. Each
+        //    exchange gets its *own* planned crawl span so manual-surf
+        //    campaign bursts land inside the (much shorter) manual
+        //    crawls rather than after they end.
+        let mut builder = WebBuilder::new(config.seed);
+        let mut exchanges: Vec<Exchange> = PROFILES
+            .iter()
+            .map(|p| {
+                let span = estimated_duration_secs(p, steps_for(p, config.crawl_scale));
+                slum_exchange::build_exchange(&mut builder, p, config.domain_scale, span)
+            })
+            .collect();
+        let web = builder.finish();
+
+        // 2. Crawl all nine exchanges in parallel.
+        let (store, _stats) = crawl_all(&web, &mut exchanges, config.seed, |x| {
+            let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
+            steps_for(profile, config.crawl_scale)
+        });
+
+        // 3. Classify referrals, then scan every *regular* record.
+        let filter = ReferralFilter::from_profiles(PROFILES.iter());
+        let referrals: Vec<ReferralClass> =
+            store.records().iter().map(|r| filter.classify(r)).collect();
+        let mut pipeline = ScanPipeline::new(&web);
+        let outcomes: Vec<ScanOutcome> = store
+            .records()
+            .iter()
+            .zip(&referrals)
+            .map(|(record, class)| match class {
+                ReferralClass::Regular => pipeline.scan(record),
+                // Self/popular referrals are excluded from analysis; give
+                // them an inert clean outcome so indices stay aligned.
+                _ => clean_outcome(record),
+            })
+            .collect();
+
+        Study { web, store, outcomes, referrals, config: config.clone() }
+    }
+
+    /// The configuration the study ran with.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Regular-record mask (aligned with records).
+    pub fn regular_mask(&self) -> Vec<bool> {
+        self.referrals.iter().map(|c| *c == ReferralClass::Regular).collect()
+    }
+
+    fn regular_pairs(&self) -> (Vec<CrawlRecord>, Vec<ScanOutcome>) {
+        let mut records = Vec::new();
+        let mut outcomes = Vec::new();
+        for ((record, outcome), class) in
+            self.store.records().iter().zip(&self.outcomes).zip(&self.referrals)
+        {
+            if *class == ReferralClass::Regular {
+                records.push(record.clone());
+                outcomes.push(outcome.clone());
+            }
+        }
+        (records, outcomes)
+    }
+
+    /// Table I: per-exchange crawl statistics.
+    pub fn table1(&self) -> Table1 {
+        let rows = PROFILES
+            .iter()
+            .map(|profile| {
+                let mut row = Table1Row {
+                    exchange: profile.name.to_string(),
+                    kind: profile.kind.label().to_string(),
+                    crawled: 0,
+                    self_referrals: 0,
+                    popular_referrals: 0,
+                    regular: 0,
+                    malicious: 0,
+                };
+                for ((record, outcome), class) in
+                    self.store.records().iter().zip(&self.outcomes).zip(&self.referrals)
+                {
+                    if record.exchange != profile.name {
+                        continue;
+                    }
+                    row.crawled += 1;
+                    match class {
+                        ReferralClass::SelfReferral => row.self_referrals += 1,
+                        ReferralClass::PopularReferral => row.popular_referrals += 1,
+                        ReferralClass::Regular => {
+                            row.regular += 1;
+                            if outcome.malicious {
+                                row.malicious += 1;
+                            }
+                        }
+                    }
+                }
+                row
+            })
+            .collect();
+        Table1 { rows }
+    }
+
+    /// Table II: per-exchange domain statistics.
+    pub fn table2(&self) -> Vec<DomainRow> {
+        domain_rows(self.store.records(), &self.outcomes, &self.regular_mask())
+    }
+
+    /// Table III: malware categorization counts.
+    pub fn table3(&self) -> CategoryCounts {
+        let (records, outcomes) = self.regular_pairs();
+        tally(&records, &outcomes)
+    }
+
+    /// Table IV: malicious shortened-URL statistics.
+    pub fn table4(&self) -> Vec<ShortenedRow> {
+        let (records, outcomes) = self.regular_pairs();
+        shortened_rows(&self.web, &records, &outcomes)
+    }
+
+    /// Figure 2 bars (per-exchange benign vs malware).
+    pub fn fig2(&self) -> Vec<Fig2Bar> {
+        self.table1()
+            .rows
+            .into_iter()
+            .map(|r| Fig2Bar {
+                exchange: r.exchange,
+                benign: r.regular - r.malicious,
+                malicious: r.malicious,
+            })
+            .collect()
+    }
+
+    /// Figure 3: per-exchange cumulative malicious series (regular URLs,
+    /// crawl order).
+    pub fn fig3(&self) -> Vec<CumulativeSeries> {
+        PROFILES
+            .iter()
+            .map(|profile| {
+                let flags: Vec<bool> = self
+                    .store
+                    .records()
+                    .iter()
+                    .zip(&self.outcomes)
+                    .zip(&self.referrals)
+                    .filter(|((record, _), class)| {
+                        record.exchange == profile.name && **class == ReferralClass::Regular
+                    })
+                    .map(|((_, outcome), _)| outcome.malicious)
+                    .collect();
+                CumulativeSeries::from_flags(profile.name, &flags)
+            })
+            .collect()
+    }
+
+    /// Figure 5: redirect-count histogram.
+    pub fn fig5(&self) -> RedirectHistogram {
+        let (records, outcomes) = self.regular_pairs();
+        RedirectHistogram::build(&records, &outcomes)
+    }
+
+    /// Figure 4 exhibit: the longest malicious redirect chain observed.
+    pub fn fig4(&self) -> Option<ChainExhibit> {
+        let (records, outcomes) = self.regular_pairs();
+        longest_chain(&records, &outcomes)
+    }
+
+    /// Figure 6: TLD breakdown of malicious URLs.
+    pub fn fig6(&self) -> TldBreakdown {
+        let (records, outcomes) = self.regular_pairs();
+        TldBreakdown::build(&records, &outcomes)
+    }
+
+    /// Figure 7: content-category breakdown of malicious URLs.
+    pub fn fig7(&self) -> ContentBreakdown {
+        let (records, outcomes) = self.regular_pairs();
+        ContentBreakdown::build(&self.web, &records, &outcomes)
+    }
+
+    /// §V-A case studies: iframe-injection exhibits.
+    pub fn iframe_case_studies(&self) -> Vec<case_studies::IframeExhibit> {
+        let (records, outcomes) = self.regular_pairs();
+        case_studies::iframe_injections(&records, &outcomes)
+    }
+
+    /// §V-B case studies: deceptive downloads.
+    pub fn download_case_studies(&self) -> Vec<case_studies::DownloadExhibit> {
+        let (records, outcomes) = self.regular_pairs();
+        case_studies::deceptive_downloads(&records, &outcomes)
+    }
+
+    /// §V-D case studies: Flash click-jacks.
+    pub fn flash_case_studies(&self) -> Vec<case_studies::FlashExhibit> {
+        let (records, outcomes) = self.regular_pairs();
+        case_studies::flash_clickjacks(&self.web, &records, &outcomes)
+    }
+
+    /// §V-E case studies: false positives.
+    pub fn false_positive_case_studies(&self) -> Vec<case_studies::FalsePositiveExhibit> {
+        let (records, outcomes) = self.regular_pairs();
+        case_studies::false_positives(&self.web, &records, &outcomes)
+    }
+}
+
+/// Per-exchange crawl steps at a given scale (minimum 40 so small-scale
+/// runs still populate every row).
+pub fn steps_for(profile: &slum_exchange::ExchangeProfile, scale: f64) -> u64 {
+    ((profile.urls_crawled as f64 * scale).round() as u64).max(40)
+}
+
+fn clean_outcome(record: &CrawlRecord) -> ScanOutcome {
+    ScanOutcome {
+        malicious: false,
+        vt: slum_detect::virustotal::VtReport {
+            detections: Vec::new(),
+            total_engines: 0,
+            threshold: 2,
+        },
+        quttera: slum_detect::quttera::QutteraReport {
+            url: record.url.clone(),
+            findings: Vec::new(),
+            verdict: slum_detect::quttera::QutteraVerdict::Clean,
+        },
+        blacklisted_domain: None,
+        needed_content_upload: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_study() -> Study {
+        Study::run(&StudyConfig { seed: 77, crawl_scale: 0.0003, domain_scale: 0.03 })
+    }
+
+    #[test]
+    fn study_produces_all_nine_rows() {
+        let study = tiny_study();
+        let t1 = study.table1();
+        assert_eq!(t1.rows.len(), 9);
+        for row in &t1.rows {
+            assert!(row.crawled >= 40, "{}: {}", row.exchange, row.crawled);
+            assert_eq!(
+                row.crawled,
+                row.self_referrals + row.popular_referrals + row.regular,
+                "{} partition",
+                row.exchange
+            );
+        }
+    }
+
+    #[test]
+    fn overall_malice_rate_in_paper_ballpark() {
+        let study = tiny_study();
+        let rate = study.table1().overall_malicious_fraction();
+        // Paper: 26.7%. Small crawls are noisy; assert the band.
+        assert!((0.15..0.45).contains(&rate), "overall malice rate {rate}");
+    }
+
+    #[test]
+    fn outcomes_align_with_records() {
+        let study = tiny_study();
+        assert_eq!(study.store.len(), study.outcomes.len());
+        assert_eq!(study.store.len(), study.referrals.len());
+    }
+
+    #[test]
+    fn self_and_popular_referrals_never_malicious() {
+        let study = tiny_study();
+        for (outcome, class) in study.outcomes.iter().zip(&study.referrals) {
+            if *class != ReferralClass::Regular {
+                assert!(!outcome.malicious);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_matches_table1() {
+        let study = tiny_study();
+        let t1 = study.table1();
+        let bars = study.fig2();
+        for (row, bar) in t1.rows.iter().zip(&bars) {
+            assert_eq!(row.exchange, bar.exchange);
+            assert_eq!(row.malicious, bar.malicious);
+            assert_eq!(row.regular, bar.benign + bar.malicious);
+        }
+    }
+
+    #[test]
+    fn fig3_totals_match_table1() {
+        let study = tiny_study();
+        let t1 = study.table1();
+        for (series, row) in study.fig3().iter().zip(&t1.rows) {
+            assert_eq!(series.exchange, row.exchange);
+            assert_eq!(series.total_malicious(), row.malicious);
+            assert_eq!(series.len() as u64, row.regular);
+        }
+    }
+
+    #[test]
+    fn table3_counts_match_total_malicious() {
+        let study = tiny_study();
+        let counts = study.table3();
+        let total_from_table1: u64 = study.table1().rows.iter().map(|r| r.malicious).sum();
+        assert_eq!(counts.total_malicious, total_from_table1);
+        let sum: u64 = crate::categorize::Category::ALL.iter().map(|c| counts.count(*c)).sum();
+        assert_eq!(sum, counts.total_malicious);
+    }
+}

@@ -1,0 +1,200 @@
+//! Temporal analysis (Figure 3) and burst detection (§IV).
+//!
+//! The paper plots the cumulative count of malicious URLs against the
+//! count of crawled URLs per exchange: auto-surf curves are smooth and
+//! near-linear (automated rotation), while manual-surf curves show
+//! bursts that the paper attributes to fixed-duration paid campaigns.
+
+/// One exchange's Figure 3 series: for every crawled-URL index, the
+/// cumulative count of malicious URLs seen so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CumulativeSeries {
+    /// Exchange name.
+    pub exchange: String,
+    /// `series[i]` = malicious URLs among the first `i + 1` crawled.
+    pub series: Vec<u64>,
+}
+
+impl CumulativeSeries {
+    /// Builds the series from a malice flag per crawled URL (crawl
+    /// order).
+    pub fn from_flags(exchange: impl Into<String>, flags: &[bool]) -> CumulativeSeries {
+        let mut series = Vec::with_capacity(flags.len());
+        let mut cum = 0u64;
+        for &m in flags {
+            cum += u64::from(m);
+            series.push(cum);
+        }
+        CumulativeSeries { exchange: exchange.into(), series }
+    }
+
+    /// Total malicious count.
+    pub fn total_malicious(&self) -> u64 {
+        self.series.last().copied().unwrap_or(0)
+    }
+
+    /// Crawled count.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no URLs were crawled.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Downsamples to at most `points` evenly spaced samples (for
+    /// plotting/printing).
+    pub fn downsample(&self, points: usize) -> Vec<(usize, u64)> {
+        if self.series.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let step = (self.series.len().max(points) / points).max(1);
+        let mut out: Vec<(usize, u64)> =
+            self.series.iter().copied().enumerate().step_by(step).collect();
+        let last = (self.series.len() - 1, *self.series.last().expect("non-empty"));
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+
+    /// Burstiness score: the maximum windowed malice rate divided by the
+    /// global malice rate. Smooth near-linear curves score ≈1; curves
+    /// with campaign bursts score well above.
+    pub fn burstiness(&self, window: usize) -> f64 {
+        let n = self.series.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = self.total_malicious() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let global_rate = total / n as f64;
+        let window = window.clamp(1, n);
+        let mut max_rate: f64 = 0.0;
+        for start in 0..=(n - window) {
+            let before = if start == 0 { 0 } else { self.series[start - 1] };
+            let in_window = self.series[start + window - 1] - before;
+            max_rate = max_rate.max(in_window as f64 / window as f64);
+        }
+        max_rate / global_rate
+    }
+
+    /// Detects burst windows: maximal runs where the windowed malice
+    /// rate exceeds `factor ×` the global rate. Returns `(start, end)`
+    /// index ranges (end exclusive).
+    pub fn bursts(&self, window: usize, factor: f64) -> Vec<(usize, usize)> {
+        let n = self.series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let global_rate = self.total_malicious() as f64 / n as f64;
+        if global_rate == 0.0 {
+            return Vec::new();
+        }
+        let window = window.clamp(1, n);
+        let mut hot: Vec<bool> = vec![false; n];
+        for start in 0..=(n - window) {
+            let before = if start == 0 { 0 } else { self.series[start - 1] };
+            let in_window = self.series[start + window - 1] - before;
+            if in_window as f64 / window as f64 > global_rate * factor {
+                for flag in hot.iter_mut().skip(start).take(window) {
+                    *flag = true;
+                }
+            }
+        }
+        // Collapse to ranges.
+        let mut ranges = Vec::new();
+        let mut start = None;
+        for (i, &h) in hot.iter().enumerate() {
+            match (h, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    ranges.push((s, i));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            ranges.push((s, n));
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_flags(n: usize, rate: f64) -> Vec<bool> {
+        (0..n).map(|i| (i as f64 * rate).fract() < rate && i % (1.0 / rate) as usize == 0).collect()
+    }
+
+    #[test]
+    fn cumulative_construction() {
+        let s = CumulativeSeries::from_flags("X", &[false, true, true, false, true]);
+        assert_eq!(s.series, vec![0, 1, 2, 2, 3]);
+        assert_eq!(s.total_malicious(), 3);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn smooth_series_scores_low_burstiness() {
+        // Every 10th URL malicious: perfectly smooth.
+        let flags: Vec<bool> = (0..1_000).map(|i| i % 10 == 0).collect();
+        let s = CumulativeSeries::from_flags("auto", &flags);
+        let b = s.burstiness(100);
+        assert!(b < 1.5, "smooth series burstiness {b}");
+        assert!(s.bursts(100, 3.0).is_empty());
+    }
+
+    #[test]
+    fn bursty_series_scores_high_and_locates_burst() {
+        // Background 2% malice, with indices 400..500 at 90%.
+        let flags: Vec<bool> =
+            (0..1_000).map(|i| if (400..500).contains(&i) { i % 10 != 9 } else { i % 50 == 0 }).collect();
+        let s = CumulativeSeries::from_flags("manual", &flags);
+        assert!(s.burstiness(50) > 3.0, "burstiness {}", s.burstiness(50));
+        let bursts = s.bursts(50, 3.0);
+        assert_eq!(bursts.len(), 1);
+        let (start, end) = bursts[0];
+        assert!(start <= 400 && end >= 500, "burst range ({start}, {end})");
+    }
+
+    #[test]
+    fn empty_and_clean_series_degenerate_gracefully() {
+        let empty = CumulativeSeries::from_flags("e", &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.burstiness(10), 0.0);
+        assert!(empty.bursts(10, 3.0).is_empty());
+
+        let clean = CumulativeSeries::from_flags("c", &[false; 100]);
+        assert_eq!(clean.burstiness(10), 0.0);
+        assert!(clean.bursts(10, 3.0).is_empty());
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let flags: Vec<bool> = (0..500).map(|i| i % 7 == 0).collect();
+        let s = CumulativeSeries::from_flags("d", &flags);
+        let points = s.downsample(20);
+        assert!(points.len() <= 22);
+        assert_eq!(points.first().unwrap().0, 0);
+        assert_eq!(points.last().unwrap(), &(499, s.total_malicious()));
+    }
+
+    #[test]
+    fn window_larger_than_series_is_clamped() {
+        let s = CumulativeSeries::from_flags("w", &[true, false, true]);
+        // Must not panic; with window == n the rate equals the global rate.
+        assert!((s.burstiness(1_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn helper_flags_sanity() {
+        let _ = uniform_flags(100, 0.1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the analysis pipeline: temporal-series invariants
+//! and downsampling.
+
+use proptest::prelude::*;
+
+use malware_slums::temporal::CumulativeSeries;
+
+proptest! {
+    /// Cumulative series are monotone and end at the flag sum.
+    #[test]
+    fn cumulative_series_invariants(flags in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let series = CumulativeSeries::from_flags("p", &flags);
+        prop_assert_eq!(series.len(), flags.len());
+        prop_assert_eq!(
+            series.total_malicious(),
+            flags.iter().filter(|f| **f).count() as u64
+        );
+        prop_assert!(series.series.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        // Each step increases by at most 1.
+        prop_assert!(series.series.windows(2).all(|w| w[1] - w[0] <= 1));
+    }
+
+    /// Burstiness is ≥ 1 whenever any malicious URL exists (the max
+    /// windowed rate cannot undercut the average), and bursts returned
+    /// are within bounds and disjoint.
+    #[test]
+    fn burstiness_and_bursts_invariants(
+        flags in proptest::collection::vec(any::<bool>(), 1..400),
+        window in 1usize..100,
+        factor in 1.5f64..5.0,
+    ) {
+        let series = CumulativeSeries::from_flags("p", &flags);
+        let b = series.burstiness(window);
+        if series.total_malicious() > 0 {
+            // Pigeonhole over the ceil(n/window) disjoint windows: the
+            // densest window carries at least total*window/(n+window)
+            // hits, so burstiness >= n/(n+window).
+            let n = series.len() as f64;
+            let w = window.min(series.len()) as f64;
+            let lower = n / (n + w) - 1e-9;
+            prop_assert!(b >= lower, "burstiness {} below pigeonhole bound {}", b, lower);
+        } else {
+            prop_assert_eq!(b, 0.0);
+        }
+        let bursts = series.bursts(window, factor);
+        let mut last_end = 0;
+        for (start, end) in bursts {
+            prop_assert!(start < end);
+            prop_assert!(end <= series.len());
+            prop_assert!(start >= last_end, "bursts must be disjoint and ordered");
+            last_end = end;
+        }
+    }
+
+    /// Downsampling preserves endpoints and monotonicity.
+    #[test]
+    fn downsample_invariants(
+        flags in proptest::collection::vec(any::<bool>(), 1..300),
+        points in 1usize..40,
+    ) {
+        let series = CumulativeSeries::from_flags("p", &flags);
+        let sampled = series.downsample(points);
+        prop_assert!(!sampled.is_empty());
+        prop_assert_eq!(sampled[0].0, 0);
+        prop_assert_eq!(
+            *sampled.last().unwrap(),
+            (series.len() - 1, series.total_malicious())
+        );
+        prop_assert!(sampled.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+}

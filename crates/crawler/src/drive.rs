@@ -1,0 +1,232 @@
+//! Auto-surf and manual-surf crawl drivers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use slum_browser::Browser;
+use slum_exchange::antiabuse::{Admission, IpAddr, SessionPolicy, SessionTracker};
+use slum_exchange::captcha::CaptchaOutcome;
+use slum_exchange::economy::{EconomyConfig, Ledger};
+use slum_exchange::{Exchange, ExchangeKind};
+use slum_websim::rng::seeded;
+use slum_websim::SyntheticWeb;
+
+use crate::record::CrawlRecord;
+use crate::store::RecordStore;
+
+/// Configuration of one exchange crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Number of surf steps to log.
+    pub steps: u64,
+    /// RNG seed for this crawl.
+    pub seed: u64,
+    /// Virtual start time (seconds).
+    pub start_time: u64,
+    /// Scripted operator's CAPTCHA success rate (manual-surf only).
+    pub captcha_skill: f64,
+    /// Whether to capture page content into records (needed for the
+    /// cloaking-defeating upload scans; costs memory).
+    pub capture_content: bool,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            steps: 500,
+            seed: 1,
+            start_time: 0,
+            captcha_skill: 0.96,
+            capture_content: true,
+        }
+    }
+}
+
+/// Outcome statistics of one crawl.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    /// Pages logged.
+    pub pages: u64,
+    /// CAPTCHAs failed (manual-surf).
+    pub captcha_failures: u64,
+    /// Page loads that failed (404/hop-limit).
+    pub load_failures: u64,
+    /// Credits earned (milli-credits).
+    pub credits_earned_millis: i64,
+}
+
+/// Crawls one exchange for `config.steps` logged pages, appending
+/// records to `store`.
+///
+/// The procedure mirrors §III-A: register a brand-new account, open a
+/// session (subject to anti-abuse checks), then either let the auto-surf
+/// rotation run or click through manually, solving CAPTCHAs. Auto-surf
+/// loads never simulate user clicks; the virtual clock advances by the
+/// exchange's minimum surf time per page.
+pub fn crawl_exchange(
+    web: &SyntheticWeb,
+    exchange: &mut Exchange,
+    config: &CrawlConfig,
+    store: &mut RecordStore,
+) -> CrawlStats {
+    let mut rng: StdRng = seeded(config.seed);
+    let mut stats = CrawlStats::default();
+
+    // Fresh account, fresh session — the study's brand-new accounts.
+    let mut ledger = Ledger::new();
+    let economy = EconomyConfig::default();
+    let account = ledger.open_account();
+    let mut sessions = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+    let crawler_ip = IpAddr::new(format!("crawler-{}", config.seed));
+    let Admission::Granted { .. } = sessions.open_session(account, crawler_ip) else {
+        // Fresh tracker + fresh account: admission cannot fail.
+        unreachable!("fresh session must be admitted");
+    };
+
+    let exchange_name = exchange.name().to_string();
+    let manual = exchange.kind() == ExchangeKind::ManualSurf;
+    let mut t = config.start_time;
+    let mut seq = 0u64;
+
+    while seq < config.steps {
+        let step = exchange.next_step(t, &mut rng);
+
+        // Manual-surf: solve the CAPTCHA first; a failure burns time but
+        // logs nothing (the page never opens).
+        if let Some(captcha) = &step.captcha {
+            let outcome = if rng.gen_bool(config.captcha_skill) {
+                debug_assert!(captcha.verify(captcha.answer()));
+                CaptchaOutcome::Passed
+            } else {
+                CaptchaOutcome::Failed
+            };
+            if outcome == CaptchaOutcome::Failed {
+                stats.captcha_failures += 1;
+                t += 5;
+                continue;
+            }
+            // Human solve time.
+            t += rng.gen_range(3..10);
+        }
+
+        let browser = Browser::new(web).at_time(t);
+        let browser = if manual { browser } else { browser.without_click() };
+        let load = browser.load(&step.url);
+        if load.failed {
+            stats.load_failures += 1;
+        }
+        let mut record = CrawlRecord::from_load(&exchange_name, seq, t, &load);
+        if !config.capture_content {
+            record.content = None;
+        }
+        store.push(record);
+        stats.pages += 1;
+        seq += 1;
+
+        if ledger.earn_view(account, &economy).is_ok() {
+            stats.credits_earned_millis += economy.earn_per_view_millis;
+        }
+        // Dwell for the required surf time (plus jitter for realism).
+        t += step.min_surf_secs as u64 + rng.gen_range(0..5);
+    }
+    stats
+}
+
+/// Estimates the virtual duration a crawl of `steps` pages will span —
+/// used to place campaign bursts before crawling starts.
+pub fn estimated_duration_secs(profile: &slum_exchange::ExchangeProfile, steps: u64) -> u64 {
+    // Average dwell = min surf + ~2s jitter (+ solve time for manual).
+    let per_page = profile.min_surf_secs as u64
+        + 2
+        + if profile.kind == ExchangeKind::ManualSurf { 6 } else { 0 };
+    steps * per_page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_exchange::{build_exchange, params::profile};
+    use slum_websim::build::WebBuilder;
+
+    fn crawl(name: &str, steps: u64, seed: u64) -> (RecordStore, CrawlStats) {
+        let mut b = WebBuilder::new(seed);
+        let p = profile(name).unwrap();
+        let span = estimated_duration_secs(p, steps);
+        let mut x = build_exchange(&mut b, p, 0.05, span);
+        let web = b.finish();
+        let mut store = RecordStore::new();
+        let stats = crawl_exchange(
+            &web,
+            &mut x,
+            &CrawlConfig { steps, seed, ..Default::default() },
+            &mut store,
+        );
+        (store, stats)
+    }
+
+    #[test]
+    fn auto_surf_crawl_logs_requested_steps() {
+        let (store, stats) = crawl("Otohits", 300, 7);
+        assert_eq!(stats.pages, 300);
+        assert_eq!(store.len(), 300);
+        assert_eq!(stats.captcha_failures, 0, "auto-surf has no CAPTCHAs");
+        assert!(stats.credits_earned_millis > 0);
+    }
+
+    #[test]
+    fn manual_surf_crawl_fails_some_captchas() {
+        let (store, stats) = crawl("Cash N Hits", 200, 8);
+        assert_eq!(store.len(), 200);
+        assert!(stats.captcha_failures > 0, "4% failure rate over 200+ attempts");
+    }
+
+    #[test]
+    fn records_carry_exchange_name_and_monotone_time() {
+        let (store, _) = crawl("ManyHits", 50, 9);
+        let mut last = 0;
+        for r in store.records() {
+            assert_eq!(r.exchange, "ManyHits");
+            assert!(r.at >= last);
+            last = r.at;
+        }
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let (a, _) = crawl("Hit2Hit", 80, 10);
+        let (b, _) = crawl("Hit2Hit", 80, 10);
+        let urls_a: Vec<String> = a.records().iter().map(|r| r.url.canonical()).collect();
+        let urls_b: Vec<String> = b.records().iter().map(|r| r.url.canonical()).collect();
+        assert_eq!(urls_a, urls_b);
+    }
+
+    #[test]
+    fn self_referrals_present_in_crawl() {
+        let (store, _) = crawl("Otohits", 400, 11);
+        let p = profile("Otohits").unwrap();
+        let selfs =
+            store.records().iter().filter(|r| r.url.host() == p.host).count();
+        // Otohits self-refers >50% of the time.
+        assert!(
+            selfs as f64 / store.len() as f64 > 0.4,
+            "Otohits self-referrals: {selfs}/{}",
+            store.len()
+        );
+    }
+
+    #[test]
+    fn content_capture_can_be_disabled() {
+        let mut b = WebBuilder::new(12);
+        let p = profile("Otohits").unwrap();
+        let mut x = build_exchange(&mut b, p, 0.05, 10_000);
+        let web = b.finish();
+        let mut store = RecordStore::new();
+        crawl_exchange(
+            &web,
+            &mut x,
+            &CrawlConfig { steps: 20, capture_content: false, ..Default::default() },
+            &mut store,
+        );
+        assert!(store.records().iter().all(|r| r.content.is_none()));
+    }
+}

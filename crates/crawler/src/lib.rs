@@ -1,0 +1,34 @@
+//! # slum-crawler
+//!
+//! The measurement crawler of the `malware-slums` reproduction of
+//! *Malware Slums* (DSN 2016).
+//!
+//! The paper registered fresh accounts on nine traffic exchanges and
+//! crawled them for months: auto-surf exchanges were logged passively
+//! from the browser as pages rotated, manual-surf exchanges were
+//! clicked through by hand (hence far fewer pages), and all traffic was
+//! captured via Firebug/NetExport as HAR. This crate reproduces that
+//! procedure over the simulated exchanges:
+//!
+//! - [`record`] / [`store`] — the per-visit crawl records (URL, redirect
+//!   chain, captured content, HAR) and their store;
+//! - [`drive`] — the auto-surf and manual-surf crawl drivers, including
+//!   the scripted CAPTCHA operator;
+//! - [`run`] — multi-exchange orchestration (one worker per exchange,
+//!   crossbeam-scoped);
+//! - [`burst`] — the paid-campaign burst-validation experiment client
+//!   ($5 → 2,500 visits, §IV).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod drive;
+pub mod record;
+pub mod run;
+pub mod store;
+
+pub use drive::{crawl_exchange, CrawlConfig};
+pub use record::CrawlRecord;
+pub use run::crawl_all;
+pub use store::RecordStore;

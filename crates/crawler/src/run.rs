@@ -1,0 +1,109 @@
+//! Multi-exchange crawl orchestration.
+
+use crossbeam::thread;
+
+use slum_exchange::Exchange;
+use slum_websim::SyntheticWeb;
+
+use crate::drive::{crawl_exchange, CrawlConfig, CrawlStats};
+use crate::store::RecordStore;
+
+/// Crawls every exchange concurrently — one worker thread per exchange,
+/// matching how the study ran independent sessions per service — and
+/// merges the per-exchange stores into one.
+///
+/// `step_fn` decides how many pages to log on each exchange (Table I's
+/// volumes differ by two orders of magnitude between auto and manual).
+pub fn crawl_all<F>(
+    web: &SyntheticWeb,
+    exchanges: &mut [Exchange],
+    base_seed: u64,
+    step_fn: F,
+) -> (RecordStore, Vec<(String, CrawlStats)>)
+where
+    F: Fn(&Exchange) -> u64 + Sync,
+{
+    let results: Vec<(RecordStore, String, CrawlStats)> = thread::scope(|scope| {
+        let handles: Vec<_> = exchanges
+            .iter_mut()
+            .enumerate()
+            .map(|(i, exchange)| {
+                let step_fn = &step_fn;
+                scope.spawn(move |_| {
+                    let steps = step_fn(exchange);
+                    let config = CrawlConfig {
+                        steps,
+                        seed: base_seed.wrapping_add(i as u64 * 7919),
+                        ..Default::default()
+                    };
+                    let mut store = RecordStore::new();
+                    let name = exchange.name().to_string();
+                    let stats = crawl_exchange(web, exchange, &config, &mut store);
+                    (store, name, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
+    })
+    .expect("crawl scope panicked");
+
+    let mut merged = RecordStore::new();
+    let mut stats = Vec::with_capacity(results.len());
+    for (store, name, s) in results {
+        merged.extend(store.records().iter().cloned());
+        stats.push((name, s));
+    }
+    (merged, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_exchange::setup::build_all_exchanges;
+    use slum_exchange::ExchangeKind;
+    use slum_websim::build::WebBuilder;
+
+    #[test]
+    fn parallel_crawl_covers_all_nine_exchanges() {
+        let mut b = WebBuilder::new(130);
+        let mut exchanges = build_all_exchanges(&mut b, 0.02, 20_000);
+        let web = b.finish();
+        let (store, stats) = crawl_all(&web, &mut exchanges, 42, |x| {
+            match x.kind() {
+                ExchangeKind::AutoSurf => 60,
+                ExchangeKind::ManualSurf => 15,
+            }
+        });
+        assert_eq!(stats.len(), 9);
+        assert_eq!(store.len(), 5 * 60 + 4 * 15);
+        assert_eq!(store.exchanges().len(), 9);
+        for (name, s) in &stats {
+            let expected = if name == "10KHits"
+                || name == "ManyHits"
+                || name == "Smiley Traffic"
+                || name == "SendSurf"
+                || name == "Otohits"
+            {
+                60
+            } else {
+                15
+            };
+            assert_eq!(s.pages, expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_crawl_is_deterministic() {
+        let run = || {
+            let mut b = WebBuilder::new(131);
+            let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+            let web = b.finish();
+            let (store, _) = crawl_all(&web, &mut exchanges, 99, |_| 25);
+            let mut urls: Vec<String> =
+                store.records().iter().map(|r| format!("{}|{}", r.exchange, r.url)).collect();
+            urls.sort();
+            urls
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,178 @@
+//! The crawl-record store.
+
+use std::collections::BTreeSet;
+
+use crate::record::CrawlRecord;
+
+/// An in-memory store of crawl records with the aggregate queries the
+/// dataset assembly needs.
+#[derive(Debug, Default, Clone)]
+pub struct RecordStore {
+    records: Vec<CrawlRecord>,
+}
+
+impl RecordStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        RecordStore::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: CrawlRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = CrawlRecord>) {
+        self.records.extend(records);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[CrawlRecord] {
+        &self.records
+    }
+
+    /// Total visit count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records for one exchange.
+    pub fn by_exchange<'a>(&'a self, exchange: &'a str) -> impl Iterator<Item = &'a CrawlRecord> {
+        self.records.iter().filter(move |r| r.exchange == exchange)
+    }
+
+    /// Exchange names present, sorted.
+    pub fn exchanges(&self) -> Vec<String> {
+        let set: BTreeSet<String> =
+            self.records.iter().map(|r| r.exchange.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Count of distinct surfed URLs (full canonical form, query
+    /// included — the paper's 306,895 "distinct URLs").
+    pub fn distinct_urls(&self) -> usize {
+        let set: BTreeSet<String> =
+            self.records.iter().map(|r| r.url.canonical()).collect();
+        set.len()
+    }
+
+    /// Count of distinct registered domains (the paper's 17,448).
+    pub fn distinct_domains(&self) -> usize {
+        let set: BTreeSet<String> = self.records.iter().map(|r| r.domain()).collect();
+        set.len()
+    }
+
+    /// Serializes to JSON-lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde failures.
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses a store from JSON-lines.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any malformed line.
+    pub fn from_jsonl(input: &str) -> Result<RecordStore, serde_json::Error> {
+        let mut store = RecordStore::new();
+        for line in input.lines().filter(|l| !l.trim().is_empty()) {
+            store.push(serde_json::from_str(line)?);
+        }
+        Ok(store)
+    }
+}
+
+impl FromIterator<CrawlRecord> for RecordStore {
+    fn from_iter<T: IntoIterator<Item = CrawlRecord>>(iter: T) -> Self {
+        let mut store = RecordStore::new();
+        store.extend(iter);
+        store
+    }
+}
+
+impl Extend<CrawlRecord> for RecordStore {
+    fn extend<T: IntoIterator<Item = CrawlRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_browser::har::HarLog;
+    use slum_websim::Url;
+
+    fn rec(exchange: &str, url: &str, seq: u64) -> CrawlRecord {
+        let u = Url::parse(url).unwrap();
+        CrawlRecord {
+            exchange: exchange.into(),
+            seq,
+            at: seq,
+            url: u.clone(),
+            final_url: u,
+            redirect_hops: 0,
+            chain_hosts: vec![],
+            via_shortener: false,
+            via_js_redirect: false,
+            content: None,
+            download_filenames: vec![],
+            har: HarLog::new(),
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut s = RecordStore::new();
+        s.push(rec("A", "http://x.example.com/p?sid=1", 0));
+        s.push(rec("A", "http://x.example.com/p?sid=2", 1));
+        s.push(rec("A", "http://x.example.com/p?sid=1", 2));
+        s.push(rec("B", "http://y.example.net/", 0));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.distinct_urls(), 3);
+        assert_eq!(s.distinct_domains(), 2);
+        assert_eq!(s.exchanges(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(s.by_exchange("A").count(), 3);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut s = RecordStore::new();
+        for i in 0..5 {
+            // Distinct registered domains (subdomains of one domain would
+            // collapse in distinct_domains()).
+            s.push(rec("X", &format!("http://site{i}-example.com/"), i));
+        }
+        let jsonl = s.to_jsonl().unwrap();
+        assert_eq!(jsonl.lines().count(), 5);
+        let back = RecordStore::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(back.distinct_domains(), 5);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: RecordStore =
+            (0..3).map(|i| rec("Z", &format!("http://d{i}.example.org/"), i)).collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn malformed_jsonl_errors() {
+        assert!(RecordStore::from_jsonl("{not json}").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the crawler: step accounting, determinism,
+//! store round-trips.
+
+use proptest::prelude::*;
+use slum_crawler::drive::{crawl_exchange, CrawlConfig};
+use slum_crawler::RecordStore;
+use slum_exchange::params::PROFILES;
+use slum_exchange::build_exchange;
+use slum_websim::build::WebBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A crawl always logs exactly the requested number of pages, for
+    /// any exchange, seed, and step count.
+    #[test]
+    fn crawl_logs_exact_step_count(
+        profile_idx in 0usize..9,
+        steps in 1u64..40,
+        seed in 0u64..50,
+    ) {
+        let profile = &PROFILES[profile_idx];
+        let mut b = WebBuilder::new(seed);
+        let mut exchange = build_exchange(&mut b, profile, 0.03, 50_000);
+        let web = b.finish();
+        let mut store = RecordStore::new();
+        let stats = crawl_exchange(
+            &web,
+            &mut exchange,
+            &CrawlConfig { steps, seed, capture_content: false, ..Default::default() },
+            &mut store,
+        );
+        prop_assert_eq!(stats.pages, steps);
+        prop_assert_eq!(store.len() as u64, steps);
+        // Sequence numbers are dense and ordered.
+        for (i, record) in store.records().iter().enumerate() {
+            prop_assert_eq!(record.seq, i as u64);
+            prop_assert_eq!(&record.exchange, profile.name);
+        }
+    }
+
+    /// The record store's JSON-lines round trip preserves everything the
+    /// analysis consumes, for real crawl output.
+    #[test]
+    fn store_jsonl_round_trip(seed in 0u64..30) {
+        let profile = &PROFILES[(seed % 9) as usize];
+        let mut b = WebBuilder::new(seed);
+        let mut exchange = build_exchange(&mut b, profile, 0.03, 20_000);
+        let web = b.finish();
+        let mut store = RecordStore::new();
+        crawl_exchange(
+            &web,
+            &mut exchange,
+            &CrawlConfig { steps: 15, seed, ..Default::default() },
+            &mut store,
+        );
+        let jsonl = store.to_jsonl().expect("serialize");
+        let back = RecordStore::from_jsonl(&jsonl).expect("parse");
+        prop_assert_eq!(back.len(), store.len());
+        for (a, b) in back.records().iter().zip(store.records()) {
+            prop_assert_eq!(&a.url, &b.url);
+            prop_assert_eq!(&a.final_url, &b.final_url);
+            prop_assert_eq!(a.redirect_hops, b.redirect_hops);
+            prop_assert_eq!(&a.har, &b.har);
+        }
+    }
+}

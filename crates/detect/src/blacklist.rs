@@ -1,0 +1,386 @@
+//! Domain blacklists and the multi-list consensus rule.
+//!
+//! §III-B: the study consults six public blacklists (URLBlacklist,
+//! Shallalist, Google Safe Browsing, SquidGuard MESD, Malware Domain
+//! List, Zeus Tracker) and — because "blacklists are updated
+//! infrequently, they may contain false positives" — labels a domain
+//! malicious **only if it is present in multiple blacklists**.
+
+use std::collections::HashSet;
+
+use slum_websim::{GroundTruth, MaliceKind, SyntheticWeb};
+
+use crate::hash::chance;
+
+/// The six blacklists and the coverage each achieves over truly
+/// blacklist-worthy domains. Coverage is a modelling choice (the paper
+/// does not publish per-list hit rates); the values leave every real
+/// entry on ≥2 lists with high probability while keeping lists visibly
+/// different.
+pub const LIST_SPECS: [(&str, f64); 6] = [
+    ("urlblacklist", 0.88),
+    ("shallalist", 0.82),
+    ("google-safe-browsing", 0.93),
+    ("squidguard-mesd", 0.60),
+    ("malware-domain-list", 0.72),
+    ("zeus-tracker", 0.30),
+];
+
+/// Fraction of *benign* domains that end up as a stale entry on exactly
+/// one list (the false-positive source the consensus rule suppresses).
+const STALE_FP_RATE: f64 = 0.01;
+
+/// One blacklist.
+#[derive(Debug, Clone)]
+pub struct Blacklist {
+    /// List name.
+    pub name: &'static str,
+    domains: HashSet<String>,
+}
+
+impl Blacklist {
+    /// Creates an empty list.
+    pub fn new(name: &'static str) -> Self {
+        Blacklist { name, domains: HashSet::new() }
+    }
+
+    /// Adds a domain.
+    pub fn insert(&mut self, domain: impl Into<String>) {
+        self.domains.insert(domain.into().to_ascii_lowercase());
+    }
+
+    /// Membership test (exact registered-domain match).
+    pub fn contains(&self, domain: &str) -> bool {
+        self.domains.contains(&domain.to_ascii_lowercase())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+/// Verdict of a consensus lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlacklistVerdict {
+    /// Lists that contain the domain.
+    pub hits: Vec<&'static str>,
+    /// Consensus threshold in force.
+    pub threshold: usize,
+}
+
+impl BlacklistVerdict {
+    /// Malicious per the consensus rule (≥ threshold lists).
+    pub fn is_blacklisted(&self) -> bool {
+        self.hits.len() >= self.threshold
+    }
+
+    /// A single-list hit — the stale-entry FP shape the rule exists to
+    /// suppress.
+    pub fn is_single_list_only(&self) -> bool {
+        self.hits.len() == 1
+    }
+}
+
+/// The six-list database.
+///
+/// ```
+/// use slum_detect::blacklist::BlacklistDb;
+///
+/// let mut db = BlacklistDb::new();
+/// db.add_malicious_domain("luckyleap-clone.example.net");
+/// assert!(db.check("luckyleap-clone.example.net").is_blacklisted());
+/// assert!(!db.check("innocent.example.org").is_blacklisted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlacklistDb {
+    lists: Vec<Blacklist>,
+    threshold: usize,
+}
+
+impl BlacklistDb {
+    /// Creates an empty database with the standard six lists and the
+    /// paper's ≥2 consensus threshold.
+    pub fn new() -> Self {
+        BlacklistDb {
+            lists: LIST_SPECS.iter().map(|(name, _)| Blacklist::new(name)).collect(),
+            threshold: 2,
+        }
+    }
+
+    /// Populates the lists from the synthetic web's oracle: every
+    /// blacklist-category malicious domain lands on each list with that
+    /// list's coverage probability (deterministic per domain), and a
+    /// sprinkle of benign domains become stale single-list entries.
+    pub fn populate_from_web(web: &SyntheticWeb) -> Self {
+        let mut db = BlacklistDb::new();
+        for page in web.oracle_pages() {
+            let domain = page.url.registered_domain();
+            match page.truth {
+                GroundTruth::Malicious(MaliceKind::Blacklisted) => {
+                    db.add_malicious_domain(&domain);
+                }
+                GroundTruth::Benign
+                    if chance(&format!("stale|{domain}"), STALE_FP_RATE) => {
+                        // Stale FP: exactly one list. Pick it by hash.
+                        let idx =
+                            (crate::hash::fnv1a(domain.as_bytes()) as usize) % LIST_SPECS.len();
+                        db.lists[idx].insert(&domain);
+                    }
+                _ => {}
+            }
+        }
+        db
+    }
+
+    /// Adds a genuinely malicious domain across lists per their
+    /// coverage, guaranteeing at least two lists carry it (the paper's
+    /// blacklisted category is defined by the consensus rule, so a
+    /// ground-truth blacklisted domain must be discoverable).
+    pub fn add_malicious_domain(&mut self, domain: &str) {
+        let mut hits = 0;
+        for (i, (name, coverage)) in LIST_SPECS.iter().enumerate() {
+            if chance(&format!("{name}|{domain}"), *coverage) {
+                self.lists[i].insert(domain);
+                hits += 1;
+            }
+        }
+        // Backstop: force the two highest-coverage lists.
+        if hits < 2 {
+            self.lists[0].insert(domain);
+            self.lists[2].insert(domain);
+        }
+    }
+
+    /// Looks a domain up across all lists.
+    pub fn check(&self, domain: &str) -> BlacklistVerdict {
+        let hits = self
+            .lists
+            .iter()
+            .filter(|l| l.contains(domain))
+            .map(|l| l.name)
+            .collect();
+        BlacklistVerdict { hits, threshold: self.threshold }
+    }
+
+    /// Per-list sizes (diagnostics).
+    pub fn list_sizes(&self) -> Vec<(&'static str, usize)> {
+        self.lists.iter().map(|l| (l.name, l.len())).collect()
+    }
+}
+
+impl Default for BlacklistDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Update-lag model: "blacklists are updated infrequently" (§III-B).
+///
+/// Each list re-publishes on its own cycle; a domain first observed
+/// malicious at time `t` only appears in a list's published snapshot at
+/// the list's next update *after* `t`. A [`StalenessModel`] wraps the
+/// fully-populated database and answers lookups as of a given virtual
+/// time — letting experiments quantify the detection lag the paper's
+/// consensus rule has to live with.
+#[derive(Debug, Clone)]
+pub struct StalenessModel {
+    db: BlacklistDb,
+    /// Update period per list, seconds (same order as [`LIST_SPECS`]).
+    update_periods: [u64; 6],
+    /// Domain → time it became malicious.
+    first_seen: std::collections::HashMap<String, u64>,
+}
+
+impl StalenessModel {
+    /// Default update periods: commercial feeds refresh daily, volunteer
+    /// lists much more slowly.
+    pub const DEFAULT_PERIODS: [u64; 6] = [
+        86_400,      // urlblacklist: daily
+        172_800,     // shallalist: 2 days
+        3_600,       // google-safe-browsing: hourly
+        1_209_600,   // squidguard-mesd: 2 weeks
+        604_800,     // malware-domain-list: weekly
+        2_592_000,   // zeus-tracker: monthly
+    ];
+
+    /// Wraps a populated database with first-seen times.
+    pub fn new(db: BlacklistDb, first_seen: std::collections::HashMap<String, u64>) -> Self {
+        StalenessModel { db, update_periods: Self::DEFAULT_PERIODS, first_seen }
+    }
+
+    /// Overrides the update periods.
+    pub fn with_periods(mut self, periods: [u64; 6]) -> Self {
+        self.update_periods = periods;
+        self
+    }
+
+    /// The list's first published snapshot that can contain a domain
+    /// first seen at `seen`: the next multiple of the period after it.
+    fn published_at(&self, list_idx: usize, seen: u64) -> u64 {
+        let period = self.update_periods[list_idx].max(1);
+        (seen / period + 1) * period
+    }
+
+    /// Consensus lookup *as of* virtual time `now`.
+    pub fn check_at(&self, domain: &str, now: u64) -> BlacklistVerdict {
+        let seen = self.first_seen.get(&domain.to_ascii_lowercase()).copied();
+        let hits = self
+            .db
+            .lists
+            .iter()
+            .enumerate()
+            .filter(|(i, list)| {
+                list.contains(domain)
+                    && seen.is_some_and(|s| self.published_at(*i, s) <= now)
+            })
+            .map(|(_, list)| list.name)
+            .collect();
+        BlacklistVerdict { hits, threshold: self.db.threshold }
+    }
+
+    /// The earliest time the consensus rule (≥2 lists) can fire for a
+    /// domain, or `None` when it never reaches two lists.
+    pub fn consensus_time(&self, domain: &str) -> Option<u64> {
+        let seen = *self.first_seen.get(&domain.to_ascii_lowercase())?;
+        let mut publish_times: Vec<u64> = self
+            .db
+            .lists
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| list.contains(domain))
+            .map(|(i, _)| self.published_at(i, seen))
+            .collect();
+        publish_times.sort_unstable();
+        publish_times.get(self.db.threshold - 1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+
+    #[test]
+    fn empty_db_blacklists_nothing() {
+        let db = BlacklistDb::new();
+        assert!(!db.check("anything.example.com").is_blacklisted());
+    }
+
+    #[test]
+    fn malicious_domain_hits_consensus() {
+        let mut db = BlacklistDb::new();
+        for i in 0..50 {
+            let domain = format!("bad{i}.example.com");
+            db.add_malicious_domain(&domain);
+            let verdict = db.check(&domain);
+            assert!(verdict.is_blacklisted(), "{domain}: only {:?}", verdict.hits);
+            assert!(verdict.hits.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut db = BlacklistDb::new();
+        db.add_malicious_domain("MiXeD.Example.Com");
+        assert!(db.check("mixed.example.com").is_blacklisted());
+    }
+
+    #[test]
+    fn coverage_varies_across_lists() {
+        let mut db = BlacklistDb::new();
+        for i in 0..400 {
+            db.add_malicious_domain(&format!("bad{i}.example.net"));
+        }
+        let sizes = db.list_sizes();
+        let gsb = sizes.iter().find(|(n, _)| *n == "google-safe-browsing").unwrap().1;
+        let zeus = sizes.iter().find(|(n, _)| *n == "zeus-tracker").unwrap().1;
+        assert!(gsb > zeus * 2, "GSB {gsb} should dwarf Zeus {zeus}");
+    }
+
+    #[test]
+    fn populate_from_web_covers_blacklisted_pages() {
+        let mut b = WebBuilder::new(90);
+        let mut blacklisted = Vec::new();
+        for _ in 0..20 {
+            blacklisted.push(b.malicious_site(MaliciousOptions {
+                kind: Some(slum_websim::MaliceKind::Blacklisted),
+                cloaked: Some(false),
+                ..Default::default()
+            }));
+        }
+        let benign: Vec<_> = (0..20).map(|_| b.benign_site(BenignOptions::default())).collect();
+        let web = b.finish();
+        let db = BlacklistDb::populate_from_web(&web);
+        for spec in &blacklisted {
+            assert!(
+                db.check(&spec.url.registered_domain()).is_blacklisted(),
+                "{} must be consensus-blacklisted",
+                spec.url
+            );
+        }
+        // Benign domains may be stale single-list entries, but never
+        // consensus-blacklisted.
+        for spec in &benign {
+            assert!(!db.check(&spec.url.registered_domain()).is_blacklisted());
+        }
+    }
+
+    #[test]
+    fn consensus_rule_suppresses_single_list_fp() {
+        let mut db = BlacklistDb::new();
+        db.lists[3].insert("innocent.example.org");
+        let verdict = db.check("innocent.example.org");
+        assert!(verdict.is_single_list_only());
+        assert!(!verdict.is_blacklisted());
+    }
+
+    #[test]
+    fn staleness_delays_consensus() {
+        let mut db = BlacklistDb::new();
+        db.add_malicious_domain("fresh-threat.example.com");
+        let mut first_seen = std::collections::HashMap::new();
+        first_seen.insert("fresh-threat.example.com".to_string(), 1_000u64);
+        let model = StalenessModel::new(db, first_seen);
+
+        // Immediately after appearing, no published snapshot carries it.
+        assert!(!model.check_at("fresh-threat.example.com", 1_001).is_blacklisted());
+
+        // Eventually the consensus fires.
+        let when = model.consensus_time("fresh-threat.example.com").expect("multi-list");
+        assert!(when > 1_000);
+        assert!(!model.check_at("fresh-threat.example.com", when - 1).is_blacklisted());
+        assert!(model.check_at("fresh-threat.example.com", when).is_blacklisted());
+    }
+
+    #[test]
+    fn fast_lists_fire_before_slow_ones() {
+        // With uniform coverage forced, GSB (hourly) publishes long
+        // before Zeus (monthly): the first hit arrives within ~1h, the
+        // consensus (2nd list) within the 2nd-fastest period.
+        let mut db = BlacklistDb::new();
+        for list in &mut db.lists {
+            list.insert("always-listed.example.com");
+        }
+        let mut first_seen = std::collections::HashMap::new();
+        first_seen.insert("always-listed.example.com".to_string(), 0u64);
+        let model = StalenessModel::new(db, first_seen);
+        let verdict_hour = model.check_at("always-listed.example.com", 3_600);
+        assert_eq!(verdict_hour.hits, vec!["google-safe-browsing"]);
+        assert!(!verdict_hour.is_blacklisted(), "one list is not consensus");
+        // After a day the daily list has published too → consensus.
+        assert!(model.check_at("always-listed.example.com", 86_400).is_blacklisted());
+    }
+
+    #[test]
+    fn unknown_domain_never_blacklisted_by_model() {
+        let model = StalenessModel::new(BlacklistDb::new(), std::collections::HashMap::new());
+        assert!(!model.check_at("ghost.example.com", u64::MAX).is_blacklisted());
+        assert_eq!(model.consensus_time("ghost.example.com"), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-engine detection models.
+//!
+//! VirusTotal aggregates "multiple antivirus products, file
+//! characterization tools, and website scanning engines" (§III-B). Each
+//! [`EngineModel`] here detects a subset of feature classes and reports
+//! the threat-label aliases the paper quotes from its scan reports.
+
+use crate::features::Features;
+use crate::hash::chance;
+
+/// The classes of malicious behaviour an engine can specialize in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureClass {
+    /// Statically hidden iframes.
+    HiddenIframe,
+    /// Runtime iframe injection.
+    DynamicInjection,
+    /// Packed/obfuscated scripts.
+    Obfuscation,
+    /// Fake download prompts / executable pushes.
+    DeceptiveDownload,
+    /// Behaviour fingerprinting.
+    Fingerprinting,
+    /// Flash `ExternalInterface` abuse.
+    Flash,
+    /// Script/meta redirections.
+    Redirect,
+    /// Generic signature match.
+    GenericSignature,
+    /// FP-prone: Google Analytics bootstrap misread as click fraud.
+    GaBootstrapFp,
+    /// FP-prone: OAuth relay iframe misread as iframe injection.
+    OauthRelayFp,
+}
+
+impl FeatureClass {
+    /// Does `features` exhibit this class?
+    pub fn present_in(self, f: &Features) -> bool {
+        match self {
+            FeatureClass::HiddenIframe => !f.hidden_iframes.is_empty(),
+            FeatureClass::DynamicInjection => f.dynamic_iframe_injection,
+            FeatureClass::Obfuscation => f.obfuscated_scripts > 0 || f.eval_layers > 0,
+            FeatureClass::DeceptiveDownload => f.deceptive_download,
+            FeatureClass::Fingerprinting => f.fingerprinting,
+            FeatureClass::Flash => f.flash_clickjack || f.external_interface_calls > 0,
+            FeatureClass::Redirect => f.js_redirect,
+            FeatureClass::GenericSignature => f.generic_malware_marker,
+            FeatureClass::GaBootstrapFp => f.ga_bootstrap,
+            FeatureClass::OauthRelayFp => f.oauth_relay_iframe,
+        }
+    }
+}
+
+/// One scanning engine: named strengths mapped to the labels it emits.
+#[derive(Debug, Clone)]
+pub struct EngineModel {
+    /// Engine name (clearly marked as a simulation).
+    pub name: &'static str,
+    /// `(class, label, sensitivity)` — when the class is present the
+    /// engine fires with probability `sensitivity` (deterministic per
+    /// engine × sample).
+    pub rules: Vec<(FeatureClass, &'static str, f64)>,
+}
+
+impl EngineModel {
+    /// Scans features for sample `key` (canonical URL or content hash).
+    /// Returns the first matching label.
+    pub fn scan(&self, key: &str, features: &Features) -> Option<&'static str> {
+        for (class, label, sensitivity) in &self.rules {
+            if class.present_in(features) {
+                let decision_key = format!("{}|{}|{}", self.name, label, key);
+                if chance(&decision_key, *sensitivity) {
+                    return Some(label);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The default engine battery behind the VirusTotal aggregator. Labels
+/// are the aliases reported in the paper (§IV-A, §V).
+pub fn default_engines() -> Vec<EngineModel> {
+    use FeatureClass::*;
+    vec![
+        EngineModel {
+            name: "clamav-sim",
+            rules: vec![
+                (HiddenIframe, "HTML/IframeRef.gen", 0.95),
+                (GenericSignature, "Trojan.Generic.KD", 0.95),
+                (OauthRelayFp, "HTML/IframeRef.gen", 0.9),
+            ],
+        },
+        EngineModel {
+            name: "mcafee-sim",
+            rules: vec![
+                (Flash, "BehavesLike.JS.ExploitBlacole.nv", 0.95),
+                (Obfuscation, "BehavesLike.JS.ExploitBlacole.xm", 0.85),
+            ],
+        },
+        EngineModel {
+            name: "microsoft-sim",
+            rules: vec![
+                (Redirect, "Trojan:JS/Redirector", 0.95),
+                (DeceptiveDownload, "Trojan:Script.Heuristic-js.iacgm", 0.95),
+            ],
+        },
+        EngineModel {
+            name: "kaspersky-sim",
+            rules: vec![
+                (Redirect, "Trojan.Script.Generic", 0.9),
+                (GenericSignature, "Trojan.Script.Generic", 0.95),
+                (DeceptiveDownload, "Trojan-Downloader.Script", 0.9),
+            ],
+        },
+        EngineModel {
+            name: "avast-sim",
+            rules: vec![
+                (DynamicInjection, "Virus.ScrInject.JS", 0.95),
+                (HiddenIframe, "Mal_Hifrm", 0.9),
+                (OauthRelayFp, "Mal_Hifrm", 0.85),
+            ],
+        },
+        EngineModel {
+            name: "bitdefender-sim",
+            rules: vec![
+                (HiddenIframe, "Trojan.IFrame.Script", 0.9),
+                (Fingerprinting, "Trojan.Spy.JS", 0.9),
+            ],
+        },
+        EngineModel {
+            name: "sophos-sim",
+            rules: vec![
+                (HiddenIframe, "htm.iframe.art.gen", 0.85),
+                (Obfuscation, "Script.virus", 0.9),
+            ],
+        },
+        EngineModel {
+            name: "trendmicro-sim",
+            rules: vec![
+                (DeceptiveDownload, "JS_DLOADR.AUSUAK", 0.9),
+                (Fingerprinting, "JS_SPYEYE.SMEP", 0.85),
+                (GenericSignature, "HTML_IFRAME.SM", 0.85),
+            ],
+        },
+        EngineModel {
+            name: "symantec-sim",
+            rules: vec![
+                (Flash, "Trojan.Malscript", 0.9),
+                (DynamicInjection, "Trojan.Malscript!html", 0.9),
+            ],
+        },
+        EngineModel {
+            name: "eset-sim",
+            rules: vec![
+                (Obfuscation, "JS/Kryptik.I", 0.9),
+                (GenericSignature, "JS/TrojanDownloader.Iframe", 0.9),
+                (GaBootstrapFp, "TrojanClicker:JS/Faceliker.D", 0.8),
+            ],
+        },
+        EngineModel {
+            name: "fortinet-sim",
+            rules: vec![
+                (DynamicInjection, "JS/Iframe.BYF!tr", 0.85),
+                (Redirect, "JS/Redirector.NIO!tr", 0.85),
+                (GaBootstrapFp, "TrojanClicker:JS/Faceliker.D", 0.75),
+            ],
+        },
+        EngineModel {
+            name: "drweb-sim",
+            rules: vec![
+                (HiddenIframe, "Trojan.IframeClick", 0.85),
+                (Flash, "SWF.Exploit.Blacole", 0.85),
+                (DeceptiveDownload, "Trojan.DownLoader11", 0.85),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features_with(f: impl FnOnce(&mut Features)) -> Features {
+        let mut features = Features::default();
+        f(&mut features);
+        features
+    }
+
+    #[test]
+    fn clean_features_fire_nothing() {
+        let features = Features::default();
+        for engine in default_engines() {
+            assert_eq!(engine.scan("http://x.example/", &features), None, "{}", engine.name);
+        }
+    }
+
+    #[test]
+    fn redirect_fires_microsoft_alias() {
+        let features = features_with(|f| f.js_redirect = true);
+        let ms = default_engines().into_iter().find(|e| e.name == "microsoft-sim").unwrap();
+        assert_eq!(ms.scan("http://r.example/", &features), Some("Trojan:JS/Redirector"));
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let features = features_with(|f| f.obfuscated_scripts = 1);
+        let sophos = default_engines().into_iter().find(|e| e.name == "sophos-sim").unwrap();
+        let a = sophos.scan("http://o.example/", &features);
+        let b = sophos.scan("http://o.example/", &features);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitivity_below_one_misses_some_samples() {
+        let features = features_with(|f| f.obfuscated_scripts = 1);
+        let sophos = default_engines().into_iter().find(|e| e.name == "sophos-sim").unwrap();
+        let hits = (0..500)
+            .filter(|i| sophos.scan(&format!("http://s{i}.example/"), &features).is_some())
+            .count();
+        assert!(hits > 400 && hits < 500, "sensitivity 0.9 → ~450 hits, got {hits}");
+    }
+
+    #[test]
+    fn every_paper_alias_is_emitted_by_some_engine() {
+        let aliases = [
+            "Virus.ScrInject.JS",
+            "Script.virus",
+            "Trojan:Script.Heuristic-js.iacgm",
+            "BehavesLike.JS.ExploitBlacole.nv",
+            "BehavesLike.JS.ExploitBlacole.xm",
+            "HTML/IframeRef.gen",
+            "Mal_Hifrm",
+            "Trojan.IFrame.Script",
+            "htm.iframe.art.gen",
+            "Trojan:JS/Redirector",
+            "Trojan.Script.Generic",
+            "TrojanClicker:JS/Faceliker.D",
+        ];
+        let engines = default_engines();
+        for alias in aliases {
+            assert!(
+                engines.iter().any(|e| e.rules.iter().any(|(_, l, _)| *l == alias)),
+                "alias {alias} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_rules_fire_on_benign_lookalikes() {
+        let ga = features_with(|f| f.ga_bootstrap = true);
+        let engines = default_engines();
+        let fp_hits = engines
+            .iter()
+            .filter_map(|e| e.scan("http://recipes.example/", &ga))
+            .collect::<Vec<_>>();
+        assert!(
+            fp_hits.iter().any(|l| l.contains("Faceliker")),
+            "GA bootstrap should draw Faceliker FPs: {fp_hits:?}"
+        );
+    }
+}

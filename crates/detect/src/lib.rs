@@ -1,0 +1,47 @@
+//! # slum-detect
+//!
+//! The malware-detection substrate of the `malware-slums` reproduction of
+//! *Malware Slums* (DSN 2016).
+//!
+//! The paper scanned its 1M-URL corpus with VirusTotal and Quttera
+//! (chosen after vetting eight candidate tools on a gold-standard
+//! malware set) plus six public domain blacklists. None of those 2015
+//! services can be replayed, so this crate implements the *methodology*
+//! against the synthetic web:
+//!
+//! - [`features`] — the shared static+dynamic feature extractor (DOM
+//!   inspection via `slum-html`, sandboxed execution via `slum-js`);
+//! - [`engine`] — per-engine detection models carrying the threat-label
+//!   aliases the paper reports (`Virus.ScrInject.JS`,
+//!   `Trojan:JS/Redirector`, `BehavesLike.JS.ExploitBlacole`, ...);
+//! - [`virustotal`] — a multi-engine aggregator (k-of-n positives);
+//! - [`quttera`] — a heuristic scanner producing detailed findings
+//!   reports, the paper's source for malware categorization;
+//! - [`blacklist`] — six blacklist databases with the ≥2-list consensus
+//!   rule the paper uses to suppress stale-entry false positives;
+//! - [`tools`] + [`vetting`] — models of all eight candidate tools and
+//!   the gold-standard vetting experiment (§III-B) that selected
+//!   VirusTotal and Quttera.
+//!
+//! Scanner clients fetch through [`slum_websim::SyntheticWeb::fetch`]
+//! with a scanner identity, so cloaked pages evade URL-based scanning
+//! exactly as the paper observed — and uploading crawler-captured
+//! content defeats the cloak (§III, footnote 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blacklist;
+pub mod engine;
+pub mod features;
+pub mod hash;
+pub mod quttera;
+pub mod tools;
+pub mod vetting;
+pub mod virustotal;
+
+pub use blacklist::{BlacklistDb, BlacklistVerdict};
+pub use engine::{EngineModel, FeatureClass};
+pub use features::Features;
+pub use quttera::{Quttera, QutteraFinding, QutteraReport};
+pub use virustotal::{VirusTotal, VtReport};

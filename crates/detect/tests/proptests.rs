@@ -1,0 +1,68 @@
+//! Property tests for the detection substrate: total feature
+//! extraction, deterministic engines, monotone blacklist consensus.
+
+use proptest::prelude::*;
+use slum_detect::blacklist::BlacklistDb;
+use slum_detect::engine::default_engines;
+use slum_detect::hash::{chance, fraction};
+use slum_detect::Features;
+use slum_websim::Url;
+
+proptest! {
+    /// Feature extraction is total over arbitrary content.
+    #[test]
+    fn features_total_over_arbitrary_html(html in ".{0,400}") {
+        let url = Url::http("sample.example.com", "/");
+        let f = Features::from_content(&url, &html);
+        // Structural invariant: clean implies no hidden iframes.
+        if f.is_clean() {
+            prop_assert!(f.hidden_iframes.is_empty());
+        }
+    }
+
+    /// Engine decisions are deterministic per (engine, key, features).
+    #[test]
+    fn engines_deterministic(key in "[a-z0-9:/.?=-]{1,60}") {
+        let features = Features {
+            obfuscated_scripts: 1,
+            js_redirect: true,
+            generic_malware_marker: true,
+            ..Default::default()
+        };
+        for engine in default_engines() {
+            prop_assert_eq!(engine.scan(&key, &features), engine.scan(&key, &features));
+        }
+    }
+
+    /// No engine fires on clean features, for any sample key.
+    #[test]
+    fn engines_quiet_on_clean(key in "[ -~]{1,60}") {
+        let clean = Features::default();
+        for engine in default_engines() {
+            prop_assert_eq!(engine.scan(&key, &clean), None);
+        }
+    }
+
+    /// Blacklist consensus is monotone: adding a domain to more lists
+    /// never flips a positive verdict to negative.
+    #[test]
+    fn consensus_monotone(domain in "[a-z]{2,12}\\.(com|net|ru)") {
+        let mut db = BlacklistDb::new();
+        let before = db.check(&domain).hits.len();
+        prop_assert_eq!(before, 0);
+        db.add_malicious_domain(&domain);
+        let verdict = db.check(&domain);
+        prop_assert!(verdict.hits.len() >= 2, "guaranteed multi-list coverage");
+        prop_assert!(verdict.is_blacklisted());
+    }
+
+    /// The deterministic hash fraction is stable and uniform-ish.
+    #[test]
+    fn hash_fraction_stable(key in ".{0,60}") {
+        let a = fraction(&key);
+        prop_assert!((0.0..1.0).contains(&a));
+        prop_assert_eq!(a, fraction(&key));
+        prop_assert_eq!(chance(&key, 1.0), true);
+        prop_assert_eq!(chance(&key, 0.0), false);
+    }
+}

@@ -1,0 +1,209 @@
+//! Anti-abuse machinery: the one-account-per-IP rule and parallel-session
+//! detection.
+//!
+//! §II-A: "traffic exchanges enforce the use of only one account per IP
+//! address. For example, Otohits prohibits multiple sessions from an
+//! account and suspends the account in case of a violation. However,
+//! some traffic exchanges do allow account logins from multiple IP
+//! addresses." Both policies are modelled; users evading via
+//! proxies/VPNs show up as distinct IPs and pass the check, exactly the
+//! loophole the paper describes.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::economy::AccountId;
+
+/// A visitor IP address (opaque token; the simulation never routes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpAddr(pub String);
+
+impl IpAddr {
+    /// Convenience constructor.
+    pub fn new(s: impl Into<String>) -> Self {
+        IpAddr(s.into())
+    }
+}
+
+/// Session admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPolicy {
+    /// Otohits-style: one concurrent session per account; a second
+    /// parallel session suspends the account.
+    SingleSessionStrict,
+    /// Lenient: multiple logins allowed (some exchanges permit this).
+    MultiSession,
+}
+
+/// Result of asking to open a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Session opened.
+    Granted {
+        /// Token to present on close.
+        session: SessionToken,
+    },
+    /// Rejected and the account suspended (strict policy violation).
+    RejectedAndSuspended,
+    /// Rejected because another account already claimed this IP.
+    RejectedIpInUse {
+        /// The account holding the IP.
+        holder: AccountId,
+    },
+}
+
+/// Opaque session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionToken(pub u64);
+
+/// Tracks live sessions and IP claims.
+#[derive(Debug)]
+pub struct SessionTracker {
+    policy: SessionPolicy,
+    next_token: u64,
+    /// account → live sessions.
+    live: HashMap<AccountId, HashSet<SessionToken>>,
+    /// IP → the account that first claimed it (one-account-per-IP).
+    ip_claims: HashMap<IpAddr, AccountId>,
+    /// Accounts this tracker has suspended (the ledger is informed by
+    /// the caller).
+    suspended: HashSet<AccountId>,
+}
+
+impl SessionTracker {
+    /// Creates a tracker with the given policy.
+    pub fn new(policy: SessionPolicy) -> Self {
+        SessionTracker {
+            policy,
+            next_token: 1,
+            live: HashMap::new(),
+            ip_claims: HashMap::new(),
+            suspended: HashSet::new(),
+        }
+    }
+
+    /// Attempts to open a surf session for `account` from `ip`.
+    pub fn open_session(&mut self, account: AccountId, ip: IpAddr) -> Admission {
+        if self.suspended.contains(&account) {
+            return Admission::RejectedAndSuspended;
+        }
+        // One account per IP: an IP may only ever serve one account.
+        if let Some(&holder) = self.ip_claims.get(&ip) {
+            if holder != account {
+                return Admission::RejectedIpInUse { holder };
+            }
+        }
+        let has_live = self.live.get(&account).is_some_and(|s| !s.is_empty());
+        if has_live && self.policy == SessionPolicy::SingleSessionStrict {
+            // Otohits behaviour: detect the parallel session, suspend.
+            self.suspended.insert(account);
+            self.live.remove(&account);
+            return Admission::RejectedAndSuspended;
+        }
+        let token = SessionToken(self.next_token);
+        self.next_token += 1;
+        self.live.entry(account).or_default().insert(token);
+        self.ip_claims.insert(ip, account);
+        Admission::Granted { session: token }
+    }
+
+    /// Closes a session.
+    pub fn close_session(&mut self, account: AccountId, token: SessionToken) {
+        if let Some(set) = self.live.get_mut(&account) {
+            set.remove(&token);
+        }
+    }
+
+    /// True when the tracker has suspended the account.
+    pub fn is_suspended(&self, account: AccountId) -> bool {
+        self.suspended.contains(&account)
+    }
+
+    /// Number of live sessions for an account.
+    pub fn live_sessions(&self, account: AccountId) -> usize {
+        self.live.get(&account).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Number of distinct IPs ever seen.
+    pub fn distinct_ips(&self) -> usize {
+        self.ip_claims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(n)
+    }
+
+    #[test]
+    fn single_session_granted() {
+        let mut t = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+        assert!(matches!(t.open_session(acct(1), IpAddr::new("10.0.0.1")), Admission::Granted { .. }));
+        assert_eq!(t.live_sessions(acct(1)), 1);
+    }
+
+    #[test]
+    fn parallel_session_suspends_under_strict_policy() {
+        // The Otohits screenshot: second parallel session → suspension.
+        let mut t = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+        t.open_session(acct(1), IpAddr::new("10.0.0.1"));
+        let second = t.open_session(acct(1), IpAddr::new("10.0.0.2"));
+        assert_eq!(second, Admission::RejectedAndSuspended);
+        assert!(t.is_suspended(acct(1)));
+        // And the account stays locked out.
+        assert_eq!(
+            t.open_session(acct(1), IpAddr::new("10.0.0.3")),
+            Admission::RejectedAndSuspended
+        );
+    }
+
+    #[test]
+    fn multi_session_policy_allows_parallel() {
+        let mut t = SessionTracker::new(SessionPolicy::MultiSession);
+        t.open_session(acct(1), IpAddr::new("10.0.0.1"));
+        assert!(matches!(
+            t.open_session(acct(1), IpAddr::new("10.0.0.2")),
+            Admission::Granted { .. }
+        ));
+        assert_eq!(t.live_sessions(acct(1)), 2);
+    }
+
+    #[test]
+    fn one_account_per_ip_enforced() {
+        let mut t = SessionTracker::new(SessionPolicy::MultiSession);
+        t.open_session(acct(1), IpAddr::new("10.9.9.9"));
+        let other = t.open_session(acct(2), IpAddr::new("10.9.9.9"));
+        assert_eq!(other, Admission::RejectedIpInUse { holder: acct(1) });
+    }
+
+    #[test]
+    fn sequential_sessions_allowed_after_close() {
+        let mut t = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+        let Admission::Granted { session } = t.open_session(acct(1), IpAddr::new("10.0.0.1"))
+        else {
+            panic!("first session must open");
+        };
+        t.close_session(acct(1), session);
+        assert!(matches!(
+            t.open_session(acct(1), IpAddr::new("10.0.0.1")),
+            Admission::Granted { .. }
+        ));
+        assert!(!t.is_suspended(acct(1)));
+    }
+
+    #[test]
+    fn vpn_evasion_passes_ip_check() {
+        // Users with proxies/VPNs present fresh IPs and the per-IP check
+        // cannot link them — the loophole §II-A notes.
+        let mut t = SessionTracker::new(SessionPolicy::MultiSession);
+        for i in 0..5 {
+            let admission = t.open_session(acct(100 + i), IpAddr::new(format!("172.16.0.{i}")));
+            assert!(matches!(admission, Admission::Granted { .. }));
+        }
+        assert_eq!(t.distinct_ips(), 5);
+    }
+}

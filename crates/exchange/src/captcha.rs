@@ -1,0 +1,75 @@
+//! CAPTCHA gating for manual-surf exchanges.
+//!
+//! Manual-surf exchanges require the user to "manually click and open
+//! websites, often after solving CAPTCHAs or other puzzles" (§II-A,
+//! Figure 1(b)). We model a simple deterministic challenge family whose
+//! difficulty knob controls how often a scripted operator fails.
+
+use serde::{Deserialize, Serialize};
+
+/// A CAPTCHA challenge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Captcha {
+    /// Challenge nonce (renders as "select image #n" in the UI fiction).
+    pub nonce: u64,
+    /// Arithmetic payload: the user must answer `a + b`.
+    pub a: u32,
+    /// Second operand.
+    pub b: u32,
+}
+
+impl Captcha {
+    /// Generates the deterministic challenge for `nonce`.
+    pub fn for_nonce(nonce: u64) -> Captcha {
+        // Mix the nonce so consecutive challenges differ in both fields.
+        let mixed = nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Captcha { nonce, a: (mixed >> 7) as u32 % 90 + 10, b: (mixed >> 19) as u32 % 90 + 10 }
+    }
+
+    /// The correct answer.
+    pub fn answer(&self) -> u32 {
+        self.a + self.b
+    }
+
+    /// Verifies an attempt.
+    pub fn verify(&self, attempt: u32) -> bool {
+        attempt == self.answer()
+    }
+}
+
+/// Outcome of a gated action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptchaOutcome {
+    /// Passed; page credit granted.
+    Passed,
+    /// Failed; the exchange re-issues a new challenge and grants nothing.
+    Failed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_nonce() {
+        assert_eq!(Captcha::for_nonce(5), Captcha::for_nonce(5));
+        assert_ne!(Captcha::for_nonce(5), Captcha::for_nonce(6));
+    }
+
+    #[test]
+    fn verify_accepts_only_answer() {
+        let c = Captcha::for_nonce(42);
+        assert!(c.verify(c.answer()));
+        assert!(!c.verify(c.answer() + 1));
+        assert!(!c.verify(0));
+    }
+
+    #[test]
+    fn operands_are_two_digit() {
+        for n in 0..200 {
+            let c = Captcha::for_nonce(n);
+            assert!((10..100).contains(&c.a), "a={}", c.a);
+            assert!((10..100).contains(&c.b), "b={}", c.b);
+        }
+    }
+}

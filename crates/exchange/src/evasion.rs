@@ -1,0 +1,225 @@
+//! Multi-account evasion via proxies/VPNs (§II-A).
+//!
+//! "To ensure a diverse IP pool, traffic exchanges enforce the use of
+//! only one account per IP address. ... Users can use proxies and VPN
+//! services to acquire multiple IP addresses and increase their
+//! earnings." This module models the evader — one human running several
+//! accounts through a proxy pool — and the behavioural correlation an
+//! exchange can run to catch what the per-IP rule cannot.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::antiabuse::{Admission, IpAddr, SessionTracker};
+use crate::economy::AccountId;
+
+/// One sock-puppet farm: a single operator, several accounts, a proxy
+/// pool that hands each account a distinct IP.
+#[derive(Debug, Clone)]
+pub struct ProxyFarm {
+    /// Accounts under one operator's control.
+    pub accounts: Vec<AccountId>,
+    /// Proxy-pool IPs, one per account.
+    pub proxy_ips: Vec<IpAddr>,
+}
+
+impl ProxyFarm {
+    /// Provisions a farm of `n` accounts with fresh proxy IPs.
+    pub fn provision(operator_id: u64, n: usize, next_account_id: u64) -> ProxyFarm {
+        ProxyFarm {
+            accounts: (0..n as u64).map(|i| AccountId(next_account_id + i)).collect(),
+            proxy_ips: (0..n)
+                .map(|i| IpAddr::new(format!("proxy-{operator_id}-{i}")))
+                .collect(),
+        }
+    }
+
+    /// Opens one session per account through the proxy pool. Returns the
+    /// number admitted — with distinct proxy IPs, the per-IP rule admits
+    /// them all (the loophole the paper describes).
+    pub fn open_all(&self, tracker: &mut SessionTracker) -> usize {
+        self.accounts
+            .iter()
+            .zip(&self.proxy_ips)
+            .filter(|(account, ip)| {
+                matches!(
+                    tracker.open_session(**account, (*ip).clone()),
+                    Admission::Granted { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// A surf-timing trace: the virtual timestamps at which an account
+/// advanced its surfbar. Behavioural detection keys on these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfTrace {
+    /// Owning account.
+    pub account: AccountId,
+    /// Page-advance timestamps, ascending.
+    pub ticks: Vec<u64>,
+}
+
+impl SurfTrace {
+    /// Generates an organic trace: a human with personal jitter.
+    pub fn organic(account: AccountId, pages: usize, rng: &mut StdRng) -> SurfTrace {
+        let mut ticks = Vec::with_capacity(pages);
+        let mut t = rng.gen_range(0..120u64);
+        for _ in 0..pages {
+            t += rng.gen_range(25..95);
+            ticks.push(t);
+        }
+        SurfTrace { account, ticks }
+    }
+
+    /// Generates the traces of a proxy farm: one automation loop drives
+    /// every account, so the traces are near-identical up to a small
+    /// offset.
+    pub fn farmed(farm: &ProxyFarm, pages: usize, rng: &mut StdRng) -> Vec<SurfTrace> {
+        let base: Vec<u64> = {
+            let mut t = rng.gen_range(0..120u64);
+            (0..pages)
+                .map(|_| {
+                    t += 30;
+                    t
+                })
+                .collect()
+        };
+        farm.accounts
+            .iter()
+            .enumerate()
+            .map(|(i, &account)| SurfTrace {
+                account,
+                ticks: base.iter().map(|t| t + i as u64).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Pairwise timing correlation in `[0, 1]`: the fraction of ticks of the
+/// shorter trace that land within `tolerance` seconds of a tick of the
+/// other.
+pub fn trace_correlation(a: &SurfTrace, b: &SurfTrace, tolerance: u64) -> f64 {
+    let (short, long) = if a.ticks.len() <= b.ticks.len() { (a, b) } else { (b, a) };
+    if short.ticks.is_empty() {
+        return 0.0;
+    }
+    let mut matched = 0usize;
+    let mut j = 0usize;
+    for &t in &short.ticks {
+        while j < long.ticks.len() && long.ticks[j] + tolerance < t {
+            j += 1;
+        }
+        if j < long.ticks.len() && long.ticks[j] <= t + tolerance {
+            matched += 1;
+        }
+    }
+    matched as f64 / short.ticks.len() as f64
+}
+
+/// Behavioural farm detection: clusters accounts whose surf timing
+/// correlates above `threshold`. Returns groups of ≥2 accounts
+/// (suspected farms).
+pub fn detect_farms(
+    traces: &[SurfTrace],
+    tolerance: u64,
+    threshold: f64,
+) -> Vec<Vec<AccountId>> {
+    let n = traces.len();
+    let mut group_of: Vec<Option<usize>> = vec![None; n];
+    let mut groups: Vec<Vec<AccountId>> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if trace_correlation(&traces[i], &traces[j], tolerance) >= threshold {
+                match (group_of[i], group_of[j]) {
+                    (Some(g), _) => {
+                        if group_of[j].is_none() {
+                            groups[g].push(traces[j].account);
+                            group_of[j] = Some(g);
+                        }
+                    }
+                    (None, Some(g)) => {
+                        groups[g].push(traces[i].account);
+                        group_of[i] = Some(g);
+                    }
+                    (None, None) => {
+                        groups.push(vec![traces[i].account, traces[j].account]);
+                        group_of[i] = Some(groups.len() - 1);
+                        group_of[j] = Some(groups.len() - 1);
+                    }
+                }
+            }
+        }
+    }
+    groups.retain(|g| g.len() >= 2);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antiabuse::SessionPolicy;
+    use slum_websim::rng::seeded;
+
+    #[test]
+    fn proxy_farm_defeats_per_ip_rule() {
+        let farm = ProxyFarm::provision(1, 5, 100);
+        let mut tracker = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+        let admitted = farm.open_all(&mut tracker);
+        assert_eq!(admitted, 5, "distinct proxy IPs all pass the per-IP check");
+        assert_eq!(tracker.distinct_ips(), 5);
+    }
+
+    #[test]
+    fn same_ip_farm_is_blocked() {
+        // Without proxies the second account is refused on the shared IP.
+        let mut tracker = SessionTracker::new(SessionPolicy::SingleSessionStrict);
+        let ip = IpAddr::new("home-dsl");
+        assert!(matches!(
+            tracker.open_session(AccountId(1), ip.clone()),
+            Admission::Granted { .. }
+        ));
+        assert_eq!(
+            tracker.open_session(AccountId(2), ip),
+            Admission::RejectedIpInUse { holder: AccountId(1) }
+        );
+    }
+
+    #[test]
+    fn farmed_traces_correlate_organic_do_not() {
+        let mut rng = seeded(9);
+        let farm = ProxyFarm::provision(1, 3, 100);
+        let farmed = SurfTrace::farmed(&farm, 60, &mut rng);
+        let organic_a = SurfTrace::organic(AccountId(1), 60, &mut rng);
+        let organic_b = SurfTrace::organic(AccountId(2), 60, &mut rng);
+
+        assert!(trace_correlation(&farmed[0], &farmed[1], 3) > 0.9);
+        assert!(trace_correlation(&farmed[0], &farmed[2], 3) > 0.9);
+        // Organic humans drift apart quickly at a 3s tolerance.
+        assert!(trace_correlation(&organic_a, &organic_b, 3) < 0.7);
+    }
+
+    #[test]
+    fn detector_clusters_the_farm_only() {
+        let mut rng = seeded(10);
+        let farm = ProxyFarm::provision(7, 4, 200);
+        let mut traces = SurfTrace::farmed(&farm, 80, &mut rng);
+        for i in 0..6 {
+            traces.push(SurfTrace::organic(AccountId(i), 80, &mut rng));
+        }
+        let farms = detect_farms(&traces, 3, 0.9);
+        assert_eq!(farms.len(), 1, "exactly one farm: {farms:?}");
+        let mut detected = farms[0].clone();
+        detected.sort();
+        assert_eq!(detected, farm.accounts);
+    }
+
+    #[test]
+    fn empty_and_singleton_traces_handled() {
+        let empty = SurfTrace { account: AccountId(1), ticks: vec![] };
+        let one = SurfTrace { account: AccountId(2), ticks: vec![10] };
+        assert_eq!(trace_correlation(&empty, &one, 5), 0.0);
+        assert!(detect_farms(&[empty, one], 5, 0.9).is_empty());
+    }
+}

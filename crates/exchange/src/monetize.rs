@@ -1,0 +1,276 @@
+//! Monetization mechanics (§II background, after Javed et al.).
+//!
+//! "The main goal of websites listed on traffic exchanges is to generate
+//! ad impressions from a diverse pool of IP addresses" and, per the
+//! seminal measurement study the paper builds on, "monetization on
+//! traffic exchanges is done by ad impressions from bogus ad exchanges
+//! and referrer spoofing on legitimate ad exchanges". This module models
+//! both monetization paths plus the legitimate networks' vetting, which
+//! the paper's §VI holds up as the countermeasure (AdSense and
+//! DoubleClick ban traffic exchanges outright).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// How a member site converts exchange traffic into money.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Monetization {
+    /// Impressions on a bogus ad exchange that pays for raw volume and
+    /// performs no traffic-quality vetting (the AdHitz role — the
+    /// network the paper found on most traffic exchanges).
+    BogusAdExchange {
+        /// Network name.
+        network: String,
+    },
+    /// Impressions on a legitimate network, with the HTTP referrer
+    /// forged to hide the traffic-exchange origin.
+    ReferrerSpoofing {
+        /// Network name.
+        network: String,
+        /// The innocuous referrer presented instead of the exchange.
+        spoofed_referrer: String,
+    },
+}
+
+/// One ad impression as an ad network sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Impression {
+    /// Publisher site host.
+    pub publisher: String,
+    /// Referrer presented to the network (post-spoofing).
+    pub referrer: String,
+    /// Visitor IP token.
+    pub visitor_ip: String,
+    /// Virtual timestamp.
+    pub at: u64,
+}
+
+/// Builds the impression a network receives for a page view monetized
+/// via `scheme`, given the *true* referrer (the exchange host).
+pub fn impression_for(
+    scheme: &Monetization,
+    publisher: &str,
+    true_referrer: &str,
+    visitor_ip: &str,
+    at: u64,
+) -> Impression {
+    let referrer = match scheme {
+        Monetization::BogusAdExchange { .. } => true_referrer.to_string(),
+        Monetization::ReferrerSpoofing { spoofed_referrer, .. } => spoofed_referrer.clone(),
+    };
+    Impression { publisher: publisher.to_string(), referrer, visitor_ip: visitor_ip.to_string(), at }
+}
+
+/// A legitimate ad network's traffic-quality vetting, the §VI
+/// countermeasure. Referrer blocklisting alone is beaten by spoofing;
+/// the IP-diversity heuristic catches the burst pattern that paid
+/// exchange campaigns produce.
+#[derive(Debug, Clone)]
+pub struct TrafficQualityVetting {
+    /// Known traffic-exchange hosts (referrer blocklist).
+    pub exchange_hosts: Vec<String>,
+    /// Maximum tolerated impressions per visitor IP inside the window
+    /// before the pattern reads as exchange-style recycled traffic.
+    pub max_impressions_per_ip: u64,
+    /// Minimum impressions before the IP heuristic activates.
+    pub min_volume: u64,
+}
+
+impl Default for TrafficQualityVetting {
+    fn default() -> Self {
+        TrafficQualityVetting {
+            exchange_hosts: crate::params::PROFILES.iter().map(|p| p.host.to_string()).collect(),
+            max_impressions_per_ip: 3,
+            min_volume: 50,
+        }
+    }
+}
+
+/// The vetting verdict for a publisher's impression batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VettingVerdict {
+    /// Traffic looks organic; impressions are payable.
+    Accepted,
+    /// Referrer matches a known exchange (caught without spoofing).
+    RejectedExchangeReferrer {
+        /// The offending referrer.
+        referrer: String,
+    },
+    /// Referrers look clean but the visit pattern does not: too many
+    /// repeat impressions per IP (recycled exchange members).
+    RejectedRecycledTraffic {
+        /// Observed average impressions per distinct IP (×100).
+        impressions_per_ip_x100: u64,
+    },
+}
+
+impl TrafficQualityVetting {
+    /// Vets a publisher's impression batch.
+    pub fn vet(&self, impressions: &[Impression]) -> VettingVerdict {
+        // 1. Referrer blocklist.
+        for imp in impressions {
+            if self.exchange_hosts.iter().any(|h| h == &imp.referrer) {
+                return VettingVerdict::RejectedExchangeReferrer {
+                    referrer: imp.referrer.clone(),
+                };
+            }
+        }
+        // 2. IP-diversity heuristic (only meaningful with volume).
+        if impressions.len() as u64 >= self.min_volume {
+            let mut per_ip: BTreeMap<&str, u64> = BTreeMap::new();
+            for imp in impressions {
+                *per_ip.entry(imp.visitor_ip.as_str()).or_insert(0) += 1;
+            }
+            let avg_x100 = impressions.len() as u64 * 100 / per_ip.len().max(1) as u64;
+            if avg_x100 > self.max_impressions_per_ip * 100 {
+                return VettingVerdict::RejectedRecycledTraffic {
+                    impressions_per_ip_x100: avg_x100,
+                };
+            }
+        }
+        VettingVerdict::Accepted
+    }
+}
+
+/// Revenue model: what each monetization path pays per thousand
+/// impressions, before and after vetting. Bogus exchanges pay a pittance
+/// but never reject; legitimate networks pay real CPMs but vet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RevenueModel {
+    /// Bogus-exchange CPM in milli-dollars.
+    pub bogus_cpm_millis: u64,
+    /// Legitimate-network CPM in milli-dollars.
+    pub legit_cpm_millis: u64,
+}
+
+impl Default for RevenueModel {
+    fn default() -> Self {
+        // A few cents vs a couple of dollars per thousand — the gap that
+        // makes referrer spoofing worth the risk.
+        RevenueModel { bogus_cpm_millis: 40, legit_cpm_millis: 2_200 }
+    }
+}
+
+impl RevenueModel {
+    /// Payout in milli-dollars for a vetted batch under `scheme`.
+    pub fn payout_millis(
+        &self,
+        scheme: &Monetization,
+        impressions: &[Impression],
+        vetting: &TrafficQualityVetting,
+    ) -> u64 {
+        let n = impressions.len() as u64;
+        match scheme {
+            Monetization::BogusAdExchange { .. } => n * self.bogus_cpm_millis / 1_000,
+            Monetization::ReferrerSpoofing { .. } => match vetting.vet(impressions) {
+                VettingVerdict::Accepted => n * self.legit_cpm_millis / 1_000,
+                _ => 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spoofed() -> Monetization {
+        Monetization::ReferrerSpoofing {
+            network: "legit-ads.example".into(),
+            spoofed_referrer: "news-portal.example.com".into(),
+        }
+    }
+
+    fn bogus() -> Monetization {
+        Monetization::BogusAdExchange { network: "adhitz-net.example".into() }
+    }
+
+    fn batch(scheme: &Monetization, n: usize, distinct_ips: usize) -> Vec<Impression> {
+        (0..n)
+            .map(|i| {
+                impression_for(
+                    scheme,
+                    "member-site.example.com",
+                    "10khits.exchange.example",
+                    &format!("ip-{}", i % distinct_ips.max(1)),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bogus_exchange_sees_true_referrer_and_pays_anyway() {
+        let scheme = bogus();
+        let impressions = batch(&scheme, 1_000, 400);
+        assert!(impressions.iter().all(|i| i.referrer == "10khits.exchange.example"));
+        let payout = RevenueModel::default().payout_millis(
+            &scheme,
+            &impressions,
+            &TrafficQualityVetting::default(),
+        );
+        assert_eq!(payout, 40, "1000 impressions at 40 milli-$/1000");
+    }
+
+    #[test]
+    fn unspoofed_exchange_traffic_rejected_by_legit_network() {
+        // A naive publisher sends exchange traffic to a legit network
+        // without spoofing: referrer blocklist catches it.
+        let scheme = Monetization::ReferrerSpoofing {
+            network: "legit-ads.example".into(),
+            spoofed_referrer: "10khits.exchange.example".into(), // lazy "spoof"
+        };
+        let impressions = batch(&scheme, 100, 60);
+        let verdict = TrafficQualityVetting::default().vet(&impressions);
+        assert!(matches!(verdict, VettingVerdict::RejectedExchangeReferrer { .. }));
+    }
+
+    #[test]
+    fn spoofing_with_diverse_ips_passes_vetting() {
+        // Spoofed referrer + a genuinely diverse IP pool (the exchange's
+        // selling point) slips past both checks — exactly why §VI says
+        // networks must keep vetting impression figures.
+        let scheme = spoofed();
+        let impressions = batch(&scheme, 1_000, 500);
+        let vetting = TrafficQualityVetting::default();
+        assert_eq!(vetting.vet(&impressions), VettingVerdict::Accepted);
+        let payout = RevenueModel::default().payout_millis(&scheme, &impressions, &vetting);
+        assert_eq!(payout, 2_200);
+    }
+
+    #[test]
+    fn recycled_ips_caught_despite_spoofing() {
+        // Heavy reuse of a small member pool trips the IP heuristic.
+        let scheme = spoofed();
+        let impressions = batch(&scheme, 1_000, 20);
+        let verdict = TrafficQualityVetting::default().vet(&impressions);
+        assert!(
+            matches!(verdict, VettingVerdict::RejectedRecycledTraffic { .. }),
+            "{verdict:?}"
+        );
+        let payout = RevenueModel::default().payout_millis(
+            &scheme,
+            &impressions,
+            &TrafficQualityVetting::default(),
+        );
+        assert_eq!(payout, 0);
+    }
+
+    #[test]
+    fn small_batches_skip_the_ip_heuristic() {
+        let scheme = spoofed();
+        let impressions = batch(&scheme, 10, 1);
+        assert_eq!(
+            TrafficQualityVetting::default().vet(&impressions),
+            VettingVerdict::Accepted,
+            "not enough volume to judge"
+        );
+    }
+
+    #[test]
+    fn spoofing_pays_55x_more_when_it_works() {
+        let model = RevenueModel::default();
+        assert!(model.legit_cpm_millis / model.bogus_cpm_millis == 55);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-exchange calibration profiles, carrying the paper's Table I and
+//! Table II marginals for all nine measured exchanges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::exchange::ExchangeKind;
+
+/// Calibration profile of one traffic exchange.
+///
+/// All counts are the paper's published Table I / Table II values; the
+/// fractions the simulator actually consumes are derived by the accessor
+/// methods so rounding stays in one place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeProfile {
+    /// Exchange display name (paper's naming).
+    pub name: &'static str,
+    /// Simulated host for the exchange's own pages.
+    pub host: &'static str,
+    /// Auto-surf or manual-surf.
+    pub kind: ExchangeKind,
+    /// Table I: total URLs crawled.
+    pub urls_crawled: u64,
+    /// Table I: self-referral URL count.
+    pub self_referrals: u64,
+    /// Table I: popular-referral URL count.
+    pub popular_referrals: u64,
+    /// Table I: malicious URLs among regular URLs.
+    pub malicious_urls: u64,
+    /// Table II: distinct domains encountered.
+    pub domains: u64,
+    /// Table II: domains with at least one malicious URL.
+    pub malware_domains: u64,
+    /// Minimum surf seconds per page (paper: 10 s – 10 min across
+    /// exchanges).
+    pub min_surf_secs: u32,
+    /// Number of paid-campaign bursts the exchange exhibits over the
+    /// crawl window (drives Figure 3(b)'s bursts; 0 for the smooth
+    /// auto-surf curves).
+    pub campaign_bursts: u32,
+}
+
+impl ExchangeProfile {
+    /// Table I: regular URLs (crawled − self − popular).
+    pub fn regular_urls(&self) -> u64 {
+        self.urls_crawled - self.self_referrals - self.popular_referrals
+    }
+
+    /// Fraction of crawled URLs that are self-referrals.
+    pub fn self_fraction(&self) -> f64 {
+        self.self_referrals as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of crawled URLs that are popular referrals.
+    pub fn popular_fraction(&self) -> f64 {
+        self.popular_referrals as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of *regular* URLs that are malicious (Table I's
+    /// "% Malicious URLs" column).
+    pub fn malicious_fraction(&self) -> f64 {
+        self.malicious_urls as f64 / self.regular_urls() as f64
+    }
+
+    /// Fraction of domains hosting malware (Table II's "% Malware").
+    pub fn malware_domain_fraction(&self) -> f64 {
+        self.malware_domains as f64 / self.domains as f64
+    }
+}
+
+/// The nine exchanges of the study, Table I order.
+pub const PROFILES: [ExchangeProfile; 9] = [
+    ExchangeProfile {
+        name: "10KHits",
+        host: "10khits.exchange.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 218_353,
+        self_referrals: 13_663,
+        popular_referrals: 24_328,
+        malicious_urls: 61_015,
+        domains: 4_823,
+        malware_domains: 724,
+        min_surf_secs: 51,
+        campaign_bursts: 0,
+    },
+    ExchangeProfile {
+        name: "ManyHits",
+        host: "manyhit.exchange.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 178_939,
+        self_referrals: 10_860,
+        popular_referrals: 20_890,
+        malicious_urls: 21_527,
+        domains: 3_705,
+        malware_domains: 522,
+        min_surf_secs: 30,
+        campaign_bursts: 0,
+    },
+    ExchangeProfile {
+        name: "Smiley Traffic",
+        host: "smileytraffic.exchange.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 244_677,
+        self_referrals: 15_789,
+        popular_referrals: 12_847,
+        malicious_urls: 18_853,
+        domains: 3_367,
+        malware_domains: 320,
+        min_surf_secs: 20,
+        campaign_bursts: 0,
+    },
+    ExchangeProfile {
+        name: "SendSurf",
+        host: "sendsurf.exchange.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 246_967,
+        self_referrals: 17_537,
+        popular_referrals: 19_174,
+        malicious_urls: 109_111,
+        domains: 1_460,
+        malware_domains: 63,
+        min_surf_secs: 15,
+        campaign_bursts: 0,
+    },
+    ExchangeProfile {
+        name: "Otohits",
+        host: "otohits.exchange.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 96_316,
+        self_referrals: 52_167,
+        popular_referrals: 9_336,
+        malicious_urls: 2_571,
+        domains: 2_106,
+        malware_domains: 292,
+        min_surf_secs: 10,
+        campaign_bursts: 0,
+    },
+    ExchangeProfile {
+        name: "Cash N Hits",
+        host: "cashnhits.exchange.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 4_795,
+        self_referrals: 416,
+        popular_referrals: 298,
+        malicious_urls: 418,
+        domains: 614,
+        malware_domains: 105,
+        min_surf_secs: 30,
+        campaign_bursts: 3,
+    },
+    ExchangeProfile {
+        name: "Easyhits4u",
+        host: "easyhits4u.exchange.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 4_638,
+        self_referrals: 703,
+        popular_referrals: 694,
+        malicious_urls: 336,
+        domains: 489,
+        malware_domains: 70,
+        min_surf_secs: 20,
+        campaign_bursts: 2,
+    },
+    ExchangeProfile {
+        name: "Hit2Hit",
+        host: "hit2hit.exchange.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 3_355,
+        self_referrals: 651,
+        popular_referrals: 211,
+        malicious_urls: 212,
+        domains: 418,
+        malware_domains: 68,
+        min_surf_secs: 15,
+        campaign_bursts: 2,
+    },
+    ExchangeProfile {
+        name: "Traffic Monsoon",
+        host: "trafficmonsoon.exchange.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 5_047,
+        self_referrals: 540,
+        popular_referrals: 549,
+        malicious_urls: 484,
+        domains: 466,
+        malware_domains: 86,
+        min_surf_secs: 60,
+        campaign_bursts: 4,
+    },
+];
+
+/// Looks a profile up by name.
+pub fn profile(name: &str) -> Option<&'static ExchangeProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// Paper-wide totals used by shape assertions: 1,003,087 crawled URLs,
+/// 802,434 regular, 214,527 malicious (≈26.7%).
+pub mod totals {
+    /// Total URLs crawled across the nine exchanges.
+    pub const URLS_CRAWLED: u64 = 1_003_087;
+    /// Total regular URLs after referral filtering.
+    pub const REGULAR_URLS: u64 = 802_434;
+    /// Total malicious URLs detected.
+    pub const MALICIOUS_URLS: u64 = 214_527;
+    /// Distinct URLs in the corpus.
+    pub const DISTINCT_URLS: u64 = 306_895;
+    /// Distinct domains in the corpus.
+    pub const DISTINCT_DOMAINS: u64 = 17_448;
+    /// Malicious URLs lacking category detail (the misc bucket).
+    pub const MISC_MALICIOUS_URLS: u64 = 142_405;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_reconcile() {
+        let crawled: u64 = PROFILES.iter().map(|p| p.urls_crawled).sum();
+        assert_eq!(crawled, totals::URLS_CRAWLED);
+        let regular: u64 = PROFILES.iter().map(|p| p.regular_urls()).sum();
+        assert_eq!(regular, totals::REGULAR_URLS);
+        let malicious: u64 = PROFILES.iter().map(|p| p.malicious_urls).sum();
+        assert_eq!(malicious, totals::MALICIOUS_URLS);
+    }
+
+    #[test]
+    fn overall_malice_rate_exceeds_26_percent() {
+        let rate = totals::MALICIOUS_URLS as f64 / totals::REGULAR_URLS as f64;
+        assert!(rate > 0.26, "paper's headline: >26% ({rate:.3})");
+        assert!(rate < 0.28);
+    }
+
+    #[test]
+    fn per_exchange_percentages_match_table1() {
+        let expect = [
+            ("10KHits", 0.338),
+            ("ManyHits", 0.146),
+            ("Smiley Traffic", 0.087),
+            ("SendSurf", 0.519),
+            ("Otohits", 0.074),
+            ("Cash N Hits", 0.102),
+            ("Easyhits4u", 0.104),
+            ("Hit2Hit", 0.085),
+            ("Traffic Monsoon", 0.122),
+        ];
+        for (name, frac) in expect {
+            let p = profile(name).unwrap();
+            assert!(
+                (p.malicious_fraction() - frac).abs() < 0.001,
+                "{name}: {} vs {frac}",
+                p.malicious_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn per_exchange_domain_percentages_match_table2() {
+        let expect = [
+            ("10KHits", 0.150),
+            ("SendSurf", 0.043),
+            ("Traffic Monsoon", 0.184),
+        ];
+        for (name, frac) in expect {
+            let p = profile(name).unwrap();
+            assert!(
+                (p.malware_domain_fraction() - frac).abs() < 0.001,
+                "{name}: {}",
+                p.malware_domain_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn sendsurf_is_the_outlier() {
+        // SendSurf: highest URL malice (51.9%) but lowest domain malice
+        // (4.3%) — few malicious domains, heavily surfed.
+        let s = profile("SendSurf").unwrap();
+        for p in &PROFILES {
+            assert!(s.malicious_fraction() >= p.malicious_fraction());
+            assert!(s.malware_domain_fraction() <= p.malware_domain_fraction());
+        }
+    }
+
+    #[test]
+    fn otohits_dominated_by_self_referrals() {
+        let o = profile("Otohits").unwrap();
+        assert!(o.self_fraction() > 0.5, "paper: 52,167 of 96,316");
+    }
+
+    #[test]
+    fn kinds_partition_5_4() {
+        let auto = PROFILES.iter().filter(|p| p.kind == ExchangeKind::AutoSurf).count();
+        let manual = PROFILES.iter().filter(|p| p.kind == ExchangeKind::ManualSurf).count();
+        assert_eq!((auto, manual), (5, 4));
+    }
+
+    #[test]
+    fn manual_exchanges_have_bursts_auto_do_not() {
+        for p in &PROFILES {
+            match p.kind {
+                ExchangeKind::AutoSurf => assert_eq!(p.campaign_bursts, 0, "{}", p.name),
+                ExchangeKind::ManualSurf => assert!(p.campaign_bursts > 0, "{}", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_profile_is_none() {
+        assert!(profile("HitLeap").is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! Wires an [`Exchange`] to the synthetic web: installs its member-site
+//! population and calibrates rotation weights so the crawl statistics
+//! land on the paper's marginals.
+
+use rand::Rng;
+
+use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+use slum_websim::Url;
+
+use crate::campaign::Campaign;
+use crate::exchange::{Exchange, Listing};
+use crate::params::ExchangeProfile;
+
+/// Popular sites exchanges pad rotations with (§III-A names Google,
+/// Facebook and YouTube). Installed once; shared across exchanges.
+pub const POPULAR_HOSTS: [&str; 3] =
+    ["google.popular.example", "facebook.popular.example", "youtube.popular.example"];
+
+/// Fraction of crawl wall-time covered by paid-campaign bursts on
+/// manual-surf exchanges, and the malicious share inside a burst. Both
+/// drive the Figure 3(b) burst shape while keeping Table I's overall
+/// malice fraction intact (see the calibration in [`build_exchange`]).
+const BURST_TIME_SHARE: f64 = 0.08;
+const BURST_MALICE_SHARE: f64 = 0.85;
+
+/// Kinds of guaranteed listings (see the priority plan in
+/// [`build_exchange`]). `Misc` carries its pinned TLD label; pinned
+/// content categories ride alongside in the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForcedKind {
+    Misc(&'static str),
+    Blacklisted,
+    Js,
+    Chain,
+    Shortened,
+    Flash,
+}
+
+/// Builds an exchange from its profile.
+///
+/// * `domain_scale` scales the Table II domain pool (1.0 = full size;
+///   benches use ~0.05).
+/// * `planned_virtual_secs` is the expected virtual duration of the
+///   crawl; manual-surf campaign bursts are placed inside it.
+///
+/// Weight calibration: with `M` malicious and `B` benign listings and a
+/// target malicious URL fraction `f` (Table I), benign listings get
+/// weight 1 and malicious listings weight `f·B / ((1−f)·M)`, so the
+/// expected share of regular rotations hitting malicious sites is `f`.
+/// Manual-surf exchanges move part of that mass into fixed-duration
+/// campaign bursts: the static share is lowered to
+/// `(f − s·b) / (1 − s)` where `s` is the burst time share and `b` the
+/// in-burst malice share, so the time-average still lands on `f`.
+pub fn build_exchange(
+    builder: &mut WebBuilder,
+    profile: &ExchangeProfile,
+    domain_scale: f64,
+    planned_virtual_secs: u64,
+) -> Exchange {
+    let n_domains = ((profile.domains as f64 * domain_scale).round() as usize).max(12);
+    // Guaranteed ("forced") listings keep every malware class present at
+    // small domain scales, so Table IV and the §V case studies always
+    // have material and the heavy-traffic miscellaneous mass cannot skew
+    // Figure 6 — the priority list below is taken in order up to the
+    // exchange's Table II malicious-domain budget. Weights (in units of
+    // the base malicious weight) encode the paper's mix: the full list
+    // yields Table III's categorized ratios (blacklisted 2.0 ≈ 70%, JS
+    // 0.6 ≈ 21%, redirect 0.2 ≈ 7%, shortened 0.05, flash 0.02), a misc
+    // share of 66% (§IV-A, 5.7 units spread over eight listings), and
+    // misc TLDs in Figure 6 proportion.
+    // Content categories are pinned proportionally to Figure 7
+    // (Business 58.6 / Advertisement 21.8 / Entertainment 8.7 / IT 8.6 /
+    // Others 2.6), for the same variance reason as the TLDs.
+    use slum_websim::ContentCategory as Cc;
+    let forced_plan: Vec<(ForcedKind, f64, Cc)> = vec![
+        (ForcedKind::Misc("com"), 2.0, Cc::Business),
+        (ForcedKind::Blacklisted, 1.0, Cc::Business),
+        (ForcedKind::Misc("net"), 1.25, Cc::Business),
+        (ForcedKind::Js, 0.6, Cc::Business),
+        (ForcedKind::Misc("com"), 1.0, Cc::Advertisement),
+        (ForcedKind::Blacklisted, 1.0, Cc::Advertisement),
+        (ForcedKind::Chain, 0.2, Cc::Entertainment),
+        (ForcedKind::Misc("com"), 0.7, Cc::InformationTechnology),
+        (ForcedKind::Shortened, 0.015, Cc::Business),
+        (ForcedKind::Misc("com"), 0.3, Cc::Entertainment),
+        (ForcedKind::Misc("ru"), 0.28, Cc::Advertisement),
+        (ForcedKind::Flash, 0.02, Cc::Entertainment),
+        (ForcedKind::Misc("de"), 0.11, Cc::Entertainment),
+        (ForcedKind::Misc("org"), 0.06, Cc::Other),
+    ];
+    let budget = ((n_domains as f64 * profile.malware_domain_fraction()).round() as usize)
+        .clamp(2, n_domains.saturating_sub(2).max(2));
+    let forced: Vec<(ForcedKind, f64, Cc)> =
+        forced_plan.into_iter().take(budget).collect();
+    let n_sampled = budget - forced.len();
+    let n_benign = n_domains.saturating_sub(budget).max(2);
+
+    let f = profile.malicious_fraction();
+    // Static malice fraction after carving out burst mass (manual only).
+    let f_static = if profile.campaign_bursts > 0 {
+        ((f - BURST_TIME_SHARE * BURST_MALICE_SHARE) / (1.0 - BURST_TIME_SHARE)).max(0.005)
+    } else {
+        f
+    };
+    // Total malicious rotation mass in units of the base malicious
+    // weight: sampled listings at 1.0 each plus the forced units.
+    let forced_units: f64 = forced.iter().map(|(_, u, _)| u).sum();
+    let malicious_units = n_sampled as f64 + forced_units;
+    let malicious_weight = (f_static * n_benign as f64) / ((1.0 - f_static) * malicious_units);
+
+    let mut listings = Vec::with_capacity(n_domains);
+    for _ in 0..n_benign {
+        let spec = builder.benign_site(BenignOptions::default());
+        listings.push(Listing { url: spec.url, weight: 1.0, malicious: false });
+    }
+    for _ in 0..n_sampled {
+        let spec = builder.malicious_site(MaliciousOptions::default());
+        // Rare categories (shortened, Flash) must stay rare *per visit*:
+        // on heavily-skewed exchanges (SendSurf's few malicious domains
+        // carry ~26x benign traffic) a single full-weight shortened
+        // listing would blow Table III's 0.5% out by an order of
+        // magnitude, so sampled rare listings get capped weight.
+        use slum_websim::MaliceKind;
+        let unit = match spec.truth.malice_kind() {
+            Some(MaliceKind::MaliciousShortened) | Some(MaliceKind::MaliciousFlash) => 0.1,
+            _ => 1.0,
+        };
+        listings.push(Listing {
+            url: spec.url,
+            weight: malicious_weight * unit,
+            malicious: true,
+        });
+    }
+    {
+        use slum_websim::{JsAttack, MaliceKind, Tld};
+        for (kind, units, category) in &forced {
+            let url = match kind {
+                ForcedKind::Misc(tld) => {
+                    builder
+                        .malicious_site(MaliciousOptions {
+                            kind: Some(MaliceKind::Misc),
+                            tld: Some(Tld::from_label(tld)),
+                            category: Some(*category),
+                            ..Default::default()
+                        })
+                        .url
+                }
+                ForcedKind::Blacklisted => {
+                    builder
+                        .malicious_site(MaliciousOptions {
+                            kind: Some(MaliceKind::Blacklisted),
+                            category: Some(*category),
+                            ..Default::default()
+                        })
+                        .url
+                }
+                ForcedKind::Js => {
+                    builder
+                        .malicious_site(MaliciousOptions {
+                            kind: Some(MaliceKind::MaliciousJs(JsAttack::HiddenIframe)),
+                            cloaked: Some(false),
+                            category: Some(*category),
+                            ..Default::default()
+                        })
+                        .url
+                }
+                ForcedKind::Chain => {
+                    builder
+                        .malicious_site(MaliciousOptions {
+                            kind: Some(MaliceKind::SuspiciousRedirect),
+                            category: Some(*category),
+                            ..Default::default()
+                        })
+                        .url
+                }
+                ForcedKind::Shortened => builder.shortened_site(Tld::Com, *category).url,
+                ForcedKind::Flash => builder.flash_site(Tld::Com, *category).url,
+            };
+            listings.push(Listing {
+                url,
+                weight: malicious_weight * units,
+                malicious: true,
+            });
+        }
+    }
+
+    let home = builder.exchange_home(profile.host).url;
+    let popular: Vec<Url> =
+        POPULAR_HOSTS.iter().map(|h| builder.popular_site(h).url).collect();
+
+    let mut exchange = Exchange::new(
+        profile.name,
+        profile.kind,
+        home,
+        popular,
+        listings,
+        profile.self_fraction(),
+        profile.popular_fraction(),
+        profile.min_surf_secs,
+    );
+
+    // Manual-surf exchanges: place campaign bursts across the crawl
+    // window, each boosting one malicious listing hard enough to reach
+    // the in-burst malice share.
+    if profile.campaign_bursts > 0 {
+        let bursts = profile.campaign_bursts as u64;
+        let burst_total = (planned_virtual_secs as f64 * BURST_TIME_SHARE) as u64;
+        let burst_len = (burst_total / bursts).max(60);
+        // Campaign targets: full-weight malicious listings only. The
+        // fractional-weight rare listings (shortened, Flash, chain) are
+        // deliberately scarce in the URL stream; a campaign landing on
+        // one would flood the corpus with a category the paper measures
+        // at <1%.
+        let malicious_urls: Vec<Url> = exchange
+            .listings()
+            .iter()
+            .filter(|l| l.malicious && l.weight >= malicious_weight * 0.9)
+            .map(|l| l.url.clone())
+            .collect();
+        // Boost so the boosted listing dominates: total static weight is
+        // n_benign·1 + malicious_units·w; multiply by the odds ratio of
+        // the desired in-burst share.
+        let total_static: f64 = n_benign as f64 + malicious_units * malicious_weight;
+        let boost = total_static * BURST_MALICE_SHARE / (1.0 - BURST_MALICE_SHARE);
+        for i in 0..bursts {
+            // Spread bursts over the middle 80% of the window.
+            let center = planned_virtual_secs / 10
+                + (i * 2 + 1) * (planned_virtual_secs * 8 / 10) / (2 * bursts);
+            let start = center.saturating_sub(burst_len / 2);
+            let target =
+                malicious_urls[builder.rng().gen_range(0..malicious_urls.len())].clone();
+            exchange.schedule_campaign(Campaign {
+                target,
+                visits_purchased: 2_500,
+                dollars: 5,
+                start,
+                end: start + burst_len,
+                boost,
+            });
+        }
+    }
+    exchange
+}
+
+/// Convenience: builds all nine paper exchanges into one web.
+pub fn build_all_exchanges(
+    builder: &mut WebBuilder,
+    domain_scale: f64,
+    planned_virtual_secs: u64,
+) -> Vec<Exchange> {
+    crate::params::PROFILES
+        .iter()
+        .map(|p| build_exchange(builder, p, domain_scale, planned_virtual_secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::profile;
+    use slum_websim::rng::seeded;
+
+    #[test]
+    fn pool_sizes_respect_table2_fraction() {
+        let mut b = WebBuilder::new(50);
+        let p = profile("10KHits").unwrap();
+        let x = build_exchange(&mut b, p, 0.05, 100_000);
+        let malicious = x.listings().iter().filter(|l| l.malicious).count();
+        let total = x.listings().len();
+        let frac = malicious as f64 / total as f64;
+        assert!(
+            (frac - p.malware_domain_fraction()).abs() < 0.03,
+            "domain malice fraction {frac} vs {}",
+            p.malware_domain_fraction()
+        );
+    }
+
+    #[test]
+    fn rotation_malice_fraction_matches_table1_auto() {
+        let mut b = WebBuilder::new(51);
+        let p = profile("SendSurf").unwrap();
+        let mut x = build_exchange(&mut b, p, 0.05, 100_000);
+        let malicious_hosts: std::collections::BTreeSet<String> = x
+            .listings()
+            .iter()
+            .filter(|l| l.malicious)
+            .map(|l| l.url.host().to_string())
+            .collect();
+        let mut rng = seeded(9);
+        let n = 30_000u64;
+        let mut regular = 0u64;
+        let mut malicious = 0u64;
+        for t in 0..n {
+            let step = x.next_step(t, &mut rng);
+            let host = step.url.host().to_string();
+            if host == p.host || POPULAR_HOSTS.contains(&host.as_str()) {
+                continue;
+            }
+            regular += 1;
+            if malicious_hosts.contains(&host) {
+                malicious += 1;
+            }
+        }
+        let frac = malicious as f64 / regular as f64;
+        assert!(
+            (frac - p.malicious_fraction()).abs() < 0.03,
+            "SendSurf URL malice {frac} vs {}",
+            p.malicious_fraction()
+        );
+    }
+
+    #[test]
+    fn manual_exchange_gets_campaigns_auto_does_not() {
+        let mut b = WebBuilder::new(52);
+        let manual = build_exchange(&mut b, profile("Traffic Monsoon").unwrap(), 0.1, 100_000);
+        assert_eq!(manual.campaigns().len(), 4);
+        let auto = build_exchange(&mut b, profile("Otohits").unwrap(), 0.1, 100_000);
+        assert!(auto.campaigns().is_empty());
+    }
+
+    #[test]
+    fn campaign_windows_inside_crawl() {
+        let mut b = WebBuilder::new(53);
+        let span = 200_000;
+        let x = build_exchange(&mut b, profile("Cash N Hits").unwrap(), 0.1, span);
+        for c in x.campaigns() {
+            assert!(c.end <= span, "campaign [{}, {}) outside window", c.start, c.end);
+            assert!(c.duration() >= 60);
+        }
+    }
+
+    #[test]
+    fn all_nine_build() {
+        let mut b = WebBuilder::new(54);
+        let exchanges = build_all_exchanges(&mut b, 0.02, 50_000);
+        assert_eq!(exchanges.len(), 9);
+        let web = b.finish();
+        assert!(web.len() > 100, "population installed: {}", web.len());
+        for x in &exchanges {
+            assert!(!x.listings().is_empty());
+        }
+    }
+}

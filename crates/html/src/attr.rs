@@ -1,0 +1,210 @@
+//! Attribute and inline-style inspection helpers.
+//!
+//! The paper's iframe-injection taxonomy (§V-A) hinges on *how* an iframe
+//! is hidden: 1×1 dimensions, CSS `visibility:hidden`/`display:none`,
+//! off-screen positioning, or `allowtransparency`. This module parses the
+//! relevant attribute forms.
+
+use std::collections::BTreeMap;
+
+/// A parsed `style="..."` attribute: property name → value, names
+/// lower-cased, values trimmed.
+pub type StyleMap = BTreeMap<String, String>;
+
+/// Parses an inline CSS declaration list into a [`StyleMap`].
+///
+/// ```
+/// let style = slum_html::attr::parse_style("width: 1px; HEIGHT:1px ; display :none");
+/// assert_eq!(style.get("width").map(String::as_str), Some("1px"));
+/// assert_eq!(style.get("display").map(String::as_str), Some("none"));
+/// ```
+pub fn parse_style(style: &str) -> StyleMap {
+    let mut map = StyleMap::new();
+    for decl in style.split(';') {
+        let Some((prop, value)) = decl.split_once(':') else { continue };
+        let prop = prop.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if !prop.is_empty() && !value.is_empty() {
+            map.insert(prop, value);
+        }
+    }
+    map
+}
+
+/// Parses a CSS/HTML length (`"1"`, `"1px"`, `"-100px"`, `"50%"`) into a
+/// numeric value. Percentages are returned as their numeric part with
+/// [`Length::Percent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Length {
+    /// Absolute pixels (unit-less HTML attributes count as pixels).
+    Px(f64),
+    /// Percentage of the containing block.
+    Percent(f64),
+}
+
+impl Length {
+    /// Parses a length string, returning `None` on anything non-numeric.
+    pub fn parse(s: &str) -> Option<Length> {
+        let s = s.trim();
+        if let Some(p) = s.strip_suffix('%') {
+            return p.trim().parse::<f64>().ok().map(Length::Percent);
+        }
+        let num = s.strip_suffix("px").unwrap_or(s).trim();
+        num.parse::<f64>().ok().map(Length::Px)
+    }
+
+    /// Pixel value when absolute, `None` for percentages.
+    pub fn pixels(self) -> Option<f64> {
+        match self {
+            Length::Px(v) => Some(v),
+            Length::Percent(_) => None,
+        }
+    }
+}
+
+/// How an element ends up invisible to the user. Mirrors the three
+/// hidden-iframe categories of the paper's §V-A plus off-screen
+/// positioning observed in the false-positive case study (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HiddenReason {
+    /// Width and/or height small enough (≤ 2px) that the element
+    /// occupies effectively no screen space.
+    PixelDimensions,
+    /// `visibility:hidden` or `display:none` via inline style.
+    CssHidden,
+    /// `allowtransparency="true"` together with tiny/zero frame chrome.
+    Transparency,
+    /// Positioned outside the viewport (negative `top`/`left`).
+    OffScreen,
+    /// Legacy `hidden` boolean attribute.
+    HiddenAttribute,
+}
+
+/// Inspects an attribute list (plus its parsed style) and reports every
+/// reason the element would be invisible.
+pub fn hidden_reasons(attrs: &[(String, String)]) -> Vec<HiddenReason> {
+    let mut reasons = Vec::new();
+    let get = |name: &str| {
+        attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    };
+    let style = get("style").map(parse_style).unwrap_or_default();
+
+    // Dimensions: attribute or style, whichever is present.
+    let dim = |attr_name: &str| -> Option<f64> {
+        get(attr_name)
+            .and_then(Length::parse)
+            .or_else(|| style.get(attr_name).and_then(|v| Length::parse(v)))
+            .and_then(Length::pixels)
+    };
+    let w = dim("width");
+    let h = dim("height");
+    if w.is_some_and(|v| v <= 2.0) || h.is_some_and(|v| v <= 2.0) {
+        reasons.push(HiddenReason::PixelDimensions);
+    }
+
+    if style.get("display").is_some_and(|v| v.eq_ignore_ascii_case("none"))
+        || style.get("visibility").is_some_and(|v| v.eq_ignore_ascii_case("hidden"))
+        || style.get("opacity").and_then(|v| v.parse::<f64>().ok()).is_some_and(|o| o == 0.0)
+    {
+        reasons.push(HiddenReason::CssHidden);
+    }
+
+    if get("allowtransparency").is_some_and(|v| v.eq_ignore_ascii_case("true") || v.is_empty()) {
+        reasons.push(HiddenReason::Transparency);
+    }
+
+    let off = ["top", "left"].iter().any(|p| {
+        style
+            .get(*p)
+            .and_then(|v| Length::parse(v))
+            .and_then(Length::pixels)
+            .is_some_and(|px| px <= -50.0)
+    });
+    if off {
+        reasons.push(HiddenReason::OffScreen);
+    }
+
+    if get("hidden").is_some() {
+        reasons.push(HiddenReason::HiddenAttribute);
+    }
+
+    reasons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn style_parsing_normalizes() {
+        let s = parse_style("Width : 1px; height:2px;;bogus");
+        assert_eq!(s.get("width").unwrap(), "1px");
+        assert_eq!(s.get("height").unwrap(), "2px");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn length_forms_parse() {
+        assert_eq!(Length::parse("1"), Some(Length::Px(1.0)));
+        assert_eq!(Length::parse("1px"), Some(Length::Px(1.0)));
+        assert_eq!(Length::parse("-100px"), Some(Length::Px(-100.0)));
+        assert_eq!(Length::parse("50%"), Some(Length::Percent(50.0)));
+        assert_eq!(Length::parse("auto"), None);
+    }
+
+    #[test]
+    fn pixel_iframe_detected_via_attributes() {
+        let r = hidden_reasons(&attrs(&[("width", "1"), ("height", "1")]));
+        assert!(r.contains(&HiddenReason::PixelDimensions));
+    }
+
+    #[test]
+    fn pixel_iframe_detected_via_style() {
+        let r = hidden_reasons(&attrs(&[("style", "width: 1px; height: 1px;")]));
+        assert!(r.contains(&HiddenReason::PixelDimensions));
+    }
+
+    #[test]
+    fn css_hidden_forms() {
+        for style in ["display:none", "visibility:hidden", "opacity:0"] {
+            let r = hidden_reasons(&attrs(&[("style", style)]));
+            assert!(r.contains(&HiddenReason::CssHidden), "style {style} not detected");
+        }
+    }
+
+    #[test]
+    fn transparency_flag() {
+        let r = hidden_reasons(&attrs(&[("allowtransparency", "true")]));
+        assert!(r.contains(&HiddenReason::Transparency));
+    }
+
+    #[test]
+    fn offscreen_positioning() {
+        // The Google OAuth relay iframe from the paper's §V-E sits at top:-100px.
+        let r = hidden_reasons(&attrs(&[(
+            "style",
+            "width: 1px; height: 1px; position: absolute; top: -100px;",
+        )]));
+        assert!(r.contains(&HiddenReason::OffScreen));
+        assert!(r.contains(&HiddenReason::PixelDimensions));
+    }
+
+    #[test]
+    fn visible_element_has_no_reasons() {
+        let r = hidden_reasons(&attrs(&[("width", "800"), ("height", "600")]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hidden_attribute_detected() {
+        let r = hidden_reasons(&attrs(&[("hidden", "")]));
+        assert_eq!(r, vec![HiddenReason::HiddenAttribute]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Token stream to DOM tree construction.
+
+use crate::dom::{Document, Element, NodeId, NodeKind};
+use crate::tokenizer::{tokenize, Token};
+
+/// Void elements never take children; their start tag implies an
+/// immediate close.
+const VOID_ELEMENTS: [&str; 10] =
+    ["br", "hr", "img", "input", "meta", "link", "area", "base", "col", "embed"];
+
+/// Parses `html` into a [`Document`].
+///
+/// Recovery model:
+/// - unclosed elements are closed at end-of-input;
+/// - an end tag with no matching open element is dropped;
+/// - an end tag that skips open elements closes everything above the
+///   match (standard "implied end tags" behaviour).
+pub fn parse_document(html: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<(NodeId, String)> = vec![(NodeId::ROOT, String::new())];
+
+    for token in tokenize(html) {
+        let top = stack.last().expect("stack never empties").0;
+        match token {
+            Token::StartTag { name, attrs, self_closing } => {
+                let is_void = VOID_ELEMENTS.contains(&name.as_str());
+                let id = doc.append(top, NodeKind::Element(Element { name: name.clone(), attrs }));
+                if !self_closing && !is_void {
+                    stack.push((id, name));
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(pos) = stack.iter().rposition(|(_, n)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+            Token::Text(text) => {
+                doc.append(top, NodeKind::Text(text));
+            }
+            Token::Comment(body) => {
+                doc.append(top, NodeKind::Comment(body));
+            }
+            Token::Doctype(_) => {}
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeId;
+
+    fn tag_names(doc: &Document) -> Vec<String> {
+        doc.descendants(NodeId::ROOT)
+            .into_iter()
+            .filter_map(|id| doc.element(id).map(|e| e.name.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn nesting_builds_expected_tree() {
+        let doc = parse_document("<html><body><div><p>x</p></div></body></html>");
+        assert_eq!(tag_names(&doc), vec!["html", "body", "div", "p"]);
+        let p = doc.elements_by_tag("p")[0];
+        let div = doc.elements_by_tag("div")[0];
+        assert_eq!(doc.node(p).parent, Some(div));
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_document("<div><img src=a><p>t</p></div>");
+        let img = doc.elements_by_tag("img")[0];
+        assert!(doc.node(img).children.is_empty());
+        let p = doc.elements_by_tag("p")[0];
+        let div = doc.elements_by_tag("div")[0];
+        assert_eq!(doc.node(p).parent, Some(div));
+    }
+
+    #[test]
+    fn unclosed_elements_close_at_eof() {
+        let doc = parse_document("<div><span>abc");
+        assert_eq!(tag_names(&doc), vec!["div", "span"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "abc");
+    }
+
+    #[test]
+    fn stray_end_tag_is_ignored() {
+        let doc = parse_document("</div><p>x</p>");
+        assert_eq!(tag_names(&doc), vec!["p"]);
+    }
+
+    #[test]
+    fn mismatched_end_tag_closes_through() {
+        // </div> should close the still-open <span> too.
+        let doc = parse_document("<div><span>a</div><p>b</p>");
+        let p = doc.elements_by_tag("p")[0];
+        assert_eq!(doc.node(p).parent, Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn comments_are_preserved() {
+        let doc = parse_document("<div><!-- note --></div>");
+        let div = doc.elements_by_tag("div")[0];
+        let child = doc.node(div).children[0];
+        assert!(matches!(&doc.node(child).kind, NodeKind::Comment(c) if c == " note "));
+    }
+
+    #[test]
+    fn doctype_is_dropped() {
+        let doc = parse_document("<!DOCTYPE html><html></html>");
+        assert_eq!(tag_names(&doc), vec!["html"]);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        let mut html = String::new();
+        for _ in 0..5_000 {
+            html.push_str("<div>");
+        }
+        let doc = parse_document(&html);
+        assert_eq!(doc.elements_by_tag("div").len(), 5_000);
+    }
+}

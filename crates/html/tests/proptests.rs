@@ -1,0 +1,81 @@
+//! Property tests: the HTML layer must be total over arbitrary input —
+//! crawled pages are hostile by assumption.
+
+use proptest::prelude::*;
+use slum_html::escape::{decode_entities, encode_text};
+use slum_html::{tokenize, Document, NodeId};
+
+proptest! {
+    /// The tokenizer never panics and never loses input silently on
+    /// arbitrary unicode strings.
+    #[test]
+    fn tokenizer_is_total(input in ".{0,400}") {
+        let _ = tokenize(&input);
+    }
+
+    /// The parser never panics; the resulting tree is well-formed
+    /// (every child's parent link points back at it).
+    #[test]
+    fn parser_builds_wellformed_trees(input in ".{0,400}") {
+        let doc = Document::parse(&input);
+        for id in doc.iter_ids() {
+            for &child in &doc.node(id).children {
+                prop_assert_eq!(doc.node(child).parent, Some(id));
+            }
+        }
+    }
+
+    /// Entity encode→decode is the identity for any string.
+    #[test]
+    fn entity_round_trip(input in ".{0,200}") {
+        prop_assert_eq!(decode_entities(&encode_text(&input)), input);
+    }
+
+    /// Serializing a parsed document and re-parsing preserves text
+    /// content and element counts (idempotent normal form).
+    #[test]
+    fn reparse_is_stable(input in "[a-zA-Z0-9 <>/=\"']{0,300}") {
+        let doc = Document::parse(&input);
+        let html = doc.to_html();
+        let re = Document::parse(&html);
+        prop_assert_eq!(doc.text_content(NodeId::ROOT), re.text_content(NodeId::ROOT));
+        prop_assert_eq!(doc.iframes().len(), re.iframes().len());
+        prop_assert_eq!(doc.scripts().len(), re.scripts().len());
+        // Second round trip is exactly stable.
+        prop_assert_eq!(re.to_html(), Document::parse(&re.to_html()).to_html());
+    }
+
+    /// Structured documents round-trip their attribute values.
+    #[test]
+    fn attribute_values_survive(value in "[^\"<>&]{0,60}") {
+        let html = format!("<iframe src=\"{value}\"></iframe>");
+        let doc = Document::parse(&html);
+        let iframe = doc.iframes()[0];
+        prop_assert_eq!(doc.element(iframe).unwrap().attr("src"), Some(value.as_str()));
+    }
+
+    /// descendants() visits every node exactly once.
+    #[test]
+    fn traversal_is_a_permutation(input in ".{0,300}") {
+        let doc = Document::parse(&input);
+        let mut ids = doc.descendants(NodeId::ROOT);
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), doc.len());
+    }
+
+    /// Hidden-reason analysis never panics on arbitrary attribute soups.
+    #[test]
+    fn hidden_reasons_total(
+        w in "[0-9a-z%.-]{0,8}",
+        h in "[0-9a-z%.-]{0,8}",
+        style in "[a-z0-9:;% -]{0,60}",
+    ) {
+        let attrs = vec![
+            ("width".to_string(), w),
+            ("height".to_string(), h),
+            ("style".to_string(), style),
+        ];
+        let _ = slum_html::attr::hidden_reasons(&attrs);
+    }
+}

@@ -1,0 +1,166 @@
+//! Abstract syntax tree for the JavaScript subset.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — numeric addition or string concatenation.
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==` (loose)
+    Eq,
+    /// `!=` (loose)
+    Ne,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNe,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x` (numeric coercion)
+    Pos,
+    /// `!x`
+    Not,
+    /// `typeof x`
+    TypeOf,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// Identifier reference.
+    Ident(String),
+    /// Property access `obj.name`.
+    Member(Box<Expr>, String),
+    /// Computed access `obj[expr]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `new Ctor(args)`.
+    New(Box<Expr>, Vec<Expr>),
+    /// Simple assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    AssignOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Conditional `c ? t : f`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function expression.
+    Function {
+        /// Optional function name (named function expressions).
+        name: Option<String>,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal (key → value, source order).
+    Object(Vec<(String, Expr)>),
+    /// Postfix `x++`.
+    PostIncr(Box<Expr>),
+    /// Postfix `x--`.
+    PostDecr(Box<Expr>),
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// `var` declaration list.
+    Var(Vec<(String, Option<Expr>)>),
+    /// `if`/`else`.
+    If(Expr, Vec<Stmt>, Option<Vec<Stmt>>),
+    /// `while` loop.
+    While(Expr, Vec<Stmt>),
+    /// C-style `for` loop.
+    For {
+        /// Initializer (a `var` or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Loop condition; `None` means `true`.
+        cond: Option<Expr>,
+        /// Per-iteration update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// Function declaration.
+    Function {
+        /// Declared name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Braced block.
+    Block(Vec<Stmt>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `try { .. } catch (e) { .. }` — finally is not modelled.
+    TryCatch(Vec<Stmt>, String, Vec<Stmt>),
+    /// `do { .. } while (cond)` — body runs at least once.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `for (var k in obj) { .. }` — iterates own property keys.
+    ForIn {
+        /// Loop variable name.
+        var: String,
+        /// Object whose keys are enumerated.
+        object: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `switch (disc) { case .. default .. }` with standard fall-through.
+    Switch {
+        /// Discriminant expression.
+        disc: Expr,
+        /// `(test, body)` arms in source order.
+        cases: Vec<(Expr, Vec<Stmt>)>,
+        /// `default:` arm body, if present.
+        default: Option<Vec<Stmt>>,
+    },
+    /// Bare `;`.
+    Empty,
+}

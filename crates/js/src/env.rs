@@ -1,0 +1,114 @@
+//! Lexical scope chain.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::value::Value;
+
+/// Shared handle to a scope.
+pub type EnvRef = Rc<RefCell<Env>>;
+
+/// A single scope frame: bindings plus an optional parent.
+#[derive(Debug, Default)]
+pub struct Env {
+    bindings: HashMap<String, Value>,
+    parent: Option<EnvRef>,
+}
+
+impl Env {
+    /// Creates the global scope.
+    pub fn global() -> EnvRef {
+        Rc::new(RefCell::new(Env::default()))
+    }
+
+    /// Creates a child scope of `parent`.
+    pub fn child(parent: &EnvRef) -> EnvRef {
+        Rc::new(RefCell::new(Env { bindings: HashMap::new(), parent: Some(parent.clone()) }))
+    }
+
+    /// Declares (or re-declares) a binding in *this* scope.
+    pub fn declare(&mut self, name: impl Into<String>, value: Value) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Looks a name up through the scope chain.
+    pub fn lookup(env: &EnvRef, name: &str) -> Option<Value> {
+        let e = env.borrow();
+        if let Some(v) = e.bindings.get(name) {
+            return Some(v.clone());
+        }
+        e.parent.as_ref().and_then(|p| Env::lookup(p, name))
+    }
+
+    /// Assigns to an existing binding, walking the chain. When no binding
+    /// exists anywhere, the assignment creates a **global** (sloppy-mode
+    /// JavaScript semantics, which the malware in the corpus relies on).
+    pub fn assign(env: &EnvRef, name: &str, value: Value) {
+        if Env::try_assign(env, name, &value) {
+            return;
+        }
+        // Create on the global scope.
+        let mut cur = env.clone();
+        loop {
+            let parent = cur.borrow().parent.clone();
+            match parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        cur.borrow_mut().bindings.insert(name.to_string(), value);
+    }
+
+    fn try_assign(env: &EnvRef, name: &str, value: &Value) -> bool {
+        let mut e = env.borrow_mut();
+        if e.bindings.contains_key(name) {
+            e.bindings.insert(name.to_string(), value.clone());
+            return true;
+        }
+        let parent = e.parent.clone();
+        drop(e);
+        parent.map(|p| Env::try_assign(&p, name, value)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_walks_chain() {
+        let g = Env::global();
+        g.borrow_mut().declare("x", Value::Num(1.0));
+        let c = Env::child(&g);
+        assert!(matches!(Env::lookup(&c, "x"), Some(Value::Num(n)) if n == 1.0));
+        assert!(Env::lookup(&c, "y").is_none());
+    }
+
+    #[test]
+    fn shadowing_in_child() {
+        let g = Env::global();
+        g.borrow_mut().declare("x", Value::Num(1.0));
+        let c = Env::child(&g);
+        c.borrow_mut().declare("x", Value::Num(2.0));
+        assert!(matches!(Env::lookup(&c, "x"), Some(Value::Num(n)) if n == 2.0));
+        assert!(matches!(Env::lookup(&g, "x"), Some(Value::Num(n)) if n == 1.0));
+    }
+
+    #[test]
+    fn assign_updates_outer_binding() {
+        let g = Env::global();
+        g.borrow_mut().declare("x", Value::Num(1.0));
+        let c = Env::child(&g);
+        Env::assign(&c, "x", Value::Num(5.0));
+        assert!(matches!(Env::lookup(&g, "x"), Some(Value::Num(n)) if n == 5.0));
+    }
+
+    #[test]
+    fn assign_without_declaration_creates_global() {
+        let g = Env::global();
+        let c = Env::child(&g);
+        Env::assign(&c, "implicit", Value::Bool(true));
+        assert!(matches!(Env::lookup(&g, "implicit"), Some(Value::Bool(true))));
+    }
+}

@@ -1,0 +1,1194 @@
+//! Tree-walking interpreter with a hard step budget.
+//!
+//! The interpreter is hostile-input safe: every statement/expression
+//! evaluation ticks a budget counter, recursion depth is capped, and all
+//! failure modes surface as [`JsError`] rather than panics.
+
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::env::{Env, EnvRef};
+use crate::value::{format_number, FnDef, ObjectData, Value};
+use crate::JsError;
+
+/// Host interface the interpreter calls out to for every native function.
+///
+/// The sandbox implements this to wire up `document`, `window`, `eval`
+/// and friends; tests can implement it directly for fine-grained control.
+pub trait Host {
+    /// Invokes the native function `name` with `this_val` and `args`.
+    /// `env` is the caller's scope chain, which `eval`-style natives run
+    /// dynamically generated code inside (so unpacked definitions persist
+    /// into the calling script).
+    fn call_native(
+        &mut self,
+        interp: &mut Interp,
+        env: &EnvRef,
+        name: &str,
+        this_val: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, JsError>;
+
+    /// Notification hook fired after every property write on an object,
+    /// with the object's class tag. Lets a browser host observe
+    /// `location.href = ...` navigations and `document.cookie` writes
+    /// that plain property semantics would otherwise swallow.
+    fn on_property_set(&mut self, _class: &str, _name: &str, _value: &Value) {}
+}
+
+/// Control-flow signal from statement execution.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// Interpreter state: budget and call depth. The environment is threaded
+/// through explicitly so closures capture the right scope.
+pub struct Interp {
+    steps_remaining: u64,
+    call_depth: u32,
+    max_call_depth: u32,
+    /// Total steps consumed so far (for reporting).
+    pub steps_used: u64,
+}
+
+/// Default per-script step budget. Large enough for the deobfuscation
+/// loops in the corpus, small enough to bound hostile scripts.
+pub const DEFAULT_BUDGET: u64 = 400_000;
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new(DEFAULT_BUDGET)
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the given step budget.
+    pub fn new(budget: u64) -> Self {
+        Interp { steps_remaining: budget, call_depth: 0, max_call_depth: 64, steps_used: 0 }
+    }
+
+    fn tick(&mut self) -> Result<(), JsError> {
+        if self.steps_remaining == 0 {
+            return Err(JsError::BudgetExhausted);
+        }
+        self.steps_remaining -= 1;
+        self.steps_used += 1;
+        Ok(())
+    }
+
+    /// Executes a statement list in `env`.
+    pub fn run(&mut self, stmts: &[Stmt], env: &EnvRef, host: &mut dyn Host) -> Result<(), JsError> {
+        // Hoist function declarations first (the corpus relies on calling
+        // functions declared later in the same script).
+        self.hoist(stmts, env);
+        for stmt in stmts {
+            match self.exec(stmt, env, host)? {
+                Flow::Normal => {}
+                Flow::Return(_) | Flow::Break | Flow::Continue => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn hoist(&mut self, stmts: &[Stmt], env: &EnvRef) {
+        for stmt in stmts {
+            if let Stmt::Function { name, params, body } = stmt {
+                let def = FnDef {
+                    name: Some(name.clone()),
+                    params: params.clone(),
+                    body: body.clone(),
+                    env: env.clone(),
+                };
+                env.borrow_mut().declare(name.clone(), Value::Function(Rc::new(def)));
+            }
+        }
+    }
+
+    fn exec(&mut self, stmt: &Stmt, env: &EnvRef, host: &mut dyn Host) -> Result<Flow, JsError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Empty | Stmt::Function { .. } => Ok(Flow::Normal),
+            Stmt::Expr(e) => {
+                self.eval(e, env, host)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Var(decls) => {
+                for (name, init) in decls {
+                    let v = match init {
+                        Some(e) => self.eval(e, env, host)?,
+                        None => Value::Undefined,
+                    };
+                    env.borrow_mut().declare(name.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                if self.eval(cond, env, host)?.truthy() {
+                    self.exec_block(then, env, host)
+                } else if let Some(e) = els {
+                    self.exec_block(e, env, host)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, env, host)?.truthy() {
+                    match self.exec_block(body, env, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, update, body } => {
+                let scope = Env::child(env);
+                if let Some(i) = init {
+                    self.exec(i, &scope, host)?;
+                }
+                loop {
+                    let go = match cond {
+                        Some(c) => self.eval(c, &scope, host)?.truthy(),
+                        None => true,
+                    };
+                    if !go {
+                        break;
+                    }
+                    match self.exec_block(body, &scope, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(u) = update {
+                        self.eval(u, &scope, host)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env, host)?,
+                    None => Value::Undefined,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Block(body) => self.exec_block(body, env, host),
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::DoWhile(body, cond) => {
+                loop {
+                    match self.exec_block(body, env, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if !self.eval(cond, env, host)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForIn { var, object, body } => {
+                let target = self.eval(object, env, host)?;
+                // Own enumerable keys, skipping array bookkeeping.
+                let keys: Vec<String> = match &target {
+                    Value::Object(o) => o
+                        .borrow()
+                        .props
+                        .keys()
+                        .filter(|k| k.as_str() != "length" && !k.starts_with("__"))
+                        .cloned()
+                        .collect(),
+                    Value::Str(s) => (0..s.chars().count()).map(|i| i.to_string()).collect(),
+                    _ => Vec::new(),
+                };
+                let scope = Env::child(env);
+                for key in keys {
+                    scope.borrow_mut().declare(var.clone(), Value::Str(key));
+                    match self.exec_block(body, &scope, host)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch { disc, cases, default } => {
+                let value = self.eval(disc, env, host)?;
+                // Find the first strict-equal arm; fall through until a
+                // break (or the end).
+                let mut start: Option<usize> = None;
+                for (i, (test, _)) in cases.iter().enumerate() {
+                    let t = self.eval(test, env, host)?;
+                    if value.strict_eq(&t) {
+                        start = Some(i);
+                        break;
+                    }
+                }
+                let scope = Env::child(env);
+                let run_from = |interp: &mut Self,
+                                host: &mut dyn Host,
+                                idx: usize|
+                 -> Result<Flow, JsError> {
+                    for (_, body) in cases.iter().skip(idx) {
+                        for stmt in body {
+                            match interp.exec(stmt, &scope, host)? {
+                                Flow::Break => return Ok(Flow::Normal),
+                                Flow::Return(v) => return Ok(Flow::Return(v)),
+                                Flow::Normal | Flow::Continue => {}
+                            }
+                        }
+                    }
+                    if let Some(body) = default {
+                        for stmt in body {
+                            match interp.exec(stmt, &scope, host)? {
+                                Flow::Break => return Ok(Flow::Normal),
+                                Flow::Return(v) => return Ok(Flow::Return(v)),
+                                Flow::Normal | Flow::Continue => {}
+                            }
+                        }
+                    }
+                    Ok(Flow::Normal)
+                };
+                match start {
+                    Some(idx) => run_from(self, host, idx),
+                    None => run_from(self, host, cases.len()),
+                }
+            }
+            Stmt::TryCatch(body, param, handler) => {
+                let scope = Env::child(env);
+                match self.exec_block(body, &scope, host) {
+                    Ok(flow) => Ok(flow),
+                    Err(JsError::BudgetExhausted) => Err(JsError::BudgetExhausted),
+                    Err(err) => {
+                        let scope = Env::child(env);
+                        scope
+                            .borrow_mut()
+                            .declare(param.clone(), Value::Str(err.to_string()));
+                        self.exec_block(handler, &scope, host)
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        body: &[Stmt],
+        env: &EnvRef,
+        host: &mut dyn Host,
+    ) -> Result<Flow, JsError> {
+        let scope = Env::child(env);
+        self.hoist(body, &scope);
+        for stmt in body {
+            match self.exec(stmt, &scope, host)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Evaluates an expression in `env`.
+    pub fn eval(&mut self, expr: &Expr, env: &EnvRef, host: &mut dyn Host) -> Result<Value, JsError> {
+        self.tick()?;
+        match expr {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Undefined => Ok(Value::Undefined),
+            Expr::Ident(name) => Env::lookup(env, name)
+                .ok_or_else(|| JsError::Runtime(format!("{name} is not defined"))),
+            Expr::Member(obj, name) => {
+                let base = self.eval(obj, env, host)?;
+                self.get_member(&base, name)
+            }
+            Expr::Index(obj, idx) => {
+                let base = self.eval(obj, env, host)?;
+                let key = self.eval(idx, env, host)?.to_js_string();
+                self.get_member(&base, &key)
+            }
+            Expr::Call(callee, args) => self.eval_call(callee, args, env, host),
+            Expr::New(ctor, args) => {
+                // Model `new` as: fresh object passed as `this`; host
+                // constructors are dispatched by name.
+                let func = self.eval(ctor, env, host)?;
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval(a, env, host)?);
+                }
+                match func {
+                    Value::Function(def) => {
+                        let this = Value::Object(ObjectData::object());
+                        self.call_function(&def, this.clone(), arg_vals, host)?;
+                        Ok(this)
+                    }
+                    Value::Native(name) => host.call_native(self, env, name, Value::Undefined, arg_vals),
+                    other => Err(JsError::Runtime(format!("{other:?} is not a constructor"))),
+                }
+            }
+            Expr::Assign(lhs, rhs) => {
+                let value = self.eval(rhs, env, host)?;
+                self.assign_to(lhs, value.clone(), env, host)?;
+                Ok(value)
+            }
+            Expr::AssignOp(op, lhs, rhs) => {
+                let old = self.eval(lhs, env, host)?;
+                let rhs_v = self.eval(rhs, env, host)?;
+                let value = self.binop(*op, old, rhs_v)?;
+                self.assign_to(lhs, value.clone(), env, host)?;
+                Ok(value)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Short-circuit forms first.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(lhs, env, host)?;
+                        if !l.truthy() {
+                            return Ok(l);
+                        }
+                        return self.eval(rhs, env, host);
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(lhs, env, host)?;
+                        if l.truthy() {
+                            return Ok(l);
+                        }
+                        return self.eval(rhs, env, host);
+                    }
+                    _ => {}
+                }
+                let l = self.eval(lhs, env, host)?;
+                let r = self.eval(rhs, env, host)?;
+                self.binop(*op, l, r)
+            }
+            Expr::Unary(op, operand) => {
+                let v = self.eval(operand, env, host);
+                match op {
+                    // `typeof missing` must not throw.
+                    UnOp::TypeOf => Ok(Value::Str(
+                        v.map(|v| v.type_of().to_string()).unwrap_or_else(|_| "undefined".into()),
+                    )),
+                    UnOp::Not => Ok(Value::Bool(!v?.truthy())),
+                    UnOp::Neg => Ok(Value::Num(-v?.to_number())),
+                    UnOp::Pos => Ok(Value::Num(v?.to_number())),
+                }
+            }
+            Expr::Ternary(c, t, f) => {
+                if self.eval(c, env, host)?.truthy() {
+                    self.eval(t, env, host)
+                } else {
+                    self.eval(f, env, host)
+                }
+            }
+            Expr::Function { name, params, body } => {
+                let def = FnDef {
+                    name: name.clone(),
+                    params: params.clone(),
+                    body: body.clone(),
+                    env: env.clone(),
+                };
+                Ok(Value::Function(Rc::new(def)))
+            }
+            Expr::Array(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for item in items {
+                    vals.push(self.eval(item, env, host)?);
+                }
+                Ok(Value::Object(ObjectData::array(vals)))
+            }
+            Expr::Object(props) => {
+                let obj = ObjectData::object();
+                for (k, v) in props {
+                    let value = self.eval(v, env, host)?;
+                    obj.borrow_mut().props.insert(k.clone(), value);
+                }
+                Ok(Value::Object(obj))
+            }
+            Expr::PostIncr(target) => {
+                let old = self.eval(target, env, host)?.to_number();
+                self.assign_to(target, Value::Num(old + 1.0), env, host)?;
+                Ok(Value::Num(old))
+            }
+            Expr::PostDecr(target) => {
+                let old = self.eval(target, env, host)?.to_number();
+                self.assign_to(target, Value::Num(old - 1.0), env, host)?;
+                Ok(Value::Num(old))
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        env: &EnvRef,
+        host: &mut dyn Host,
+    ) -> Result<Value, JsError> {
+        let mut arg_vals = Vec::with_capacity(args.len());
+        // `this` binding: for `obj.m(...)` it is `obj`.
+        let (func, this_val) = match callee {
+            Expr::Member(obj, name) => {
+                let base = self.eval(obj, env, host)?;
+                let f = self.get_member(&base, name)?;
+                (f, base)
+            }
+            Expr::Index(obj, idx) => {
+                let base = self.eval(obj, env, host)?;
+                let key = self.eval(idx, env, host)?.to_js_string();
+                let f = self.get_member(&base, &key)?;
+                (f, base)
+            }
+            other => (self.eval(other, env, host)?, Value::Undefined),
+        };
+        for a in args {
+            arg_vals.push(self.eval(a, env, host)?);
+        }
+        match func {
+            Value::Function(def) => self.call_function(&def, this_val, arg_vals, host),
+            Value::Native(name) => host.call_native(self, env, name, this_val, arg_vals),
+            other => Err(JsError::Runtime(format!("{other:?} is not a function"))),
+        }
+    }
+
+    /// Calls a user-defined function value.
+    pub fn call_function(
+        &mut self,
+        def: &FnDef,
+        this_val: Value,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, JsError> {
+        if self.call_depth >= self.max_call_depth {
+            return Err(JsError::Runtime("maximum call depth exceeded".into()));
+        }
+        self.call_depth += 1;
+        let scope = Env::child(&def.env);
+        {
+            let mut s = scope.borrow_mut();
+            for (i, p) in def.params.iter().enumerate() {
+                s.declare(p.clone(), args.get(i).cloned().unwrap_or(Value::Undefined));
+            }
+            s.declare("this", this_val);
+            s.declare("arguments", Value::Object(ObjectData::array(args)));
+        }
+        self.hoist(&def.body, &scope);
+        let mut result = Value::Undefined;
+        for stmt in &def.body {
+            match self.exec(stmt, &scope, host) {
+                Ok(Flow::Return(v)) => {
+                    result = v;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.call_depth -= 1;
+                    return Err(e);
+                }
+            }
+        }
+        self.call_depth -= 1;
+        Ok(result)
+    }
+
+    fn assign_to(
+        &mut self,
+        target: &Expr,
+        value: Value,
+        env: &EnvRef,
+        host: &mut dyn Host,
+    ) -> Result<(), JsError> {
+        match target {
+            Expr::Ident(name) => {
+                Env::assign(env, name, value);
+                Ok(())
+            }
+            Expr::Member(obj, name) => {
+                let base = self.eval(obj, env, host)?;
+                self.set_member(&base, name, value, host)
+            }
+            Expr::Index(obj, idx) => {
+                let base = self.eval(obj, env, host)?;
+                let key = self.eval(idx, env, host)?.to_js_string();
+                self.set_member(&base, &key, value, host)
+            }
+            other => Err(JsError::Runtime(format!("invalid assignment target {other:?}"))),
+        }
+    }
+
+    /// Property read with string/array method support.
+    pub fn get_member(&mut self, base: &Value, name: &str) -> Result<Value, JsError> {
+        match base {
+            Value::Str(s) => match name {
+                "length" => Ok(Value::Num(s.chars().count() as f64)),
+                // String methods are dispatched as natives bound to the
+                // receiver at call time; here we return the marker.
+                "charCodeAt" | "charAt" | "substring" | "substr" | "indexOf" | "lastIndexOf"
+                | "replace" | "split" | "toLowerCase" | "toUpperCase" | "slice" | "concat"
+                | "trim" => Ok(Value::Native(str_method_marker(name))),
+                _ => {
+                    // Numeric index.
+                    if let Ok(i) = name.parse::<usize>() {
+                        return Ok(s
+                            .chars()
+                            .nth(i)
+                            .map(|c| Value::Str(c.to_string()))
+                            .unwrap_or(Value::Undefined));
+                    }
+                    Ok(Value::Undefined)
+                }
+            },
+            Value::Object(o) => {
+                let data = o.borrow();
+                if let Some(v) = data.props.get(name) {
+                    return Ok(v.clone());
+                }
+                if data.class == "Array" {
+                    match name {
+                        "push" | "pop" | "join" | "reverse" | "shift" => {
+                            return Ok(Value::Native(array_method_marker(name)))
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(Value::Undefined)
+            }
+            Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
+                "cannot read property {name:?} of {}",
+                base.type_of()
+            ))),
+            _ => Ok(Value::Undefined),
+        }
+    }
+
+    fn set_member(
+        &mut self,
+        base: &Value,
+        name: &str,
+        value: Value,
+        host: &mut dyn Host,
+    ) -> Result<(), JsError> {
+        match base {
+            Value::Object(o) => {
+                let class = o.borrow().class.clone();
+                host.on_property_set(&class, name, &value);
+                let mut data = o.borrow_mut();
+                // Keep array length in sync when appending by index.
+                if data.class == "Array" {
+                    if let Ok(idx) = name.parse::<usize>() {
+                        let cur_len = data
+                            .props
+                            .get("length")
+                            .and_then(Value::as_number)
+                            .unwrap_or(0.0) as usize;
+                        if idx >= cur_len {
+                            data.props.insert("length".into(), Value::Num((idx + 1) as f64));
+                        }
+                    }
+                }
+                data.props.insert(name.to_string(), value);
+                Ok(())
+            }
+            Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
+                "cannot set property {name:?} of {}",
+                base.type_of()
+            ))),
+            // Writes to primitives are silently dropped (JS semantics).
+            _ => Ok(()),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, JsError> {
+        use BinOp::*;
+        Ok(match op {
+            Add => match (&l, &r) {
+                (Value::Str(_), _) | (_, Value::Str(_)) | (Value::Object(_), _) | (_, Value::Object(_)) => {
+                    Value::Str(format!("{}{}", l.to_js_string(), r.to_js_string()))
+                }
+                _ => Value::Num(l.to_number() + r.to_number()),
+            },
+            Sub => Value::Num(l.to_number() - r.to_number()),
+            Mul => Value::Num(l.to_number() * r.to_number()),
+            Div => Value::Num(l.to_number() / r.to_number()),
+            Mod => Value::Num(l.to_number() % r.to_number()),
+            Eq => Value::Bool(l.loose_eq(&r)),
+            Ne => Value::Bool(!l.loose_eq(&r)),
+            StrictEq => Value::Bool(l.strict_eq(&r)),
+            StrictNe => Value::Bool(!l.strict_eq(&r)),
+            Lt | Gt | Le | Ge => {
+                let res = match (&l, &r) {
+                    (Value::Str(a), Value::Str(b)) => match op {
+                        Lt => a < b,
+                        Gt => a > b,
+                        Le => a <= b,
+                        _ => a >= b,
+                    },
+                    _ => {
+                        let (a, b) = (l.to_number(), r.to_number());
+                        match op {
+                            Lt => a < b,
+                            Gt => a > b,
+                            Le => a <= b,
+                            _ => a >= b,
+                        }
+                    }
+                };
+                Value::Bool(res)
+            }
+            And | Or => unreachable!("short-circuit ops handled in eval"),
+        })
+    }
+}
+
+/// Maps a string method name to its native dispatch marker.
+fn str_method_marker(name: &str) -> &'static str {
+    match name {
+        "charCodeAt" => "String.prototype.charCodeAt",
+        "charAt" => "String.prototype.charAt",
+        "substring" => "String.prototype.substring",
+        "substr" => "String.prototype.substr",
+        "indexOf" => "String.prototype.indexOf",
+        "lastIndexOf" => "String.prototype.lastIndexOf",
+        "replace" => "String.prototype.replace",
+        "split" => "String.prototype.split",
+        "toLowerCase" => "String.prototype.toLowerCase",
+        "toUpperCase" => "String.prototype.toUpperCase",
+        "slice" => "String.prototype.slice",
+        "concat" => "String.prototype.concat",
+        "trim" => "String.prototype.trim",
+        _ => unreachable!("unknown string method {name}"),
+    }
+}
+
+/// Maps an array method name to its native dispatch marker.
+fn array_method_marker(name: &str) -> &'static str {
+    match name {
+        "push" => "Array.prototype.push",
+        "pop" => "Array.prototype.pop",
+        "join" => "Array.prototype.join",
+        "reverse" => "Array.prototype.reverse",
+        "shift" => "Array.prototype.shift",
+        _ => unreachable!("unknown array method {name}"),
+    }
+}
+
+/// Dispatches the built-in string/array prototype methods. Shared by the
+/// sandbox so every host gets consistent behaviour.
+///
+/// Returns `None` when `name` is not a prototype method, letting the host
+/// try its own natives.
+pub fn call_prototype_method(
+    name: &str,
+    this_val: &Value,
+    args: &[Value],
+) -> Option<Result<Value, JsError>> {
+    if let Some(method) = name.strip_prefix("String.prototype.") {
+        let s = this_val.to_js_string();
+        let chars: Vec<char> = s.chars().collect();
+        let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::Undefined);
+        let result = match method {
+            "charCodeAt" => {
+                let i = arg(0).to_number();
+                if i.is_nan() || i < 0.0 || i as usize >= chars.len() {
+                    Value::Num(f64::NAN)
+                } else {
+                    Value::Num(chars[i as usize] as u32 as f64)
+                }
+            }
+            "charAt" => {
+                let i = arg(0).to_number().max(0.0) as usize;
+                chars.get(i).map(|c| Value::Str(c.to_string())).unwrap_or(Value::Str(String::new()))
+            }
+            "substring" | "slice" => {
+                let len = chars.len() as f64;
+                let norm = |v: f64| -> usize {
+                    let v = if v < 0.0 && method == "slice" { len + v } else { v };
+                    v.clamp(0.0, len) as usize
+                };
+                let a = norm(arg(0).to_number());
+                let b = if matches!(arg(1), Value::Undefined) { chars.len() } else { norm(arg(1).to_number()) };
+                let (a, b) = if method == "substring" && a > b { (b, a) } else { (a, b) };
+                Value::Str(chars[a.min(chars.len())..b.min(chars.len()).max(a.min(chars.len()))].iter().collect())
+            }
+            "substr" => {
+                let start = arg(0).to_number().max(0.0) as usize;
+                let count = if matches!(arg(1), Value::Undefined) {
+                    chars.len().saturating_sub(start)
+                } else {
+                    arg(1).to_number().max(0.0) as usize
+                };
+                let start = start.min(chars.len());
+                let end = (start + count).min(chars.len());
+                Value::Str(chars[start..end].iter().collect())
+            }
+            "indexOf" => {
+                let needle = arg(0).to_js_string();
+                Value::Num(s.find(&needle).map(|b| s[..b].chars().count() as f64).unwrap_or(-1.0))
+            }
+            "lastIndexOf" => {
+                let needle = arg(0).to_js_string();
+                Value::Num(s.rfind(&needle).map(|b| s[..b].chars().count() as f64).unwrap_or(-1.0))
+            }
+            "replace" => {
+                // String-pattern replace (first occurrence), which is all
+                // the corpus uses.
+                let pat = arg(0).to_js_string();
+                let rep = arg(1).to_js_string();
+                Value::Str(s.replacen(&pat, &rep, 1))
+            }
+            "split" => {
+                let sep = arg(0);
+                let parts: Vec<Value> = match sep {
+                    Value::Undefined => vec![Value::Str(s.clone())],
+                    other => {
+                        let sep = other.to_js_string();
+                        if sep.is_empty() {
+                            chars.iter().map(|c| Value::Str(c.to_string())).collect()
+                        } else {
+                            s.split(&sep).map(|p| Value::Str(p.to_string())).collect()
+                        }
+                    }
+                };
+                Value::Object(ObjectData::array(parts))
+            }
+            "toLowerCase" => Value::Str(s.to_lowercase()),
+            "toUpperCase" => Value::Str(s.to_uppercase()),
+            "concat" => {
+                let mut out = s.clone();
+                for a in args {
+                    out.push_str(&a.to_js_string());
+                }
+                Value::Str(out)
+            }
+            "trim" => Value::Str(s.trim().to_string()),
+            _ => return Some(Err(JsError::Runtime(format!("unknown string method {method}")))),
+        };
+        return Some(Ok(result));
+    }
+    if let Some(method) = name.strip_prefix("Array.prototype.") {
+        let Value::Object(o) = this_val else {
+            return Some(Err(JsError::Runtime("array method on non-array".into())));
+        };
+        let result = match method {
+            "push" => {
+                let mut data = o.borrow_mut();
+                let mut len =
+                    data.props.get("length").and_then(Value::as_number).unwrap_or(0.0) as usize;
+                for a in args {
+                    data.props.insert(len.to_string(), a.clone());
+                    len += 1;
+                }
+                data.props.insert("length".into(), Value::Num(len as f64));
+                Value::Num(len as f64)
+            }
+            "pop" => {
+                let mut data = o.borrow_mut();
+                let len =
+                    data.props.get("length").and_then(Value::as_number).unwrap_or(0.0) as usize;
+                if len == 0 {
+                    Value::Undefined
+                } else {
+                    let v = data.props.remove(&(len - 1).to_string()).unwrap_or(Value::Undefined);
+                    data.props.insert("length".into(), Value::Num((len - 1) as f64));
+                    v
+                }
+            }
+            "shift" => {
+                let mut data = o.borrow_mut();
+                let len =
+                    data.props.get("length").and_then(Value::as_number).unwrap_or(0.0) as usize;
+                if len == 0 {
+                    Value::Undefined
+                } else {
+                    let first = data.props.remove("0").unwrap_or(Value::Undefined);
+                    for i in 1..len {
+                        if let Some(v) = data.props.remove(&i.to_string()) {
+                            data.props.insert((i - 1).to_string(), v);
+                        }
+                    }
+                    data.props.insert("length".into(), Value::Num((len - 1) as f64));
+                    first
+                }
+            }
+            "join" => {
+                let data = o.borrow();
+                let sep = args
+                    .first()
+                    .map(|v| v.to_js_string())
+                    .unwrap_or_else(|| ",".to_string());
+                let len =
+                    data.props.get("length").and_then(Value::as_number).unwrap_or(0.0) as usize;
+                let joined: Vec<String> = (0..len)
+                    .map(|i| {
+                        data.props.get(&i.to_string()).map(Value::to_js_string).unwrap_or_default()
+                    })
+                    .collect();
+                Value::Str(joined.join(&sep))
+            }
+            "reverse" => {
+                let mut data = o.borrow_mut();
+                let len =
+                    data.props.get("length").and_then(Value::as_number).unwrap_or(0.0) as usize;
+                let items: Vec<Value> = (0..len)
+                    .map(|i| data.props.remove(&i.to_string()).unwrap_or(Value::Undefined))
+                    .collect();
+                for (i, v) in items.into_iter().rev().enumerate() {
+                    data.props.insert(i.to_string(), v);
+                }
+                Value::Object(o.clone())
+            }
+            _ => return Some(Err(JsError::Runtime(format!("unknown array method {method}")))),
+        };
+        return Some(Ok(result));
+    }
+    // `Number(x)`-style coercions also route through here for sharing.
+    match name {
+        "parseInt" => {
+            let s = args.first().map(|v| v.to_js_string()).unwrap_or_default();
+            let radix = args.get(1).map(|v| v.to_number() as u32).filter(|r| *r >= 2 && *r <= 36);
+            let t = s.trim();
+            let (neg, t) = match t.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, t.strip_prefix('+').unwrap_or(t)),
+            };
+            let (radix, t) = match radix {
+                Some(16) | None if t.starts_with("0x") || t.starts_with("0X") => (16, &t[2..]),
+                Some(r) => (r, t),
+                None => (10, t),
+            };
+            let digits: String =
+                t.chars().take_while(|c| c.is_digit(radix)).collect();
+            let v = i64::from_str_radix(&digits, radix)
+                .map(|v| if neg { -v } else { v } as f64)
+                .unwrap_or(f64::NAN);
+            Some(Ok(Value::Num(v)))
+        }
+        "parseFloat" => {
+            let s = args.first().map(|v| v.to_js_string()).unwrap_or_default();
+            let t = s.trim();
+            let end = t
+                .char_indices()
+                .take_while(|(i, c)| {
+                    c.is_ascii_digit() || *c == '.' || (*i == 0 && (*c == '-' || *c == '+'))
+                })
+                .map(|(i, c)| i + c.len_utf8())
+                .last()
+                .unwrap_or(0);
+            Some(Ok(Value::Num(t[..end].parse::<f64>().unwrap_or(f64::NAN))))
+        }
+        "isNaN" => Some(Ok(Value::Bool(
+            args.first().map(|v| v.to_number().is_nan()).unwrap_or(true),
+        ))),
+        "String" => Some(Ok(Value::Str(
+            args.first().map(|v| v.to_js_string()).unwrap_or_default(),
+        ))),
+        "Number" => Some(Ok(Value::Num(
+            args.first().map(|v| v.to_number()).unwrap_or(0.0),
+        ))),
+        _ => None,
+    }
+}
+
+/// Formats a value for display in effect logs.
+pub fn display_value(v: &Value) -> String {
+    match v {
+        Value::Num(n) => format_number(*n),
+        other => other.to_js_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Minimal host: prototype methods plus a `log(x)` capture.
+    struct TestHost {
+        log: Vec<String>,
+    }
+
+    impl Host for TestHost {
+        fn call_native(
+            &mut self,
+            _interp: &mut Interp,
+            _env: &EnvRef,
+            name: &str,
+            this_val: Value,
+            args: Vec<Value>,
+        ) -> Result<Value, JsError> {
+            if let Some(r) = call_prototype_method(name, &this_val, &args) {
+                return r;
+            }
+            match name {
+                "log" => {
+                    self.log.push(args.first().map(display_value).unwrap_or_default());
+                    Ok(Value::Undefined)
+                }
+                other => Err(JsError::Runtime(format!("unknown native {other}"))),
+            }
+        }
+    }
+
+    fn run(src: &str) -> Vec<String> {
+        let prog = parse_program(src).expect("parse");
+        let env = Env::global();
+        env.borrow_mut().declare("log", Value::Native("log"));
+        env.borrow_mut().declare("parseInt", Value::Native("parseInt"));
+        let mut host = TestHost { log: Vec::new() };
+        let mut interp = Interp::default();
+        interp.run(&prog, &env, &mut host).expect("run");
+        host.log
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("log(2 + 3 * 4);"), vec!["14"]);
+        assert_eq!(run("log((2 + 3) * 4);"), vec!["20"]);
+        assert_eq!(run("log(7 % 3);"), vec!["1"]);
+    }
+
+    #[test]
+    fn string_concat_coercion() {
+        assert_eq!(run("log('n=' + 42);"), vec!["n=42"]);
+        assert_eq!(run("log(1 + '2');"), vec!["12"]);
+        assert_eq!(run("log('3' - 1);"), vec!["2"]);
+    }
+
+    #[test]
+    fn var_scoping_and_closures() {
+        assert_eq!(
+            run("function mk(n) { return function() { return n + 1; }; } log(mk(4)());"),
+            vec!["5"]
+        );
+    }
+
+    #[test]
+    fn while_loop_and_break() {
+        assert_eq!(
+            run("var i = 0; while (true) { i++; if (i >= 3) break; } log(i);"),
+            vec!["3"]
+        );
+    }
+
+    #[test]
+    fn for_loop_sums() {
+        assert_eq!(
+            run("var s = 0; for (var i = 1; i <= 10; i++) { s += i; } log(s);"),
+            vec!["55"]
+        );
+    }
+
+    #[test]
+    fn continue_skips() {
+        assert_eq!(
+            run("var s = 0; for (var i = 0; i < 5; i++) { if (i == 2) continue; s += i; } log(s);"),
+            vec!["8"]
+        );
+    }
+
+    #[test]
+    fn string_methods() {
+        assert_eq!(run("log('HELLO'.toLowerCase());"), vec!["hello"]);
+        assert_eq!(run("log('abcdef'.substring(1, 3));"), vec!["bc"]);
+        assert_eq!(run("log('abcdef'.substr(2, 2));"), vec!["cd"]);
+        assert_eq!(run("log('a,b,c'.split(',').length);"), vec!["3"]);
+        assert_eq!(run("log('abc'.charCodeAt(0));"), vec!["97"]);
+        assert_eq!(run("log('hello'.indexOf('ll'));"), vec!["2"]);
+        assert_eq!(run("log('x-y'.replace('-', '+'));"), vec!["x+y"]);
+    }
+
+    #[test]
+    fn array_methods() {
+        assert_eq!(run("var a = [1,2]; a.push(3); log(a.length); log(a.join('-'));"), vec!["3", "1-2-3"]);
+        assert_eq!(run("var a = [1,2,3]; log(a.pop()); log(a.length);"), vec!["3", "2"]);
+        assert_eq!(run("var a = ['x','y']; log(a[1]);"), vec!["y"]);
+    }
+
+    #[test]
+    fn object_literals_and_member_assignment() {
+        assert_eq!(
+            run("var o = {a: 1}; o.b = o.a + 1; log(o.b); o['c'] = 'z'; log(o.c);"),
+            vec!["2", "z"]
+        );
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        assert_eq!(run("log(1 < 2 ? 'y' : 'n');"), vec!["y"]);
+        assert_eq!(run("log(0 || 'fallback');"), vec!["fallback"]);
+        assert_eq!(run("log(1 && 2);"), vec!["2"]);
+    }
+
+    #[test]
+    fn typeof_undefined_name_does_not_throw() {
+        assert_eq!(run("log(typeof nothing_here);"), vec!["undefined"]);
+    }
+
+    #[test]
+    fn hoisted_function_callable_before_decl() {
+        assert_eq!(run("log(f()); function f() { return 'hoisted'; }"), vec!["hoisted"]);
+    }
+
+    #[test]
+    fn recursion_with_depth() {
+        assert_eq!(
+            run("function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); } log(fact(10));"),
+            vec!["3628800"]
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let prog = parse_program("while (true) { var x = 1; }").unwrap();
+        let env = Env::global();
+        let mut host = TestHost { log: Vec::new() };
+        let mut interp = Interp::new(10_000);
+        assert_eq!(interp.run(&prog, &env, &mut host), Err(JsError::BudgetExhausted));
+    }
+
+    #[test]
+    fn deep_recursion_hits_depth_cap() {
+        let prog = parse_program("function f() { return f(); } f();").unwrap();
+        let env = Env::global();
+        let mut host = TestHost { log: Vec::new() };
+        let mut interp = Interp::default();
+        assert!(matches!(interp.run(&prog, &env, &mut host), Err(JsError::Runtime(_))));
+    }
+
+    #[test]
+    fn try_catch_recovers() {
+        assert_eq!(run("try { missing(); } catch (e) { log('caught'); }"), vec!["caught"]);
+    }
+
+    #[test]
+    fn budget_exhaustion_not_catchable() {
+        let prog =
+            parse_program("try { while (true) {} } catch (e) { }").unwrap();
+        let env = Env::global();
+        let mut host = TestHost { log: Vec::new() };
+        let mut interp = Interp::new(5_000);
+        assert_eq!(interp.run(&prog, &env, &mut host), Err(JsError::BudgetExhausted));
+    }
+
+    #[test]
+    fn parse_int_variants() {
+        assert_eq!(run("log(parseInt('42px'));"), vec!["42"]);
+        assert_eq!(run("log(parseInt('ff', 16));"), vec!["255"]);
+        assert_eq!(run("log(parseInt('0x10'));"), vec!["16"]);
+        assert_eq!(run("log(parseInt('-7'));"), vec!["-7"]);
+    }
+
+    #[test]
+    fn post_increment_semantics() {
+        assert_eq!(run("var i = 5; log(i++); log(i);"), vec!["5", "6"]);
+    }
+
+    #[test]
+    fn this_binding_in_method_call() {
+        assert_eq!(
+            run("var o = {v: 7, get: function() { return this.v; }}; log(o.get());"),
+            vec!["7"]
+        );
+    }
+
+    #[test]
+    fn arguments_object() {
+        assert_eq!(run("function f() { return arguments.length; } log(f(1,2,3));"), vec!["3"]);
+    }
+
+    #[test]
+    fn string_comparison_lexicographic() {
+        assert_eq!(run("log('a' < 'b');"), vec!["true"]);
+    }
+
+    #[test]
+    fn do_while_runs_at_least_once() {
+        assert_eq!(run("var i = 10; do { log(i); } while (i < 5);"), vec!["10"]);
+        assert_eq!(
+            run("var i = 0; do { i++; } while (i < 3); log(i);"),
+            vec!["3"]
+        );
+    }
+
+    #[test]
+    fn do_while_break_exits() {
+        assert_eq!(
+            run("var i = 0; do { i++; if (i == 2) break; } while (true); log(i);"),
+            vec!["2"]
+        );
+    }
+
+    #[test]
+    fn for_in_enumerates_object_keys() {
+        assert_eq!(
+            run("var o = {a: 1, b: 2}; var keys = ''; for (var k in o) { keys += k; } log(keys);"),
+            vec!["ab"]
+        );
+    }
+
+    #[test]
+    fn for_in_over_array_skips_length() {
+        assert_eq!(
+            run("var a = [10, 20, 30]; var s = 0; for (var i in a) { s += a[i]; } log(s);"),
+            vec!["60"]
+        );
+    }
+
+    #[test]
+    fn for_in_over_string_yields_indices() {
+        assert_eq!(
+            run("var s = ''; for (var i in 'xyz') { s += i; } log(s);"),
+            vec!["012"]
+        );
+    }
+
+    #[test]
+    fn switch_selects_matching_case() {
+        assert_eq!(
+            run("switch (2) { case 1: log('one'); break; case 2: log('two'); break; default: log('other'); }"),
+            vec!["two"]
+        );
+    }
+
+    #[test]
+    fn switch_falls_through_without_break() {
+        assert_eq!(
+            run("switch (1) { case 1: log('a'); case 2: log('b'); break; case 3: log('c'); }"),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn switch_default_when_no_match() {
+        assert_eq!(
+            run("switch ('zz') { case 'a': log('a'); break; default: log('dflt'); }"),
+            vec!["dflt"]
+        );
+    }
+
+    #[test]
+    fn switch_uses_strict_equality() {
+        // '2' does not match 2 under ===.
+        assert_eq!(
+            run("switch ('2') { case 2: log('num'); break; default: log('none'); }"),
+            vec!["none"]
+        );
+    }
+
+    #[test]
+    fn switch_return_propagates() {
+        assert_eq!(
+            run("function f(x) { switch (x) { case 1: return 'one'; default: return 'many'; } } log(f(1)); log(f(9));"),
+            vec!["one", "many"]
+        );
+    }
+
+    #[test]
+    fn do_without_while_is_parse_error() {
+        assert!(parse_program("do { x(); }").is_err());
+    }
+}

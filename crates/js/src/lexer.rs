@@ -1,0 +1,259 @@
+//! Tokenizer for the JavaScript subset.
+
+use crate::JsError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (decimal or hex).
+    Num(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Punctuation / operator, e.g. `==`, `(`, `+=`.
+    Punct(&'static str),
+}
+
+/// All multi- and single-character punctuators, longest first so maximal
+/// munch works by scanning in order.
+const PUNCTS: [&str; 44] = [
+    "===", "!==", ">>>", "&&=", "||=", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "<<", ">>", "&=", "|=", "^=", "=>", "{", "}", "(", ")", "[", "]", ";", ",",
+    "<", ">", "+", "-", "*", "/", "%", "=", "!", "?", ":", ".",
+];
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`JsError::Lex`] on an unterminated string or an unexpected
+/// byte. Comments (`//` and `/* */`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, JsError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(n);
+                continue;
+            }
+        }
+        // Strings.
+        if c == '"' || c == '\'' {
+            let (s, next) = lex_string(&bytes, i, c)?;
+            tokens.push(Token::Str(s));
+            i = next;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+            let (num, next) = lex_number(&bytes, i)?;
+            tokens.push(Token::Num(num));
+            i = next;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(bytes[start..i].iter().collect()));
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest: String = bytes[i..(i + 3).min(n)].iter().collect();
+        let matched = PUNCTS.iter().find(|p| rest.starts_with(**p));
+        match matched {
+            Some(p) => {
+                tokens.push(Token::Punct(p));
+                i += p.len();
+            }
+            None => {
+                return Err(JsError::Lex(format!("unexpected character {c:?} at offset {i}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(bytes: &[char], start: usize, quote: char) -> Result<(String, usize), JsError> {
+    let mut out = String::new();
+    let mut i = start + 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        if c == quote {
+            return Ok((out, i + 1));
+        }
+        if c == '\\' && i + 1 < n {
+            let esc = bytes[i + 1];
+            i += 2;
+            match esc {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                '0' => out.push('\0'),
+                'x' if i + 1 < n => {
+                    let hex: String = bytes[i..i + 2].iter().collect();
+                    if let Ok(code) = u32::from_str_radix(&hex, 16) {
+                        if let Some(ch) = char::from_u32(code) {
+                            out.push(ch);
+                        }
+                    }
+                    i += 2;
+                }
+                'u' if i + 3 < n => {
+                    let hex: String = bytes[i..i + 4].iter().collect();
+                    if let Ok(code) = u32::from_str_radix(&hex, 16) {
+                        if let Some(ch) = char::from_u32(code) {
+                            out.push(ch);
+                        }
+                    }
+                    i += 4;
+                }
+                other => out.push(other),
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    Err(JsError::Lex("unterminated string literal".into()))
+}
+
+fn lex_number(bytes: &[char], start: usize) -> Result<(f64, usize), JsError> {
+    let n = bytes.len();
+    let mut i = start;
+    // Hex literal.
+    if bytes[i] == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+        i += 2;
+        let hstart = i;
+        while i < n && bytes[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        let hex: String = bytes[hstart..i].iter().collect();
+        let v = u64::from_str_radix(&hex, 16)
+            .map_err(|_| JsError::Lex("bad hex literal".into()))?;
+        return Ok((v as f64, i));
+    }
+    let mut seen_dot = false;
+    while i < n {
+        let c = bytes[i];
+        if c.is_ascii_digit() {
+            i += 1;
+        } else if c == '.' && !seen_dot {
+            seen_dot = true;
+            i += 1;
+        } else if (c == 'e' || c == 'E')
+            && i + 1 < n
+            && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == '-' || bytes[i + 1] == '+')
+        {
+            i += 2;
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    let text: String = bytes[start..i].iter().collect();
+    text.parse::<f64>()
+        .map(|v| (v, i))
+        .map_err(|_| JsError::Lex(format!("bad number literal {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_numbers_strings() {
+        let t = lex("var x = 42; y = 'hi';").unwrap();
+        assert_eq!(t[0], Token::Ident("var".into()));
+        assert_eq!(t[1], Token::Ident("x".into()));
+        assert_eq!(t[2], Token::Punct("="));
+        assert_eq!(t[3], Token::Num(42.0));
+        assert!(t.contains(&Token::Str("hi".into())));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = lex(r#"'a\nb\t\x41B\\'"#).unwrap();
+        assert_eq!(t[0], Token::Str("a\nb\tAB\\".into()));
+    }
+
+    #[test]
+    fn both_quote_styles() {
+        let t = lex(r#""dq" 'sq'"#).unwrap();
+        assert_eq!(t, vec![Token::Str("dq".into()), Token::Str("sq".into())]);
+    }
+
+    #[test]
+    fn hex_and_float_numbers() {
+        let t = lex("0xFF 3.25 1e3 .5").unwrap();
+        assert_eq!(t, vec![Token::Num(255.0), Token::Num(3.25), Token::Num(1000.0), Token::Num(0.5)]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("a // line\n/* block\nmore */ b").unwrap();
+        assert_eq!(t, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let t = lex("a===b!==c==d!=e<=f").unwrap();
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter_map(|tok| match tok {
+                Token::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["===", "!==", "==", "!=", "<="]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(JsError::Lex(_))));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(lex("a # b"), Err(JsError::Lex(_))));
+    }
+
+    #[test]
+    fn dollar_and_underscore_idents() {
+        let t = lex("$a _b c$d").unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert!(lex("").unwrap().is_empty());
+    }
+}

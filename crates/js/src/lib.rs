@@ -1,0 +1,78 @@
+//! # slum-js
+//!
+//! A sandboxed mini-JavaScript engine built for the `malware-slums`
+//! reproduction of *Malware Slums* (DSN 2016).
+//!
+//! The paper's behavioural malware analysis requires *executing* scripts
+//! found on traffic-exchange pages: obfuscated payloads must be unpacked
+//! (`eval(unescape(...))` layers), dynamically injected `iframe`s must be
+//! observed (`document.write`), deceptive downloads fire through
+//! `window.location`, and malicious Flash files call back into JavaScript
+//! via `ExternalInterface`. This crate implements exactly that slice of
+//! JavaScript semantics, with:
+//!
+//! - a total lexer/parser for a practical JS subset ([`lexer`], [`parser`]),
+//! - a tree-walking interpreter with a hard step budget ([`interp`]),
+//! - a browser-shaped sandbox that records every externally visible
+//!   side effect ([`sandbox::Sandbox`], [`sandbox::Effect`]),
+//! - obfuscation tooling used by the synthetic web *and* the
+//!   deobfuscation passes used by scanners ([`obfuscate`]),
+//! - a model of Flash `ExternalInterface` behaviour ([`flash`]).
+//!
+//! The engine is deliberately hermetic: no I/O, no real time, no
+//! randomness. Anything a script "does" shows up only in the effect log.
+//!
+//! ## Example
+//!
+//! ```
+//! use slum_js::sandbox::{Effect, Sandbox};
+//!
+//! let mut sandbox = Sandbox::new();
+//! let report = sandbox.run(r#"document.write('<iframe src="http://evil.example/" width=1></iframe>');"#);
+//! assert!(report.errors.is_empty());
+//! assert!(matches!(&report.effects[0], Effect::DocumentWrite(html) if html.contains("iframe")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod env;
+pub mod flash;
+pub mod interp;
+pub mod lexer;
+pub mod obfuscate;
+pub mod parser;
+pub mod sandbox;
+pub mod value;
+
+pub use parser::parse_program;
+pub use sandbox::{Effect, Sandbox, SandboxReport};
+pub use value::Value;
+
+/// Errors produced while lexing, parsing or executing JavaScript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsError {
+    /// The source could not be tokenized.
+    Lex(String),
+    /// The token stream could not be parsed.
+    Parse(String),
+    /// A runtime error (type error, unknown identifier, ...).
+    Runtime(String),
+    /// The interpreter exhausted its step budget — scripts on hostile
+    /// pages must never hang the analysis pipeline.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for JsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsError::Lex(m) => write!(f, "lex error: {m}"),
+            JsError::Parse(m) => write!(f, "parse error: {m}"),
+            JsError::Runtime(m) => write!(f, "runtime error: {m}"),
+            JsError::BudgetExhausted => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for JsError {}

@@ -1,0 +1,251 @@
+//! Obfuscation tooling: packers used by the synthetic web's malicious
+//! payloads, and the unpacking/analysis passes used by scanners.
+//!
+//! The paper notes that "some JavaScript code snippets were obfuscated,
+//! which required execution analysis in a virtual machine environment"
+//! (§IV-A1). We model the two packer families the 2015-era corpus used
+//! most: percent-escaped `eval(unescape(...))` and
+//! `eval(String.fromCharCode(...))`, both stackable into multiple layers.
+
+use crate::sandbox::percent_decode;
+
+/// A packer scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Packer {
+    /// `eval(unescape('%76%61...'))`
+    Unescape,
+    /// `eval(String.fromCharCode(118,97,...))`
+    FromCharCode,
+}
+
+/// Packs `src` under a single layer of the given scheme.
+///
+/// ```
+/// use slum_js::obfuscate::{pack, Packer};
+/// let packed = pack("alert(1);", Packer::Unescape);
+/// assert!(packed.starts_with("eval(unescape("));
+/// ```
+pub fn pack(src: &str, packer: Packer) -> String {
+    match packer {
+        Packer::Unescape => format!("eval(unescape('{}'));", full_percent_encode(src)),
+        Packer::FromCharCode => {
+            let codes: Vec<String> = src.chars().map(|c| (c as u32).to_string()).collect();
+            format!("eval(String.fromCharCode({}));", codes.join(","))
+        }
+    }
+}
+
+/// Packs `src` under `layers` alternating layers (unescape, fromCharCode,
+/// unescape, ...). Zero layers returns the source unchanged.
+pub fn pack_layers(src: &str, layers: u32) -> String {
+    let mut out = src.to_string();
+    for i in 0..layers {
+        let packer = if i % 2 == 0 { Packer::Unescape } else { Packer::FromCharCode };
+        out = pack(&out, packer);
+    }
+    out
+}
+
+/// Percent-encodes *every* character (the aggressive form real packers
+/// use — `percent_encode` leaves alphanumerics bare, which would make
+/// payload strings trivially greppable).
+fn full_percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 3);
+    for c in s.chars() {
+        if (c as u32) < 256 {
+            out.push_str(&format!("%{:02X}", c as u32));
+        } else {
+            out.push_str(&format!("%u{:04X}", c as u32));
+        }
+    }
+    out
+}
+
+/// Attempts one layer of *static* unpacking without executing the code.
+///
+/// Returns `None` when the source does not match a known packer shape —
+/// callers then fall back to dynamic (sandboxed) analysis, mirroring the
+/// static-then-dynamic split of tools like Zozzle vs. Rozzle discussed in
+/// the paper's related work.
+pub fn unpack_static(src: &str) -> Option<String> {
+    let trimmed = src.trim();
+    if let Some(inner) = extract_call_arg(trimmed, "eval(unescape(") {
+        let lit = string_literal_body(&inner)?;
+        return Some(percent_decode(&lit));
+    }
+    if let Some(inner) = extract_call_arg(trimmed, "eval(String.fromCharCode(") {
+        let decoded: Option<String> = inner
+            .split(',')
+            .map(|n| n.trim().parse::<u32>().ok().and_then(char::from_u32))
+            .collect();
+        return decoded;
+    }
+    None
+}
+
+/// Fully unpacks nested layers statically; returns the innermost code and
+/// the number of layers removed.
+pub fn unpack_all_static(src: &str) -> (String, u32) {
+    let mut cur = src.to_string();
+    let mut layers = 0;
+    while let Some(next) = unpack_static(&cur) {
+        cur = next;
+        layers += 1;
+        if layers > 32 {
+            break; // pathological nesting bomb
+        }
+    }
+    (cur, layers)
+}
+
+/// Extracts the argument text of `prefix(...)` calls, handling the
+/// trailing `))`/`));` tail.
+fn extract_call_arg(src: &str, prefix: &str) -> Option<String> {
+    let rest = src.strip_prefix(prefix)?;
+    let end = rest.rfind("))")?;
+    Some(rest[..end].to_string())
+}
+
+/// Strips matching quotes from a string literal.
+fn string_literal_body(s: &str) -> Option<String> {
+    let s = s.trim();
+    let first = s.chars().next()?;
+    if (first == '\'' || first == '"') && s.len() >= 2 && s.ends_with(first) {
+        return Some(s[1..s.len() - 1].to_string());
+    }
+    None
+}
+
+/// Shannon entropy of the byte distribution, in bits per byte.
+pub fn shannon_entropy(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for b in s.bytes() {
+        counts[b as usize] += 1;
+    }
+    let len = s.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / len;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Heuristic: does this source *look* obfuscated? Used by the
+/// Quttera-like static scanner as a suspicion signal.
+///
+/// Triggers on heavy percent-escape density, `fromCharCode` decoding
+/// loops, `eval(`+`unescape(` co-occurrence, or very long single-line
+/// high-entropy strings.
+pub fn is_likely_obfuscated(src: &str) -> bool {
+    let len = src.len().max(1) as f64;
+    let pct_density = src.matches('%').count() as f64 / len;
+    if pct_density > 0.05 && src.contains("unescape") {
+        return true;
+    }
+    if src.contains("fromCharCode") && src.matches(',').count() > 20 {
+        return true;
+    }
+    if src.contains("eval(") && (src.contains("unescape(") || src.contains("atob(")) {
+        return true;
+    }
+    // Long packed one-liners carry much higher entropy than hand-written
+    // JS (~4.2 bits/byte); percent-packed payloads exceed 5.
+    src.len() > 512 && !src.contains('\n') && shannon_entropy(src) > 5.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sandbox::{Effect, Sandbox};
+
+    const PAYLOAD: &str = "document.write('<iframe src=\"http://evil.example/\" width=\"1\" height=\"1\"></iframe>');";
+
+    #[test]
+    fn pack_unpack_unescape_round_trip() {
+        let packed = pack(PAYLOAD, Packer::Unescape);
+        assert_eq!(unpack_static(&packed).as_deref(), Some(PAYLOAD));
+    }
+
+    #[test]
+    fn pack_unpack_fromcharcode_round_trip() {
+        let packed = pack(PAYLOAD, Packer::FromCharCode);
+        assert_eq!(unpack_static(&packed).as_deref(), Some(PAYLOAD));
+    }
+
+    #[test]
+    fn multi_layer_unpack_counts_layers() {
+        let packed = pack_layers(PAYLOAD, 3);
+        let (inner, layers) = unpack_all_static(&packed);
+        assert_eq!(layers, 3);
+        assert_eq!(inner, PAYLOAD);
+    }
+
+    #[test]
+    fn zero_layers_is_identity() {
+        assert_eq!(pack_layers(PAYLOAD, 0), PAYLOAD);
+        let (inner, layers) = unpack_all_static(PAYLOAD);
+        assert_eq!(layers, 0);
+        assert_eq!(inner, PAYLOAD);
+    }
+
+    #[test]
+    fn packed_payload_executes_identically() {
+        // Dynamic analysis ground truth: the packed payload must produce
+        // the same effects as the original when executed.
+        let mut sb = Sandbox::new();
+        let plain = sb.run(PAYLOAD);
+        let mut sb2 = Sandbox::new();
+        let packed = sb2.run(&pack_layers(PAYLOAD, 2));
+        let plain_writes: Vec<_> = plain
+            .effects
+            .iter()
+            .filter(|e| matches!(e, Effect::DocumentWrite(_)))
+            .collect();
+        let packed_writes: Vec<_> = packed
+            .effects
+            .iter()
+            .filter(|e| matches!(e, Effect::DocumentWrite(_)))
+            .collect();
+        assert_eq!(plain_writes, packed_writes);
+        assert_eq!(packed.max_eval_depth, 2);
+    }
+
+    #[test]
+    fn unpack_rejects_plain_source() {
+        assert_eq!(unpack_static("var x = 1;"), None);
+        assert_eq!(unpack_static("eval(dynamicCode)"), None);
+    }
+
+    #[test]
+    fn entropy_ordering() {
+        let repetitive = "spam spam spam spam spam spam spam spam spam spam";
+        let packed = full_percent_encode(PAYLOAD);
+        assert!(shannon_entropy(&packed) > shannon_entropy(repetitive));
+        assert_eq!(shannon_entropy(""), 0.0);
+        assert_eq!(shannon_entropy("aaaa"), 0.0);
+        // Uniform binary alphabet → exactly 1 bit/byte.
+        assert!((shannon_entropy("abababab") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obfuscation_heuristic_hits_packed_misses_plain() {
+        assert!(is_likely_obfuscated(&pack(PAYLOAD, Packer::Unescape)));
+        assert!(is_likely_obfuscated(&pack(PAYLOAD, Packer::FromCharCode)));
+        assert!(!is_likely_obfuscated(PAYLOAD));
+        assert!(!is_likely_obfuscated("function add(a, b) { return a + b; }"));
+    }
+
+    #[test]
+    fn nesting_bomb_terminates() {
+        let bomb = pack_layers("alert(1);", 8);
+        let (inner, layers) = unpack_all_static(&bomb);
+        assert_eq!(layers, 8);
+        assert_eq!(inner, "alert(1);");
+    }
+}

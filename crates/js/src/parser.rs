@@ -1,0 +1,712 @@
+//! Recursive-descent / Pratt parser producing the [`crate::ast`] tree.
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::lexer::{lex, Token};
+use crate::JsError;
+
+/// Parses a complete program into a statement list.
+///
+/// # Errors
+///
+/// Returns [`JsError::Lex`] or [`JsError::Parse`] on malformed input. The
+/// parser never panics on any token stream.
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, JsError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !parser.at_end() {
+        stmts.push(parser.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), JsError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(JsError::Parse(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(i)) if i == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, JsError> {
+        match self.advance() {
+            Some(Token::Ident(i)) => Ok(i),
+            other => Err(JsError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, JsError> {
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_punct("{") {
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                if self.at_end() {
+                    return Err(JsError::Parse("unterminated block".into()));
+                }
+                body.push(self.statement()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if self.eat_keyword("var") || self.eat_keyword("let") || self.eat_keyword("const") {
+            return self.var_statement();
+        }
+        if self.eat_keyword("if") {
+            return self.if_statement();
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_keyword("for") {
+            return self.for_statement();
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            if self.at_end() || matches!(self.peek(), Some(Token::Punct("}"))) {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expression()?;
+            self.eat_punct(";");
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_keyword("break") {
+            self.eat_punct(";");
+            return Ok(Stmt::Break);
+        }
+        if self.eat_keyword("continue") {
+            self.eat_punct(";");
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_keyword("try") {
+            return self.try_statement();
+        }
+        if self.eat_keyword("do") {
+            let body = self.stmt_as_block()?;
+            if !self.eat_keyword("while") {
+                return Err(JsError::Parse("do without while".into()));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            self.eat_punct(";");
+            return Ok(Stmt::DoWhile(body, cond));
+        }
+        if self.eat_keyword("switch") {
+            return self.switch_statement();
+        }
+        // `function name(...) {...}` declaration (only when followed by a
+        // name; otherwise it is a function expression).
+        if matches!(self.peek(), Some(Token::Ident(i)) if i == "function")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(_)))
+        {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            let (params, body) = self.function_rest()?;
+            return Ok(Stmt::Function { name, params, body });
+        }
+        let expr = self.expression()?;
+        self.eat_punct(";");
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn var_statement(&mut self) -> Result<Stmt, JsError> {
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.assignment()?) } else { None };
+            decls.push((name, init));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.eat_punct(";");
+        Ok(Stmt::Var(decls))
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, JsError> {
+        self.expect_punct("(")?;
+        let cond = self.expression()?;
+        self.expect_punct(")")?;
+        let then = self.stmt_as_block()?;
+        let els = if self.eat_keyword("else") { Some(self.stmt_as_block()?) } else { None };
+        Ok(Stmt::If(cond, then, els))
+    }
+
+    fn for_statement(&mut self) -> Result<Stmt, JsError> {
+        self.expect_punct("(")?;
+        // `for (var k in obj)` — detect the for-in header shape before
+        // committing to the C-style parse.
+        if matches!(self.peek(), Some(Token::Ident(kw)) if kw == "var" || kw == "let")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(_)))
+            && matches!(self.tokens.get(self.pos + 2), Some(Token::Ident(kw)) if kw == "in")
+        {
+            self.pos += 1; // var/let
+            let var = self.expect_ident()?;
+            self.pos += 1; // in
+            let object = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::ForIn { var, object, body });
+        }
+        let init = if self.eat_punct(";") {
+            None
+        } else if self.eat_keyword("var") || self.eat_keyword("let") {
+            Some(Box::new(self.var_statement()?))
+        } else {
+            let e = self.expression()?;
+            self.expect_punct(";")?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.eat_punct(";") {
+            None
+        } else {
+            let c = self.expression()?;
+            self.expect_punct(";")?;
+            Some(c)
+        };
+        let update = if matches!(self.peek(), Some(Token::Punct(")"))) {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect_punct(")")?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For { init, cond, update, body })
+    }
+
+    fn switch_statement(&mut self) -> Result<Stmt, JsError> {
+        self.expect_punct("(")?;
+        let disc = self.expression()?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut cases: Vec<(Expr, Vec<Stmt>)> = Vec::new();
+        let mut default: Option<Vec<Stmt>> = None;
+        loop {
+            if self.eat_punct("}") {
+                break;
+            }
+            if self.at_end() {
+                return Err(JsError::Parse("unterminated switch".into()));
+            }
+            if self.eat_keyword("case") {
+                let test = self.expression()?;
+                self.expect_punct(":")?;
+                cases.push((test, self.case_body()?));
+            } else if self.eat_keyword("default") {
+                self.expect_punct(":")?;
+                default = Some(self.case_body()?);
+            } else {
+                return Err(JsError::Parse(format!(
+                    "expected case/default, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(Stmt::Switch { disc, cases, default })
+    }
+
+    /// Statements of one switch arm: up to the next `case`/`default`/`}`.
+    fn case_body(&mut self) -> Result<Vec<Stmt>, JsError> {
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsError::Parse("unterminated switch arm".into())),
+                Some(Token::Punct("}")) => return Ok(body),
+                Some(Token::Ident(kw)) if kw == "case" || kw == "default" => return Ok(body),
+                _ => body.push(self.statement()?),
+            }
+        }
+    }
+
+    fn try_statement(&mut self) -> Result<Stmt, JsError> {
+        let body = self.stmt_as_block()?;
+        if !self.eat_keyword("catch") {
+            return Err(JsError::Parse("try without catch".into()));
+        }
+        self.expect_punct("(")?;
+        let param = self.expect_ident()?;
+        self.expect_punct(")")?;
+        let handler = self.stmt_as_block()?;
+        Ok(Stmt::TryCatch(body, param, handler))
+    }
+
+    /// Parses either a braced block or a single statement, normalizing to
+    /// a statement list.
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, JsError> {
+        match self.statement()? {
+            Stmt::Block(body) => Ok(body),
+            single => Ok(vec![single]),
+        }
+    }
+
+    fn function_rest(&mut self) -> Result<(Vec<String>, Vec<Stmt>), JsError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return Err(JsError::Parse("unterminated function body".into()));
+            }
+            body.push(self.statement()?);
+        }
+        Ok((params, body))
+    }
+
+    // ---- expressions (precedence climbing) ----------------------------
+
+    fn expression(&mut self) -> Result<Expr, JsError> {
+        // Comma operator: evaluate both, keep the last.
+        let mut e = self.assignment()?;
+        while self.eat_punct(",") {
+            let rhs = self.assignment()?;
+            // Model `a, b` as a ternary on `true` keeping evaluation
+            // order: ((a && false) || true) ? b : b would be convoluted;
+            // instead wrap in a two-element array and index the second.
+            e = Expr::Index(
+                Box::new(Expr::Array(vec![e, rhs])),
+                Box::new(Expr::Num(1.0)),
+            );
+        }
+        Ok(e)
+    }
+
+    fn assignment(&mut self) -> Result<Expr, JsError> {
+        let lhs = self.ternary()?;
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+        }
+        for (p, op) in
+            [("+=", BinOp::Add), ("-=", BinOp::Sub), ("*=", BinOp::Mul), ("/=", BinOp::Div), ("%=", BinOp::Mod)]
+        {
+            if self.eat_punct(p) {
+                let rhs = self.assignment()?;
+                return Ok(Expr::AssignOp(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, JsError> {
+        let cond = self.logical_or()?;
+        if self.eat_punct("?") {
+            let t = self.assignment()?;
+            self.expect_punct(":")?;
+            let f = self.assignment()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(f)));
+        }
+        Ok(cond)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.equality()?;
+        while self.eat_punct("&&") {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat_punct("===") {
+                BinOp::StrictEq
+            } else if self.eat_punct("!==") {
+                BinOp::StrictNe
+            } else if self.eat_punct("==") {
+                BinOp::Eq
+            } else if self.eat_punct("!=") {
+                BinOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, JsError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, JsError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("+") {
+            return Ok(Expr::Unary(UnOp::Pos, Box::new(self.unary()?)));
+        }
+        if self.eat_keyword("typeof") {
+            return Ok(Expr::Unary(UnOp::TypeOf, Box::new(self.unary()?)));
+        }
+        if self.eat_keyword("new") {
+            let callee = self.postfix_base()?;
+            // `new X(...)` — arguments already consumed by postfix if the
+            // callee ended in a call; normalize.
+            if let Expr::Call(target, args) = callee {
+                return Ok(Expr::New(target, args));
+            }
+            return Ok(Expr::New(Box::new(callee), Vec::new()));
+        }
+        self.postfix_base()
+    }
+
+    /// Primary expression followed by any number of postfix operations
+    /// (member access, indexing, calls, `++`/`--`).
+    fn postfix_base(&mut self) -> Result<Expr, JsError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), name);
+            } else if self.eat_punct("[") {
+                let idx = self.expression()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.assignment()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr::Call(Box::new(e), args);
+            } else if self.eat_punct("++") {
+                e = Expr::PostIncr(Box::new(e));
+            } else if self.eat_punct("--") {
+                e = Expr::PostDecr(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, JsError> {
+        match self.advance() {
+            Some(Token::Num(n)) => Ok(Expr::Num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Ident(i)) => match i.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" => Ok(Expr::Null),
+                "undefined" => Ok(Expr::Undefined),
+                "function" => {
+                    let name = match self.peek() {
+                        Some(Token::Ident(n)) => {
+                            let n = n.clone();
+                            self.pos += 1;
+                            Some(n)
+                        }
+                        _ => None,
+                    };
+                    let (params, body) = self.function_rest()?;
+                    Ok(Expr::Function { name, params, body })
+                }
+                _ => Ok(Expr::Ident(i)),
+            },
+            Some(Token::Punct("(")) => {
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Punct("[")) => {
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.assignment()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Some(Token::Punct("{")) => {
+                let mut props = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.advance() {
+                            Some(Token::Ident(i)) => i,
+                            Some(Token::Str(s)) => s,
+                            Some(Token::Num(n)) => format!("{n}"),
+                            other => {
+                                return Err(JsError::Parse(format!(
+                                    "bad object key: {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect_punct(":")?;
+                        let value = self.assignment()?;
+                        props.push((key, value));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                        // Trailing comma.
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::Object(props))
+            }
+            other => Err(JsError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Stmt};
+
+    #[test]
+    fn var_with_init() {
+        let p = parse_program("var x = 1 + 2;").unwrap();
+        match &p[0] {
+            Stmt::Var(decls) => {
+                assert_eq!(decls[0].0, "x");
+                assert!(matches!(
+                    decls[0].1,
+                    Some(Expr::Binary(BinOp::Add, _, _))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_program("a + b * c").unwrap();
+        match &p[0] {
+            Stmt::Expr(Expr::Binary(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_call_chain() {
+        let p = parse_program("document.getElementById('x').style.display = 'none';").unwrap();
+        assert!(matches!(&p[0], Stmt::Expr(Expr::Assign(_, _))));
+    }
+
+    #[test]
+    fn function_declaration_and_expression() {
+        let p = parse_program("function f(a, b) { return a + b; } var g = function() {};")
+            .unwrap();
+        assert!(matches!(&p[0], Stmt::Function { name, .. } if name == "f"));
+        match &p[1] {
+            Stmt::Var(d) => assert!(matches!(d[0].1, Some(Expr::Function { .. }))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iife_parses() {
+        let p = parse_program("(function(w, d) { w.x = d; })(window, document);").unwrap();
+        assert!(matches!(&p[0], Stmt::Expr(Expr::Call(_, args)) if args.len() == 2));
+    }
+
+    #[test]
+    fn for_loop_full_header() {
+        let p = parse_program("for (var i = 0; i < 10; i++) { x += i; }").unwrap();
+        match &p[0] {
+            Stmt::For { init, cond, update, body } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(update.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse_program("if (a) b(); else if (c) d(); else e();").unwrap();
+        assert!(matches!(&p[0], Stmt::If(_, _, Some(_))));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let p = parse_program("var r = a && b ? c : d || e;").unwrap();
+        assert!(matches!(&p[0], Stmt::Var(_)));
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        let p = parse_program("var o = {a: 1, 'b': [1, 2, 3], 4: 'x',};").unwrap();
+        match &p[0] {
+            Stmt::Var(d) => match &d[0].1 {
+                Some(Expr::Object(props)) => assert_eq!(props.len(), 3),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_expression() {
+        let p = parse_program("var d = new Date();").unwrap();
+        match &p[0] {
+            Stmt::Var(d) => assert!(matches!(d[0].1, Some(Expr::New(_, _)))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_catch() {
+        let p = parse_program("try { risky(); } catch (e) { handle(e); }").unwrap();
+        assert!(matches!(&p[0], Stmt::TryCatch(_, param, _) if param == "e"));
+    }
+
+    #[test]
+    fn comma_operator() {
+        let p = parse_program("a = (b = 1, c = 2);").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_block_errors() {
+        assert!(parse_program("{ a();").is_err());
+    }
+
+    #[test]
+    fn garbage_errors_without_panic() {
+        assert!(parse_program(")]}").is_err());
+        assert!(parse_program("var = ;").is_err());
+    }
+
+    #[test]
+    fn keywords_as_member_names_allowed() {
+        // `obj.var` style access occurs in minified code.
+        let p = parse_program("x.var = 1;");
+        assert!(p.is_ok());
+    }
+}

@@ -1,0 +1,303 @@
+//! Runtime values for the interpreter.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::Stmt;
+use crate::env::EnvRef;
+
+/// Shared, mutable object storage.
+pub type ObjRef = Rc<RefCell<ObjectData>>;
+
+/// Backing data of an object (including arrays, which carry the
+/// `"Array"` class and numeric-string keys).
+#[derive(Debug, Default)]
+pub struct ObjectData {
+    /// Property map. Array elements live here under numeric-string keys.
+    pub props: BTreeMap<String, Value>,
+    /// Internal class tag: `"Array"`, `"Object"`, or a host class name.
+    pub class: String,
+}
+
+impl ObjectData {
+    /// Creates a plain object.
+    pub fn object() -> ObjRef {
+        Rc::new(RefCell::new(ObjectData { props: BTreeMap::new(), class: "Object".into() }))
+    }
+
+    /// Creates an array object from elements.
+    pub fn array(items: Vec<Value>) -> ObjRef {
+        let mut props = BTreeMap::new();
+        let len = items.len();
+        for (i, v) in items.into_iter().enumerate() {
+            props.insert(i.to_string(), v);
+        }
+        props.insert("length".into(), Value::Num(len as f64));
+        Rc::new(RefCell::new(ObjectData { props, class: "Array".into() }))
+    }
+}
+
+/// A user-defined function: parameters, body and captured environment.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name, if any (used in `Debug`/`typeof` output only).
+    pub name: Option<String>,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Captured lexical environment.
+    pub env: EnvRef,
+}
+
+/// A JavaScript value.
+#[derive(Clone)]
+pub enum Value {
+    /// `undefined`
+    Undefined,
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// IEEE-754 number.
+    Num(f64),
+    /// Immutable string.
+    Str(String),
+    /// Object or array.
+    Object(ObjRef),
+    /// User-defined function.
+    Function(Rc<FnDef>),
+    /// Host (native) function, identified by name and dispatched by the
+    /// sandbox.
+    Native(&'static str),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Undefined => write!(f, "undefined"),
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Object(o) => write!(f, "[object {}]", o.borrow().class),
+            Value::Function(d) => {
+                write!(f, "[function {}]", d.name.as_deref().unwrap_or("anonymous"))
+            }
+            Value::Native(n) => write!(f, "[native {n}]"),
+        }
+    }
+}
+
+impl Value {
+    /// JavaScript truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Undefined | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Object(_) | Value::Function(_) | Value::Native(_) => true,
+        }
+    }
+
+    /// `ToString` coercion (the subset browsers apply in string contexts).
+    pub fn to_js_string(&self) -> String {
+        match self {
+            Value::Undefined => "undefined".into(),
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => format_number(*n),
+            Value::Str(s) => s.clone(),
+            Value::Object(o) => {
+                let data = o.borrow();
+                if data.class == "Array" {
+                    let len = data
+                        .props
+                        .get("length")
+                        .and_then(Value::as_number)
+                        .unwrap_or(0.0) as usize;
+                    (0..len)
+                        .map(|i| {
+                            data.props
+                                .get(&i.to_string())
+                                .map(Value::to_js_string)
+                                .unwrap_or_default()
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",")
+                } else {
+                    "[object Object]".into()
+                }
+            }
+            Value::Function(d) => {
+                format!("function {}() {{ ... }}", d.name.as_deref().unwrap_or(""))
+            }
+            Value::Native(n) => format!("function {n}() {{ [native code] }}"),
+        }
+    }
+
+    /// `ToNumber` coercion.
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Value::Undefined => f64::NAN,
+            Value::Null => 0.0,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => {
+                let t = s.trim();
+                if t.is_empty() {
+                    0.0
+                } else {
+                    t.parse::<f64>().unwrap_or(f64::NAN)
+                }
+            }
+            Value::Object(_) | Value::Function(_) | Value::Native(_) => f64::NAN,
+        }
+    }
+
+    /// Returns the numeric payload without coercion.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload without coercion.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `typeof` semantics.
+    pub fn type_of(&self) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Null => "object",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Object(_) => "object",
+            Value::Function(_) | Value::Native(_) => "function",
+        }
+    }
+
+    /// Loose equality (`==`) for the value subset we model.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Undefined | Null, Undefined | Null) => true,
+            (Num(a), Num(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Bool(_), _) | (_, Bool(_)) => self.to_number() == other.to_number(),
+            (Num(_), Str(_)) | (Str(_), Num(_)) => self.to_number() == other.to_number(),
+            (Object(a), Object(b)) => Rc::ptr_eq(a, b),
+            (Function(a), Function(b)) => Rc::ptr_eq(a, b),
+            (Native(a), Native(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Undefined, Undefined) | (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Num(a), Num(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Object(a), Object(b)) => Rc::ptr_eq(a, b),
+            (Function(a), Function(b)) => Rc::ptr_eq(a, b),
+            (Native(a), Native(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Formats a number the way JS `ToString` does for the common cases:
+/// integral values lose the trailing `.0`.
+pub fn format_number(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".into()
+    } else if n.is_infinite() {
+        if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matrix() {
+        assert!(!Value::Undefined.truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(Value::Str("0".into()).truthy());
+        assert!(Value::Object(ObjectData::object()).truthy());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(42.0), "42");
+        assert_eq!(format_number(3.5), "3.5");
+        assert_eq!(format_number(f64::NAN), "NaN");
+        assert_eq!(format_number(-0.0), "0");
+    }
+
+    #[test]
+    fn string_coercion_of_array() {
+        let arr = ObjectData::array(vec![Value::Num(1.0), Value::Str("b".into())]);
+        assert_eq!(Value::Object(arr).to_js_string(), "1,b");
+    }
+
+    #[test]
+    fn to_number_coercions() {
+        assert_eq!(Value::Str(" 12 ".into()).to_number(), 12.0);
+        assert_eq!(Value::Str("".into()).to_number(), 0.0);
+        assert!(Value::Str("abc".into()).to_number().is_nan());
+        assert_eq!(Value::Bool(true).to_number(), 1.0);
+        assert_eq!(Value::Null.to_number(), 0.0);
+        assert!(Value::Undefined.to_number().is_nan());
+    }
+
+    #[test]
+    fn loose_vs_strict_equality() {
+        assert!(Value::Num(1.0).loose_eq(&Value::Str("1".into())));
+        assert!(!Value::Num(1.0).strict_eq(&Value::Str("1".into())));
+        assert!(Value::Null.loose_eq(&Value::Undefined));
+        assert!(!Value::Null.strict_eq(&Value::Undefined));
+        let o = ObjectData::object();
+        assert!(Value::Object(o.clone()).strict_eq(&Value::Object(o.clone())));
+        assert!(!Value::Object(o).strict_eq(&Value::Object(ObjectData::object())));
+    }
+
+    #[test]
+    fn typeof_values() {
+        assert_eq!(Value::Undefined.type_of(), "undefined");
+        assert_eq!(Value::Null.type_of(), "object");
+        assert_eq!(Value::Native("x").type_of(), "function");
+    }
+}

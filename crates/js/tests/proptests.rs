@@ -1,0 +1,79 @@
+//! Property tests: the JS engine is exposed to attacker-controlled
+//! source and must be total (no panics, bounded execution).
+
+use proptest::prelude::*;
+use slum_js::obfuscate::{pack, pack_layers, unpack_all_static, Packer};
+use slum_js::parser::parse_program;
+use slum_js::sandbox::{base64_decode, base64_encode, percent_decode, percent_encode, Sandbox};
+
+proptest! {
+    /// Lexer + parser are total over arbitrary strings.
+    #[test]
+    fn parser_is_total(src in ".{0,300}") {
+        let _ = parse_program(&src);
+    }
+
+    /// The sandbox never panics and always terminates (budget) on
+    /// arbitrary input.
+    #[test]
+    fn sandbox_is_total(src in ".{0,200}") {
+        let mut sandbox = Sandbox::new().with_budget(30_000);
+        let report = sandbox.run(&src);
+        prop_assert!(report.steps_used <= 30_000);
+    }
+
+    /// Sandbox execution on syntactically plausible programs stays
+    /// bounded too.
+    #[test]
+    fn sandbox_bounded_on_loopish_programs(n in 1u32..50, body in "[a-z =+0-9;]{0,40}") {
+        let src = format!("for (var i = 0; i < {n}; i++) {{ {body} }}");
+        let mut sandbox = Sandbox::new().with_budget(50_000);
+        let _ = sandbox.run(&src);
+    }
+
+    /// Both packers round-trip arbitrary payloads through the static
+    /// unpacker.
+    #[test]
+    fn packers_round_trip(payload in "[ -~]{1,120}") {
+        for packer in [Packer::Unescape, Packer::FromCharCode] {
+            let packed = pack(&payload, packer);
+            let (inner, layers) = unpack_all_static(&packed);
+            prop_assert_eq!(layers, 1);
+            prop_assert_eq!(&inner, &payload);
+        }
+    }
+
+    /// Multi-layer packing unpacks fully with the right layer count.
+    #[test]
+    fn layered_packing_round_trips(payload in "[ -~]{1,60}", layers in 0u32..5) {
+        let packed = pack_layers(&payload, layers);
+        let (inner, n) = unpack_all_static(&packed);
+        prop_assert_eq!(n, layers);
+        prop_assert_eq!(inner, payload);
+    }
+
+    /// Percent codec round-trips arbitrary unicode.
+    #[test]
+    fn percent_round_trip(s in ".{0,120}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    /// Base64 codec round-trips arbitrary ASCII (atob/btoa semantics).
+    #[test]
+    fn base64_round_trip(s in "[ -~]{0,120}") {
+        prop_assert_eq!(base64_decode(&base64_encode(&s)), s);
+    }
+
+    /// Executing a packed `document.write` payload produces the same
+    /// written HTML as the plain payload (packing is semantics-
+    /// preserving under the sandbox).
+    #[test]
+    fn packed_execution_equivalent(text in "[a-zA-Z0-9 ]{1,40}", layers in 1u32..4) {
+        let payload = format!("document.write('{text}');");
+        let mut plain_sb = Sandbox::new();
+        let plain = plain_sb.run(&payload);
+        let mut packed_sb = Sandbox::new();
+        let packed = packed_sb.run(&pack_layers(&payload, layers));
+        prop_assert_eq!(plain.written_html, packed.written_html);
+    }
+}

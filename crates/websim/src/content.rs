@@ -1,0 +1,86 @@
+//! Content categories for the Figure 7 breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Content category of a site, following the paper's Figure 7 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContentCategory {
+    /// Online shopping, payments, financial services — 58.6% of malicious
+    /// URLs in the paper.
+    Business,
+    /// Advertisement networks and landing pages — 21.8%.
+    Advertisement,
+    /// Free streaming, games, URL shorteners offering "products" — 8.7%.
+    Entertainment,
+    /// Hosting, free proxies — 8.6%.
+    InformationTechnology,
+    /// Everything else — 2.6%.
+    Other,
+}
+
+impl ContentCategory {
+    /// All categories in Figure 7 order.
+    pub const ALL: [ContentCategory; 5] = [
+        ContentCategory::Business,
+        ContentCategory::Advertisement,
+        ContentCategory::Entertainment,
+        ContentCategory::InformationTechnology,
+        ContentCategory::Other,
+    ];
+
+    /// Human-readable label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentCategory::Business => "Business",
+            ContentCategory::Advertisement => "Advertisement",
+            ContentCategory::Entertainment => "Entertainment",
+            ContentCategory::InformationTechnology => "Information Technology",
+            ContentCategory::Other => "Others",
+        }
+    }
+
+    /// Paper-reported share of malicious URLs (Figure 7), as a fraction.
+    pub fn paper_share(self) -> f64 {
+        match self {
+            ContentCategory::Business => 0.586,
+            ContentCategory::Advertisement => 0.218,
+            ContentCategory::Entertainment => 0.087,
+            ContentCategory::InformationTechnology => 0.086,
+            ContentCategory::Other => 0.026,
+        }
+    }
+}
+
+impl fmt::Display for ContentCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_modulo_paper_rounding() {
+        // The paper's Figure 7 values sum to 100.3% due to rounding in
+        // the original; allow that slack.
+        let total: f64 = ContentCategory::ALL.iter().map(|c| c.paper_share()).sum();
+        assert!((total - 1.0).abs() < 0.005, "shares sum to {total}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            ContentCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ContentCategory::ALL.len());
+    }
+
+    #[test]
+    fn business_is_largest() {
+        for c in ContentCategory::ALL {
+            assert!(ContentCategory::Business.paper_share() >= c.paper_share());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Domain and TLD handling.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Second-level public suffixes where the registered domain spans three
+/// labels (`x.blogspot.com.br` → `blogspot.com.br`).
+const SECOND_LEVEL_SUFFIXES: [&str; 4] = ["com.br", "co.uk", "com.au", "co.in"];
+
+/// Computes the registered domain of a host: the last two labels, or the
+/// last three when the host ends in a known second-level suffix.
+///
+/// ```
+/// assert_eq!(slum_websim::domain::registered_domain("a.b.example.com"), "example.com");
+/// assert_eq!(slum_websim::domain::registered_domain("shop.co.uk"), "shop.co.uk");
+/// assert_eq!(slum_websim::domain::registered_domain("x.shop.co.uk"), "shop.co.uk");
+/// ```
+pub fn registered_domain(host: &str) -> String {
+    let labels: Vec<&str> = host.split('.').filter(|l| !l.is_empty()).collect();
+    if labels.len() <= 2 {
+        return labels.join(".");
+    }
+    let last_two = labels[labels.len() - 2..].join(".");
+    let take = if SECOND_LEVEL_SUFFIXES.contains(&last_two.as_str()) { 3 } else { 2 };
+    labels[labels.len().saturating_sub(take)..].join(".")
+}
+
+/// A top-level domain, with the four the paper's Figure 6 breaks out
+/// explicitly plus a catch-all.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tld {
+    /// `.com` — 70% of malicious URLs in the paper.
+    Com,
+    /// `.net` — 22%.
+    Net,
+    /// `.de` — 2%.
+    De,
+    /// `.org` — 1%.
+    Org,
+    /// Everything else (shortener ccTLDs, free hosts, ...) — 5%.
+    Other(String),
+}
+
+impl Tld {
+    /// Extracts the TLD of a host string.
+    pub fn of_host(host: &str) -> Tld {
+        let label = host.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
+        Tld::from_label(&label)
+    }
+
+    /// Builds a `Tld` from a bare label.
+    pub fn from_label(label: &str) -> Tld {
+        match label {
+            "com" => Tld::Com,
+            "net" => Tld::Net,
+            "de" => Tld::De,
+            "org" => Tld::Org,
+            other => Tld::Other(other.to_string()),
+        }
+    }
+
+    /// The label text (`"com"`, `"net"`, ...).
+    pub fn label(&self) -> &str {
+        match self {
+            Tld::Com => "com",
+            Tld::Net => "net",
+            Tld::De => "de",
+            Tld::Org => "org",
+            Tld::Other(s) => s,
+        }
+    }
+
+    /// Bucket used for the Figure 6 breakdown: the four named TLDs map to
+    /// themselves, everything else collapses to `"others"`.
+    pub fn figure6_bucket(&self) -> &str {
+        match self {
+            Tld::Other(_) => "others",
+            named => named.label(),
+        }
+    }
+}
+
+impl fmt::Display for Tld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_domain_two_labels() {
+        assert_eq!(registered_domain("example.com"), "example.com");
+        assert_eq!(registered_domain("www.example.com"), "example.com");
+        assert_eq!(registered_domain("a.b.c.example.net"), "example.net");
+    }
+
+    #[test]
+    fn registered_domain_second_level_suffix() {
+        assert_eq!(registered_domain("animestectudo.blogspot.com.br"), "blogspot.com.br");
+        assert_eq!(registered_domain("deep.sub.site.co.uk"), "site.co.uk");
+    }
+
+    #[test]
+    fn registered_domain_degenerate() {
+        assert_eq!(registered_domain("localhost"), "localhost");
+        assert_eq!(registered_domain(""), "");
+    }
+
+    #[test]
+    fn free_host_subdomains_collapse_to_host() {
+        // The paper lists esy.es and atw.hu as blacklisted domains; their
+        // subdomain sites must map onto them.
+        assert_eq!(registered_domain("badsite.esy.es"), "esy.es");
+        assert_eq!(registered_domain("malware.atw.hu"), "atw.hu");
+    }
+
+    #[test]
+    fn tld_classification() {
+        assert_eq!(Tld::of_host("x.example.com"), Tld::Com);
+        assert_eq!(Tld::of_host("x.example.net"), Tld::Net);
+        assert_eq!(Tld::of_host("seite.de"), Tld::De);
+        assert_eq!(Tld::of_host("npo.org"), Tld::Org);
+        assert_eq!(Tld::of_host("goo.gl"), Tld::Other("gl".into()));
+        assert_eq!(Tld::of_host("company.ooo"), Tld::Other("ooo".into()));
+    }
+
+    #[test]
+    fn figure6_buckets() {
+        assert_eq!(Tld::Com.figure6_bucket(), "com");
+        assert_eq!(Tld::Other("ru".into()).figure6_bucket(), "others");
+    }
+
+    #[test]
+    fn tld_case_insensitive() {
+        assert_eq!(Tld::of_host("EXAMPLE.COM"), Tld::Com);
+    }
+}

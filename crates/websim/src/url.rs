@@ -1,0 +1,311 @@
+//! A small URL type sufficient for the crawl/scan pipeline.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// URL scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// `http://`
+    Http,
+    /// `https://`
+    Https,
+    /// `data:` URI (deceptive-download payloads embed these).
+    Data,
+}
+
+impl Scheme {
+    /// Canonical lower-case scheme text, without the separator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+            Scheme::Data => "data",
+        }
+    }
+}
+
+/// A parsed URL.
+///
+/// Invariants: `host` is lower-case and non-empty for http(s) URLs;
+/// `path` always starts with `/` for http(s) URLs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: Scheme,
+    host: String,
+    path: String,
+    query: Option<String>,
+    /// For `data:` URIs the payload lives here and `host`/`path` are empty.
+    data: Option<String>,
+}
+
+/// Error returned when a URL cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUrlError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid url: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseUrlError {}
+
+impl Url {
+    /// Parses a URL string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] when the scheme is unsupported or the
+    /// host is empty.
+    ///
+    /// ```
+    /// use slum_websim::Url;
+    /// let u: Url = "http://Example.COM/a/b?q=1".parse().unwrap();
+    /// assert_eq!(u.host(), "example.com");
+    /// assert_eq!(u.path(), "/a/b");
+    /// assert_eq!(u.query(), Some("q=1"));
+    /// ```
+    pub fn parse(s: &str) -> Result<Url, ParseUrlError> {
+        let s = s.trim();
+        if let Some(data) = s.strip_prefix("data:") {
+            return Ok(Url {
+                scheme: Scheme::Data,
+                host: String::new(),
+                path: String::new(),
+                query: None,
+                data: Some(data.to_string()),
+            });
+        }
+        let (scheme, rest) = if let Some(r) = s.strip_prefix("http://") {
+            (Scheme::Http, r)
+        } else if let Some(r) = s.strip_prefix("https://") {
+            (Scheme::Https, r)
+        } else if let Some(r) = s.strip_prefix("//") {
+            // Protocol-relative — default to http.
+            (Scheme::Http, r)
+        } else {
+            return Err(ParseUrlError { reason: format!("unsupported scheme in {s:?}") });
+        };
+        // The authority ends at the first `/` or `?` — `http://h?q=1`
+        // has a root path and a query.
+        let (host_port, path, query) = match rest.find(['/', '?']) {
+            Some(i) if rest.as_bytes()[i] == b'?' => {
+                (&rest[..i], "/".to_string(), Some(rest[i + 1..].to_string()))
+            }
+            Some(i) => {
+                let path_query = &rest[i..];
+                match path_query.split_once('?') {
+                    Some((p, q)) => (&rest[..i], p.to_string(), Some(q.to_string())),
+                    None => (&rest[..i], path_query.to_string(), None),
+                }
+            }
+            None => (rest, "/".to_string(), None),
+        };
+        // Strip any port; the simulation is port-less.
+        let host = host_port.split(':').next().unwrap_or("").to_ascii_lowercase();
+        if host.is_empty() {
+            return Err(ParseUrlError { reason: format!("empty host in {s:?}") });
+        }
+        if !host.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-') {
+            return Err(ParseUrlError { reason: format!("bad host {host:?}") });
+        }
+        Ok(Url { scheme, host, path, query, data: None })
+    }
+
+    /// Builds an http URL from parts; panics on invalid host (intended
+    /// for generator-internal construction from trusted parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is empty.
+    pub fn http(host: &str, path: &str) -> Url {
+        assert!(!host.is_empty(), "host must be non-empty");
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path, None),
+        };
+        Url { scheme: Scheme::Http, host: host.to_ascii_lowercase(), path, query, data: None }
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Lower-cased host (empty for `data:` URIs).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Path component (always `/`-prefixed for http/https).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Query string without the leading `?`, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Payload of a `data:` URI.
+    pub fn data_payload(&self) -> Option<&str> {
+        self.data.as_deref()
+    }
+
+    /// True for `data:` URIs.
+    pub fn is_data(&self) -> bool {
+        self.scheme == Scheme::Data
+    }
+
+    /// The registered domain: normally the last two labels
+    /// (`a.b.example.com` → `example.com`), extended to three for
+    /// country-code second-level suffixes (`x.blogspot.com.br` →
+    /// `blogspot.com.br`).
+    pub fn registered_domain(&self) -> String {
+        crate::domain::registered_domain(&self.host)
+    }
+
+    /// The top-level domain label.
+    pub fn tld(&self) -> crate::domain::Tld {
+        crate::domain::Tld::of_host(&self.host)
+    }
+
+    /// Canonical string form — identical inputs always canonicalize
+    /// identically, which the crawler relies on for dedup.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// Returns a copy with a different path/query.
+    pub fn with_path(&self, path: &str) -> Url {
+        let mut u = self.clone();
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path, None),
+        };
+        u.path = path;
+        u.query = query;
+        u
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(data) = &self.data {
+            return write!(f, "data:{data}");
+        }
+        write!(f, "{}://{}{}", self.scheme.as_str(), self.host, self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Url {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_forms() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.host(), "example.com");
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.query(), None);
+
+        let u = Url::parse("https://a.b.example.net/x/y?k=v&k2=v2").unwrap();
+        assert_eq!(u.scheme(), Scheme::Https);
+        assert_eq!(u.path(), "/x/y");
+        assert_eq!(u.query(), Some("k=v&k2=v2"));
+    }
+
+    #[test]
+    fn host_is_lowercased() {
+        let u = Url::parse("http://EXAMPLE.Com/P").unwrap();
+        assert_eq!(u.host(), "example.com");
+        // Paths stay case-sensitive.
+        assert_eq!(u.path(), "/P");
+    }
+
+    #[test]
+    fn port_is_stripped() {
+        let u = Url::parse("http://example.com:8080/x").unwrap();
+        assert_eq!(u.host(), "example.com");
+    }
+
+    #[test]
+    fn protocol_relative_defaults_http() {
+        let u = Url::parse("//cdn.example.com/lib.js").unwrap();
+        assert_eq!(u.scheme(), Scheme::Http);
+        assert_eq!(u.host(), "cdn.example.com");
+    }
+
+    #[test]
+    fn data_uri() {
+        let u = Url::parse("data:text/html,%3Chtml%3E").unwrap();
+        assert!(u.is_data());
+        assert_eq!(u.data_payload(), Some("text/html,%3Chtml%3E"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Url::parse("ftp://example.com").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("not a url").is_err());
+        assert!(Url::parse("http://bad host/").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "http://example.com/",
+            "https://a.example.net/x?y=1",
+            "http://goo.gl/VAdNHA",
+        ] {
+            let u = Url::parse(s).unwrap();
+            let re = Url::parse(&u.to_string()).unwrap();
+            assert_eq!(u, re);
+        }
+    }
+
+    #[test]
+    fn registered_domain_and_tld() {
+        let u = Url::parse("http://sub.deep.example.com/x").unwrap();
+        assert_eq!(u.registered_domain(), "example.com");
+        assert_eq!(u.tld().label(), "com");
+
+        let u = Url::parse("http://animestectudo.blogspot.com.br/").unwrap();
+        assert_eq!(u.registered_domain(), "blogspot.com.br");
+    }
+
+    #[test]
+    fn with_path_replaces_query_too() {
+        let u = Url::parse("http://example.com/a?old=1").unwrap();
+        let v = u.with_path("/b?new=2");
+        assert_eq!(v.path(), "/b");
+        assert_eq!(v.query(), Some("new=2"));
+        assert_eq!(v.host(), "example.com");
+    }
+
+    #[test]
+    fn http_constructor_normalizes() {
+        let u = Url::http("EXAMPLE.com", "page?x=1");
+        assert_eq!(u.to_string(), "http://example.com/page?x=1");
+    }
+}

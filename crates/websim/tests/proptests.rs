@@ -1,0 +1,134 @@
+//! Property tests for the synthetic-web substrate: URL invariants,
+//! domain computation, generator determinism, shortener accounting.
+
+use proptest::prelude::*;
+use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+use slum_websim::domain::registered_domain;
+use slum_websim::rng::{heavy_tail, path_token, pick_weighted, seeded};
+use slum_websim::shortener::ShortenerService;
+use slum_websim::{RequestContext, Url};
+
+proptest! {
+    /// Url::parse is total over arbitrary strings.
+    #[test]
+    fn url_parse_is_total(s in ".{0,200}") {
+        let _ = Url::parse(&s);
+    }
+
+    /// Display → parse is the identity for URLs built from valid parts.
+    #[test]
+    fn url_display_round_trip(
+        host in "[a-z][a-z0-9-]{0,20}(\\.[a-z][a-z0-9-]{1,10}){1,3}",
+        path in "(/[a-zA-Z0-9._-]{0,12}){0,4}",
+        query in "([a-z0-9]{1,8}=[a-zA-Z0-9]{0,8}(&[a-z0-9]{1,8}=[a-zA-Z0-9]{0,8}){0,3})?",
+    ) {
+        let text = if query.is_empty() {
+            format!("http://{host}{path}")
+        } else {
+            format!("http://{host}{path}?{query}")
+        };
+        let url = Url::parse(&text).expect("valid by construction");
+        let re = Url::parse(&url.to_string()).expect("display must re-parse");
+        prop_assert_eq!(url, re);
+    }
+
+    /// The registered domain is always a dot-suffix of the host and has
+    /// at most 3 labels.
+    #[test]
+    fn registered_domain_invariants(host in "[a-z][a-z0-9-]{0,10}(\\.[a-z][a-z0-9]{1,8}){0,4}") {
+        let domain = registered_domain(&host);
+        let suffix = format!(".{}", domain);
+        let is_suffix = host == domain || host.ends_with(&suffix);
+        prop_assert!(is_suffix, "{} not a suffix of {}", domain, host);
+        prop_assert!(domain.split('.').count() <= 3);
+    }
+
+    /// Weighted picking always returns a valid index with positive
+    /// weight.
+    #[test]
+    fn pick_weighted_valid(weights in proptest::collection::vec(0.0f64..10.0, 1..20), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = seeded(seed);
+        let idx = pick_weighted(&mut rng, &weights);
+        prop_assert!(idx < weights.len());
+        // Zero-weight entries are never picked when alternatives exist.
+        if weights[idx] == 0.0 {
+            prop_assert!(weights.iter().all(|w| *w == 0.0));
+        }
+    }
+
+    /// Heavy-tail samples stay in range.
+    #[test]
+    fn heavy_tail_in_range(seed in 0u64..500, min in 1u64..1000, span in 2u64..1_000_000) {
+        let max = min + span;
+        let mut rng = seeded(seed);
+        let v = heavy_tail(&mut rng, min, max);
+        prop_assert!((min..=max).contains(&v));
+    }
+
+    /// Path tokens are URL-safe.
+    #[test]
+    fn path_tokens_are_url_safe(seed in 0u64..200, len in 0usize..40) {
+        let mut rng = seeded(seed);
+        let token = path_token(&mut rng, len);
+        prop_assert_eq!(token.len(), len);
+        prop_assert!(token.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+
+    /// The builder is deterministic: identical seeds and call sequences
+    /// produce identical site URLs.
+    #[test]
+    fn builder_deterministic(seed in 0u64..300, n in 1usize..10) {
+        let run = |seed| {
+            let mut b = WebBuilder::new(seed);
+            (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        b.benign_site(BenignOptions::default()).url.to_string()
+                    } else {
+                        b.malicious_site(MaliciousOptions::default()).url.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Every generated site is fetchable by a browser and serves HTML or
+    /// a redirect (never a 404).
+    #[test]
+    fn generated_sites_are_reachable(seed in 0u64..200) {
+        let mut b = WebBuilder::new(seed);
+        let benign = b.benign_site(BenignOptions::default());
+        let malicious = b.malicious_site(MaliciousOptions::default());
+        let web = b.finish();
+        for spec in [benign, malicious] {
+            let out = web.fetch(&spec.url, &RequestContext::browser());
+            prop_assert!(
+                !matches!(out, slum_websim::FetchOutcome::NotFound),
+                "{} unreachable", spec.url
+            );
+        }
+    }
+
+    /// Shortener hit accounting: hits equal the number of browser
+    /// resolutions; long-URL hits aggregate monotonically.
+    #[test]
+    fn shortener_hits_exact(n_codes in 1usize..5, visits in proptest::collection::vec(0usize..20, 1..5)) {
+        let svc = ShortenerService::new("goo.gl");
+        let target = Url::http("landing.example.com", "/");
+        let codes: Vec<String> = (0..n_codes).map(|i| format!("code{i}")).collect();
+        for code in &codes {
+            svc.register(code, target.clone());
+        }
+        let mut expected_total = 0u64;
+        for (i, &v) in visits.iter().enumerate() {
+            let code = &codes[i % n_codes];
+            for _ in 0..v {
+                svc.resolve(code, "USA", "ref.example");
+            }
+            expected_total += v as u64;
+        }
+        prop_assert_eq!(svc.long_url_hits(&target), expected_total);
+    }
+}

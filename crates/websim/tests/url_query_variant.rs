@@ -1,0 +1,20 @@
+//! Regression test: `http://host?query` (no path) must parse with a root
+//! path and the query intact.
+
+use slum_websim::Url;
+
+#[test]
+fn query_without_path_parses() {
+    let u = Url::parse("http://a.aa?0=").unwrap();
+    assert_eq!(u.host(), "a.aa");
+    assert_eq!(u.path(), "/");
+    assert_eq!(u.query(), Some("0="));
+    assert_eq!(u.to_string(), "http://a.aa/?0=");
+}
+
+#[test]
+fn query_without_path_round_trips() {
+    let u = Url::parse("http://a.aa?x=1&y=2").unwrap();
+    let re = Url::parse(&u.to_string()).unwrap();
+    assert_eq!(u, re);
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run a scaled-down version of the whole study and print
+//! every table and figure the paper reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use malware_slums::report;
+use malware_slums::study::{Study, StudyConfig};
+
+fn main() {
+    let config = StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 };
+    println!(
+        "Running the Malware Slums study at {}x crawl scale (seed {})...\n",
+        config.crawl_scale, config.seed
+    );
+    let study = Study::run(&config);
+
+    println!("== Corpus ==");
+    println!(
+        "visits: {}   distinct URLs: {}   distinct domains: {}\n",
+        study.store.len(),
+        study.store.distinct_urls(),
+        study.store.distinct_domains()
+    );
+
+    println!("== Table I: statistics of data from traffic exchanges ==");
+    println!("{}", study.table1().render());
+
+    println!("== Table II: statistics of domains on traffic exchanges ==");
+    println!("{}", report::render_table2(&study.table2()));
+
+    println!("== Table III: malware categorization ==");
+    println!("{}", report::render_table3(&study.table3()));
+
+    println!("== Table IV: malicious shortened URLs (top 10) ==");
+    let rows = study.table4();
+    println!("{}", report::render_table4(&rows[..rows.len().min(10)]));
+
+    println!("== Figure 2: malware ratio per exchange ==");
+    println!("{}", report::render_fig2(&study.fig2()));
+
+    println!("== Figure 3: cumulative malicious URLs (downsampled) ==");
+    println!("{}", report::render_fig3(&study.fig3()));
+
+    if let Some(chain) = study.fig4() {
+        println!(
+            "== Figure 4: example redirection chain ({} hops, on {}) ==",
+            chain.hops, chain.exchange
+        );
+        for (i, host) in chain.hosts.iter().enumerate() {
+            let arrow = if i == 0 { "   " } else { "-> " };
+            println!("  {arrow}{host}");
+        }
+        println!();
+    }
+
+    println!("== Figure 5: distribution of URL redirection count ==");
+    println!("{}", report::render_fig5(&study.fig5()));
+
+    println!("== Figure 6: malicious URLs across top-level domains ==");
+    println!("{}", report::render_fig6(&study.fig6()));
+
+    println!("== Figure 7: malicious content across categories ==");
+    println!("{}", report::render_fig7(&study.fig7()));
+
+    println!("== Headline ==");
+    println!(
+        "{:.1}% of regular URLs on the simulated exchanges are malicious (paper: >26%).",
+        study.table1().overall_malicious_fraction() * 100.0
+    );
+}

