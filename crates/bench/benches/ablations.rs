@@ -111,7 +111,7 @@ fn bench_ablations(c: &mut Criterion) {
 
     // --- content-upload path on/off -----------------------------------
     let study =
-        Study::run(&StudyConfig { seed: 79, crawl_scale: 0.0005, domain_scale: 0.04 });
+        Study::run(&StudyConfig { seed: 79, crawl_scale: 0.0005, domain_scale: 0.04, ..Default::default() });
     let ablation = detection_ablation(&study.outcomes);
     eprintln!(
         "[ablation] detection paths: url_scan={} upload={} blacklist_only={} total={}",

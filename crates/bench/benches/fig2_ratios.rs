@@ -6,7 +6,7 @@ use malware_slums::study::{Study, StudyConfig};
 
 fn bench_fig2(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let mut group = c.benchmark_group("fig2");
     group.bench_function("build_bars", |b| b.iter(|| std::hint::black_box(study.fig2())));
     let bars = study.fig2();

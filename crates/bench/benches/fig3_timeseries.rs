@@ -7,7 +7,7 @@ use malware_slums::temporal::CumulativeSeries;
 
 fn bench_fig3(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let mut group = c.benchmark_group("fig3");
     group.bench_function("build_all_series", |b| {
         b.iter(|| std::hint::black_box(study.fig3()))

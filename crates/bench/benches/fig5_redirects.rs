@@ -9,7 +9,7 @@ use slum_websim::{ContentCategory, Tld};
 
 fn bench_fig5(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let mut group = c.benchmark_group("fig5");
     group.bench_function("histogram_build", |b| {
         b.iter(|| std::hint::black_box(study.fig5()))

@@ -5,7 +5,7 @@ use malware_slums::study::{Study, StudyConfig};
 
 fn bench_breakdowns(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let mut group = c.benchmark_group("fig6_fig7");
     group.bench_function("fig6_tld", |b| b.iter(|| std::hint::black_box(study.fig6())));
     group.bench_function("fig7_content", |b| b.iter(|| std::hint::black_box(study.fig7())));

@@ -14,6 +14,7 @@ fn bench_table1(c: &mut Criterion) {
                 seed: 2016,
                 crawl_scale: 0.0002,
                 domain_scale: 0.03,
+                ..Default::default()
             });
             std::hint::black_box(study.table1().overall_malicious_fraction())
         })
@@ -21,7 +22,7 @@ fn bench_table1(c: &mut Criterion) {
 
     // Tabulation alone, over a prebuilt study.
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05, ..Default::default() });
     group.bench_function("tabulate_only", |b| {
         b.iter(|| std::hint::black_box(study.table1()))
     });

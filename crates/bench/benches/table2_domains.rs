@@ -6,7 +6,7 @@ use malware_slums::study::{Study, StudyConfig};
 
 fn bench_table2(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let regular = study.regular_mask();
     c.benchmark_group("table2").bench_function("domain_rows", |b| {
         b.iter(|| {

@@ -8,7 +8,7 @@ use slum_websim::Url;
 
 fn bench_table4(c: &mut Criterion) {
     let study =
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 });
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() });
     let mut group = c.benchmark_group("table4");
     group.bench_function("shortened_rows", |b| {
         b.iter(|| std::hint::black_box(study.table4()))

@@ -10,8 +10,11 @@
 //! Artifacts: `table1`..`table4`, `fig2`..`fig7`, the auxiliary
 //! experiments `vetting` (§III-B), `burst` (§IV), `cloaking` (§III
 //! fn. 1) and `cases` (§V), plus `json` (the full study as one JSON
-//! document). Options: `--scale <f64>` (crawl scale, default 0.002),
-//! `--seed <u64>` (default 2016).
+//! document) and `bench-scan` (serial vs parallel scan-phase timing,
+//! written to `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl
+//! scale, default 0.002), `--seed <u64>` (default 2016) and
+//! `--workers <N>` (scan-phase worker threads, default = available
+//! parallelism; `1` forces the serial path).
 
 use std::sync::OnceLock;
 
@@ -22,12 +25,14 @@ struct Args {
     artifacts: Vec<String>,
     scale: f64,
     seed: u64,
+    workers: usize,
 }
 
 fn parse_args() -> Args {
     let mut artifacts = Vec::new();
     let mut scale = 0.002;
     let mut seed = 2016;
+    let mut workers = malware_slums::study::default_scan_workers();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -43,11 +48,18 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|w| *w >= 1)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [artifacts..] [--scale F] [--seed N]\n\
+                    "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
-                     vetting burst cloaking staleness cases json"
+                     vetting burst cloaking staleness cases json bench-scan"
                 );
                 std::process::exit(0);
             }
@@ -57,7 +69,7 @@ fn parse_args() -> Args {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Args { artifacts, scale, seed }
+    Args { artifacts, scale, seed, workers }
 }
 
 fn die(msg: &str) -> ! {
@@ -76,15 +88,20 @@ fn main() {
                 args.scale, args.seed
             );
             let t0 = std::time::Instant::now();
-            let study = Study::run(&StudyConfig {
+            let (study, timings) = Study::run_timed(&StudyConfig {
                 seed: args.seed,
                 crawl_scale: args.scale,
                 domain_scale: (args.scale * 25.0).clamp(0.03, 1.0),
+                scan_workers: args.workers,
             });
             eprintln!(
-                "[repro] study done: {} visits in {:?}\n",
+                "[repro] study done: {} visits in {:?}",
                 study.store.len(),
                 t0.elapsed()
+            );
+            eprintln!(
+                "[repro] phases: build {:?}  crawl {:?}  scan {:?} ({} worker(s))\n",
+                timings.build, timings.crawl, timings.scan, timings.scan_workers
             );
             study
         })
@@ -235,23 +252,7 @@ fn main() {
         }
 
         // The paper's Code-listing style exhibits.
-        let regular: Vec<bool> = s.regular_mask();
-        let records: Vec<_> = s
-            .store
-            .records()
-            .iter()
-            .zip(&regular)
-            .filter(|(_, keep)| **keep)
-            .map(|(r, _)| r.clone())
-            .collect();
-        let outcomes: Vec<_> = s
-            .outcomes
-            .iter()
-            .zip(&regular)
-            .filter(|(_, keep)| **keep)
-            .map(|(o, _)| o.clone())
-            .collect();
-        let snippets = malware_slums::snippets::collect(&s.web, &records, &outcomes);
+        let snippets = malware_slums::snippets::collect(&s.web, &s.regular_pairs());
         for snippet in &snippets {
             println!("\n--- {} ({})", snippet.caption, snippet.url);
             for line in snippet.listing.lines().take(12) {
@@ -259,5 +260,63 @@ fn main() {
             }
         }
         println!();
+    }
+    // Explicitly requested only — timing output is machine-dependent,
+    // so it must not pollute the deterministic `all` artifacts.
+    if args.artifacts.iter().any(|a| a == "bench-scan") {
+        println!("=== Scan-phase benchmark: serial vs parallel ===");
+        bench_scan(study(), args.seed, args.scale);
+    }
+}
+
+/// Times the scan phase serially and at several worker counts over the
+/// already-crawled corpus, checks the parallel outcomes stay identical,
+/// and writes the measurements to `BENCH_scanpipe.json`.
+fn bench_scan(study: &Study, seed: u64, scale: f64) {
+    use malware_slums::scanpipe::ScanPipeline;
+
+    let records = study.store.records();
+    let pipeline = ScanPipeline::new(&study.web);
+
+    let time_cold = |scan: &dyn Fn() -> Vec<malware_slums::scanpipe::ScanOutcome>| {
+        pipeline.clear_caches();
+        let t0 = std::time::Instant::now();
+        let outcomes = scan();
+        (t0.elapsed(), outcomes)
+    };
+
+    let (serial, baseline) = time_cold(&|| pipeline.scan_all(records));
+    println!("serial          {:>10.1?}  ({} records)", serial, records.len());
+
+    let mut rows = vec![(1usize, serial)];
+    for workers in [2usize, 4, 8] {
+        let (elapsed, outcomes) = time_cold(&|| pipeline.scan_all_parallel(records, workers));
+        assert_eq!(outcomes, baseline, "parallel scan must match serial bit-for-bit");
+        println!(
+            "{workers} workers       {:>10.1?}  (speedup {:.2}x)",
+            elapsed,
+            serial.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+        );
+        rows.push((workers, elapsed));
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(workers, elapsed)| {
+            format!(
+                "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"speedup\": {:.4}}}",
+                elapsed.as_secs_f64(),
+                serial.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"scanpipe\",\n  \"seed\": {seed},\n  \"crawl_scale\": {scale},\n  \"records\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        records.len(),
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_scanpipe.json", &json) {
+        Ok(()) => println!("wrote BENCH_scanpipe.json\n"),
+        Err(e) => eprintln!("repro: could not write BENCH_scanpipe.json: {e}"),
     }
 }

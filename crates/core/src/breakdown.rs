@@ -19,10 +19,9 @@ pub struct TldBreakdown {
 impl TldBreakdown {
     /// Builds the breakdown over malicious records (keyed by the surfed
     /// URL's TLD, matching the paper's per-URL accounting).
-    pub fn build(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> TldBreakdown {
-        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+    pub fn build(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> TldBreakdown {
         let mut counts = BTreeMap::new();
-        for (record, outcome) in records.iter().zip(outcomes) {
+        for (record, outcome) in pairs {
             if outcome.malicious {
                 let bucket = record.url.tld().figure6_bucket().to_string();
                 *counts.entry(bucket).or_insert(0) += 1;
@@ -60,12 +59,10 @@ impl ContentBreakdown {
     /// is unknown fall into "Others".
     pub fn build(
         web: &SyntheticWeb,
-        records: &[CrawlRecord],
-        outcomes: &[ScanOutcome],
+        pairs: &[(&CrawlRecord, &ScanOutcome)],
     ) -> ContentBreakdown {
-        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
         let mut counts = BTreeMap::new();
-        for (record, outcome) in records.iter().zip(outcomes) {
+        for (record, outcome) in pairs {
             if outcome.malicious {
                 let category = page_category(web, &record.final_url)
                     .or_else(|| page_category(web, &record.url))
@@ -199,7 +196,8 @@ mod tests {
             record("X", "http://e-site.org/"),
         ];
         let outcomes: Vec<_> = (0..5).map(|_| outcome(true)).collect();
-        let t = TldBreakdown::build(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let t = TldBreakdown::build(&pairs);
         assert_eq!(t.total(), 5);
         assert!((t.share("com") - 0.4).abs() < 1e-9);
         assert!((t.share("net") - 0.2).abs() < 1e-9);
@@ -212,7 +210,8 @@ mod tests {
     fn benign_records_excluded_from_breakdowns() {
         let records = vec![record("X", "http://a-site.com/"), record("X", "http://b-site.net/")];
         let outcomes = vec![outcome(true), outcome(false)];
-        let t = TldBreakdown::build(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let t = TldBreakdown::build(&pairs);
         assert_eq!(t.total(), 1);
     }
 
@@ -253,7 +252,8 @@ mod tests {
         let web = b.finish();
         let records = vec![record("X", &spec.url.to_string())];
         let outcomes = vec![outcome(true)];
-        let c = ContentBreakdown::build(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let c = ContentBreakdown::build(&web, &pairs);
         assert_eq!(c.counts.get("Business"), Some(&1));
     }
 
@@ -263,7 +263,8 @@ mod tests {
         let web = b.finish();
         let records = vec![record("X", "http://ghost-site.com/")];
         let outcomes = vec![outcome(true)];
-        let c = ContentBreakdown::build(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let c = ContentBreakdown::build(&web, &pairs);
         assert_eq!(c.counts.get("Others"), Some(&1));
     }
 }

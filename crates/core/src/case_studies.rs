@@ -42,13 +42,9 @@ pub struct IframeExhibit {
 
 /// Extracts the §V-A taxonomy from malicious records with captured
 /// content.
-pub fn iframe_injections(
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
-) -> Vec<IframeExhibit> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+pub fn iframe_injections(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> Vec<IframeExhibit> {
     let mut out = Vec::new();
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious {
             continue;
         }
@@ -106,13 +102,9 @@ pub struct DownloadExhibit {
 }
 
 /// Extracts deceptive-download exhibits.
-pub fn deceptive_downloads(
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
-) -> Vec<DownloadExhibit> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+pub fn deceptive_downloads(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> Vec<DownloadExhibit> {
     let mut out = Vec::new();
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious {
             continue;
         }
@@ -153,13 +145,11 @@ pub struct RotatorExhibit {
 /// that rotate.
 pub fn rotating_redirectors(
     web: &SyntheticWeb,
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
+    pairs: &[(&CrawlRecord, &ScanOutcome)],
     probes: usize,
 ) -> Vec<RotatorExhibit> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
     let mut out: Vec<RotatorExhibit> = Vec::new();
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious {
             continue;
         }
@@ -210,13 +200,11 @@ pub struct FlashExhibit {
 /// click simulation enabled.
 pub fn flash_clickjacks(
     web: &SyntheticWeb,
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
+    pairs: &[(&CrawlRecord, &ScanOutcome)],
 ) -> Vec<FlashExhibit> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
     let mut out: Vec<FlashExhibit> = Vec::new();
     let browser = Browser::new(web);
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious
             || !outcome.findings().contains(&slum_detect::quttera::QutteraFinding::MaliciousFlash)
         {
@@ -256,12 +244,10 @@ pub struct FalsePositiveExhibit {
 /// paper's authors did this drill-down by hand.)
 pub fn false_positives(
     web: &SyntheticWeb,
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
+    pairs: &[(&CrawlRecord, &ScanOutcome)],
 ) -> Vec<FalsePositiveExhibit> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
     let mut out: Vec<FalsePositiveExhibit> = Vec::new();
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious {
             continue;
         }
@@ -308,9 +294,10 @@ mod tests {
         let web = b.finish();
         let records: Vec<_> =
             [&pixel.url, &invis.url, &dynamic.url].iter().map(|u| crawl_one(&web, u)).collect();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
-        let exhibits = iframe_injections(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let exhibits = iframe_injections(&pairs);
 
         let kinds: std::collections::BTreeSet<_> = exhibits.iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&IframeInjectionKind::BarelyVisible), "{exhibits:?}");
@@ -333,9 +320,10 @@ mod tests {
         );
         let web = b.finish();
         let records = vec![crawl_one(&web, &spec.url)];
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
-        let exhibits = deceptive_downloads(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let exhibits = deceptive_downloads(&pairs);
         assert_eq!(exhibits.len(), 1);
         assert!(exhibits[0].uses_data_uri_prompt);
     }
@@ -346,9 +334,10 @@ mod tests {
         let spec = b.rotating_redirector_site(4, ContentCategory::Advertisement);
         let web = b.finish();
         let records = vec![crawl_one(&web, &spec.url)];
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
-        let exhibits = rotating_redirectors(&web, &records, &outcomes, 4);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let exhibits = rotating_redirectors(&web, &pairs, 4);
         assert_eq!(exhibits.len(), 1, "{exhibits:?}");
         assert!(exhibits[0].destinations.len() >= 2);
     }
@@ -359,9 +348,10 @@ mod tests {
         let spec = b.flash_site(Tld::Com, ContentCategory::Entertainment);
         let web = b.finish();
         let records = vec![crawl_one(&web, &spec.url)];
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
-        let exhibits = flash_clickjacks(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let exhibits = flash_clickjacks(&web, &pairs);
         assert_eq!(exhibits.len(), 1);
         assert_eq!(exhibits[0].movie_name, "AdFlash46");
         assert!(exhibits[0].external_calls.contains(&"AdFlash.onClick".to_string()));
@@ -374,10 +364,11 @@ mod tests {
         let ga = b.false_positive_site(FalsePositiveKind::GoogleAnalytics);
         let web = b.finish();
         let records = vec![crawl_one(&web, &ga.url)];
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
         if outcomes[0].malicious {
-            let fps = false_positives(&web, &records, &outcomes);
+            let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+            let fps = false_positives(&web, &pairs);
             assert_eq!(fps.len(), 1);
             assert_eq!(fps[0].kind, FalsePositiveKind::GoogleAnalytics);
             assert!(fps[0].labels.iter().any(|l| l.contains("Faceliker")));
@@ -394,9 +385,10 @@ mod tests {
         });
         let web = b.finish();
         let records = vec![crawl_one(&web, &spec.url)];
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
         assert!(outcomes[0].malicious);
-        assert!(false_positives(&web, &records, &outcomes).is_empty());
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        assert!(false_positives(&web, &pairs).is_empty());
     }
 }

@@ -114,9 +114,9 @@ pub struct CategoryCounts {
     pub total_malicious: u64,
 }
 
-/// Tallies categories over aligned `(record, outcome)` pairs.
-pub fn tally(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> CategoryCounts {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+/// Tallies categories over `(record, outcome)` pairs (borrowed, as
+/// produced by [`crate::Study::regular_pairs`]).
+pub fn tally(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> CategoryCounts {
     let mut counts = CategoryCounts {
         counts: [
             (Some(Category::Blacklisted), 0),
@@ -128,7 +128,7 @@ pub fn tally(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> CategoryCount
         ],
         total_malicious: 0,
     };
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if let Some(category) = categorize(record, outcome) {
             counts.total_malicious += 1;
             let idx = Category::ALL.iter().position(|c| *c == category).expect("known");
@@ -293,7 +293,8 @@ mod tests {
             outcome(false, vec![], None),
             outcome(true, vec![QutteraFinding::GenericMalware], None),
         ];
-        let counts = tally(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let counts = tally(&pairs);
         assert_eq!(counts.total_malicious, 3);
         assert_eq!(counts.count(Category::Blacklisted), 1);
         assert_eq!(counts.count(Category::MaliciousJs), 1);
@@ -309,8 +310,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "align")]
-    fn misaligned_tally_panics() {
-        tally(&[], &[outcome(false, vec![], None)]);
+    fn empty_tally_is_zero() {
+        let counts = tally(&[]);
+        assert_eq!(counts.total_malicious, 0);
+        assert!(counts.counts.iter().all(|(_, n)| *n == 0));
     }
 }

@@ -307,6 +307,7 @@ mod tests {
             seed: 5,
             crawl_scale: 0.0002,
             domain_scale: 0.03,
+            ..Default::default()
         });
         let warning = SurfWarning::from_study(&study);
         assert_eq!(warning.known_exchanges(), 9);
@@ -320,6 +321,7 @@ mod tests {
             seed: 6,
             crawl_scale: 0.0005,
             domain_scale: 0.04,
+            ..Default::default()
         });
         let ablation = detection_ablation(&study.outcomes);
         assert!(ablation.total > 0);

@@ -205,7 +205,7 @@ mod tests {
     use crate::study::StudyConfig;
 
     fn tiny() -> Study {
-        Study::run(&StudyConfig { seed: 500, crawl_scale: 0.0002, domain_scale: 0.03 })
+        Study::run(&StudyConfig { seed: 500, crawl_scale: 0.0002, domain_scale: 0.03, ..Default::default() })
     }
 
     #[test]

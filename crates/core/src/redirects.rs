@@ -21,10 +21,9 @@ pub struct RedirectHistogram {
 
 impl RedirectHistogram {
     /// Builds the histogram over malicious redirecting records.
-    pub fn build(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> RedirectHistogram {
-        assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
+    pub fn build(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> RedirectHistogram {
         let mut counts = BTreeMap::new();
-        for (record, outcome) in records.iter().zip(outcomes) {
+        for (record, outcome) in pairs {
             if outcome.malicious && record.redirect_hops > 0 {
                 *counts.entry(record.redirect_hops).or_insert(0) += 1;
             }
@@ -68,10 +67,9 @@ pub struct ChainExhibit {
 
 /// Picks the longest malicious redirect chain in the corpus as the
 /// Figure 4 exhibit.
-pub fn longest_chain(records: &[CrawlRecord], outcomes: &[ScanOutcome]) -> Option<ChainExhibit> {
-    records
+pub fn longest_chain(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> Option<ChainExhibit> {
+    pairs
         .iter()
-        .zip(outcomes)
         .filter(|(r, o)| o.malicious && r.redirect_hops > 0)
         .max_by_key(|(r, _)| r.redirect_hops)
         .map(|(r, _)| ChainExhibit {
@@ -126,7 +124,8 @@ mod tests {
         let records = vec![record(1), record(1), record(2), record(0), record(3)];
         let outcomes =
             vec![outcome(true), outcome(true), outcome(true), outcome(true), outcome(false)];
-        let h = RedirectHistogram::build(&records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let h = RedirectHistogram::build(&pairs);
         assert_eq!(h.at(1), 2);
         assert_eq!(h.at(2), 1);
         assert_eq!(h.at(3), 0, "benign chains excluded");
@@ -149,15 +148,16 @@ mod tests {
     fn longest_chain_selected() {
         let records = vec![record(2), record(5), record(7), record(6)];
         let outcomes = vec![outcome(true), outcome(true), outcome(false), outcome(true)];
-        let exhibit = longest_chain(&records, &outcomes).unwrap();
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let exhibit = longest_chain(&pairs).unwrap();
         assert_eq!(exhibit.hops, 6, "the 7-hop chain is benign");
         assert_eq!(exhibit.hosts.len(), 7);
     }
 
     #[test]
     fn empty_corpus_has_no_exhibit() {
-        assert!(longest_chain(&[], &[]).is_none());
-        let h = RedirectHistogram::build(&[], &[]);
+        assert!(longest_chain(&[]).is_none());
+        let h = RedirectHistogram::build(&[]);
         assert_eq!(h.total(), 0);
         assert_eq!(h.max_hops(), 0);
     }

@@ -6,19 +6,23 @@
 //! serve benign content to scanner fetches — so for URLs whose URL scan
 //! comes back clean, the pipeline uploads the page content the crawler's
 //! *browser* captured, which defeats the cloak.
-
-use std::collections::HashMap;
+//!
+//! The pipeline is data-parallel: [`ScanPipeline::scan`] takes `&self`,
+//! all memoization lives in sharded concurrent caches
+//! ([`slum_detect::ShardedCache`]), and [`ScanPipeline::scan_all_parallel`]
+//! fans a batch out over scoped worker threads while keeping the output
+//! order — and the verdicts themselves — identical to the serial path.
 
 use slum_browser::Browser;
 use slum_crawler::CrawlRecord;
 use slum_detect::blacklist::BlacklistDb;
 use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport};
 use slum_detect::virustotal::{VirusTotal, VtReport};
-use slum_detect::Features;
+use slum_detect::{Features, ShardedCache};
 use slum_websim::{RequestContext, SyntheticWeb, Url};
 
 /// Verdict and evidence for one scanned record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanOutcome {
     /// Final verdict.
     pub malicious: bool,
@@ -46,14 +50,23 @@ impl ScanOutcome {
     }
 }
 
-/// The scanning pipeline, holding the services and a feature cache.
+/// The scanning pipeline: detection services plus the shared
+/// memoization caches. Every method takes `&self`, so one pipeline can
+/// be driven from many scan workers at once.
 pub struct ScanPipeline<'w> {
     web: &'w SyntheticWeb,
     vt: VirusTotal<'w>,
     quttera: Quttera<'w>,
     blacklists: BlacklistDb,
-    /// URL-scan features cache: one scanner fetch per distinct URL.
-    url_features: HashMap<String, Features>,
+    /// URL-scan features: one scanner fetch per distinct canonical URL.
+    url_features: ShardedCache<Features>,
+    /// Host → registered domain, so chain hosts repeated across records
+    /// don't re-derive the suffix computation.
+    host_domains: ShardedCache<String>,
+    /// Registered domain → blacklist-consensus verdict. The consensus
+    /// walks all six lists; memoizing it per domain collapses that to
+    /// one walk per distinct domain across the whole corpus.
+    domain_blacklisted: ShardedCache<bool>,
 }
 
 impl<'w> ScanPipeline<'w> {
@@ -65,7 +78,9 @@ impl<'w> ScanPipeline<'w> {
             vt: VirusTotal::new(web),
             quttera: Quttera::new(web),
             blacklists: BlacklistDb::populate_from_web(web),
-            url_features: HashMap::new(),
+            url_features: ShardedCache::new(),
+            host_domains: ShardedCache::new(),
+            domain_blacklisted: ShardedCache::new(),
         }
     }
 
@@ -74,15 +89,26 @@ impl<'w> ScanPipeline<'w> {
         &self.blacklists
     }
 
+    /// Drops all memoized state (URL features, domain derivations,
+    /// consensus verdicts). Verdicts are deterministic with or without
+    /// warm caches; benchmarks use this to measure cold scans without
+    /// paying pipeline construction again.
+    pub fn clear_caches(&self) {
+        self.url_features.clear();
+        self.host_domains.clear();
+        self.domain_blacklisted.clear();
+    }
+
+    /// Number of distinct URLs whose scan features are currently cached.
+    pub fn cached_urls(&self) -> usize {
+        self.url_features.len()
+    }
+
     /// Scans one crawl record.
-    pub fn scan(&mut self, record: &CrawlRecord) -> ScanOutcome {
+    pub fn scan(&self, record: &CrawlRecord) -> ScanOutcome {
         // 1. Blacklist consensus over every domain on the redirect chain
         //    (the entry URL may be benign while the destination is not).
-        let blacklisted_domain = record
-            .chain_hosts
-            .iter()
-            .map(|h| slum_websim::domain::registered_domain(h))
-            .find(|d| self.blacklists.check(d).is_blacklisted());
+        let blacklisted_domain = self.chain_blacklist_hit(record);
 
         // 2. URL scans (scanner-side fetch; cloaking applies).
         let url_features = self.url_features(&record.url);
@@ -110,29 +136,74 @@ impl<'w> ScanPipeline<'w> {
         ScanOutcome { malicious, vt, quttera, blacklisted_domain, needed_content_upload }
     }
 
-    /// Scans a batch, preserving order.
-    pub fn scan_all(&mut self, records: &[CrawlRecord]) -> Vec<ScanOutcome> {
+    /// Scans a batch serially, preserving order.
+    pub fn scan_all(&self, records: &[CrawlRecord]) -> Vec<ScanOutcome> {
         records.iter().map(|r| self.scan(r)).collect()
     }
 
+    /// Scans a batch across `workers` scoped threads.
+    ///
+    /// Records are split into contiguous chunks, each worker scans its
+    /// chunk independently against the shared caches, and the per-chunk
+    /// results are concatenated in input order — so the output is
+    /// index-aligned with `records` and identical to
+    /// [`ScanPipeline::scan_all`] for every worker count (verdicts are
+    /// pure functions of the record; caches only change *when* work
+    /// happens, never its result).
+    pub fn scan_all_parallel(&self, records: &[CrawlRecord], workers: usize) -> Vec<ScanOutcome> {
+        let workers = workers.max(1).min(records.len().max(1));
+        if workers == 1 {
+            return self.scan_all(records);
+        }
+        let chunk_len = records.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = records
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move |_| self.scan_all(chunk)))
+                .collect();
+            let mut merged = Vec::with_capacity(records.len());
+            for handle in handles {
+                merged.extend(handle.join().expect("scan worker panicked"));
+            }
+            merged
+        })
+        .expect("scan scope panicked")
+    }
+
+    /// Chain-wide blacklist check: first registered domain on the
+    /// redirect chain that hits the list consensus. Domain derivation is
+    /// memoized per host and the consensus per domain, so repeated
+    /// chains cost two cache reads per hop.
+    fn chain_blacklist_hit(&self, record: &CrawlRecord) -> Option<String> {
+        for host in &record.chain_hosts {
+            let domain = self
+                .host_domains
+                .get_or_insert_with(host, || slum_websim::domain::registered_domain(host));
+            let hit = self
+                .domain_blacklisted
+                .get_or_insert_with(&domain, || self.blacklists.check(&domain).is_blacklisted());
+            if hit {
+                return Some(domain);
+            }
+        }
+        None
+    }
+
     /// Cached feature extraction for the URL-scan path: one scanner
-    /// fetch per distinct URL, shared between VT and Quttera. Redirected
-    /// loads mark the redirect feature the way the Quttera URL scan
-    /// does.
-    fn url_features(&mut self, url: &Url) -> Features {
-        let key = url.canonical();
-        if let Some(f) = self.url_features.get(&key) {
-            return f.clone();
-        }
-        let browser =
-            Browser::new(self.web).with_context(RequestContext::scanner("pipeline"));
-        let load = browser.load(url);
-        let mut features = Features::from_load(&load);
-        if load.was_redirected() {
-            features.js_redirect = true;
-        }
-        self.url_features.insert(key, features.clone());
-        features
+    /// fetch per distinct URL, shared between VT and Quttera (and
+    /// between scan workers). Redirected loads mark the redirect
+    /// feature the way the Quttera URL scan does.
+    fn url_features(&self, url: &Url) -> Features {
+        self.url_features.get_or_insert_with(&url.canonical(), || {
+            let browser =
+                Browser::new(self.web).with_context(RequestContext::scanner("pipeline"));
+            let load = browser.load(url);
+            let mut features = Features::from_load(&load);
+            if load.was_redirected() {
+                features.js_redirect = true;
+            }
+            features
+        })
     }
 }
 
@@ -154,7 +225,7 @@ mod tests {
         let mut b = WebBuilder::new(200);
         let site = b.benign_site(BenignOptions::default());
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcome = pipe.scan(&record_for(&web, &site.url));
         assert!(!outcome.malicious);
         assert!(!outcome.needed_content_upload);
@@ -169,7 +240,7 @@ mod tests {
             ..Default::default()
         });
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcome = pipe.scan(&record_for(&web, &spec.url));
         assert!(outcome.malicious);
         assert_eq!(outcome.blacklisted_domain, Some(spec.url.registered_domain()));
@@ -180,7 +251,7 @@ mod tests {
         let mut b = WebBuilder::new(202);
         let spec = b.js_site(JsAttack::DynamicIframe, Tld::Com, ContentCategory::Business, false);
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcome = pipe.scan(&record_for(&web, &spec.url));
         assert!(outcome.malicious);
         assert!(outcome.vt.is_malicious() || outcome.quttera.is_malicious());
@@ -191,7 +262,7 @@ mod tests {
         let mut b = WebBuilder::new(203);
         let spec = b.misc_site(Tld::Com, ContentCategory::Business, true);
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcome = pipe.scan(&record_for(&web, &spec.url));
         assert!(outcome.malicious);
         assert!(outcome.needed_content_upload, "cloak must force the upload path");
@@ -202,7 +273,7 @@ mod tests {
         let mut b = WebBuilder::new(204);
         let spec = b.misc_site(Tld::Com, ContentCategory::Business, true);
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let mut record = record_for(&web, &spec.url);
         record.content = None; // crawler didn't keep the page
         let outcome = pipe.scan(&record);
@@ -215,7 +286,7 @@ mod tests {
         let benign = b.benign_site(BenignOptions::default());
         let bad = b.js_site(JsAttack::HiddenIframe, Tld::Com, ContentCategory::Business, false);
         let web = b.finish();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let records = vec![
             record_for(&web, &benign.url),
             record_for(&web, &bad.url),
@@ -226,5 +297,28 @@ mod tests {
         assert!(!outcomes[0].malicious);
         assert!(outcomes[1].malicious);
         assert!(!outcomes[2].malicious);
+        // Two distinct URLs => two cached feature entries.
+        assert_eq!(pipe.cached_urls(), 2);
+        pipe.clear_caches();
+        assert_eq!(pipe.cached_urls(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_even_with_more_workers_than_records() {
+        let mut b = WebBuilder::new(206);
+        let specs = [
+            b.benign_site(BenignOptions::default()),
+            b.js_site(JsAttack::HiddenIframe, Tld::Com, ContentCategory::Business, false),
+            b.misc_site(Tld::Com, ContentCategory::Business, true),
+        ];
+        let web = b.finish();
+        let pipe = ScanPipeline::new(&web);
+        let records: Vec<CrawlRecord> =
+            specs.iter().map(|s| record_for(&web, &s.url)).collect();
+        let serial = pipe.scan_all(&records);
+        for workers in [2, 3, 16] {
+            pipe.clear_caches();
+            assert_eq!(pipe.scan_all_parallel(&records, workers), serial, "workers={workers}");
+        }
     }
 }

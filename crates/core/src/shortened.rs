@@ -32,13 +32,11 @@ pub struct ShortenedRow {
 /// the corpus and queries the services' public statistics.
 pub fn shortened_rows(
     web: &SyntheticWeb,
-    records: &[CrawlRecord],
-    outcomes: &[ScanOutcome],
+    pairs: &[(&CrawlRecord, &ScanOutcome)],
 ) -> Vec<ShortenedRow> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut rows = Vec::new();
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious || !record.via_shortener {
             continue;
         }
@@ -113,7 +111,8 @@ mod tests {
             })
             .collect();
         let outcomes = vec![outcome(true), outcome(true)];
-        let rows = shortened_rows(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let rows = shortened_rows(&web, &pairs);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(web.shorteners().is_shortener_host(row.short_url.host()));
@@ -134,7 +133,8 @@ mod tests {
         let rec = CrawlRecord::from_load("X", 0, 0, &load);
         let records = vec![rec.clone(), rec.clone(), rec];
         let outcomes = vec![outcome(true), outcome(true), outcome(false)];
-        let rows = shortened_rows(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let rows = shortened_rows(&web, &pairs);
         assert_eq!(rows.len(), 1, "dedup by short URL; benign visit ignored");
     }
 
@@ -146,7 +146,8 @@ mod tests {
         let load = Browser::new(&web).load(&site.url);
         let mut rec = CrawlRecord::from_load("X", 0, 0, &load);
         rec.via_shortener = true; // inconsistent flag; host check must catch it
-        let rows = shortened_rows(&web, &[rec], &[outcome(true)]);
+        let o = outcome(true);
+        let rows = shortened_rows(&web, &[(&rec, &o)]);
         assert!(rows.is_empty());
     }
 
@@ -154,6 +155,6 @@ mod tests {
     fn empty_store_yields_no_rows() {
         let b = WebBuilder::new(223);
         let web = b.finish();
-        assert!(shortened_rows(&web, &[], &[]).is_empty());
+        assert!(shortened_rows(&web, &[]).is_empty());
     }
 }

@@ -125,13 +125,11 @@ pub fn decompiled_swf_snippet(web: &SyntheticWeb, url: &Url, html: &str) -> Opti
 /// corpus.
 pub fn collect(
     web: &SyntheticWeb,
-    records: &[slum_crawler::CrawlRecord],
-    outcomes: &[crate::scanpipe::ScanOutcome],
+    pairs: &[(&slum_crawler::CrawlRecord, &crate::scanpipe::ScanOutcome)],
 ) -> Vec<Snippet> {
-    assert_eq!(records.len(), outcomes.len(), "records and outcomes must align");
     let mut out: Vec<Snippet> = Vec::new();
     let mut have = [false; 4];
-    for (record, outcome) in records.iter().zip(outcomes) {
+    for (record, outcome) in pairs {
         if !outcome.malicious {
             continue;
         }
@@ -247,9 +245,10 @@ mod tests {
                 slum_crawler::CrawlRecord::from_load("snip", 0, 0, &load)
             })
             .collect();
-        let mut pipe = ScanPipeline::new(&web);
+        let pipe = ScanPipeline::new(&web);
         let outcomes = pipe.scan_all(&records);
-        let snippets = collect(&web, &records, &outcomes);
+        let pairs: Vec<_> = records.iter().zip(&outcomes).collect();
+        let snippets = collect(&web, &pairs);
         assert!(snippets.len() >= 3, "{snippets:#?}");
     }
 }

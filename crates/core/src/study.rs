@@ -29,12 +29,40 @@ pub struct StudyConfig {
     pub crawl_scale: f64,
     /// Fraction of the paper's per-exchange domain pools to install.
     pub domain_scale: f64,
+    /// Worker threads for the scan phase. `1` scans serially (the
+    /// historical behaviour); the default is the machine's available
+    /// parallelism. Results are identical for every worker count.
+    pub scan_workers: usize,
 }
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05 }
+        StudyConfig {
+            seed: 2016,
+            crawl_scale: 0.001,
+            domain_scale: 0.05,
+            scan_workers: default_scan_workers(),
+        }
     }
+}
+
+/// The machine's available parallelism (used as the default scan worker
+/// count), falling back to 4 where it cannot be queried.
+pub fn default_scan_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+}
+
+/// Wall-clock spent in each phase of [`Study::run_timed`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Web population + exchange construction.
+    pub build: std::time::Duration,
+    /// Parallel crawl of the nine exchanges.
+    pub crawl: std::time::Duration,
+    /// Referral classification + the (possibly parallel) scan phase.
+    pub scan: std::time::Duration,
+    /// Scan workers actually used.
+    pub scan_workers: usize,
 }
 
 /// A completed study: the corpus, verdicts, and every derived artifact.
@@ -53,10 +81,16 @@ pub struct Study {
 impl Study {
     /// Runs the full pipeline.
     pub fn run(config: &StudyConfig) -> Study {
+        Study::run_timed(config).0
+    }
+
+    /// Runs the full pipeline, reporting per-phase wall-clock timings.
+    pub fn run_timed(config: &StudyConfig) -> (Study, PhaseTimings) {
         // 1. Build the web population + the nine exchanges. Each
         //    exchange gets its *own* planned crawl span so manual-surf
         //    campaign bursts land inside the (much shorter) manual
         //    crawls rather than after they end.
+        let t_build = std::time::Instant::now();
         let mut builder = WebBuilder::new(config.seed);
         let mut exchanges: Vec<Exchange> = PROFILES
             .iter()
@@ -66,31 +100,29 @@ impl Study {
             })
             .collect();
         let web = builder.finish();
+        let build = t_build.elapsed();
 
         // 2. Crawl all nine exchanges in parallel.
+        let t_crawl = std::time::Instant::now();
         let (store, _stats) = crawl_all(&web, &mut exchanges, config.seed, |x| {
             let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
             steps_for(profile, config.crawl_scale)
         });
+        let crawl = t_crawl.elapsed();
 
-        // 3. Classify referrals, then scan every *regular* record.
+        // 3. Classify referrals, then scan every *regular* record
+        //    across the configured worker count.
+        let t_scan = std::time::Instant::now();
         let filter = ReferralFilter::from_profiles(PROFILES.iter());
         let referrals: Vec<ReferralClass> =
             store.records().iter().map(|r| filter.classify(r)).collect();
-        let mut pipeline = ScanPipeline::new(&web);
-        let outcomes: Vec<ScanOutcome> = store
-            .records()
-            .iter()
-            .zip(&referrals)
-            .map(|(record, class)| match class {
-                ReferralClass::Regular => pipeline.scan(record),
-                // Self/popular referrals are excluded from analysis; give
-                // them an inert clean outcome so indices stay aligned.
-                _ => clean_outcome(record),
-            })
-            .collect();
+        let pipeline = ScanPipeline::new(&web);
+        let (outcomes, scan_workers) =
+            scan_phase(&pipeline, store.records(), &referrals, config.scan_workers);
+        let scan = t_scan.elapsed();
 
-        Study { web, store, outcomes, referrals, config: config.clone() }
+        let study = Study { web, store, outcomes, referrals, config: config.clone() };
+        (study, PhaseTimings { build, crawl, scan, scan_workers })
     }
 
     /// The configuration the study ran with.
@@ -103,18 +135,17 @@ impl Study {
         self.referrals.iter().map(|c| *c == ReferralClass::Regular).collect()
     }
 
-    fn regular_pairs(&self) -> (Vec<CrawlRecord>, Vec<ScanOutcome>) {
-        let mut records = Vec::new();
-        let mut outcomes = Vec::new();
-        for ((record, outcome), class) in
-            self.store.records().iter().zip(&self.outcomes).zip(&self.referrals)
-        {
-            if *class == ReferralClass::Regular {
-                records.push(record.clone());
-                outcomes.push(outcome.clone());
-            }
-        }
-        (records, outcomes)
+    /// Regular records paired with their outcomes, borrowed from the
+    /// study (no record/outcome cloning).
+    pub fn regular_pairs(&self) -> Vec<(&CrawlRecord, &ScanOutcome)> {
+        self.store
+            .records()
+            .iter()
+            .zip(&self.outcomes)
+            .zip(&self.referrals)
+            .filter(|(_, class)| **class == ReferralClass::Regular)
+            .map(|(pair, _)| pair)
+            .collect()
     }
 
     /// Table I: per-exchange crawl statistics.
@@ -162,14 +193,12 @@ impl Study {
 
     /// Table III: malware categorization counts.
     pub fn table3(&self) -> CategoryCounts {
-        let (records, outcomes) = self.regular_pairs();
-        tally(&records, &outcomes)
+        tally(&self.regular_pairs())
     }
 
     /// Table IV: malicious shortened-URL statistics.
     pub fn table4(&self) -> Vec<ShortenedRow> {
-        let (records, outcomes) = self.regular_pairs();
-        shortened_rows(&self.web, &records, &outcomes)
+        shortened_rows(&self.web, &self.regular_pairs())
     }
 
     /// Figure 2 bars (per-exchange benign vs malware).
@@ -209,50 +238,42 @@ impl Study {
 
     /// Figure 5: redirect-count histogram.
     pub fn fig5(&self) -> RedirectHistogram {
-        let (records, outcomes) = self.regular_pairs();
-        RedirectHistogram::build(&records, &outcomes)
+        RedirectHistogram::build(&self.regular_pairs())
     }
 
     /// Figure 4 exhibit: the longest malicious redirect chain observed.
     pub fn fig4(&self) -> Option<ChainExhibit> {
-        let (records, outcomes) = self.regular_pairs();
-        longest_chain(&records, &outcomes)
+        longest_chain(&self.regular_pairs())
     }
 
     /// Figure 6: TLD breakdown of malicious URLs.
     pub fn fig6(&self) -> TldBreakdown {
-        let (records, outcomes) = self.regular_pairs();
-        TldBreakdown::build(&records, &outcomes)
+        TldBreakdown::build(&self.regular_pairs())
     }
 
     /// Figure 7: content-category breakdown of malicious URLs.
     pub fn fig7(&self) -> ContentBreakdown {
-        let (records, outcomes) = self.regular_pairs();
-        ContentBreakdown::build(&self.web, &records, &outcomes)
+        ContentBreakdown::build(&self.web, &self.regular_pairs())
     }
 
     /// §V-A case studies: iframe-injection exhibits.
     pub fn iframe_case_studies(&self) -> Vec<case_studies::IframeExhibit> {
-        let (records, outcomes) = self.regular_pairs();
-        case_studies::iframe_injections(&records, &outcomes)
+        case_studies::iframe_injections(&self.regular_pairs())
     }
 
     /// §V-B case studies: deceptive downloads.
     pub fn download_case_studies(&self) -> Vec<case_studies::DownloadExhibit> {
-        let (records, outcomes) = self.regular_pairs();
-        case_studies::deceptive_downloads(&records, &outcomes)
+        case_studies::deceptive_downloads(&self.regular_pairs())
     }
 
     /// §V-D case studies: Flash click-jacks.
     pub fn flash_case_studies(&self) -> Vec<case_studies::FlashExhibit> {
-        let (records, outcomes) = self.regular_pairs();
-        case_studies::flash_clickjacks(&self.web, &records, &outcomes)
+        case_studies::flash_clickjacks(&self.web, &self.regular_pairs())
     }
 
     /// §V-E case studies: false positives.
     pub fn false_positive_case_studies(&self) -> Vec<case_studies::FalsePositiveExhibit> {
-        let (records, outcomes) = self.regular_pairs();
-        case_studies::false_positives(&self.web, &records, &outcomes)
+        case_studies::false_positives(&self.web, &self.regular_pairs())
     }
 }
 
@@ -260,6 +281,60 @@ impl Study {
 /// runs still populate every row).
 pub fn steps_for(profile: &slum_exchange::ExchangeProfile, scale: f64) -> u64 {
     ((profile.urls_crawled as f64 * scale).round() as u64).max(40)
+}
+
+/// Scans every Regular record across `workers` scoped threads and
+/// splices the results back into record order; Self/Popular referrals
+/// get an inert clean outcome so indices stay aligned. Returns the
+/// outcomes and the worker count actually used.
+fn scan_phase(
+    pipeline: &ScanPipeline<'_>,
+    records: &[CrawlRecord],
+    referrals: &[ReferralClass],
+    workers: usize,
+) -> (Vec<ScanOutcome>, usize) {
+    let regular_idx: Vec<usize> = referrals
+        .iter()
+        .enumerate()
+        .filter(|(_, class)| **class == ReferralClass::Regular)
+        .map(|(i, _)| i)
+        .collect();
+    let workers = workers.max(1).min(regular_idx.len().max(1));
+
+    let scanned: Vec<ScanOutcome> = if workers == 1 {
+        regular_idx.iter().map(|&i| pipeline.scan(&records[i])).collect()
+    } else {
+        let chunk_len = regular_idx.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = regular_idx
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk.iter().map(|&i| pipeline.scan(&records[i])).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(regular_idx.len());
+            for handle in handles {
+                merged.extend(handle.join().expect("scan worker panicked"));
+            }
+            merged
+        })
+        .expect("scan scope panicked")
+    };
+
+    let mut scanned = scanned.into_iter();
+    let outcomes = records
+        .iter()
+        .zip(referrals)
+        .map(|(record, class)| match class {
+            ReferralClass::Regular => scanned.next().expect("one scan per regular record"),
+            // Self/popular referrals are excluded from analysis; give
+            // them an inert clean outcome so indices stay aligned.
+            _ => clean_outcome(record),
+        })
+        .collect();
+    (outcomes, workers)
 }
 
 fn clean_outcome(record: &CrawlRecord) -> ScanOutcome {
@@ -285,7 +360,7 @@ mod tests {
     use super::*;
 
     fn tiny_study() -> Study {
-        Study::run(&StudyConfig { seed: 77, crawl_scale: 0.0003, domain_scale: 0.03 })
+        Study::run(&StudyConfig { seed: 77, crawl_scale: 0.0003, domain_scale: 0.03, ..Default::default() })
     }
 
     #[test]

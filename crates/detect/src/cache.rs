@@ -1,0 +1,155 @@
+//! A sharded concurrent cache for scan-phase memoization.
+//!
+//! The scan pipeline is data-parallel: many worker threads scan crawl
+//! records against the same detection services, and most lookups
+//! (URL features, registered domains, blacklist consensus) repeat
+//! heavily across records. A single `Mutex<HashMap>` would serialize
+//! every lookup; instead the key space is split across a fixed number
+//! of shards, each behind its own [`RwLock`], so readers on different
+//! shards never contend and even same-shard readers proceed together.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::hash::fnv1a;
+
+/// Number of shards. A power of two so shard selection is a mask; 16
+/// keeps contention negligible for the worker counts this workspace
+/// targets (typically <= number of cores) without bloating the struct.
+const SHARDS: usize = 16;
+
+/// A concurrent string-keyed cache, sharded by key hash.
+///
+/// Values are cloned out on hit, so `V` should be cheap to clone (the
+/// pipeline stores small feature vectors, domain strings, and bools).
+/// All methods take `&self`; the cache is `Sync` whenever `V: Send +
+/// Sync`.
+pub struct ShardedCache<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShardedCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ShardedCache { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+        &self.shards[(fnv1a(key.as_bytes()) as usize) & (SHARDS - 1)]
+    }
+
+    /// Total number of cached entries (takes every read lock; intended
+    /// for tests and diagnostics, not hot paths).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drops every cached entry (used by benchmarks to measure cold
+    /// scans without rebuilding the pipeline).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Returns the cached value for `key`, computing and caching it
+    /// with `compute` on a miss.
+    ///
+    /// `compute` runs *outside* any lock, so it may be expensive (a
+    /// scanner page fetch) without stalling other shard users. Two
+    /// threads racing on the same cold key may both compute; the first
+    /// insertion wins and both observe that value — with deterministic
+    /// `compute` the race is invisible in the results.
+    pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.shard(key).read().get(key) {
+            return hit.clone();
+        }
+        let value = compute();
+        let mut shard = self.shard(key).write();
+        shard.entry(key.to_string()).or_insert(value).clone()
+    }
+}
+
+// Compile-time Sync audit for everything the parallel scan phase
+// shares across worker threads by reference.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedCache<bool>>();
+    assert_send_sync::<ShardedCache<String>>();
+    assert_send_sync::<crate::Features>();
+    assert_send_sync::<crate::BlacklistDb>();
+    assert_send_sync::<crate::EngineModel>();
+    assert_send_sync::<crate::VirusTotal<'static>>();
+    assert_send_sync::<crate::Quttera<'static>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache = ShardedCache::new();
+        let mut calls = 0;
+        let v = cache.get_or_insert_with("k", || {
+            calls += 1;
+            41
+        });
+        assert_eq!((v, calls), (41, 1));
+        let v = cache.get_or_insert_with("k", || unreachable!("must hit"));
+        assert_eq!(v, 41);
+        assert_eq!(cache.get("k"), Some(41));
+        assert_eq!(cache.get("absent"), None);
+    }
+
+    #[test]
+    fn len_and_clear_span_all_shards() {
+        let cache = ShardedCache::new();
+        for i in 0..100 {
+            cache.get_or_insert_with(&format!("key-{i}"), || i);
+        }
+        assert_eq!(cache.len(), 100);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn first_insert_wins_under_racing_writers() {
+        let cache = std::sync::Arc::new(ShardedCache::new());
+        let winners: Vec<u64> = std::thread::scope(|scope| {
+            (0..8u64)
+                .map(|i| {
+                    let cache = std::sync::Arc::clone(&cache);
+                    scope.spawn(move || cache.get_or_insert_with("contested", || i))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        let first = winners[0];
+        assert!(winners.iter().all(|w| *w == first), "all threads must agree: {winners:?}");
+        assert_eq!(cache.get("contested"), Some(first));
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod blacklist;
+pub mod cache;
 pub mod engine;
 pub mod features;
 pub mod hash;
@@ -41,6 +42,7 @@ pub mod vetting;
 pub mod virustotal;
 
 pub use blacklist::{BlacklistDb, BlacklistVerdict};
+pub use cache::ShardedCache;
 pub use engine::{EngineModel, FeatureClass};
 pub use features::Features;
 pub use quttera::{Quttera, QutteraFinding, QutteraReport};

@@ -15,7 +15,7 @@ use slum_websim::Url;
 
 fn main() {
     println!("Running a reduced study to drive the countermeasures...\n");
-    let study = Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05 });
+    let study = Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.001, domain_scale: 0.05, ..Default::default() });
 
     println!("== 1. Ad-network fraud vetting (AdSense/DoubleClick-style) ==\n");
     let guard = AdNetworkGuard::new(PROFILES.iter());

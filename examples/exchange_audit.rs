@@ -50,7 +50,7 @@ fn main() {
         store.distinct_domains()
     );
 
-    let mut pipeline = ScanPipeline::new(&web);
+    let pipeline = ScanPipeline::new(&web);
     let outcomes = pipeline.scan_all(store.records());
     let malicious = outcomes.iter().filter(|o| o.malicious).count();
     println!(
@@ -73,8 +73,9 @@ fn main() {
     }
 
     // What would a member actually hit?
-    let downloads = case_studies::deceptive_downloads(store.records(), &outcomes);
-    let iframes = case_studies::iframe_injections(store.records(), &outcomes);
+    let pairs: Vec<_> = store.records().iter().zip(&outcomes).collect();
+    let downloads = case_studies::deceptive_downloads(&pairs);
+    let iframes = case_studies::iframe_injections(&pairs);
     println!("\nexposure highlights:");
     println!("  hidden-iframe exhibits:     {}", iframes.len());
     println!("  deceptive-download pushes:  {}", downloads.len());

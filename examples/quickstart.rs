@@ -9,7 +9,7 @@ use malware_slums::report;
 use malware_slums::study::{Study, StudyConfig};
 
 fn main() {
-    let config = StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 };
+    let config = StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() };
     println!(
         "Running the Malware Slums study at {}x crawl scale (seed {})...\n",
         config.crawl_scale, config.seed

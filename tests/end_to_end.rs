@@ -10,7 +10,7 @@ use malware_slums::{Category, ReferralClass};
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05 })
+        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() })
     })
 }
 
@@ -143,7 +143,7 @@ fn store_statistics_are_plausible() {
 
 #[test]
 fn study_is_reproducible() {
-    let config = StudyConfig { seed: 424242, crawl_scale: 0.0002, domain_scale: 0.03 };
+    let config = StudyConfig { seed: 424242, crawl_scale: 0.0002, domain_scale: 0.03, ..Default::default() };
     let a = Study::run(&config);
     let b = Study::run(&config);
     assert_eq!(a.store.len(), b.store.len());

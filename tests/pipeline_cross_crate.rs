@@ -46,7 +46,7 @@ fn cloaking_lifecycle_url_scan_misses_upload_catches() {
 
     // 4. The pipeline does all of this automatically.
     let record = CrawlRecord::from_load("test", 0, 0, &load);
-    let mut pipeline = ScanPipeline::new(&web);
+    let pipeline = ScanPipeline::new(&web);
     let outcome = pipeline.scan(&record);
     assert!(outcome.malicious);
     assert!(outcome.needed_content_upload);
@@ -101,7 +101,7 @@ fn crawl_then_scan_hand_off_preserves_alignment() {
     );
     assert_eq!(stats.pages, 120);
 
-    let mut pipeline = ScanPipeline::new(&web);
+    let pipeline = ScanPipeline::new(&web);
     let outcomes = pipeline.scan_all(store.records());
     assert_eq!(outcomes.len(), store.len());
 

@@ -1,0 +1,104 @@
+//! Offline shim for the `crossbeam` API subset this workspace uses:
+//! `crossbeam::thread::scope` + scoped spawn/join, implemented directly
+//! on `std::thread::scope` (stable since Rust 1.63).
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result alias matching `crossbeam::thread::scope`'s error shape.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// worker (crossbeam passes the scope back into each closure so
+    /// workers can themselves spawn).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope again,
+        /// matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned;
+    /// returns the closure's value once every worker has finished.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam this never returns `Err` for *joined* workers
+    /// (panics of unjoined workers propagate out of the underlying std
+    /// scope instead), so callers treating `Err` as "a worker panicked"
+    /// keep working.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|n| scope.spawn(move |_| n * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn workers_can_spawn_nested_workers() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let g = inner.spawn(|_| 21);
+                g.join().expect("nested") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn joined_panic_is_reported_per_handle() {
+        let res = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope");
+        assert!(res.is_err());
+    }
+}

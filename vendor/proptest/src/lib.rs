@@ -1,0 +1,252 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! Random-sampling strategies (no shrinking): integer/float ranges,
+//! `any::<T>()`, regex-string strategies via a built-in pattern
+//! sampler, `collection::vec`, tuples, `prop_map`, `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` macros. Each test
+//! function gets a deterministic RNG seeded from its own name, so
+//! failures reproduce run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for one property, seeded from the test name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Strategy for "anything of type `T`" — see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()`: uniform samples over all of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_any!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+/// `vec`-building strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing vectors of `element` samples with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest file typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        ProptestConfig,
+    };
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Defines property-test functions. Each `arg in strategy` binding is
+/// sampled per case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    #[allow(unused_mut)]
+                    let mut __one_case = move || { $body };
+                    __one_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies per sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3u64..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in collection::vec(0u8..5, 2..6),
+            pair in (0u8..3, 10u8..13),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 5));
+            prop_assert!(pair.0 < 3 && (10..13).contains(&pair.1));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(host in "[a-z]{2,5}\\.(com|net)", any_s in ".{0,10}") {
+            let (stem, tld) = host.split_once('.').expect("dot required");
+            prop_assert!((2..=5).contains(&stem.len()));
+            prop_assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(tld == "com" || tld == "net");
+            prop_assert!(any_s.len() <= 10);
+            prop_assert!(any_s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// prop_map and prop_oneof compose.
+        #[test]
+        fn mapped_union(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u64),
+            (100u64..104).prop_map(|x| x),
+        ]) {
+            prop_assert!(v < 4 || (100..104).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        let s: String = crate::Strategy::sample(&"[a-z]{8}", &mut a);
+        let t: String = crate::Strategy::sample(&"[a-z]{8}", &mut b);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn negated_class_and_literal_dash() {
+        let mut rng = crate::test_rng("negated");
+        for _ in 0..50 {
+            let s: String = crate::Strategy::sample(&"[^\"<>&]{1,20}", &mut rng);
+            assert!(!s.contains(['"', '<', '>', '&']));
+            let d: String = crate::Strategy::sample(&"[a-z0-9:;% -]{1,10}", &mut rng);
+            assert!(d.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || ":;% -".contains(c)));
+        }
+    }
+}

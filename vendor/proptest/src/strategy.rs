@@ -1,0 +1,380 @@
+//! The [`Strategy`] trait, combinators, and the regex-string sampler.
+
+use crate::TestRng;
+use rand::distributions::uniform::SampleUniform;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Erases the strategy type (needed to mix arms in `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniformly picks one member strategy per sample (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// String literals are regex strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let ast = RegexNode::parse(self);
+        let mut out = String::new();
+        ast.emit(rng, &mut out);
+        out
+    }
+}
+
+// ----------------------------------------------------- regex sampling
+
+/// Unbounded repetitions (`*`, `+`, `{n,}`) are capped here.
+const UNBOUNDED_CAP: usize = 8;
+
+/// Parsed regex: alternation over sequences of quantified atoms.
+enum RegexNode {
+    /// `a|b|c` — one alternative is sampled uniformly.
+    Alt(Vec<Vec<(Atom, Quant)>>),
+}
+
+enum Atom {
+    /// A fixed character.
+    Lit(char),
+    /// `.` — any printable ASCII character.
+    Any,
+    /// `[...]` — sampled from the pre-expanded member set.
+    Class(Vec<char>),
+    /// `(...)` — re-sampled on every repetition.
+    Group(RegexNode),
+}
+
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+impl RegexNode {
+    fn parse(pattern: &str) -> RegexNode {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "proptest shim: unsupported regex `{pattern}` (stopped at char {pos})"
+        );
+        node
+    }
+
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        let RegexNode::Alt(alternatives) = self;
+        let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+        for (atom, quant) in seq {
+            let reps = rng.gen_range(quant.min..=quant.max);
+            for _ in 0..reps {
+                atom.emit(rng, out);
+            }
+        }
+    }
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Atom::Lit(c) => out.push(*c),
+            Atom::Any => out.push(char::from(rng.gen_range(0x20u8..=0x7e))),
+            Atom::Class(members) => out.push(members[rng.gen_range(0..members.len())]),
+            Atom::Group(node) => node.emit(rng, out),
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> RegexNode {
+    let mut alternatives = vec![parse_seq(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        alternatives.push(parse_seq(chars, pos));
+    }
+    RegexNode::Alt(alternatives)
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Vec<(Atom, Quant)> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        let atom = match c {
+            '|' | ')' => break,
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos);
+                assert!(chars.get(*pos) == Some(&')'), "proptest shim: unclosed group");
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '[' => {
+                *pos += 1;
+                Atom::Class(parse_class(chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped = chars[*pos];
+                *pos += 1;
+                Atom::Lit(escaped)
+            }
+            '.' => {
+                *pos += 1;
+                Atom::Any
+            }
+            other => {
+                *pos += 1;
+                Atom::Lit(other)
+            }
+        };
+        let quant = parse_quant(chars, pos);
+        seq.push((atom, quant));
+    }
+    seq
+}
+
+/// Parses a `[...]` body (after the `[`), expanding ranges and applying
+/// negation against printable ASCII.
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<char> {
+    let negated = chars.get(*pos) == Some(&'^');
+    if negated {
+        *pos += 1;
+    }
+    let mut members = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' {
+            *pos += 1;
+            if negated {
+                let excluded: std::collections::HashSet<char> = members.into_iter().collect();
+                let complement: Vec<char> =
+                    (0x20u8..=0x7e).map(char::from).filter(|c| !excluded.contains(c)).collect();
+                assert!(!complement.is_empty(), "proptest shim: negated class excludes everything");
+                return complement;
+            }
+            assert!(!members.is_empty(), "proptest shim: empty character class");
+            return members;
+        }
+        let low = if c == '\\' {
+            *pos += 1;
+            let escaped = chars[*pos];
+            *pos += 1;
+            escaped
+        } else {
+            *pos += 1;
+            c
+        };
+        // `a-z` is a range unless the `-` is the final char of the class.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let high = if chars[*pos] == '\\' {
+                *pos += 1;
+                let escaped = chars[*pos];
+                *pos += 1;
+                escaped
+            } else {
+                let h = chars[*pos];
+                *pos += 1;
+                h
+            };
+            assert!(low <= high, "proptest shim: inverted class range");
+            members.extend(low..=high);
+        } else {
+            members.push(low);
+        }
+    }
+    panic!("proptest shim: unterminated character class");
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize) -> Quant {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            *pos += 1;
+            Quant { min: 0, max: UNBOUNDED_CAP }
+        }
+        Some('+') => {
+            *pos += 1;
+            Quant { min: 1, max: UNBOUNDED_CAP }
+        }
+        Some('{') => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'}') {
+                        min.max(1) * 2 + UNBOUNDED_CAP
+                    } else {
+                        parse_number(chars, pos)
+                    }
+                }
+                _ => min,
+            };
+            assert!(chars.get(*pos) == Some(&'}'), "proptest shim: unclosed quantifier");
+            *pos += 1;
+            Quant { min, max }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> usize {
+    let start = *pos;
+    let mut value = 0usize;
+    while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+        value = value * 10 + d as usize;
+        *pos += 1;
+    }
+    assert!(*pos > start, "proptest shim: expected number in quantifier");
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn samples_grouped_repetition_pattern() {
+        let mut rng = test_rng("grouped");
+        for _ in 0..100 {
+            let host: String =
+                Strategy::sample(&"[a-z][a-z0-9-]{0,20}(\\.[a-z][a-z0-9-]{1,10}){1,3}", &mut rng);
+            let labels: Vec<&str> = host.split('.').collect();
+            assert!((2..=4).contains(&labels.len()), "bad host {host}");
+            for label in labels {
+                assert!(!label.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn optional_group_sometimes_empty() {
+        let mut rng = test_rng("optional");
+        let samples: Vec<String> =
+            (0..60).map(|_| Strategy::sample(&"(abc)?", &mut rng)).collect();
+        assert!(samples.iter().any(String::is_empty));
+        assert!(samples.iter().any(|s| s == "abc"));
+        assert!(samples.iter().all(|s| s.is_empty() || s == "abc"));
+    }
+
+    #[test]
+    fn space_to_tilde_range_covers_printable_ascii() {
+        let mut rng = test_rng("printable");
+        for _ in 0..100 {
+            let s: String = Strategy::sample(&"[ -~]{1,60}", &mut rng);
+            assert!((1..=60).contains(&s.len()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Offline shim for the `serde` API subset this workspace uses.
+//!
+//! Instead of serde's visitor-based data model, types convert to and
+//! from a single [`Content`] tree (null / bool / number / string / seq /
+//! map). The only serializer in the workspace is the sibling
+//! `serde_json` shim, which renders `Content` as JSON, so the simpler
+//! model is fully sufficient — and the `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from `serde_derive`) generate the
+//! conversions with serde-compatible external enum tagging and
+//! `#[serde(rename = "...")]` support.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the whole data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key → value map (order preserved for stable output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is a sequence.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::F64(f) if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, for any numeric content.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Map lookup by key (linear; maps here are small).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// `value["key"]` — `Null` for missing keys / non-maps, like
+    /// `serde_json::Value`.
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl DeError {
+    /// Builds an error from any displayable cause.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` to content.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatch.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent from the serialized
+    /// map. Defaults to an error; `Option<T>` overrides this to `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] for types that require the field.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Derive-macro helper: looks up `name` in a struct map and
+/// deserializes it, honouring `from_missing` for absent fields.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error.
+pub fn de_field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {}", e.msg))),
+        None => T::from_missing(name),
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string to satisfy the `'static` lifetime. Only
+    /// used for small calibration structs with `&'static str` fields;
+    /// do not deserialize such types in a loop.
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = content.as_str().ok_or_else(|| DeError::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let seq = content.as_array().ok_or_else(|| DeError::custom("expected 2-tuple"))?;
+        if seq.len() != 2 {
+            return Err(DeError::custom("expected 2-tuple"));
+        }
+        Ok((A::from_content(&seq[0])?, B::from_content(&seq[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content(), self.2.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let seq = content.as_array().ok_or_else(|| DeError::custom("expected 3-tuple"))?;
+        if seq.len() != 3 {
+            return Err(DeError::custom("expected 3-tuple"));
+        }
+        Ok((A::from_content(&seq[0])?, B::from_content(&seq[1])?, C::from_content(&seq[2])?))
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort keys for stable, diff-able output.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip_and_missing() {
+        assert_eq!(Some(3u32).to_content(), Content::U64(3));
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_missing("x"), Ok(None));
+        assert!(u32::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn numeric_cross_width_round_trip() {
+        let c = 300u64.to_content();
+        assert_eq!(u64::from_content(&c), Ok(300));
+        assert!(u8::from_content(&c).is_err());
+        assert_eq!(i64::from_content(&(-3i64).to_content()), Ok(-3));
+        assert_eq!(f64::from_content(&Content::U64(2)), Ok(2.0));
+    }
+
+    #[test]
+    fn map_round_trip_sorts_keys() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let c = m.to_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("a".into(), Content::U64(1)),
+                ("b".into(), Content::U64(2))
+            ])
+        );
+        let back: HashMap<String, u64> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn index_into_content() {
+        let c = Content::Map(vec![(
+            "rows".into(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)]),
+        )]);
+        assert_eq!(c["rows"].as_array().map(Vec::len), Some(2));
+        assert_eq!(c["rows"][1].as_u64(), Some(2));
+        assert!(c["absent"].is_null());
+    }
+}

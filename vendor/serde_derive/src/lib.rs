@@ -1,0 +1,536 @@
+//! Offline shim for serde's derive macros, built directly on
+//! `proc_macro` (no syn/quote available offline).
+//!
+//! Supports the shapes this workspace actually derives:
+//! named-field structs (with optional lifetime/type generics),
+//! tuple structs, unit structs, and enums whose variants are unit,
+//! tuple (any arity), or named-field — plus `#[serde(rename = "...")]`
+//! on fields. Codegen targets the vendored `serde` crate's
+//! `Content`-tree model and mirrors serde's external enum tagging, so
+//! the JSON written by the sibling `serde_json` shim looks like what
+//! upstream serde would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed struct/variant field.
+struct Field {
+    rust_name: String,
+    json_name: String,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// A generic parameter (lifetime or type).
+enum GenericParam {
+    Lifetime(String),
+    Type(String),
+}
+
+struct Target {
+    name: String,
+    generics: Vec<GenericParam>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    gen_serialize(&target).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    gen_deserialize(&target).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = expect_any_ident(&tokens, &mut i);
+    let name = expect_any_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: enum `{name}` has no body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Target { name, generics, data }
+}
+
+/// Skips `#[...]` attribute groups, returning any `#[serde(rename = "x")]`
+/// value encountered.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut rename = None;
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(r) = parse_serde_rename(g.stream()) {
+                    rename = Some(r);
+                }
+                *i += 2;
+            }
+            _ => return rename,
+        }
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    let _ = take_attributes(tokens, i);
+}
+
+/// Extracts the rename value from a `serde(rename = "...")` attribute body.
+fn parse_serde_rename(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    if key.to_string() == "rename" {
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                return Some(unquote(&lit.to_string()));
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` generics into params; leaves `i` past the closing `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current = String::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unclosed generics"));
+        *i += 1;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    push_param(&mut params, &mut current);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push_str(&tok.to_string());
+    }
+    push_param(&mut params, &mut current);
+    params
+}
+
+fn push_param(params: &mut Vec<GenericParam>, current: &mut String) {
+    let text = std::mem::take(current);
+    // Strip bounds: keep only the name before any `:`.
+    let name = text.split(':').next().unwrap_or("").trim().to_string();
+    if name.is_empty() {
+        return;
+    }
+    if let Some(stripped) = name.strip_prefix('\'') {
+        params.push(GenericParam::Lifetime(format!("'{stripped}")));
+    } else {
+        params.push(GenericParam::Type(name));
+    }
+}
+
+/// Parses named fields from a brace-group body.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let rename = take_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let rust_name = expect_any_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{rust_name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        let json_name = rename.unwrap_or_else(|| rust_name.clone());
+        fields.push(Field { rust_name, json_name });
+    }
+    fields
+}
+
+/// Advances past one type expression (until a top-level `,`).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_any_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `impl<'a, T: Bound>` and `Name<'a, T>` strings for the target.
+fn generics_strings(target: &Target, bound: &str) -> (String, String) {
+    if target.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut ty_params = Vec::new();
+    for param in &target.generics {
+        match param {
+            GenericParam::Lifetime(lt) => {
+                impl_params.push(lt.clone());
+                ty_params.push(lt.clone());
+            }
+            GenericParam::Type(name) => {
+                impl_params.push(format!("{name}: {bound}"));
+                ty_params.push(name.clone());
+            }
+        }
+    }
+    (format!("<{}>", impl_params.join(", ")), format!("<{}>", ty_params.join(", ")))
+}
+
+fn gen_serialize(target: &Target) -> String {
+    let name = &target.name;
+    let (impl_generics, ty_generics) = generics_strings(target, "::serde::Serialize");
+    let body = match &target.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({:?}), ::serde::Serialize::to_content(&self.{})),",
+                        f.json_name, f.rust_name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![\n{}\n])", entries.join("\n"))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_content(&self.{k}),")).collect();
+            format!("::serde::Content::Seq(vec![\n{}\n])", items.join("\n"))
+        }
+        Data::UnitStruct => "::serde::Content::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(String::from({vn:?})),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![(String::from({vn:?}), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_content(f{k}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(String::from({vn:?}), \
+                                 ::serde::Content::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(" ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.rust_name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from({:?}), ::serde::Serialize::to_content({})),",
+                                        f.json_name, f.rust_name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(String::from({vn:?}), \
+                                 ::serde::Content::Map(vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(target: &Target) -> String {
+    let name = &target.name;
+    let (impl_generics, ty_generics) = generics_strings(target, "::serde::Deserialize");
+    let body = match &target.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: ::serde::de_field(__m, {:?})?,", f.rust_name, f.json_name))
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?,"))
+                .collect();
+            format!(
+                "let __seq = __c.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n\
+                 if __seq.len() != {n} {{ return Err(::serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}(\n{}\n))",
+                items.join("\n")
+            )
+        }
+        Data::UnitStruct => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{k}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __seq = __v.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if __seq.len() != {n} {{ return Err(::serde::DeError::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({items}))\n}}",
+                                items = items.join(" ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{}: ::serde::de_field(__vm, {:?})?,",
+                                        f.rust_name, f.json_name
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __vm = __v.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {inits} }})\n}}",
+                                inits = inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit}\n\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n{data}\n\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(\"expected {name} variant\")),\n}}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+         fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
