@@ -7,18 +7,21 @@
 //! cargo run --release -p slum-bench --bin repro -- vetting burst cloaking cases
 //! ```
 //!
-//! Artifacts: `table1`..`table4`, `fig2`..`fig7`, the auxiliary
-//! experiments `vetting` (§III-B), `burst` (§IV), `cloaking` (§III
-//! fn. 1) and `cases` (§V), plus `json` (the full study as one JSON
-//! document) and `bench-scan` (serial vs parallel scan-phase timing,
-//! written to `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl
-//! scale, default 0.002), `--seed <u64>` (default 2016) and
-//! `--workers <N>` (scan-phase worker threads, default = available
-//! parallelism; `1` forces the serial path).
+//! Artifacts: `table1`..`table4`, `fig2`..`fig7` (all served through
+//! the unified [`ArtifactKind`] API), the auxiliary experiments
+//! `vetting` (§III-B), `burst` (§IV), `cloaking` (§III fn. 1) and
+//! `cases` (§V), plus `json` (the full study as one JSON document) and
+//! `bench-scan` (serial vs parallel scan-phase timing, written to
+//! `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl scale,
+//! default 0.002), `--seed <u64>` (default 2016), `--workers <N>`
+//! (scan-phase worker threads, default = available parallelism; `1`
+//! forces the serial path) and `--metrics <path>` (dump the study's
+//! observability snapshot — `Study::metrics()` — as JSON).
 
 use std::sync::OnceLock;
 
-use malware_slums::report;
+use malware_slums::artifact::{Artifact, ArtifactKind};
+use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
 
 struct Args {
@@ -26,6 +29,7 @@ struct Args {
     scale: f64,
     seed: u64,
     workers: usize,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +37,7 @@ fn parse_args() -> Args {
     let mut scale = 0.002;
     let mut seed = 2016;
     let mut workers = malware_slums::study::default_scan_workers();
+    let mut metrics = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -55,9 +60,13 @@ fn parse_args() -> Args {
                     .filter(|w| *w >= 1)
                     .unwrap_or_else(|| die("--workers needs a positive integer"));
             }
+            "--metrics" => {
+                metrics = Some(iter.next().unwrap_or_else(|| die("--metrics needs a path")));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W]\n\
+                    "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
+                     [--metrics PATH]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
                      vetting burst cloaking staleness cases json bench-scan"
                 );
@@ -69,7 +78,7 @@ fn parse_args() -> Args {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Args { artifacts, scale, seed, workers }
+    Args { artifacts, scale, seed, workers, metrics }
 }
 
 fn die(msg: &str) -> ! {
@@ -88,12 +97,14 @@ fn main() {
                 args.scale, args.seed
             );
             let t0 = std::time::Instant::now();
-            let (study, timings) = Study::run_timed(&StudyConfig {
-                seed: args.seed,
-                crawl_scale: args.scale,
-                domain_scale: (args.scale * 25.0).clamp(0.03, 1.0),
-                scan_workers: args.workers,
-            });
+            let config = StudyConfig::builder()
+                .seed(args.seed)
+                .crawl_scale(args.scale)
+                .domain_scale((args.scale * 25.0).clamp(0.03, 1.0))
+                .scan_workers(args.workers)
+                .build()
+                .unwrap_or_else(|e| die(&format!("invalid configuration: {e}")));
+            let (study, timings) = Study::run_timed(&config);
             eprintln!(
                 "[repro] study done: {} visits in {:?}",
                 study.store.len(),
@@ -107,55 +118,20 @@ fn main() {
         })
     };
 
-    if wants("table1") {
-        println!("=== Table I: statistics of data from traffic exchanges ===");
-        println!("{}", study().table1().render());
-    }
-    if wants("table2") {
-        println!("=== Table II: statistics of domains on traffic exchanges ===");
-        println!("{}", report::render_table2(&study().table2()));
-    }
-    if wants("table3") {
-        println!("=== Table III: malware categorization ===");
-        println!("{}", report::render_table3(&study().table3()));
-    }
-    if wants("table4") {
-        println!("=== Table IV: statistics of malicious shortened URLs ===");
-        let rows = study().table4();
-        println!("{}", report::render_table4(&rows[..rows.len().min(24)]));
-    }
-    if wants("fig2") {
-        println!("=== Figure 2: malware ratio in exchanges ===");
-        println!("{}", report::render_fig2(&study().fig2()));
-    }
-    if wants("fig3") {
-        println!("=== Figure 3: time series of malicious URLs ===");
-        println!("{}", report::render_fig3(&study().fig3()));
-    }
-    if wants("fig4") {
-        println!("=== Figure 4: example suspicious redirection chain ===");
-        match study().fig4() {
-            Some(chain) => {
-                println!("observed on {}, {} hops:", chain.exchange, chain.hops);
-                for (i, host) in chain.hosts.iter().enumerate() {
-                    println!("  {}{host}", if i == 0 { "" } else { "-> " });
-                }
-                println!();
-            }
-            None => println!("(no malicious redirect chain at this scale)\n"),
+    // Every published table and figure goes through the unified
+    // artifact API: one loop, one render call.
+    for kind in ArtifactKind::ALL {
+        if !wants(kind.name()) {
+            continue;
         }
-    }
-    if wants("fig5") {
-        println!("=== Figure 5: distribution of URL redirection count ===");
-        println!("{}", report::render_fig5(&study().fig5()));
-    }
-    if wants("fig6") {
-        println!("=== Figure 6: malicious URLs across TLDs ===");
-        println!("{}", report::render_fig6(&study().fig6()));
-    }
-    if wants("fig7") {
-        println!("=== Figure 7: malicious content across categories ===");
-        println!("{}", report::render_fig7(&study().fig7()));
+        let mut artifact = study().artifact(kind);
+        // Table IV has hundreds of rows at scale; print the paper-sized
+        // excerpt.
+        if let Artifact::Table4(rows) = &mut artifact {
+            rows.truncate(24);
+        }
+        println!("=== {} ===", kind.title());
+        println!("{}", artifact.render());
     }
     if wants("vetting") {
         println!("=== SIII-B: gold-standard tool vetting ===");
@@ -266,6 +242,13 @@ fn main() {
     if args.artifacts.iter().any(|a| a == "bench-scan") {
         println!("=== Scan-phase benchmark: serial vs parallel ===");
         bench_scan(study(), args.seed, args.scale);
+    }
+    if let Some(path) = &args.metrics {
+        let json = study().metrics().to_json();
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("[repro] wrote metrics snapshot to {path}"),
+            Err(e) => die(&format!("could not write {path}: {e}")),
+        }
     }
 }
 

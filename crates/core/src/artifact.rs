@@ -1,0 +1,306 @@
+//! The unified artifact API: every table and figure the paper's
+//! evaluation publishes, behind one enum.
+//!
+//! Callers that used to reach for twelve ad-hoc `Study::table1()` /
+//! `Study::fig7()` methods can now iterate [`ArtifactKind::ALL`], build
+//! any artifact with [`Study::artifact`], and print it generically via
+//! [`crate::report::Render`]. The historical per-artifact methods
+//! survive as thin delegating wrappers (see `study.rs`) so existing
+//! code keeps compiling; new code should go through this module.
+
+use slum_exchange::params::PROFILES;
+
+use crate::breakdown::{domain_rows, ContentBreakdown, DomainRow, TldBreakdown};
+use crate::categorize::{tally, CategoryCounts};
+use crate::filter::ReferralClass;
+use crate::redirects::{longest_chain, ChainExhibit, RedirectHistogram};
+use crate::report::{Fig2Bar, Table1, Table1Row};
+use crate::shortened::{shortened_rows, ShortenedRow};
+use crate::study::Study;
+use crate::temporal::CumulativeSeries;
+
+/// Which published artifact to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Table I: per-exchange crawl statistics.
+    Table1,
+    /// Table II: per-exchange domain statistics.
+    Table2,
+    /// Table III: malware categorization counts.
+    Table3,
+    /// Table IV: malicious shortened-URL statistics.
+    Table4,
+    /// Figure 2: per-exchange benign vs malware bars.
+    Fig2,
+    /// Figure 3: per-exchange cumulative malicious series.
+    Fig3,
+    /// Figure 4: the longest malicious redirect chain observed.
+    Fig4,
+    /// Figure 5: redirect-count histogram.
+    Fig5,
+    /// Figure 6: TLD breakdown of malicious URLs.
+    Fig6,
+    /// Figure 7: content-category breakdown of malicious URLs.
+    Fig7,
+}
+
+impl ArtifactKind {
+    /// Every artifact, in publication order.
+    pub const ALL: [ArtifactKind; 10] = [
+        ArtifactKind::Table1,
+        ArtifactKind::Table2,
+        ArtifactKind::Table3,
+        ArtifactKind::Table4,
+        ArtifactKind::Fig2,
+        ArtifactKind::Fig3,
+        ArtifactKind::Fig4,
+        ArtifactKind::Fig5,
+        ArtifactKind::Fig6,
+        ArtifactKind::Fig7,
+    ];
+
+    /// The short CLI name (`table1`, `fig5`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Table1 => "table1",
+            ArtifactKind::Table2 => "table2",
+            ArtifactKind::Table3 => "table3",
+            ArtifactKind::Table4 => "table4",
+            ArtifactKind::Fig2 => "fig2",
+            ArtifactKind::Fig3 => "fig3",
+            ArtifactKind::Fig4 => "fig4",
+            ArtifactKind::Fig5 => "fig5",
+            ArtifactKind::Fig6 => "fig6",
+            ArtifactKind::Fig7 => "fig7",
+        }
+    }
+
+    /// The publication title used as a section header.
+    pub fn title(self) -> &'static str {
+        match self {
+            ArtifactKind::Table1 => "Table I: statistics of data from traffic exchanges",
+            ArtifactKind::Table2 => "Table II: statistics of domains on traffic exchanges",
+            ArtifactKind::Table3 => "Table III: malware categorization",
+            ArtifactKind::Table4 => "Table IV: statistics of malicious shortened URLs",
+            ArtifactKind::Fig2 => "Figure 2: malware ratio in exchanges",
+            ArtifactKind::Fig3 => "Figure 3: time series of malicious URLs",
+            ArtifactKind::Fig4 => "Figure 4: example suspicious redirection chain",
+            ArtifactKind::Fig5 => "Figure 5: distribution of URL redirection count",
+            ArtifactKind::Fig6 => "Figure 6: malicious URLs across TLDs",
+            ArtifactKind::Fig7 => "Figure 7: malicious content across categories",
+        }
+    }
+
+    /// Parses a CLI name back into a kind.
+    pub fn parse(name: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One built artifact: the typed payload for each [`ArtifactKind`].
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Table I.
+    Table1(Table1),
+    /// Table II rows.
+    Table2(Vec<DomainRow>),
+    /// Table III counts.
+    Table3(CategoryCounts),
+    /// Table IV rows.
+    Table4(Vec<ShortenedRow>),
+    /// Figure 2 bars.
+    Fig2(Vec<Fig2Bar>),
+    /// Figure 3 series.
+    Fig3(Vec<CumulativeSeries>),
+    /// Figure 4 exhibit (absent when no malicious chain was observed).
+    Fig4(Option<ChainExhibit>),
+    /// Figure 5 histogram.
+    Fig5(RedirectHistogram),
+    /// Figure 6 breakdown.
+    Fig6(TldBreakdown),
+    /// Figure 7 breakdown.
+    Fig7(ContentBreakdown),
+}
+
+macro_rules! artifact_accessor {
+    ($(#[$doc:meta])* $fn_name:ident, $variant:ident, $payload:ty) => {
+        $(#[$doc])*
+        pub fn $fn_name(self) -> Option<$payload> {
+            match self {
+                Artifact::$variant(payload) => Some(payload),
+                _ => None,
+            }
+        }
+    };
+}
+
+impl Artifact {
+    /// The kind this artifact was built for.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Table1(_) => ArtifactKind::Table1,
+            Artifact::Table2(_) => ArtifactKind::Table2,
+            Artifact::Table3(_) => ArtifactKind::Table3,
+            Artifact::Table4(_) => ArtifactKind::Table4,
+            Artifact::Fig2(_) => ArtifactKind::Fig2,
+            Artifact::Fig3(_) => ArtifactKind::Fig3,
+            Artifact::Fig4(_) => ArtifactKind::Fig4,
+            Artifact::Fig5(_) => ArtifactKind::Fig5,
+            Artifact::Fig6(_) => ArtifactKind::Fig6,
+            Artifact::Fig7(_) => ArtifactKind::Fig7,
+        }
+    }
+
+    artifact_accessor!(
+        /// The Table I payload, if this is a [`Artifact::Table1`].
+        into_table1, Table1, Table1);
+    artifact_accessor!(
+        /// The Table II payload, if this is a [`Artifact::Table2`].
+        into_table2, Table2, Vec<DomainRow>);
+    artifact_accessor!(
+        /// The Table III payload, if this is a [`Artifact::Table3`].
+        into_table3, Table3, CategoryCounts);
+    artifact_accessor!(
+        /// The Table IV payload, if this is a [`Artifact::Table4`].
+        into_table4, Table4, Vec<ShortenedRow>);
+    artifact_accessor!(
+        /// The Figure 2 payload, if this is a [`Artifact::Fig2`].
+        into_fig2, Fig2, Vec<Fig2Bar>);
+    artifact_accessor!(
+        /// The Figure 3 payload, if this is a [`Artifact::Fig3`].
+        into_fig3, Fig3, Vec<CumulativeSeries>);
+    artifact_accessor!(
+        /// The Figure 4 payload, if this is a [`Artifact::Fig4`].
+        into_fig4, Fig4, Option<ChainExhibit>);
+    artifact_accessor!(
+        /// The Figure 5 payload, if this is a [`Artifact::Fig5`].
+        into_fig5, Fig5, RedirectHistogram);
+    artifact_accessor!(
+        /// The Figure 6 payload, if this is a [`Artifact::Fig6`].
+        into_fig6, Fig6, TldBreakdown);
+    artifact_accessor!(
+        /// The Figure 7 payload, if this is a [`Artifact::Fig7`].
+        into_fig7, Fig7, ContentBreakdown);
+}
+
+impl Study {
+    /// Builds any published artifact from the completed study — the
+    /// single entry point `export` and `repro` route through.
+    pub fn artifact(&self, kind: ArtifactKind) -> Artifact {
+        match kind {
+            ArtifactKind::Table1 => Artifact::Table1(build_table1(self)),
+            ArtifactKind::Table2 => Artifact::Table2(domain_rows(
+                self.store.records(),
+                &self.outcomes,
+                &self.regular_mask(),
+            )),
+            ArtifactKind::Table3 => Artifact::Table3(tally(&self.regular_pairs())),
+            ArtifactKind::Table4 => {
+                Artifact::Table4(shortened_rows(&self.web, &self.regular_pairs()))
+            }
+            ArtifactKind::Fig2 => Artifact::Fig2(build_fig2(self)),
+            ArtifactKind::Fig3 => Artifact::Fig3(build_fig3(self)),
+            ArtifactKind::Fig4 => Artifact::Fig4(longest_chain(&self.regular_pairs())),
+            ArtifactKind::Fig5 => Artifact::Fig5(RedirectHistogram::build(&self.regular_pairs())),
+            ArtifactKind::Fig6 => Artifact::Fig6(TldBreakdown::build(&self.regular_pairs())),
+            ArtifactKind::Fig7 => {
+                Artifact::Fig7(ContentBreakdown::build(&self.web, &self.regular_pairs()))
+            }
+        }
+    }
+}
+
+/// Table I: per-exchange crawl statistics.
+fn build_table1(study: &Study) -> Table1 {
+    let rows = PROFILES
+        .iter()
+        .map(|profile| {
+            let mut row = Table1Row {
+                exchange: profile.name.to_string(),
+                kind: profile.kind.label().to_string(),
+                crawled: 0,
+                self_referrals: 0,
+                popular_referrals: 0,
+                regular: 0,
+                malicious: 0,
+            };
+            for ((record, outcome), class) in
+                study.store.records().iter().zip(&study.outcomes).zip(&study.referrals)
+            {
+                if record.exchange != profile.name {
+                    continue;
+                }
+                row.crawled += 1;
+                match class {
+                    ReferralClass::SelfReferral => row.self_referrals += 1,
+                    ReferralClass::PopularReferral => row.popular_referrals += 1,
+                    ReferralClass::Regular => {
+                        row.regular += 1;
+                        if outcome.malicious {
+                            row.malicious += 1;
+                        }
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Figure 2 bars (per-exchange benign vs malware).
+fn build_fig2(study: &Study) -> Vec<Fig2Bar> {
+    build_table1(study)
+        .rows
+        .into_iter()
+        .map(|r| Fig2Bar {
+            exchange: r.exchange,
+            benign: r.regular - r.malicious,
+            malicious: r.malicious,
+        })
+        .collect()
+}
+
+/// Figure 3: per-exchange cumulative malicious series (regular URLs,
+/// crawl order).
+fn build_fig3(study: &Study) -> Vec<CumulativeSeries> {
+    PROFILES
+        .iter()
+        .map(|profile| {
+            let flags: Vec<bool> = study
+                .store
+                .records()
+                .iter()
+                .zip(&study.outcomes)
+                .zip(&study.referrals)
+                .filter(|((record, _), class)| {
+                    record.exchange == profile.name && **class == ReferralClass::Regular
+                })
+                .map(|((_, outcome), _)| outcome.malicious)
+                .collect();
+            CumulativeSeries::from_flags(profile.name, &flags)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_round_trip_through_names() {
+        for kind in ArtifactKind::ALL {
+            assert_eq!(ArtifactKind::parse(kind.name()), Some(kind));
+            assert!(!kind.title().is_empty());
+        }
+        assert_eq!(ArtifactKind::parse("table9"), None);
+    }
+
+    #[test]
+    fn accessors_reject_mismatched_variants() {
+        let artifact = Artifact::Table1(Table1 { rows: vec![] });
+        assert_eq!(artifact.kind(), ArtifactKind::Table1);
+        assert!(artifact.clone().into_table2().is_none());
+        assert!(artifact.into_table1().is_some());
+    }
+}

@@ -5,6 +5,7 @@
 
 use serde::Serialize;
 
+use crate::artifact::ArtifactKind;
 use crate::categorize::Category;
 use crate::study::Study;
 
@@ -119,10 +120,13 @@ pub struct Fig3Export {
     pub burstiness: f64,
 }
 
-/// Builds the export document from a completed study.
+/// Builds the export document from a completed study. Every artifact is
+/// fetched through the unified [`Study::artifact`] API.
 pub fn export(study: &Study) -> StudyExport {
-    let table1 = study.table1();
-    let counts = study.table3();
+    let table1 =
+        study.artifact(ArtifactKind::Table1).into_table1().expect("Table1 artifact");
+    let counts =
+        study.artifact(ArtifactKind::Table3).into_table3().expect("Table3 artifact");
     StudyExport {
         seed: study.config().seed,
         crawl_scale: study.config().crawl_scale,
@@ -147,7 +151,9 @@ pub fn export(study: &Study) -> StudyExport {
             })
             .collect(),
         table2: study
-            .table2()
+            .artifact(ArtifactKind::Table2)
+            .into_table2()
+            .expect("Table2 artifact")
             .iter()
             .map(|r| Table2Export {
                 exchange: r.exchange.clone(),
@@ -165,7 +171,9 @@ pub fn export(study: &Study) -> StudyExport {
             })
             .collect(),
         table4: study
-            .table4()
+            .artifact(ArtifactKind::Table4)
+            .into_table4()
+            .expect("Table4 artifact")
             .iter()
             .map(|r| Table4Export {
                 short_url: r.short_url.to_string(),
@@ -176,7 +184,9 @@ pub fn export(study: &Study) -> StudyExport {
             })
             .collect(),
         fig3: study
-            .fig3()
+            .artifact(ArtifactKind::Fig3)
+            .into_fig3()
+            .expect("Fig3 artifact")
             .iter()
             .map(|s| Fig3Export {
                 exchange: s.exchange.clone(),
@@ -184,9 +194,27 @@ pub fn export(study: &Study) -> StudyExport {
                 burstiness: s.burstiness((s.len() / 20).max(5)),
             })
             .collect(),
-        fig5: study.fig5().counts.into_iter().collect(),
-        fig6: study.fig6().counts.into_iter().collect(),
-        fig7: study.fig7().counts.into_iter().collect(),
+        fig5: study
+            .artifact(ArtifactKind::Fig5)
+            .into_fig5()
+            .expect("Fig5 artifact")
+            .counts
+            .into_iter()
+            .collect(),
+        fig6: study
+            .artifact(ArtifactKind::Fig6)
+            .into_fig6()
+            .expect("Fig6 artifact")
+            .counts
+            .into_iter()
+            .collect(),
+        fig7: study
+            .artifact(ArtifactKind::Fig7)
+            .into_fig7()
+            .expect("Fig7 artifact")
+            .counts
+            .into_iter()
+            .collect(),
     }
 }
 
@@ -205,7 +233,13 @@ mod tests {
     use crate::study::StudyConfig;
 
     fn tiny() -> Study {
-        Study::run(&StudyConfig { seed: 500, crawl_scale: 0.0002, domain_scale: 0.03, ..Default::default() })
+        let config = StudyConfig::builder()
+            .seed(500)
+            .crawl_scale(0.0002)
+            .domain_scale(0.03)
+            .build()
+            .expect("valid test config");
+        Study::run(&config)
     }
 
     #[test]

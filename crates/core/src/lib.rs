@@ -22,19 +22,26 @@
 //!    and the case studies of §V ([`temporal`], [`redirects`],
 //!    [`breakdown`], [`shortened`], [`case_studies`]).
 //!
-//! The one-call entry point is [`study::Study::run`]:
+//! The one-call entry point is [`study::Study::run`]; every published
+//! table and figure is reachable through the unified
+//! [`study::Study::artifact`] API, and [`study::Study::metrics`]
+//! exposes the pipeline's observability counters:
 //!
 //! ```
+//! use malware_slums::artifact::ArtifactKind;
 //! use malware_slums::study::{Study, StudyConfig};
 //!
-//! let study = Study::run(&StudyConfig { crawl_scale: 0.0002, ..Default::default() });
-//! let table1 = study.table1();
+//! let config = StudyConfig::builder().crawl_scale(0.0002).build().unwrap();
+//! let study = Study::run(&config);
+//! let table1 = study.artifact(ArtifactKind::Table1).into_table1().unwrap();
 //! assert_eq!(table1.rows.len(), 9);
+//! assert!(study.metrics().counter("scan.scans") > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod breakdown;
 pub mod case_studies;
 pub mod categorize;
@@ -50,7 +57,9 @@ pub mod staleness;
 pub mod study;
 pub mod temporal;
 
+pub use artifact::{Artifact, ArtifactKind};
 pub use categorize::Category;
 pub use filter::ReferralClass;
+pub use report::Render;
 pub use scanpipe::{ScanOutcome, ScanPipeline};
-pub use study::{Study, StudyConfig};
+pub use study::{ConfigError, Study, StudyConfig, StudyConfigBuilder};

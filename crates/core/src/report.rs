@@ -1,16 +1,52 @@
 //! Table and figure structures plus text rendering — the artifacts the
 //! paper's evaluation section publishes.
+//!
+//! Every artifact payload implements [`Render`], so callers can print
+//! any of them — or a whole [`Artifact`] — through one interface
+//! instead of picking the right `render_*` free function. The free
+//! functions survive as thin wrappers over the trait.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use serde::Serialize;
 
+use crate::artifact::Artifact;
 use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
 use crate::categorize::{Category, CategoryCounts};
-use crate::redirects::RedirectHistogram;
+use crate::redirects::{ChainExhibit, RedirectHistogram};
 use crate::shortened::ShortenedRow;
 use crate::temporal::CumulativeSeries;
+
+/// Plain-text rendering of a published table or figure.
+///
+/// Implemented by every artifact payload and by [`Artifact`] itself
+/// (which dispatches to its payload), so `repro`-style tooling can loop
+/// over [`crate::artifact::ArtifactKind::ALL`] and print everything
+/// uniformly.
+pub trait Render {
+    /// Renders the artifact as terminal-ready text (trailing newline
+    /// included where the layout wants one).
+    fn render(&self) -> String;
+}
+
+impl Render for Artifact {
+    fn render(&self) -> String {
+        match self {
+            Artifact::Table1(t) => t.render(),
+            Artifact::Table2(rows) => rows.as_slice().render(),
+            Artifact::Table3(counts) => counts.render(),
+            Artifact::Table4(rows) => rows.as_slice().render(),
+            Artifact::Fig2(bars) => bars.as_slice().render(),
+            Artifact::Fig3(series) => series.as_slice().render(),
+            Artifact::Fig4(Some(chain)) => chain.render(),
+            Artifact::Fig4(None) => "(no malicious redirect chain at this scale)\n".to_string(),
+            Artifact::Fig5(hist) => hist.render(),
+            Artifact::Fig6(tld) => tld.render(),
+            Artifact::Fig7(content) => content.render(),
+        }
+    }
+}
 
 /// One Table I row.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -62,8 +98,10 @@ impl Table1 {
         }
     }
 
-    /// Renders the table as aligned text.
-    pub fn render(&self) -> String {
+}
+
+impl Render for Table1 {
+    fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -94,70 +132,91 @@ impl Table1 {
     }
 }
 
-/// Table II render helper.
-pub fn render_table2(rows: &[DomainRow]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{:<16} {:>9} {:>9} {:>9}", "Exchange", "#Domains", "#Malware", "%Malware");
-    for r in rows {
-        let _ = writeln!(
-            out,
-            "{:<16} {:>9} {:>9} {:>8.1}%",
-            r.exchange,
-            r.domains,
-            r.malware_domains,
-            r.malware_fraction() * 100.0
-        );
+impl Render for [DomainRow] {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "{:<16} {:>9} {:>9} {:>9}", "Exchange", "#Domains", "#Malware", "%Malware");
+        for r in self {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9} {:>9} {:>8.1}%",
+                r.exchange,
+                r.domains,
+                r.malware_domains,
+                r.malware_fraction() * 100.0
+            );
+        }
+        out
     }
-    out
 }
 
-/// Table III render helper: measured vs paper shares.
-pub fn render_table3(counts: &CategoryCounts) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{:<26} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
-    for category in Category::ALL {
-        if category == Category::Misc {
-            continue;
+/// Table II render helper (wrapper over [`Render`]).
+pub fn render_table2(rows: &[DomainRow]) -> String {
+    rows.render()
+}
+
+impl Render for CategoryCounts {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "{:<26} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
+        for category in Category::ALL {
+            if category == Category::Misc {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<26} {:>9} {:>9.1}% {:>9.1}%",
+                category.label(),
+                self.count(category),
+                self.categorized_share(category) * 100.0,
+                category.paper_share().unwrap_or(0.0) * 100.0
+            );
         }
         let _ = writeln!(
             out,
-            "{:<26} {:>9} {:>9.1}% {:>9.1}%",
-            category.label(),
-            counts.count(category),
-            counts.categorized_share(category) * 100.0,
-            category.paper_share().unwrap_or(0.0) * 100.0
+            "{:<26} {:>9} ({:.1}% of all malicious; paper 66.4%)",
+            "Miscellaneous",
+            self.count(Category::Misc),
+            self.misc_fraction() * 100.0
         );
+        out
     }
-    let _ = writeln!(
-        out,
-        "{:<26} {:>9} ({:.1}% of all malicious; paper 66.4%)",
-        "Miscellaneous",
-        counts.count(Category::Misc),
-        counts.misc_fraction() * 100.0
-    );
-    out
 }
 
-/// Table IV render helper.
-pub fn render_table4(rows: &[ShortenedRow]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<30} {:>10} {:>12} {:<12} {:<28}",
-        "Shortened URL", "Hits", "LongHits", "TopCountry", "TopReferrer"
-    );
-    for r in rows {
+/// Table III render helper: measured vs paper shares (wrapper over
+/// [`Render`]).
+pub fn render_table3(counts: &CategoryCounts) -> String {
+    counts.render()
+}
+
+impl Render for [ShortenedRow] {
+    fn render(&self) -> String {
+        let mut out = String::new();
         let _ = writeln!(
             out,
             "{:<30} {:>10} {:>12} {:<12} {:<28}",
-            r.short_url.to_string(),
-            r.short_hits,
-            r.long_url_hits,
-            r.top_country,
-            r.top_referrer
+            "Shortened URL", "Hits", "LongHits", "TopCountry", "TopReferrer"
         );
+        for r in self {
+            let _ = writeln!(
+                out,
+                "{:<30} {:>10} {:>12} {:<12} {:<28}",
+                r.short_url.to_string(),
+                r.short_hits,
+                r.long_url_hits,
+                r.top_country,
+                r.top_referrer
+            );
+        }
+        out
     }
-    out
+}
+
+/// Table IV render helper (wrapper over [`Render`]).
+pub fn render_table4(rows: &[ShortenedRow]) -> String {
+    rows.render()
 }
 
 /// Figure 2 data: per-exchange benign/malware counts (the stacked-bar
@@ -172,106 +231,150 @@ pub struct Fig2Bar {
     pub malicious: u64,
 }
 
-/// Renders Figure 2 as a text bar chart (one row per exchange).
+impl Render for [Fig2Bar] {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for bar in self {
+            let total = (bar.benign + bar.malicious).max(1);
+            let frac = bar.malicious as f64 / total as f64;
+            let filled = (frac * 40.0).round() as usize;
+            let _ = writeln!(
+                out,
+                "{:<16} [{}{}] {:>5.1}%  (benign {} / malware {})",
+                bar.exchange,
+                "#".repeat(filled),
+                "-".repeat(40 - filled),
+                frac * 100.0,
+                bar.benign,
+                bar.malicious
+            );
+        }
+        out
+    }
+}
+
+/// Renders Figure 2 as a text bar chart (wrapper over [`Render`]).
 pub fn render_fig2(bars: &[Fig2Bar]) -> String {
-    let mut out = String::new();
-    for bar in bars {
-        let total = (bar.benign + bar.malicious).max(1);
-        let frac = bar.malicious as f64 / total as f64;
-        let filled = (frac * 40.0).round() as usize;
-        let _ = writeln!(
-            out,
-            "{:<16} [{}{}] {:>5.1}%  (benign {} / malware {})",
-            bar.exchange,
-            "#".repeat(filled),
-            "-".repeat(40 - filled),
-            frac * 100.0,
-            bar.benign,
-            bar.malicious
-        );
-    }
-    out
+    bars.render()
 }
 
-/// Renders a Figure 3 series bundle as downsampled text.
+impl Render for [CumulativeSeries] {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for s in self {
+            let _ = writeln!(
+                out,
+                "{}: crawled {} / malicious {} / burstiness {:.2}",
+                s.exchange,
+                s.len(),
+                s.total_malicious(),
+                s.burstiness((s.len() / 20).max(5))
+            );
+            let samples = s.downsample(10);
+            let line: Vec<String> =
+                samples.iter().map(|(i, c)| format!("{i}:{c}")).collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// Renders a Figure 3 series bundle as downsampled text (wrapper over
+/// [`Render`]).
 pub fn render_fig3(series: &[CumulativeSeries]) -> String {
-    let mut out = String::new();
-    for s in series {
-        let _ = writeln!(
-            out,
-            "{}: crawled {} / malicious {} / burstiness {:.2}",
-            s.exchange,
-            s.len(),
-            s.total_malicious(),
-            s.burstiness((s.len() / 20).max(5))
-        );
-        let samples = s.downsample(10);
-        let line: Vec<String> =
-            samples.iter().map(|(i, c)| format!("{i}:{c}")).collect();
-        let _ = writeln!(out, "  {}", line.join("  "));
-    }
-    out
+    series.render()
 }
 
-/// Renders the Figure 5 histogram as text bars.
+impl Render for ChainExhibit {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "observed on {}, {} hops:", self.exchange, self.hops);
+        for (i, host) in self.hosts.iter().enumerate() {
+            let _ = writeln!(out, "  {}{host}", if i == 0 { "" } else { "-> " });
+        }
+        out
+    }
+}
+
+impl Render for RedirectHistogram {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let max = self.counts.values().max().copied().unwrap_or(1).max(1);
+        for (hops, count) in &self.counts {
+            let filled = ((*count as f64 / max as f64) * 40.0).round() as usize;
+            let _ = writeln!(out, "{hops} redirects {:>6}  {}", count, "#".repeat(filled));
+        }
+        out
+    }
+}
+
+/// Renders the Figure 5 histogram as text bars (wrapper over
+/// [`Render`]).
 pub fn render_fig5(hist: &RedirectHistogram) -> String {
-    let mut out = String::new();
-    let max = hist.counts.values().max().copied().unwrap_or(1).max(1);
-    for (hops, count) in &hist.counts {
-        let filled = ((*count as f64 / max as f64) * 40.0).round() as usize;
-        let _ = writeln!(out, "{hops} redirects {:>6}  {}", count, "#".repeat(filled));
-    }
-    out
+    hist.render()
 }
 
-/// Renders Figure 6 with paper comparison.
+impl Render for TldBreakdown {
+    fn render(&self) -> String {
+        let paper: BTreeMap<&str, f64> = [
+            ("com", 0.70),
+            ("net", 0.22),
+            ("de", 0.02),
+            ("org", 0.01),
+            ("others", 0.05),
+        ]
+        .into_iter()
+        .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<8} {:>9} {:>10} {:>10}", "TLD", "Count", "Measured", "Paper");
+        for (bucket, expected) in paper {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} {:>9.1}% {:>9.1}%",
+                bucket,
+                self.counts.get(bucket).copied().unwrap_or(0),
+                self.share(bucket) * 100.0,
+                expected * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Renders Figure 6 with paper comparison (wrapper over [`Render`]).
 pub fn render_fig6(tld: &TldBreakdown) -> String {
-    let paper: BTreeMap<&str, f64> = [
-        ("com", 0.70),
-        ("net", 0.22),
-        ("de", 0.02),
-        ("org", 0.01),
-        ("others", 0.05),
-    ]
-    .into_iter()
-    .collect();
-    let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:>9} {:>10} {:>10}", "TLD", "Count", "Measured", "Paper");
-    for (bucket, expected) in paper {
-        let _ = writeln!(
-            out,
-            "{:<8} {:>9} {:>9.1}% {:>9.1}%",
-            bucket,
-            tld.counts.get(bucket).copied().unwrap_or(0),
-            tld.share(bucket) * 100.0,
-            expected * 100.0
-        );
-    }
-    out
+    tld.render()
 }
 
-/// Renders Figure 7 with paper comparison.
-pub fn render_fig7(content: &ContentBreakdown) -> String {
-    let paper: [(&str, f64); 5] = [
-        ("Business", 0.586),
-        ("Advertisement", 0.218),
-        ("Entertainment", 0.087),
-        ("Information Technology", 0.086),
-        ("Others", 0.026),
-    ];
-    let mut out = String::new();
-    let _ = writeln!(out, "{:<24} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
-    for (label, expected) in paper {
-        let _ = writeln!(
-            out,
-            "{:<24} {:>9} {:>9.1}% {:>9.1}%",
-            label,
-            content.counts.get(label).copied().unwrap_or(0),
-            content.share(label) * 100.0,
-            expected * 100.0
-        );
+impl Render for ContentBreakdown {
+    fn render(&self) -> String {
+        let paper: [(&str, f64); 5] = [
+            ("Business", 0.586),
+            ("Advertisement", 0.218),
+            ("Entertainment", 0.087),
+            ("Information Technology", 0.086),
+            ("Others", 0.026),
+        ];
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "{:<24} {:>9} {:>10} {:>10}", "Category", "Count", "Measured", "Paper");
+        for (label, expected) in paper {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>9.1}% {:>9.1}%",
+                label,
+                self.counts.get(label).copied().unwrap_or(0),
+                self.share(label) * 100.0,
+                expected * 100.0
+            );
+        }
+        out
     }
-    out
+}
+
+/// Renders Figure 7 with paper comparison (wrapper over [`Render`]).
+pub fn render_fig7(content: &ContentBreakdown) -> String {
+    content.render()
 }
 
 #[cfg(test)]
@@ -331,6 +434,25 @@ mod tests {
     fn fig5_render_handles_empty() {
         let hist = RedirectHistogram::default();
         assert!(render_fig5(&hist).is_empty());
+    }
+
+    #[test]
+    fn artifact_render_dispatches_to_payload() {
+        let t = table1();
+        let direct = t.render();
+        assert_eq!(Artifact::Table1(t).render(), direct);
+        assert_eq!(
+            Artifact::Fig4(None).render(),
+            "(no malicious redirect chain at this scale)\n"
+        );
+        let chain = ChainExhibit {
+            exchange: "Otohits".into(),
+            hops: 2,
+            hosts: vec!["a.com".into(), "b.com".into(), "c.com".into()],
+        };
+        let text = Artifact::Fig4(Some(chain)).render();
+        assert!(text.contains("observed on Otohits, 2 hops:"));
+        assert!(text.contains("-> c.com"));
     }
 
     #[test]

@@ -104,6 +104,18 @@ impl<'w> ScanPipeline<'w> {
         self.url_features.len()
     }
 
+    /// Lookup/entry/hit statistics for each of the three memoization
+    /// caches, keyed by the metric group name used under
+    /// `scan.cache.*`. Hits are derived (`lookups - entries`), so the
+    /// numbers are deterministic for every worker count.
+    pub fn cache_stats(&self) -> [(&'static str, slum_detect::CacheStats); 3] {
+        [
+            ("url_features", self.url_features.stats()),
+            ("host_domains", self.host_domains.stats()),
+            ("domain_blacklisted", self.domain_blacklisted.stats()),
+        ]
+    }
+
     /// Scans one crawl record.
     pub fn scan(&self, record: &CrawlRecord) -> ScanOutcome {
         // 1. Blacklist consensus over every domain on the redirect chain

@@ -1,24 +1,40 @@
 //! The end-to-end study runner: build the ecosystem, crawl, scan,
 //! analyze — everything the paper's evaluation reports, in one object.
+//!
+//! Every run carries a [`slum_obs::Registry`]: the phases record named
+//! spans, the crawler and scan workers buffer counters locally and
+//! merge them at phase end, and [`Study::metrics`] exposes the result
+//! as a [`MetricsSnapshot`]. All counters and gauges are deterministic
+//! for a fixed seed — identical for every scan worker count — so tests
+//! pin them; only span/histogram wall-clock varies per machine.
+
+use std::fmt;
+use std::time::Instant;
 
 use slum_crawler::drive::estimated_duration_secs;
 use slum_crawler::{crawl_all, CrawlRecord, RecordStore};
 use slum_exchange::params::PROFILES;
 use slum_exchange::Exchange;
+use slum_obs::{LocalMetrics, MetricsSnapshot, Registry};
 use slum_websim::build::WebBuilder;
 use slum_websim::SyntheticWeb;
 
-use crate::breakdown::{domain_rows, ContentBreakdown, DomainRow, TldBreakdown};
+use crate::artifact::ArtifactKind;
+use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
 use crate::case_studies;
-use crate::categorize::{tally, CategoryCounts};
+use crate::categorize::CategoryCounts;
 use crate::filter::{ReferralClass, ReferralFilter};
-use crate::redirects::{longest_chain, ChainExhibit, RedirectHistogram};
-use crate::report::{Fig2Bar, Table1, Table1Row};
+use crate::redirects::{ChainExhibit, RedirectHistogram};
+use crate::report::{Fig2Bar, Table1};
 use crate::scanpipe::{ScanOutcome, ScanPipeline};
-use crate::shortened::{shortened_rows, ShortenedRow};
+use crate::shortened::ShortenedRow;
 use crate::temporal::CumulativeSeries;
 
 /// Study configuration.
+///
+/// Construct via [`StudyConfig::builder`] to get validation (worker
+/// counts, scale ranges); the fields stay public for struct-literal
+/// compatibility, but the builder is the supported path.
 #[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Master seed.
@@ -46,6 +62,112 @@ impl Default for StudyConfig {
     }
 }
 
+impl StudyConfig {
+    /// Starts a validated configuration builder seeded with the
+    /// defaults.
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder { config: StudyConfig::default() }
+    }
+}
+
+/// A validating builder for [`StudyConfig`].
+///
+/// ```
+/// use malware_slums::study::StudyConfig;
+///
+/// let config = StudyConfig::builder()
+///     .seed(7)
+///     .crawl_scale(0.0005)
+///     .scan_workers(2)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.seed, 7);
+/// assert!(StudyConfig::builder().scan_workers(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StudyConfigBuilder {
+    config: StudyConfig,
+}
+
+impl StudyConfigBuilder {
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the crawl-volume scale.
+    pub fn crawl_scale(mut self, scale: f64) -> Self {
+        self.config.crawl_scale = scale;
+        self
+    }
+
+    /// Sets the domain-pool scale.
+    pub fn domain_scale(mut self, scale: f64) -> Self {
+        self.config.domain_scale = scale;
+        self
+    }
+
+    /// Sets the scan-phase worker count.
+    pub fn scan_workers(mut self, workers: usize) -> Self {
+        self.config.scan_workers = workers;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero worker count and non-positive or non-finite
+    /// scales — inputs the pipeline previously accepted silently (a
+    /// `scan_workers: 0` used to be clamped to 1 deep inside the scan
+    /// phase, hiding the caller's bug).
+    pub fn build(self) -> Result<StudyConfig, ConfigError> {
+        if self.config.scan_workers == 0 {
+            return Err(ConfigError::ZeroScanWorkers);
+        }
+        for (field, value) in [
+            ("crawl_scale", self.config.crawl_scale),
+            ("domain_scale", self.config.domain_scale),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::NonPositiveScale { field, value });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+/// Why a [`StudyConfigBuilder`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `scan_workers` was zero — the scan phase needs at least one
+    /// worker.
+    ZeroScanWorkers,
+    /// A scale was zero, negative, or not finite.
+    NonPositiveScale {
+        /// Which scale field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroScanWorkers => {
+                write!(f, "scan_workers must be at least 1")
+            }
+            ConfigError::NonPositiveScale { field, value } => {
+                write!(f, "{field} must be a positive finite number, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The machine's available parallelism (used as the default scan worker
 /// count), falling back to 4 where it cannot be queried.
 pub fn default_scan_workers() -> usize {
@@ -53,6 +175,10 @@ pub fn default_scan_workers() -> usize {
 }
 
 /// Wall-clock spent in each phase of [`Study::run_timed`].
+///
+/// Superseded by the `phase.*` spans in [`Study::metrics`] — this
+/// struct is now derived from those spans and kept for callers that
+/// predate the observability layer.
 #[derive(Debug, Clone, Copy)]
 pub struct PhaseTimings {
     /// Web population + exchange construction.
@@ -76,58 +202,92 @@ pub struct Study {
     /// Referral class per record (aligned).
     pub referrals: Vec<ReferralClass>,
     config: StudyConfig,
+    obs: Registry,
 }
 
 impl Study {
     /// Runs the full pipeline.
     pub fn run(config: &StudyConfig) -> Study {
-        Study::run_timed(config).0
-    }
+        let obs = Registry::new();
+        record_config(&obs, config);
 
-    /// Runs the full pipeline, reporting per-phase wall-clock timings.
-    pub fn run_timed(config: &StudyConfig) -> (Study, PhaseTimings) {
         // 1. Build the web population + the nine exchanges. Each
         //    exchange gets its *own* planned crawl span so manual-surf
         //    campaign bursts land inside the (much shorter) manual
         //    crawls rather than after they end.
-        let t_build = std::time::Instant::now();
-        let mut builder = WebBuilder::new(config.seed);
-        let mut exchanges: Vec<Exchange> = PROFILES
-            .iter()
-            .map(|p| {
-                let span = estimated_duration_secs(p, steps_for(p, config.crawl_scale));
-                slum_exchange::build_exchange(&mut builder, p, config.domain_scale, span)
-            })
-            .collect();
-        let web = builder.finish();
-        let build = t_build.elapsed();
+        let (web, mut exchanges) = {
+            let _span = obs.span("phase.build");
+            let mut builder = WebBuilder::new(config.seed);
+            let exchanges: Vec<Exchange> = PROFILES
+                .iter()
+                .map(|p| {
+                    let span = estimated_duration_secs(p, steps_for(p, config.crawl_scale));
+                    slum_exchange::build_exchange(&mut builder, p, config.domain_scale, span)
+                })
+                .collect();
+            (builder.finish(), exchanges)
+        };
 
-        // 2. Crawl all nine exchanges in parallel.
-        let t_crawl = std::time::Instant::now();
-        let (store, _stats) = crawl_all(&web, &mut exchanges, config.seed, |x| {
-            let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
-            steps_for(profile, config.crawl_scale)
-        });
-        let crawl = t_crawl.elapsed();
+        // 2. Crawl all nine exchanges in parallel; each crawl returns
+        //    its per-worker counter buffer, merged here at phase end.
+        let store = {
+            let _span = obs.span("phase.crawl");
+            let (store, stats) = crawl_all(&web, &mut exchanges, config.seed, |x| {
+                let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
+                steps_for(profile, config.crawl_scale)
+            });
+            for (_, s) in &stats {
+                obs.merge_local(&s.metrics);
+            }
+            store
+        };
 
         // 3. Classify referrals, then scan every *regular* record
         //    across the configured worker count.
-        let t_scan = std::time::Instant::now();
-        let filter = ReferralFilter::from_profiles(PROFILES.iter());
-        let referrals: Vec<ReferralClass> =
-            store.records().iter().map(|r| filter.classify(r)).collect();
-        let pipeline = ScanPipeline::new(&web);
-        let (outcomes, scan_workers) =
-            scan_phase(&pipeline, store.records(), &referrals, config.scan_workers);
-        let scan = t_scan.elapsed();
+        let (outcomes, referrals) = {
+            let _span = obs.span("phase.scan");
+            let filter = ReferralFilter::from_profiles(PROFILES.iter());
+            let referrals: Vec<ReferralClass> =
+                store.records().iter().map(|r| filter.classify(r)).collect();
+            record_filter_counts(&obs, &referrals);
 
-        let study = Study { web, store, outcomes, referrals, config: config.clone() };
-        (study, PhaseTimings { build, crawl, scan, scan_workers })
+            let pipeline = ScanPipeline::new(&web);
+            let (outcomes, scan_workers) =
+                scan_phase(&pipeline, store.records(), &referrals, config.scan_workers, &obs);
+            obs.gauge("scan.workers").set(scan_workers as i64);
+            record_cache_stats(&obs, &pipeline);
+            record_outcome_tallies(&obs, &outcomes, &referrals);
+            (outcomes, referrals)
+        };
+
+        Study { web, store, outcomes, referrals, config: config.clone(), obs }
+    }
+
+    /// Runs the full pipeline, reporting per-phase wall-clock timings
+    /// (derived from the `phase.*` spans in [`Study::metrics`]).
+    pub fn run_timed(config: &StudyConfig) -> (Study, PhaseTimings) {
+        let study = Study::run(config);
+        let snapshot = study.metrics();
+        let timings = PhaseTimings {
+            build: snapshot.span_duration("phase.build"),
+            crawl: snapshot.span_duration("phase.crawl"),
+            scan: snapshot.span_duration("phase.scan"),
+            scan_workers: snapshot.gauge("scan.workers").max(1) as usize,
+        };
+        (study, timings)
     }
 
     /// The configuration the study ran with.
     pub fn config(&self) -> &StudyConfig {
         &self.config
+    }
+
+    /// An immutable snapshot of every metric the pipeline recorded:
+    /// crawl counters, filter partition counts, scan/cache/label
+    /// tallies (all deterministic per seed) plus phase spans and
+    /// latency histograms (wall-clock).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Regular-record mask (aligned with records).
@@ -149,111 +309,64 @@ impl Study {
     }
 
     /// Table I: per-exchange crawl statistics.
+    ///
+    /// Thin wrapper over [`Study::artifact`]; prefer
+    /// [`ArtifactKind::Table1`] in new code.
     pub fn table1(&self) -> Table1 {
-        let rows = PROFILES
-            .iter()
-            .map(|profile| {
-                let mut row = Table1Row {
-                    exchange: profile.name.to_string(),
-                    kind: profile.kind.label().to_string(),
-                    crawled: 0,
-                    self_referrals: 0,
-                    popular_referrals: 0,
-                    regular: 0,
-                    malicious: 0,
-                };
-                for ((record, outcome), class) in
-                    self.store.records().iter().zip(&self.outcomes).zip(&self.referrals)
-                {
-                    if record.exchange != profile.name {
-                        continue;
-                    }
-                    row.crawled += 1;
-                    match class {
-                        ReferralClass::SelfReferral => row.self_referrals += 1,
-                        ReferralClass::PopularReferral => row.popular_referrals += 1,
-                        ReferralClass::Regular => {
-                            row.regular += 1;
-                            if outcome.malicious {
-                                row.malicious += 1;
-                            }
-                        }
-                    }
-                }
-                row
-            })
-            .collect();
-        Table1 { rows }
+        self.artifact(ArtifactKind::Table1).into_table1().expect("Table1 artifact")
     }
 
-    /// Table II: per-exchange domain statistics.
+    /// Table II: per-exchange domain statistics (wrapper over
+    /// [`ArtifactKind::Table2`]).
     pub fn table2(&self) -> Vec<DomainRow> {
-        domain_rows(self.store.records(), &self.outcomes, &self.regular_mask())
+        self.artifact(ArtifactKind::Table2).into_table2().expect("Table2 artifact")
     }
 
-    /// Table III: malware categorization counts.
+    /// Table III: malware categorization counts (wrapper over
+    /// [`ArtifactKind::Table3`]).
     pub fn table3(&self) -> CategoryCounts {
-        tally(&self.regular_pairs())
+        self.artifact(ArtifactKind::Table3).into_table3().expect("Table3 artifact")
     }
 
-    /// Table IV: malicious shortened-URL statistics.
+    /// Table IV: malicious shortened-URL statistics (wrapper over
+    /// [`ArtifactKind::Table4`]).
     pub fn table4(&self) -> Vec<ShortenedRow> {
-        shortened_rows(&self.web, &self.regular_pairs())
+        self.artifact(ArtifactKind::Table4).into_table4().expect("Table4 artifact")
     }
 
-    /// Figure 2 bars (per-exchange benign vs malware).
+    /// Figure 2 bars (wrapper over [`ArtifactKind::Fig2`]).
     pub fn fig2(&self) -> Vec<Fig2Bar> {
-        self.table1()
-            .rows
-            .into_iter()
-            .map(|r| Fig2Bar {
-                exchange: r.exchange,
-                benign: r.regular - r.malicious,
-                malicious: r.malicious,
-            })
-            .collect()
+        self.artifact(ArtifactKind::Fig2).into_fig2().expect("Fig2 artifact")
     }
 
-    /// Figure 3: per-exchange cumulative malicious series (regular URLs,
-    /// crawl order).
+    /// Figure 3: per-exchange cumulative malicious series (wrapper over
+    /// [`ArtifactKind::Fig3`]).
     pub fn fig3(&self) -> Vec<CumulativeSeries> {
-        PROFILES
-            .iter()
-            .map(|profile| {
-                let flags: Vec<bool> = self
-                    .store
-                    .records()
-                    .iter()
-                    .zip(&self.outcomes)
-                    .zip(&self.referrals)
-                    .filter(|((record, _), class)| {
-                        record.exchange == profile.name && **class == ReferralClass::Regular
-                    })
-                    .map(|((_, outcome), _)| outcome.malicious)
-                    .collect();
-                CumulativeSeries::from_flags(profile.name, &flags)
-            })
-            .collect()
+        self.artifact(ArtifactKind::Fig3).into_fig3().expect("Fig3 artifact")
     }
 
-    /// Figure 5: redirect-count histogram.
-    pub fn fig5(&self) -> RedirectHistogram {
-        RedirectHistogram::build(&self.regular_pairs())
-    }
-
-    /// Figure 4 exhibit: the longest malicious redirect chain observed.
+    /// Figure 4 exhibit: the longest malicious redirect chain observed
+    /// (wrapper over [`ArtifactKind::Fig4`]).
     pub fn fig4(&self) -> Option<ChainExhibit> {
-        longest_chain(&self.regular_pairs())
+        self.artifact(ArtifactKind::Fig4).into_fig4().expect("Fig4 artifact")
     }
 
-    /// Figure 6: TLD breakdown of malicious URLs.
+    /// Figure 5: redirect-count histogram (wrapper over
+    /// [`ArtifactKind::Fig5`]).
+    pub fn fig5(&self) -> RedirectHistogram {
+        self.artifact(ArtifactKind::Fig5).into_fig5().expect("Fig5 artifact")
+    }
+
+    /// Figure 6: TLD breakdown of malicious URLs (wrapper over
+    /// [`ArtifactKind::Fig6`]).
     pub fn fig6(&self) -> TldBreakdown {
-        TldBreakdown::build(&self.regular_pairs())
+        self.artifact(ArtifactKind::Fig6).into_fig6().expect("Fig6 artifact")
     }
 
-    /// Figure 7: content-category breakdown of malicious URLs.
+    /// Figure 7: content-category breakdown of malicious URLs (wrapper
+    /// over [`ArtifactKind::Fig7`]).
     pub fn fig7(&self) -> ContentBreakdown {
-        ContentBreakdown::build(&self.web, &self.regular_pairs())
+        self.artifact(ArtifactKind::Fig7).into_fig7().expect("Fig7 artifact")
     }
 
     /// §V-A case studies: iframe-injection exhibits.
@@ -283,15 +396,89 @@ pub fn steps_for(profile: &slum_exchange::ExchangeProfile, scale: f64) -> u64 {
     ((profile.urls_crawled as f64 * scale).round() as u64).max(40)
 }
 
+/// Records configuration echoes as gauges (scales in parts-per-million
+/// so they stay integral and deterministic).
+fn record_config(obs: &Registry, config: &StudyConfig) {
+    obs.gauge("config.seed").set(config.seed as i64);
+    obs.gauge("config.scan_workers").set(config.scan_workers as i64);
+    obs.gauge("config.crawl_scale_ppm").set((config.crawl_scale * 1e6).round() as i64);
+    obs.gauge("config.domain_scale_ppm").set((config.domain_scale * 1e6).round() as i64);
+}
+
+/// Records the regular-traffic filter partition: records in, and the
+/// three classes out.
+fn record_filter_counts(obs: &Registry, referrals: &[ReferralClass]) {
+    let mut selfs = 0u64;
+    let mut populars = 0u64;
+    let mut regulars = 0u64;
+    for class in referrals {
+        match class {
+            ReferralClass::SelfReferral => selfs += 1,
+            ReferralClass::PopularReferral => populars += 1,
+            ReferralClass::Regular => regulars += 1,
+        }
+    }
+    obs.counter("filter.records_in").add(referrals.len() as u64);
+    obs.counter("filter.self_referrals").add(selfs);
+    obs.counter("filter.popular_referrals").add(populars);
+    obs.counter("filter.regular_out").add(regulars);
+}
+
+/// Records per-cache lookup/entry/hit counters for the pipeline's three
+/// sharded caches.
+fn record_cache_stats(obs: &Registry, pipeline: &ScanPipeline<'_>) {
+    for (group, stats) in pipeline.cache_stats() {
+        obs.counter(&format!("scan.cache.{group}.lookups")).add(stats.lookups);
+        obs.counter(&format!("scan.cache.{group}.entries")).add(stats.entries);
+        obs.counter(&format!("scan.cache.{group}.hits")).add(stats.hits);
+    }
+}
+
+/// Tallies scan verdicts, blacklist consensus outcomes and per-engine
+/// labels over the regular records. Runs serially after the scan phase,
+/// so the counts are trivially schedule-independent.
+fn record_outcome_tallies(obs: &Registry, outcomes: &[ScanOutcome], referrals: &[ReferralClass]) {
+    let mut m = LocalMetrics::new();
+    for (outcome, class) in outcomes.iter().zip(referrals) {
+        if *class != ReferralClass::Regular {
+            continue;
+        }
+        m.inc(if outcome.malicious { "scan.verdict.malicious" } else { "scan.verdict.benign" });
+        if outcome.needed_content_upload {
+            m.inc("scan.content_uploads");
+        }
+        if outcome.blacklisted_domain.is_some() {
+            m.inc("scan.blacklist.consensus_hits");
+        }
+        for (engine, _label) in &outcome.vt.detections {
+            m.inc("scan.labels.vt.total");
+            m.add_owned(format!("scan.labels.vt.engine.{engine}"), 1);
+        }
+        for (_engine, label) in &outcome.vt.detections {
+            m.add_owned(format!("scan.labels.vt.label.{label}"), 1);
+        }
+        for finding in &outcome.quttera.findings {
+            m.inc("scan.labels.quttera.total");
+            m.add_owned(format!("scan.labels.quttera.finding.{finding:?}"), 1);
+        }
+        m.add_owned(format!("scan.labels.quttera.verdict.{:?}", outcome.quttera.verdict), 1);
+    }
+    obs.merge_local(&m);
+}
+
 /// Scans every Regular record across `workers` scoped threads and
 /// splices the results back into record order; Self/Popular referrals
-/// get an inert clean outcome so indices stay aligned. Returns the
-/// outcomes and the worker count actually used.
+/// get an inert clean outcome so indices stay aligned. Each worker
+/// buffers its counters in a [`LocalMetrics`] and records per-record
+/// latencies into the shared `scan.record_nanos` histogram; the buffers
+/// merge into `obs` once the phase ends. Returns the outcomes and the
+/// worker count actually used.
 fn scan_phase(
     pipeline: &ScanPipeline<'_>,
     records: &[CrawlRecord],
     referrals: &[ReferralClass],
     workers: usize,
+    obs: &Registry,
 ) -> (Vec<ScanOutcome>, usize) {
     let regular_idx: Vec<usize> = referrals
         .iter()
@@ -300,23 +487,39 @@ fn scan_phase(
         .map(|(i, _)| i)
         .collect();
     let workers = workers.max(1).min(regular_idx.len().max(1));
+    let latency = obs.histogram("scan.record_nanos");
+
+    let scan_chunk = |chunk: &[usize]| -> (Vec<ScanOutcome>, LocalMetrics) {
+        let mut local = LocalMetrics::new();
+        let outcomes = chunk
+            .iter()
+            .map(|&i| {
+                let t0 = Instant::now();
+                let outcome = pipeline.scan(&records[i]);
+                latency.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                local.inc("scan.scans");
+                outcome
+            })
+            .collect();
+        (outcomes, local)
+    };
 
     let scanned: Vec<ScanOutcome> = if workers == 1 {
-        regular_idx.iter().map(|&i| pipeline.scan(&records[i])).collect()
+        let (outcomes, local) = scan_chunk(&regular_idx);
+        obs.merge_local(&local);
+        outcomes
     } else {
         let chunk_len = regular_idx.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = regular_idx
                 .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk.iter().map(|&i| pipeline.scan(&records[i])).collect::<Vec<_>>()
-                    })
-                })
+                .map(|chunk| scope.spawn(|_| scan_chunk(chunk)))
                 .collect();
             let mut merged = Vec::with_capacity(regular_idx.len());
             for handle in handles {
-                merged.extend(handle.join().expect("scan worker panicked"));
+                let (outcomes, local) = handle.join().expect("scan worker panicked");
+                obs.merge_local(&local);
+                merged.extend(outcomes);
             }
             merged
         })
@@ -360,7 +563,13 @@ mod tests {
     use super::*;
 
     fn tiny_study() -> Study {
-        Study::run(&StudyConfig { seed: 77, crawl_scale: 0.0003, domain_scale: 0.03, ..Default::default() })
+        let config = StudyConfig::builder()
+            .seed(77)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .build()
+            .expect("valid test config");
+        Study::run(&config)
     }
 
     #[test]
@@ -435,5 +644,60 @@ mod tests {
         assert_eq!(counts.total_malicious, total_from_table1);
         let sum: u64 = crate::categorize::Category::ALL.iter().map(|c| counts.count(*c)).sum();
         assert_eq!(sum, counts.total_malicious);
+    }
+
+    #[test]
+    fn metrics_agree_with_pipeline_state() {
+        let study = tiny_study();
+        let m = study.metrics();
+        let t1 = study.table1();
+
+        assert_eq!(m.counter("crawl.pages") as usize, study.store.len());
+        assert_eq!(m.counter("filter.records_in") as usize, study.referrals.len());
+        let regular: u64 = t1.rows.iter().map(|r| r.regular).sum();
+        assert_eq!(m.counter("filter.regular_out"), regular);
+        assert_eq!(m.counter("scan.scans"), regular);
+        let malicious: u64 = t1.rows.iter().map(|r| r.malicious).sum();
+        assert_eq!(m.counter("scan.verdict.malicious"), malicious);
+        assert_eq!(
+            m.counter("scan.verdict.malicious") + m.counter("scan.verdict.benign"),
+            regular
+        );
+
+        // One URL-feature lookup per scanned record; entries+hits
+        // partition the lookups.
+        let fl = m.counter("scan.cache.url_features.lookups");
+        assert_eq!(fl, regular);
+        assert_eq!(
+            fl,
+            m.counter("scan.cache.url_features.entries")
+                + m.counter("scan.cache.url_features.hits")
+        );
+
+        // Phase spans exist and the scan histogram saw every record.
+        assert_eq!(m.spans.iter().filter(|s| s.name.starts_with("phase.")).count(), 3);
+        assert_eq!(m.histograms["scan.record_nanos"].count, regular);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert!(matches!(
+            StudyConfig::builder().scan_workers(0).build(),
+            Err(ConfigError::ZeroScanWorkers)
+        ));
+        assert!(matches!(
+            StudyConfig::builder().crawl_scale(0.0).build(),
+            Err(ConfigError::NonPositiveScale { field: "crawl_scale", .. })
+        ));
+        assert!(matches!(
+            StudyConfig::builder().domain_scale(-1.0).build(),
+            Err(ConfigError::NonPositiveScale { field: "domain_scale", .. })
+        ));
+        assert!(matches!(
+            StudyConfig::builder().crawl_scale(f64::NAN).build(),
+            Err(ConfigError::NonPositiveScale { .. })
+        ));
+        let err = StudyConfig::builder().scan_workers(0).build().unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 }

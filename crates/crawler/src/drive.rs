@@ -53,6 +53,10 @@ pub struct CrawlStats {
     pub load_failures: u64,
     /// Credits earned (milli-credits).
     pub credits_earned_millis: i64,
+    /// Observability counters for this crawl (`crawl.*` namespace),
+    /// buffered per worker and merged into the study registry at phase
+    /// end.
+    pub metrics: slum_obs::LocalMetrics,
 }
 
 /// Crawls one exchange for `config.steps` logged pages, appending
@@ -87,9 +91,15 @@ pub fn crawl_exchange(
     let manual = exchange.kind() == ExchangeKind::ManualSurf;
     let mut t = config.start_time;
     let mut seq = 0u64;
+    let mut redirects = 0u64;
+    let mut burst_steps = 0u64;
+    let mut shortener_visits = 0u64;
+    let mut surf_steps = 0u64;
 
     while seq < config.steps {
         let step = exchange.next_step(t, &mut rng);
+        surf_steps += 1;
+        burst_steps += u64::from(step.campaign_boosted);
 
         // Manual-surf: solve the CAPTCHA first; a failure burns time but
         // logs nothing (the page never opens).
@@ -119,6 +129,8 @@ pub fn crawl_exchange(
         if !config.capture_content {
             record.content = None;
         }
+        redirects += u64::from(record.redirect_hops);
+        shortener_visits += u64::from(record.via_shortener);
         store.push(record);
         stats.pages += 1;
         seq += 1;
@@ -129,6 +141,17 @@ pub fn crawl_exchange(
         // Dwell for the required surf time (plus jitter for realism).
         t += step.min_surf_secs as u64 + rng.gen_range(0..5);
     }
+
+    // Buffer the crawl counters locally; the study merges them into its
+    // registry once the (parallel) crawl phase ends.
+    stats.metrics.add("crawl.pages", stats.pages);
+    stats.metrics.add("crawl.surf_steps", surf_steps);
+    stats.metrics.add("crawl.redirects_followed", redirects);
+    stats.metrics.add("crawl.burst_steps", burst_steps);
+    stats.metrics.add("crawl.shortener_visits", shortener_visits);
+    stats.metrics.add("crawl.captcha_failures", stats.captcha_failures);
+    stats.metrics.add("crawl.load_failures", stats.load_failures);
+    stats.metrics.add_owned(format!("crawl.steps.{exchange_name}"), surf_steps);
     stats
 }
 
@@ -212,6 +235,21 @@ mod tests {
             "Otohits self-referrals: {selfs}/{}",
             store.len()
         );
+    }
+
+    #[test]
+    fn crawl_metrics_mirror_stats() {
+        let (store, stats) = crawl("Cash N Hits", 120, 13);
+        let m = &stats.metrics;
+        assert_eq!(m.count("crawl.pages"), stats.pages);
+        assert_eq!(m.count("crawl.captcha_failures"), stats.captcha_failures);
+        assert_eq!(m.count("crawl.load_failures"), stats.load_failures);
+        // Every logged page plus every burned CAPTCHA is one surf step.
+        assert_eq!(m.count("crawl.surf_steps"), stats.pages + stats.captcha_failures);
+        assert_eq!(m.count("crawl.steps.Cash N Hits"), m.count("crawl.surf_steps"));
+        let redirects: u64 =
+            store.records().iter().map(|r| u64::from(r.redirect_hops)).sum();
+        assert_eq!(m.count("crawl.redirects_followed"), redirects);
     }
 
     #[test]

@@ -93,6 +93,25 @@ mod tests {
     }
 
     #[test]
+    fn per_exchange_metrics_cover_all_nine() {
+        let mut b = WebBuilder::new(132);
+        let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+        let web = b.finish();
+        let (_, stats) = crawl_all(&web, &mut exchanges, 7, |_| 20);
+        let mut merged = slum_obs::LocalMetrics::new();
+        for (_, s) in &stats {
+            merged.merge(&s.metrics);
+        }
+        assert_eq!(merged.count("crawl.pages"), 9 * 20);
+        let per_exchange: Vec<&str> = merged
+            .iter()
+            .filter(|(name, _)| name.starts_with("crawl.steps."))
+            .map(|(name, _)| name)
+            .collect();
+        assert_eq!(per_exchange.len(), 9, "{per_exchange:?}");
+    }
+
+    #[test]
     fn parallel_crawl_is_deterministic() {
         let run = || {
             let mut b = WebBuilder::new(131);

@@ -9,6 +9,7 @@
 //! shards never contend and even same-shard readers proceed together.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -27,6 +28,31 @@ const SHARDS: usize = 16;
 /// Sync`.
 pub struct ShardedCache<V> {
     shards: Vec<RwLock<HashMap<String, V>>>,
+    /// Total [`ShardedCache::get_or_insert_with`] calls (relaxed; the
+    /// count is deterministic because callers issue a fixed lookup
+    /// sequence per record regardless of scheduling).
+    lookups: AtomicU64,
+}
+
+/// Usage statistics of one [`ShardedCache`], read via
+/// [`ShardedCache::stats`].
+///
+/// `hits` is *derived* as `lookups - entries` rather than counted at
+/// lookup time: two workers racing on the same cold key may both run
+/// the compute closure, so a counted miss total would depend on thread
+/// timing, while the number of distinct entries (and the lookup
+/// sequence) never does. The derived figure therefore equals the serial
+/// hit count for every worker schedule — the property the observability
+/// layer pins in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total memoized lookups issued.
+    pub lookups: u64,
+    /// Distinct keys currently cached (== computations a serial run
+    /// would have performed).
+    pub entries: u64,
+    /// Lookups served without a fresh computation (derived).
+    pub hits: u64,
 }
 
 impl<V> Default for ShardedCache<V> {
@@ -38,7 +64,10 @@ impl<V> Default for ShardedCache<V> {
 impl<V> ShardedCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        ShardedCache { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
+        }
     }
 
     fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
@@ -56,12 +85,22 @@ impl<V> ShardedCache<V> {
         self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Drops every cached entry (used by benchmarks to measure cold
-    /// scans without rebuilding the pipeline).
+    /// Drops every cached entry and resets the lookup statistics (used
+    /// by benchmarks to measure cold scans without rebuilding the
+    /// pipeline).
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.write().clear();
         }
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+
+    /// Current usage statistics (takes every read lock for the entry
+    /// count; intended for phase-end reporting, not hot paths).
+    pub fn stats(&self) -> CacheStats {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let entries = self.len() as u64;
+        CacheStats { lookups, entries, hits: lookups.saturating_sub(entries) }
     }
 }
 
@@ -80,6 +119,7 @@ impl<V: Clone> ShardedCache<V> {
     /// insertion wins and both observe that value — with deterministic
     /// `compute` the race is invisible in the results.
     pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self.shard(key).read().get(key) {
             return hit.clone();
         }
@@ -132,6 +172,20 @@ mod tests {
         cache.clear();
         assert_eq!(cache.len(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_derive_hits_from_lookups_and_entries() {
+        let cache = ShardedCache::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        for _ in 0..3 {
+            cache.get_or_insert_with("a", || 1);
+        }
+        cache.get_or_insert_with("b", || 2);
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { lookups: 4, entries: 2, hits: 2 });
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

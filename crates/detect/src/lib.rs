@@ -42,7 +42,7 @@ pub mod vetting;
 pub mod virustotal;
 
 pub use blacklist::{BlacklistDb, BlacklistVerdict};
-pub use cache::ShardedCache;
+pub use cache::{CacheStats, ShardedCache};
 pub use engine::{EngineModel, FeatureClass};
 pub use features::Features;
 pub use quttera::{Quttera, QutteraFinding, QutteraReport};

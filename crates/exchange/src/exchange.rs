@@ -51,6 +51,10 @@ pub struct SurfStep {
     pub min_surf_secs: u32,
     /// CAPTCHA to solve first (manual-surf only).
     pub captcha: Option<Captcha>,
+    /// Whether the served listing carried an active paid-campaign boost
+    /// at selection time (the burst traffic of §IV; lets the crawler
+    /// report how many of its surf steps landed inside a burst).
+    pub campaign_boosted: bool,
 }
 
 /// A configured traffic exchange.
@@ -181,6 +185,7 @@ impl Exchange {
     /// active campaign boosts.
     pub fn next_step(&mut self, t: u64, rng: &mut StdRng) -> SurfStep {
         let roll: f64 = rng.gen();
+        let mut campaign_boosted = false;
         let url = if roll < self.self_fraction {
             self.home.clone()
         } else if roll < self.self_fraction + self.popular_fraction && !self.popular.is_empty() {
@@ -195,6 +200,10 @@ impl Exchange {
                 pick_weighted(rng, &weights)
             };
             let base = &self.listings[idx].url;
+            campaign_boosted = self
+                .campaigns
+                .iter()
+                .any(|c| c.active_at(t) && c.target == self.listings[idx].url);
             // Exchanges append tracking parameters, which is why the
             // corpus has ~18 distinct URLs per domain.
             if rng.gen_bool(0.7) {
@@ -212,7 +221,7 @@ impl Exchange {
             }
             ExchangeKind::AutoSurf => None,
         };
-        SurfStep { url, min_surf_secs: self.min_surf_secs, captcha }
+        SurfStep { url, min_surf_secs: self.min_surf_secs, captcha, campaign_boosted }
     }
 }
 
@@ -309,6 +318,30 @@ mod tests {
         let during = evil_share(&mut x, &mut rng, 1_000);
         assert!(during > before * 2.0, "boost must dominate: before {before}, during {during}");
         assert!(during > 0.6, "campaign should capture most rotation: {during}");
+    }
+
+    #[test]
+    fn steps_flag_campaign_boosted_listings() {
+        let mut x = basic_exchange(ExchangeKind::AutoSurf);
+        x.schedule_campaign(Campaign {
+            target: Url::http("evil.example.com", "/"),
+            visits_purchased: 1_000,
+            dollars: 2,
+            start: 1_000,
+            end: 2_000,
+            boost: 100.0,
+        });
+        let mut rng = seeded(5);
+        // Outside the window nothing is boosted.
+        assert!((0..200).all(|t| !x.next_step(t, &mut rng).campaign_boosted));
+        // Inside, exactly the steps that land on the boosted listing are.
+        let mut boosted = 0;
+        for i in 0..500 {
+            let step = x.next_step(1_000 + i, &mut rng);
+            assert_eq!(step.campaign_boosted, step.url.host() == "evil.example.com");
+            boosted += u64::from(step.campaign_boosted);
+        }
+        assert!(boosted > 250, "boost dominates the window: {boosted}/500");
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! # slum-obs
+//!
+//! The observability substrate for the malware-slums reproduction: a
+//! lightweight, dependency-free metrics layer that every crate in the
+//! workspace can link without cycles.
+//!
+//! The paper's credibility rests on knowing exactly what the crawler
+//! and the scanners did — how many URLs were surfed, how many scans hit
+//! a cache instead of running, how many labels each engine produced.
+//! This crate provides the vocabulary for reporting that:
+//!
+//! - [`Registry`] — a `Send + Sync` home for named metrics;
+//! - monotonic [`Counter`]s and settable [`Gauge`]s (lock-free atomics);
+//! - [`Histogram`]s with fixed log-scale buckets for latencies;
+//! - named span timers ([`Registry::span`]) for phase wall-clock;
+//! - [`LocalMetrics`] — a per-worker plain-integer buffer for hot
+//!   paths, merged into the registry at phase end so parallel workers
+//!   never contend on shared counters;
+//! - [`MetricsSnapshot`] — an immutable, ordered view of everything,
+//!   serializable to JSON and parseable back ([`MetricsSnapshot::to_json`],
+//!   [`MetricsSnapshot::from_json`]).
+//!
+//! ## Determinism contract
+//!
+//! Counters and gauges must be *deterministic*: for a fixed seed they
+//! hold the same values regardless of worker counts or scheduling.
+//! Wall-clock measurements (histogram samples of durations, span
+//! nanoseconds) are machine-dependent and are therefore excluded from
+//! [`MetricsSnapshot::deterministic_counters`], the view that tests pin.
+//!
+//! ```
+//! use slum_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("crawl.pages").add(3);
+//! {
+//!     let _span = registry.span("phase.crawl");
+//!     // ... timed work ...
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("crawl.pages"), 3);
+//! let json = snapshot.to_json();
+//! let back = slum_obs::MetricsSnapshot::from_json(&json).unwrap();
+//! assert_eq!(back, snapshot);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod local;
+pub mod registry;
+pub mod snapshot;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use local::LocalMetrics;
+pub use registry::{Counter, Gauge, Registry, SpanGuard};
+pub use snapshot::{MetricsSnapshot, SpanSnapshot};

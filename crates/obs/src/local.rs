@@ -1,0 +1,105 @@
+//! Per-worker metric buffers.
+//!
+//! Shared atomic counters are cheap but not free: a parallel scan phase
+//! bumping a handful of counters per record would bounce cache lines
+//! between workers. A [`LocalMetrics`] is a plain single-threaded
+//! key → delta map each worker owns outright; at phase end the deltas
+//! are merged into the shared [`crate::Registry`] (or into another
+//! buffer) in one pass.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// A single-threaded buffer of counter deltas.
+///
+/// Keys are `Cow<'static, str>` so the common case (static metric
+/// names) never allocates; per-entity names (e.g. a per-exchange
+/// counter) can be added with [`LocalMetrics::add_owned`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalMetrics {
+    counters: BTreeMap<Cow<'static, str>, u64>,
+}
+
+impl LocalMetrics {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        LocalMetrics::default()
+    }
+
+    /// Adds one to `name`.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(Cow::Borrowed(name)).or_insert(0) += n;
+    }
+
+    /// Adds `n` to a dynamically-built name.
+    pub fn add_owned(&mut self, name: String, n: u64) {
+        *self.counters.entry(Cow::Owned(name)).or_insert(0) += n;
+    }
+
+    /// Current delta for `name` (0 when absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds another buffer into this one.
+    pub fn merge(&mut self, other: &LocalMetrics) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+    }
+
+    /// `(name, delta)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(name, delta)| (name.as_ref(), *delta))
+    }
+
+    /// True when no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_accumulate() {
+        let mut m = LocalMetrics::new();
+        m.inc("a");
+        m.add("a", 4);
+        m.add_owned("b.dynamic".to_string(), 2);
+        assert_eq!(m.count("a"), 5);
+        assert_eq!(m.count("b.dynamic"), 2);
+        assert_eq!(m.count("absent"), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = LocalMetrics::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = LocalMetrics::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.count("x"), 1);
+        assert_eq!(a.count("y"), 5);
+        assert_eq!(a.count("z"), 4);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut m = LocalMetrics::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -5,11 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use malware_slums::report;
+use malware_slums::report::{self, Render};
 use malware_slums::study::{Study, StudyConfig};
 
 fn main() {
-    let config = StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() };
+    let config = StudyConfig::builder()
+        .seed(2016)
+        .crawl_scale(0.002)
+        .domain_scale(0.05)
+        .build()
+        .expect("valid quickstart config");
     println!(
         "Running the Malware Slums study at {}x crawl scale (seed {})...\n",
         config.crawl_scale, config.seed

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, then smoke-test the observability path
+# end to end (repro --metrics must emit a parseable METRICS.json with
+# nonzero key counters).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+metrics_file="$(mktemp -t METRICS.XXXXXX.json)"
+trap 'rm -f "$metrics_file"' EXIT
+
+cargo run --release -p slum-bench --bin repro -- table1 \
+    --scale 0.0005 --seed 2016 --metrics "$metrics_file" >/dev/null
+
+python3 - "$metrics_file" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+
+counters = snapshot["counters"]
+for key in ("crawl.pages", "filter.regular_out", "scan.scans",
+            "scan.cache.url_features.lookups"):
+    if counters.get(key, 0) <= 0:
+        sys.exit(f"METRICS smoke test: counter {key!r} is zero or missing")
+
+if snapshot["gauges"].get("config.seed") != 2016:
+    sys.exit("METRICS smoke test: config.seed gauge mismatch")
+
+print(f"METRICS smoke test OK: {len(counters)} counters, "
+      f"{len(snapshot['spans'])} spans")
+EOF
+
+echo "ci.sh: all checks passed"

@@ -10,7 +10,13 @@ use malware_slums::{Category, ReferralClass};
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        Study::run(&StudyConfig { seed: 2016, crawl_scale: 0.002, domain_scale: 0.05, ..Default::default() })
+        let config = StudyConfig::builder()
+            .seed(2016)
+            .crawl_scale(0.002)
+            .domain_scale(0.05)
+            .build()
+            .expect("valid config");
+        Study::run(&config)
     })
 }
 
@@ -143,7 +149,12 @@ fn store_statistics_are_plausible() {
 
 #[test]
 fn study_is_reproducible() {
-    let config = StudyConfig { seed: 424242, crawl_scale: 0.0002, domain_scale: 0.03, ..Default::default() };
+    let config = StudyConfig::builder()
+        .seed(424242)
+        .crawl_scale(0.0002)
+        .domain_scale(0.03)
+        .build()
+        .expect("valid config");
     let a = Study::run(&config);
     let b = Study::run(&config);
     assert_eq!(a.store.len(), b.store.len());

@@ -13,7 +13,13 @@ use slum_exchange::ExchangeKind;
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        Study::run(&StudyConfig { seed: 1337, crawl_scale: 0.003, domain_scale: 0.06, ..Default::default() })
+        let config = StudyConfig::builder()
+            .seed(1337)
+            .crawl_scale(0.003)
+            .domain_scale(0.06)
+            .build()
+            .expect("valid config");
+        Study::run(&config)
     })
 }
 

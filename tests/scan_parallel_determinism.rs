@@ -79,12 +79,14 @@ fn study_outcomes_identical_across_worker_counts() {
     // The full study path: referral filtering, splicing of clean
     // outcomes for self/popular referrals, index alignment.
     let run = |scan_workers: usize| {
-        Study::run(&StudyConfig {
-            seed: 31,
-            crawl_scale: 0.0003,
-            domain_scale: 0.03,
-            scan_workers,
-        })
+        let config = StudyConfig::builder()
+            .seed(31)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .scan_workers(scan_workers)
+            .build()
+            .expect("valid config");
+        Study::run(&config)
     };
     let serial = run(1);
     for workers in [2usize, 4, 7] {
