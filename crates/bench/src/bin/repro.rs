@@ -10,25 +10,30 @@
 //! Artifacts: `table1`..`table4`, `fig2`..`fig7` (all served through
 //! the unified [`ArtifactKind`] API), the auxiliary experiments
 //! `vetting` (§III-B), `burst` (§IV), `cloaking` (§III fn. 1) and
-//! `cases` (§V), plus `json` (the full study as one JSON document) and
+//! `cases` (§V), `faultloss` (the detection-loss-under-faults
+//! experiment), plus `json` (the full study as one JSON document) and
 //! `bench-scan` (serial vs parallel scan-phase timing, written to
 //! `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl scale,
 //! default 0.002), `--seed <u64>` (default 2016), `--workers <N>`
 //! (scan-phase worker threads, default = available parallelism; `1`
-//! forces the serial path) and `--metrics <path>` (dump the study's
-//! observability snapshot — `Study::metrics()` — as JSON).
+//! forces the serial path), `--fault-profile <name>` (scan under a
+//! named fault profile: `none`, `default`, `harsh`) and
+//! `--metrics <path>` (dump the study's observability snapshot —
+//! `Study::metrics()` — as JSON).
 
 use std::sync::OnceLock;
 
 use malware_slums::artifact::{Artifact, ArtifactKind};
 use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
+use slum_detect::fault::FaultProfile;
 
 struct Args {
     artifacts: Vec<String>,
     scale: f64,
     seed: u64,
     workers: usize,
+    fault_profile: FaultProfile,
     metrics: Option<String>,
 }
 
@@ -37,6 +42,7 @@ fn parse_args() -> Args {
     let mut scale = 0.002;
     let mut seed = 2016;
     let mut workers = malware_slums::study::default_scan_workers();
+    let mut fault_profile = FaultProfile::none();
     let mut metrics = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -60,15 +66,25 @@ fn parse_args() -> Args {
                     .filter(|w| *w >= 1)
                     .unwrap_or_else(|| die("--workers needs a positive integer"));
             }
+            "--fault-profile" => {
+                let name = iter.next().unwrap_or_else(|| die("--fault-profile needs a name"));
+                fault_profile = FaultProfile::parse(&name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown fault profile '{name}' (known: {})",
+                        FaultProfile::NAMES.join(", ")
+                    ))
+                });
+            }
             "--metrics" => {
                 metrics = Some(iter.next().unwrap_or_else(|| die("--metrics needs a path")));
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
-                     [--metrics PATH]\n\
+                     [--fault-profile NAME] [--metrics PATH]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
-                     vetting burst cloaking staleness cases json bench-scan"
+                     vetting burst cloaking staleness faultloss cases json bench-scan\n\
+                     fault profiles: none default harsh"
                 );
                 std::process::exit(0);
             }
@@ -78,7 +94,7 @@ fn parse_args() -> Args {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Args { artifacts, scale, seed, workers, metrics }
+    Args { artifacts, scale, seed, workers, fault_profile, metrics }
 }
 
 fn die(msg: &str) -> ! {
@@ -93,8 +109,8 @@ fn main() {
     let study = || {
         study_cell.get_or_init(|| {
             eprintln!(
-                "[repro] running study: crawl_scale={} seed={} ...",
-                args.scale, args.seed
+                "[repro] running study: crawl_scale={} seed={} fault_profile={} ...",
+                args.scale, args.seed, args.fault_profile.name
             );
             let t0 = std::time::Instant::now();
             let config = StudyConfig::builder()
@@ -102,6 +118,7 @@ fn main() {
                 .crawl_scale(args.scale)
                 .domain_scale((args.scale * 25.0).clamp(0.03, 1.0))
                 .scan_workers(args.workers)
+                .fault_profile(args.fault_profile.clone())
                 .build()
                 .unwrap_or_else(|e| die(&format!("invalid configuration: {e}")));
             let (study, timings) = Study::run_timed(&config);
@@ -200,6 +217,47 @@ fn main() {
         println!(
             "mean onset-to-consensus lag: {:.1} days\n",
             report.mean_consensus_lag_secs / 86_400.0
+        );
+    }
+    if wants("faultloss") {
+        println!("=== Detection loss under service faults ===");
+        // `--fault-profile none` (the default) would diff a fault-free
+        // run against itself; exercise the moderate profile instead.
+        let profile = if args.fault_profile.is_inert() {
+            FaultProfile::default_profile()
+        } else {
+            args.fault_profile.clone()
+        };
+        let report = malware_slums::faultloss::run_fault_loss_experiment(
+            &malware_slums::faultloss::FaultLossConfig {
+                seed: args.seed,
+                profile,
+                ..Default::default()
+            },
+        );
+        println!(
+            "profile '{}': {} regular records, {} baseline detections",
+            report.profile, report.regular, report.malicious_baseline
+        );
+        println!(
+            "kept under faults: {}   missed: {} ({:.1}%)",
+            report.malicious_faulted,
+            report.missed_by_faults,
+            report.miss_fraction() * 100.0
+        );
+        println!(
+            "degraded verdicts: {}   blacklist-only: {}   unresolved: {}  ({:.1}% non-full)",
+            report.degraded_verdicts,
+            report.blacklist_only_verdicts,
+            report.unresolved_verdicts,
+            report.degraded_fraction() * 100.0
+        );
+        println!(
+            "faults injected: {}   retries: {}   virtual backoff: {:.1}s   breaker skips: {}\n",
+            report.injected_faults,
+            report.retries,
+            report.backoff_nanos as f64 / 1e9,
+            report.breaker_skips
         );
     }
     if wants("cases") {

@@ -183,6 +183,8 @@ mod tests {
             },
             blacklisted_domain: None,
             needed_content_upload: false,
+            source: crate::scanpipe::VerdictSource::Full,
+            faults: crate::scanpipe::FaultLog::default(),
         }
     }
 

@@ -216,6 +216,8 @@ mod tests {
             },
             blacklisted_domain: blacklisted_domain.map(String::from),
             needed_content_upload: false,
+            source: crate::scanpipe::VerdictSource::Full,
+            faults: crate::scanpipe::FaultLog::default(),
         }
     }
 

@@ -5,6 +5,8 @@
 
 use serde::Serialize;
 
+use slum_detect::fault::ScanService;
+
 use crate::artifact::ArtifactKind;
 use crate::categorize::Category;
 use crate::study::Study;
@@ -34,6 +36,44 @@ pub struct StudyExport {
     pub fig6: Vec<(String, u64)>,
     /// Figure 7 buckets.
     pub fig7: Vec<(String, u64)>,
+    /// Fault-injection summary (all-zero for fault-free runs).
+    pub faults: FaultSummaryExport,
+}
+
+/// Fault-layer summary: which profile ran, what it cost, and where the
+/// circuit breakers ended up. Derived from the study's deterministic
+/// counters, so the section is identical for every worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultSummaryExport {
+    /// Fault-profile name (`none` for fault-free runs).
+    pub profile: String,
+    /// Faults injected during the scan phase.
+    pub injected: u64,
+    /// Retries issued.
+    pub retries: u64,
+    /// Virtual backoff spent between attempts (nanoseconds).
+    pub backoff_nanos: u64,
+    /// Service consultations skipped by an open breaker.
+    pub breaker_skips: u64,
+    /// Verdicts with at least one scanner up while something was down.
+    pub degraded_verdicts: u64,
+    /// Verdicts from the blacklist consensus alone.
+    pub blacklist_only_verdicts: u64,
+    /// Verdicts with no service available at all.
+    pub unresolved_verdicts: u64,
+    /// Per-service breaker trajectory.
+    pub breakers: Vec<BreakerExport>,
+}
+
+/// One service's circuit-breaker summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakerExport {
+    /// Service name.
+    pub service: String,
+    /// Times the breaker tripped open.
+    pub opens: u64,
+    /// Final state gauge (0 closed, 1 open, 2 half-open).
+    pub final_state: i64,
 }
 
 /// Corpus-level statistics.
@@ -215,6 +255,30 @@ pub fn export(study: &Study) -> StudyExport {
             .counts
             .into_iter()
             .collect(),
+        faults: fault_summary(study),
+    }
+}
+
+/// Builds the fault section from the study's deterministic counters.
+fn fault_summary(study: &Study) -> FaultSummaryExport {
+    let m = study.metrics();
+    FaultSummaryExport {
+        profile: study.config().fault_profile.name.clone(),
+        injected: m.counter("scan.faults.injected"),
+        retries: m.counter("scan.retries"),
+        backoff_nanos: m.counter("scan.backoff_nanos"),
+        breaker_skips: m.counter("scan.breaker.skips"),
+        degraded_verdicts: m.counter("scan.degraded_verdicts"),
+        blacklist_only_verdicts: m.counter("scan.blacklist_only_verdicts"),
+        unresolved_verdicts: m.counter("scan.unresolved_verdicts"),
+        breakers: ScanService::ALL
+            .iter()
+            .map(|service| BreakerExport {
+                service: service.name().to_string(),
+                opens: m.counter(&format!("scan.breaker.{}.opens", service.name())),
+                final_state: m.gauge(&format!("scan.breaker.{}.state", service.name())),
+            })
+            .collect(),
     }
 }
 
@@ -255,6 +319,16 @@ mod tests {
         let malicious_t1: u64 = doc.table1.iter().map(|r| r.malicious).sum();
         let malicious_t3: u64 = doc.table3.iter().map(|r| r.count).sum();
         assert_eq!(malicious_t1, malicious_t3);
+    }
+
+    #[test]
+    fn fault_free_export_carries_inert_fault_section() {
+        let doc = export(&tiny());
+        assert_eq!(doc.faults.profile, "none");
+        assert_eq!(doc.faults.injected, 0);
+        assert_eq!(doc.faults.degraded_verdicts, 0);
+        assert_eq!(doc.faults.breakers.len(), 3);
+        assert!(doc.faults.breakers.iter().all(|b| b.opens == 0 && b.final_state == 0));
     }
 
     #[test]

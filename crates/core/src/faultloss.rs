@@ -1,0 +1,239 @@
+//! Detection-loss-under-faults experiment.
+//!
+//! The staleness experiment ([`crate::staleness`]) quantifies what
+//! blacklist update lag costs; this one quantifies what *service
+//! unavailability* costs. It runs the same seeded study twice — once
+//! fault-free, once under a [`FaultProfile`] — and diffs the verdicts
+//! record by record. Because the corpus (build + crawl) is a pure
+//! function of the seed, every divergence is attributable to the fault
+//! layer alone: a malicious record the degraded pipeline calls benign
+//! was *missed because a service was down*, exactly the measurement
+//! distortion the related mal-activity-reporting literature warns
+//! about.
+
+use slum_detect::fault::FaultProfile;
+
+use crate::filter::ReferralClass;
+use crate::scanpipe::VerdictSource;
+use crate::study::{Study, StudyConfig};
+
+/// Parameters of the detection-loss experiment.
+#[derive(Debug, Clone)]
+pub struct FaultLossConfig {
+    /// Study seed (shared by both runs, so the corpora are identical).
+    pub seed: u64,
+    /// Crawl-volume scale for both runs.
+    pub crawl_scale: f64,
+    /// Domain-pool scale for both runs.
+    pub domain_scale: f64,
+    /// The fault profile the degraded run scans under.
+    pub profile: FaultProfile,
+}
+
+impl Default for FaultLossConfig {
+    fn default() -> Self {
+        FaultLossConfig {
+            seed: 2016,
+            crawl_scale: 0.0003,
+            domain_scale: 0.03,
+            profile: FaultProfile::default_profile(),
+        }
+    }
+}
+
+/// Outcome of the detection-loss experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultLossReport {
+    /// Name of the profile the degraded run used.
+    pub profile: String,
+    /// Regular records compared.
+    pub regular: u64,
+    /// Malicious verdicts in the fault-free baseline.
+    pub malicious_baseline: u64,
+    /// Malicious verdicts under faults.
+    pub malicious_faulted: u64,
+    /// Baseline-malicious records the degraded run called benign.
+    pub missed_by_faults: u64,
+    /// Baseline-benign records the degraded run convicted. Degradation
+    /// only ever *removes* evidence, so this must be zero; it is
+    /// reported (and asserted in tests) rather than assumed.
+    pub gained_by_faults: u64,
+    /// Verdicts produced with at least one scanner while something was
+    /// down.
+    pub degraded_verdicts: u64,
+    /// Verdicts produced from the blacklist consensus alone.
+    pub blacklist_only_verdicts: u64,
+    /// Verdicts with no service available at all.
+    pub unresolved_verdicts: u64,
+    /// Faults injected across the degraded run.
+    pub injected_faults: u64,
+    /// Retries issued across the degraded run.
+    pub retries: u64,
+    /// Virtual backoff spent across the degraded run (nanoseconds).
+    pub backoff_nanos: u64,
+    /// Service consultations skipped by an open circuit breaker.
+    pub breaker_skips: u64,
+}
+
+impl FaultLossReport {
+    /// Fraction of baseline detections lost to service faults.
+    pub fn miss_fraction(&self) -> f64 {
+        if self.malicious_baseline == 0 {
+            0.0
+        } else {
+            self.missed_by_faults as f64 / self.malicious_baseline as f64
+        }
+    }
+
+    /// Fraction of regular verdicts that carried non-[`Full`]
+    /// provenance.
+    ///
+    /// [`Full`]: VerdictSource::Full
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.regular == 0 {
+            0.0
+        } else {
+            (self.degraded_verdicts + self.blacklist_only_verdicts + self.unresolved_verdicts)
+                as f64
+                / self.regular as f64
+        }
+    }
+}
+
+/// Runs the experiment: the same seeded study fault-free and under
+/// `config.profile`, diffed verdict by verdict.
+///
+/// # Panics
+///
+/// Panics if either study configuration fails validation (the scales
+/// are caller-supplied) — or if the two runs' corpora diverge, which
+/// would mean the seed no longer fully determines the crawl.
+pub fn run_fault_loss_experiment(config: &FaultLossConfig) -> FaultLossReport {
+    let base = |profile: FaultProfile| -> Study {
+        let study_config = StudyConfig::builder()
+            .seed(config.seed)
+            .crawl_scale(config.crawl_scale)
+            .domain_scale(config.domain_scale)
+            .scan_workers(1)
+            .fault_profile(profile)
+            .build()
+            .expect("valid fault-loss study config");
+        Study::run(&study_config)
+    };
+    let baseline = base(FaultProfile::none());
+    let faulted = base(config.profile.clone());
+    assert_eq!(
+        baseline.store.len(),
+        faulted.store.len(),
+        "same seed must produce the same corpus"
+    );
+
+    let mut report = FaultLossReport {
+        profile: config.profile.name.clone(),
+        regular: 0,
+        malicious_baseline: 0,
+        malicious_faulted: 0,
+        missed_by_faults: 0,
+        gained_by_faults: 0,
+        degraded_verdicts: 0,
+        blacklist_only_verdicts: 0,
+        unresolved_verdicts: 0,
+        injected_faults: 0,
+        retries: 0,
+        backoff_nanos: 0,
+        breaker_skips: 0,
+    };
+    for ((clean, degraded), class) in
+        baseline.outcomes.iter().zip(&faulted.outcomes).zip(&faulted.referrals)
+    {
+        if *class != ReferralClass::Regular {
+            continue;
+        }
+        report.regular += 1;
+        report.malicious_baseline += u64::from(clean.malicious);
+        report.malicious_faulted += u64::from(degraded.malicious);
+        if clean.malicious && !degraded.malicious {
+            report.missed_by_faults += 1;
+        }
+        if !clean.malicious && degraded.malicious {
+            report.gained_by_faults += 1;
+        }
+        match degraded.source {
+            VerdictSource::Full => {}
+            VerdictSource::Degraded => report.degraded_verdicts += 1,
+            VerdictSource::BlacklistOnly => report.blacklist_only_verdicts += 1,
+            VerdictSource::Unresolved => report.unresolved_verdicts += 1,
+        }
+        report.injected_faults += u64::from(degraded.faults.injected);
+        report.retries += u64::from(degraded.faults.retries);
+        report.backoff_nanos += degraded.faults.backoff_nanos;
+        report.breaker_skips += u64::from(degraded.faults.breaker_skips);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_profile_loses_nothing() {
+        let report = run_fault_loss_experiment(&FaultLossConfig {
+            profile: FaultProfile::none(),
+            ..FaultLossConfig::default()
+        });
+        assert!(report.regular > 0);
+        assert_eq!(report.malicious_faulted, report.malicious_baseline);
+        assert_eq!(report.missed_by_faults, 0);
+        assert_eq!(report.gained_by_faults, 0);
+        assert_eq!(report.injected_faults, 0);
+        assert_eq!(report.degraded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn default_profile_injects_and_never_gains_detections() {
+        let report = run_fault_loss_experiment(&FaultLossConfig::default());
+        assert_eq!(report.profile, "default");
+        assert!(report.injected_faults > 0);
+        assert!(report.retries > 0);
+        assert!(report.degraded_verdicts > 0);
+        assert_eq!(
+            report.gained_by_faults, 0,
+            "degradation removes evidence, it can never convict: {report:?}"
+        );
+        assert_eq!(
+            report.malicious_faulted + report.missed_by_faults,
+            report.malicious_baseline,
+            "every baseline detection is either kept or fault-missed"
+        );
+        assert!(report.miss_fraction() < 1.0);
+    }
+
+    #[test]
+    fn harsh_profile_degrades_more_verdicts_than_default() {
+        // Note: raw injected-fault counts are NOT monotone in profile
+        // harshness — harsh trips its breakers early (threshold 4,
+        // long cooldown), and a skipped request injects nothing. The
+        // faithful severity measure is how many verdicts lost full
+        // provenance.
+        let default = run_fault_loss_experiment(&FaultLossConfig::default());
+        let harsh = run_fault_loss_experiment(&FaultLossConfig {
+            profile: FaultProfile::harsh(),
+            ..FaultLossConfig::default()
+        });
+        assert!(
+            harsh.degraded_fraction() > default.degraded_fraction(),
+            "harsh {} vs default {}",
+            harsh.degraded_fraction(),
+            default.degraded_fraction()
+        );
+        assert!(harsh.breaker_skips > 0, "harsh breakers must trip and skip");
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run_fault_loss_experiment(&FaultLossConfig::default());
+        let b = run_fault_loss_experiment(&FaultLossConfig::default());
+        assert_eq!(a, b);
+    }
+}

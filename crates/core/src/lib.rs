@@ -47,6 +47,7 @@ pub mod case_studies;
 pub mod categorize;
 pub mod countermeasures;
 pub mod export;
+pub mod faultloss;
 pub mod filter;
 pub mod redirects;
 pub mod report;
@@ -59,7 +60,8 @@ pub mod temporal;
 
 pub use artifact::{Artifact, ArtifactKind};
 pub use categorize::Category;
+pub use faultloss::{run_fault_loss_experiment, FaultLossConfig, FaultLossReport};
 pub use filter::ReferralClass;
 pub use report::Render;
-pub use scanpipe::{ScanOutcome, ScanPipeline};
+pub use scanpipe::{FaultLog, ScanOutcome, ScanPipeline, VerdictSource};
 pub use study::{ConfigError, Study, StudyConfig, StudyConfigBuilder};

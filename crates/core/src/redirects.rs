@@ -48,8 +48,13 @@ impl RedirectHistogram {
 
     /// True when counts decrease as hop count grows (the Figure 5
     /// monotone shape), tolerating ties.
+    ///
+    /// Absent buckets in `1..=max_hops` count as zero: a histogram
+    /// with counts at hops 1 and 3 but none at 2 is the shape
+    /// 5 → 0 → 3, which is *not* monotone — comparing only the present
+    /// `BTreeMap` keys used to miss exactly that case.
     pub fn is_monotone_decreasing(&self) -> bool {
-        let values: Vec<u64> = self.counts.values().copied().collect();
+        let values: Vec<u64> = (1..=self.max_hops()).map(|hops| self.at(hops)).collect();
         values.windows(2).all(|w| w[0] >= w[1])
     }
 }
@@ -67,15 +72,36 @@ pub struct ChainExhibit {
 
 /// Picks the longest malicious redirect chain in the corpus as the
 /// Figure 4 exhibit.
+///
+/// Hop-count ties break deterministically on the lexicographically
+/// smallest `(url, chain, exchange)`, so the exhibit is a function of
+/// the corpus *contents* — `max_by_key` alone keeps the last maximum,
+/// which silently changes the figure whenever record order does.
 pub fn longest_chain(pairs: &[(&CrawlRecord, &ScanOutcome)]) -> Option<ChainExhibit> {
     pairs
         .iter()
         .filter(|(r, o)| o.malicious && r.redirect_hops > 0)
-        .max_by_key(|(r, _)| r.redirect_hops)
-        .map(|(r, _)| ChainExhibit {
-            exchange: r.exchange.clone(),
-            hosts: r.chain_hosts.clone(),
-            hops: r.redirect_hops,
+        .max_by_key(|(r, _)| {
+            (
+                r.redirect_hops,
+                std::cmp::Reverse((r.url.canonical(), r.chain_hosts.clone(), r.exchange.clone())),
+            )
+        })
+        .map(|(r, _)| {
+            // chain_hosts collapses consecutive repeats, so a chain of
+            // `hops` redirects carries between 1 and hops+1 hosts.
+            debug_assert!(
+                !r.chain_hosts.is_empty()
+                    && r.chain_hosts.len() as u64 <= u64::from(r.redirect_hops) + 1,
+                "chain_hosts len {} inconsistent with redirect_hops {}",
+                r.chain_hosts.len(),
+                r.redirect_hops
+            );
+            ChainExhibit {
+                exchange: r.exchange.clone(),
+                hosts: r.chain_hosts.clone(),
+                hops: r.redirect_hops,
+            }
         })
 }
 
@@ -116,6 +142,16 @@ mod tests {
             },
             blacklisted_domain: None,
             needed_content_upload: false,
+            source: crate::scanpipe::VerdictSource::Full,
+            faults: crate::scanpipe::FaultLog::default(),
+        }
+    }
+
+    fn record_with_url(hops: u32, url: &str, host_prefix: &str) -> CrawlRecord {
+        CrawlRecord {
+            url: Url::parse(url).unwrap(),
+            chain_hosts: (0..=hops).map(|i| format!("{host_prefix}{i}.example")).collect(),
+            ..record(hops)
         }
     }
 
@@ -145,6 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn gapped_histogram_is_not_monotone() {
+        // Counts at hops 1 and 3 but none at 2: the rendered shape is
+        // 5 → 0 → 3, which rises again after the gap. Comparing only
+        // the present BTreeMap keys saw [5, 3] and wrongly said
+        // monotone.
+        let mut h = RedirectHistogram::default();
+        h.counts.insert(1, 5);
+        h.counts.insert(3, 3);
+        assert!(!h.is_monotone_decreasing(), "gap at hops=2 breaks monotonicity");
+
+        // A gap at the *tail* is fine: 5 → 3 → 0 never rises.
+        let mut tail = RedirectHistogram::default();
+        tail.counts.insert(1, 5);
+        tail.counts.insert(2, 3);
+        assert!(tail.is_monotone_decreasing());
+    }
+
+    #[test]
     fn longest_chain_selected() {
         let records = vec![record(2), record(5), record(7), record(6)];
         let outcomes = vec![outcome(true), outcome(true), outcome(false), outcome(true)];
@@ -152,6 +206,24 @@ mod tests {
         let exhibit = longest_chain(&pairs).unwrap();
         assert_eq!(exhibit.hops, 6, "the 7-hop chain is benign");
         assert_eq!(exhibit.hosts.len(), 7);
+    }
+
+    #[test]
+    fn longest_chain_ties_break_by_url_not_input_position() {
+        // Two malicious chains tie at 4 hops. The exhibit must be the
+        // lexicographically smallest URL ("http://aaa...") no matter
+        // where it sits in the input — `max_by_key`'s last-max-wins
+        // behaviour used to pick whichever tied record came last.
+        let first = record_with_url(4, "http://aaa.example/", "aaa");
+        let second = record_with_url(4, "http://zzz.example/", "zzz");
+        let outcomes = vec![outcome(true), outcome(true)];
+
+        let pairs: Vec<_> = [&first, &second].into_iter().zip(&outcomes).collect();
+        let exhibit = longest_chain(&pairs).unwrap();
+        assert_eq!(exhibit.hosts[0], "aaa0.example", "smallest URL wins the tie");
+
+        let reversed: Vec<_> = [&second, &first].into_iter().zip(&outcomes).collect();
+        assert_eq!(longest_chain(&reversed).unwrap(), exhibit, "order must not matter");
     }
 
     #[test]

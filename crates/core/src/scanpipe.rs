@@ -16,10 +16,88 @@
 use slum_browser::Browser;
 use slum_crawler::CrawlRecord;
 use slum_detect::blacklist::BlacklistDb;
-use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport};
+use slum_detect::fault::{FaultPlan, ScanService, ServiceDecision};
+use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport, QutteraVerdict};
 use slum_detect::virustotal::{VirusTotal, VtReport};
 use slum_detect::{Features, ShardedCache};
 use slum_websim::{RequestContext, SyntheticWeb, Url};
+
+/// Which services contributed to a verdict — the provenance record the
+/// related mal-activity-measurement literature argues must accompany
+/// any verdict produced under partial service failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VerdictSource {
+    /// Every service answered: VirusTotal, Quttera and the blacklists.
+    Full,
+    /// At least one scanner (VT or Quttera) answered, but some service
+    /// was unavailable.
+    Degraded,
+    /// Both scanners were down; only the blacklist consensus answered.
+    BlacklistOnly,
+    /// Everything was down: the verdict defaults to benign and carries
+    /// no evidence.
+    Unresolved,
+}
+
+impl VerdictSource {
+    /// Stable metric-segment name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictSource::Full => "full",
+            VerdictSource::Degraded => "degraded",
+            VerdictSource::BlacklistOnly => "blacklist_only",
+            VerdictSource::Unresolved => "unresolved",
+        }
+    }
+
+    fn classify(vt_up: bool, quttera_up: bool, blacklist_up: bool) -> VerdictSource {
+        match (vt_up, quttera_up, blacklist_up) {
+            (true, true, true) => VerdictSource::Full,
+            (true, _, _) | (_, true, _) => VerdictSource::Degraded,
+            (false, false, true) => VerdictSource::BlacklistOnly,
+            (false, false, false) => VerdictSource::Unresolved,
+        }
+    }
+}
+
+/// What the fault layer cost one record: injected faults observed,
+/// retries issued, virtual backoff spent, services skipped by an open
+/// breaker. All-zero when fault injection is inert, so tallies derived
+/// from it stay deterministic and strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultLog {
+    /// Failed attempts across all services (each is one injected fault
+    /// the pipeline observed).
+    pub injected: u32,
+    /// Retries issued across all services.
+    pub retries: u32,
+    /// Total virtual backoff spent waiting between attempts.
+    pub backoff_nanos: u64,
+    /// Services skipped outright because their breaker was open.
+    pub breaker_skips: u32,
+}
+
+impl FaultLog {
+    fn from_decisions(decisions: &[ServiceDecision; 3]) -> FaultLog {
+        let mut log = FaultLog::default();
+        for d in decisions {
+            log.injected += d.injected();
+            log.retries += d.retries();
+            log.backoff_nanos += d.backoff_nanos();
+            if *d == ServiceDecision::BreakerSkip {
+                log.breaker_skips += 1;
+            }
+        }
+        log
+    }
+}
+
+/// The schedule-independent identity of a record in a fault plan:
+/// `exchange#seq` is unique per corpus and fixed by the crawl, never by
+/// scan-worker chunking.
+pub fn scan_key(record: &CrawlRecord) -> String {
+    format!("{}#{}", record.exchange, record.seq)
+}
 
 /// Verdict and evidence for one scanned record.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +114,10 @@ pub struct ScanOutcome {
     /// Whether the verdict required the content-upload path (i.e. the
     /// URL scan was clean but the uploaded browser capture was not).
     pub needed_content_upload: bool,
+    /// Which services contributed to the verdict.
+    pub source: VerdictSource,
+    /// What the fault layer cost this record (all-zero without faults).
+    pub faults: FaultLog,
 }
 
 impl ScanOutcome {
@@ -67,6 +149,10 @@ pub struct ScanPipeline<'w> {
     /// walks all six lists; memoizing it per domain collapses that to
     /// one walk per distinct domain across the whole corpus.
     domain_blacklisted: ShardedCache<bool>,
+    /// Optional compiled fault schedule. `None` (the default) keeps the
+    /// pipeline infallible and bit-identical to the pre-fault-layer
+    /// behaviour.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'w> ScanPipeline<'w> {
@@ -81,7 +167,21 @@ impl<'w> ScanPipeline<'w> {
             url_features: ShardedCache::new(),
             host_domains: ShardedCache::new(),
             domain_blacklisted: ShardedCache::new(),
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a compiled fault schedule: every subsequent
+    /// [`ScanPipeline::scan`] replays the plan's frozen per-request
+    /// decisions (so verdicts stay bit-identical across worker counts).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Direct access to the blacklist database.
@@ -116,36 +216,82 @@ impl<'w> ScanPipeline<'w> {
         ]
     }
 
-    /// Scans one crawl record.
+    /// Scans one crawl record, degrading gracefully when the fault plan
+    /// says a service is unavailable for it: an unavailable service is
+    /// simply not consulted (its report stays empty), the verdict is
+    /// built from whatever answered, and [`VerdictSource`] records the
+    /// provenance. With no plan (or an all-Ok decision) the path is
+    /// byte-for-byte the historical one.
     pub fn scan(&self, record: &CrawlRecord) -> ScanOutcome {
+        let decisions = match &self.fault_plan {
+            Some(plan) => plan.decisions(&scan_key(record)),
+            None => [ServiceDecision::Ok; 3],
+        };
+        let vt_up = decisions[ScanService::VirusTotal.index()].available();
+        let quttera_up = decisions[ScanService::Quttera.index()].available();
+        let blacklist_up = decisions[ScanService::Blacklist.index()].available();
+
         // 1. Blacklist consensus over every domain on the redirect chain
         //    (the entry URL may be benign while the destination is not).
-        let blacklisted_domain = self.chain_blacklist_hit(record);
+        let blacklisted_domain =
+            if blacklist_up { self.chain_blacklist_hit(record) } else { None };
 
-        // 2. URL scans (scanner-side fetch; cloaking applies).
-        let url_features = self.url_features(&record.url);
-        let key = record.url.canonical();
-        let mut vt = self.vt.aggregate(&key, &url_features);
-        let mut quttera = self.quttera.report(&record.url, &url_features);
+        let mut vt = empty_vt_report();
+        let mut quttera = empty_quttera_report(&record.url);
         let mut needed_content_upload = false;
 
-        // 3. Content upload for URL-scan-clean pages with captured
-        //    content (the cloaking defeat).
-        if !vt.is_malicious() && !quttera.is_malicious() {
-            if let Some(content) = &record.content {
-                let vt_content = self.vt.scan_content(&record.url, content);
-                let quttera_content = self.quttera.scan_content(&record.url, content);
-                if vt_content.is_malicious() || quttera_content.is_malicious() {
-                    needed_content_upload = true;
-                    vt = vt_content;
-                    quttera = quttera_content;
+        if vt_up || quttera_up {
+            // 2. URL scans (scanner-side fetch; cloaking applies). The
+            //    feature extraction is shared, so it runs once even when
+            //    only one scanner is reachable.
+            let url_features = self.url_features(&record.url);
+            let key = record.url.canonical();
+            if vt_up {
+                vt = self.vt.aggregate(&key, &url_features);
+            }
+            if quttera_up {
+                quttera = self.quttera.report(&record.url, &url_features);
+            }
+
+            // 3. Content upload for URL-scan-clean pages with captured
+            //    content (the cloaking defeat) — only to reachable
+            //    services.
+            if !vt.is_malicious() && !quttera.is_malicious() {
+                if let Some(content) = &record.content {
+                    let vt_content = if vt_up {
+                        self.vt.scan_content(&record.url, content)
+                    } else {
+                        empty_vt_report()
+                    };
+                    let quttera_content = if quttera_up {
+                        self.quttera.scan_content(&record.url, content)
+                    } else {
+                        empty_quttera_report(&record.url)
+                    };
+                    if vt_content.is_malicious() || quttera_content.is_malicious() {
+                        needed_content_upload = true;
+                        if vt_up {
+                            vt = vt_content;
+                        }
+                        if quttera_up {
+                            quttera = quttera_content;
+                        }
+                    }
                 }
             }
         }
 
         let malicious =
             vt.is_malicious() || quttera.is_malicious() || blacklisted_domain.is_some();
-        ScanOutcome { malicious, vt, quttera, blacklisted_domain, needed_content_upload }
+        ScanOutcome {
+            malicious,
+            vt,
+            quttera,
+            blacklisted_domain,
+            needed_content_upload,
+            source: VerdictSource::classify(vt_up, quttera_up, blacklist_up),
+            faults: FaultLog::from_decisions(&decisions),
+        }
     }
 
     /// Scans a batch serially, preserving order.
@@ -217,6 +363,18 @@ impl<'w> ScanPipeline<'w> {
             features
         })
     }
+}
+
+/// The report an unreachable VirusTotal contributes: no detections, no
+/// engines consulted (same shape the study splices for filtered
+/// records).
+fn empty_vt_report() -> VtReport {
+    VtReport { detections: Vec::new(), total_engines: 0, threshold: 2 }
+}
+
+/// The report an unreachable Quttera contributes.
+fn empty_quttera_report(url: &Url) -> QutteraReport {
+    QutteraReport { url: url.clone(), findings: Vec::new(), verdict: QutteraVerdict::Clean }
 }
 
 #[cfg(test)]
@@ -313,6 +471,102 @@ mod tests {
         assert_eq!(pipe.cached_urls(), 2);
         pipe.clear_caches();
         assert_eq!(pipe.cached_urls(), 0);
+    }
+
+    /// A profile that takes the given services down for the whole span
+    /// (one outage window longer than any corpus) with no retries.
+    fn downed(services: &[ScanService]) -> slum_detect::fault::FaultProfile {
+        let mut profile = slum_detect::fault::FaultProfile::none();
+        for s in services {
+            profile.services[s.index()].outage_windows = 1;
+            profile.services[s.index()].outage_secs = 1_000_000;
+        }
+        profile
+    }
+
+    fn plan_for(
+        profile: &slum_detect::fault::FaultProfile,
+        record: &CrawlRecord,
+    ) -> FaultPlan {
+        FaultPlan::compile(profile, 1, &[(scan_key(record), record.at)])
+    }
+
+    #[test]
+    fn vt_outage_degrades_but_quttera_still_answers() {
+        let mut b = WebBuilder::new(207);
+        let spec = b.js_site(JsAttack::DynamicIframe, Tld::Com, ContentCategory::Business, false);
+        let web = b.finish();
+        let record = record_for(&web, &spec.url);
+        let plan = plan_for(&downed(&[ScanService::VirusTotal]), &record);
+        let pipe = ScanPipeline::new(&web).with_fault_plan(plan);
+        let outcome = pipe.scan(&record);
+        assert_eq!(outcome.source, VerdictSource::Degraded);
+        assert!(outcome.vt.detections.is_empty(), "unreachable VT contributes nothing");
+        assert!(outcome.faults.injected >= 1);
+    }
+
+    #[test]
+    fn blacklist_only_verdict_when_both_scanners_down() {
+        let mut b = WebBuilder::new(208);
+        let spec = b.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Blacklisted),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+        let web = b.finish();
+        let record = record_for(&web, &spec.url);
+        let plan =
+            plan_for(&downed(&[ScanService::VirusTotal, ScanService::Quttera]), &record);
+        let pipe = ScanPipeline::new(&web).with_fault_plan(plan);
+        let outcome = pipe.scan(&record);
+        assert_eq!(outcome.source, VerdictSource::BlacklistOnly);
+        assert!(outcome.malicious, "blacklist consensus alone must still convict");
+        assert_eq!(outcome.blacklisted_domain, Some(spec.url.registered_domain()));
+        assert_eq!(pipe.cached_urls(), 0, "no scanner up, no feature fetch");
+    }
+
+    #[test]
+    fn unresolved_when_every_service_is_down() {
+        let mut b = WebBuilder::new(209);
+        let spec = b.malicious_site(MaliciousOptions {
+            kind: Some(MaliceKind::Blacklisted),
+            cloaked: Some(false),
+            ..Default::default()
+        });
+        let web = b.finish();
+        let record = record_for(&web, &spec.url);
+        let plan = plan_for(&downed(&ScanService::ALL), &record);
+        let pipe = ScanPipeline::new(&web).with_fault_plan(plan);
+        let outcome = pipe.scan(&record);
+        assert_eq!(outcome.source, VerdictSource::Unresolved);
+        assert!(!outcome.malicious, "nothing answered, so no conviction");
+        assert_eq!(outcome.blacklisted_domain, None);
+        assert!(outcome.faults.injected >= 3);
+    }
+
+    #[test]
+    fn inert_plan_matches_no_plan_bit_for_bit() {
+        let mut b = WebBuilder::new(210);
+        let specs = [
+            b.benign_site(BenignOptions::default()),
+            b.js_site(JsAttack::HiddenIframe, Tld::Com, ContentCategory::Business, false),
+            b.misc_site(Tld::Com, ContentCategory::Business, true),
+        ];
+        let web = b.finish();
+        let records: Vec<CrawlRecord> =
+            specs.iter().map(|s| record_for(&web, &s.url)).collect();
+        let requests: Vec<(String, u64)> =
+            records.iter().map(|r| (scan_key(r), r.at)).collect();
+
+        let bare = ScanPipeline::new(&web);
+        let baseline = bare.scan_all(&records);
+        let inert = FaultPlan::compile(&slum_detect::fault::FaultProfile::none(), 9, &requests);
+        let faulted = ScanPipeline::new(&web).with_fault_plan(inert);
+        assert_eq!(faulted.scan_all(&records), baseline);
+        for outcome in &baseline {
+            assert_eq!(outcome.source, VerdictSource::Full);
+            assert_eq!(outcome.faults, FaultLog::default());
+        }
     }
 
     #[test]

@@ -93,6 +93,8 @@ mod tests {
             },
             blacklisted_domain: None,
             needed_content_upload: false,
+            source: crate::scanpipe::VerdictSource::Full,
+            faults: crate::scanpipe::FaultLog::default(),
         }
     }
 

@@ -24,9 +24,11 @@ use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
 use crate::case_studies;
 use crate::categorize::CategoryCounts;
 use crate::filter::{ReferralClass, ReferralFilter};
+use slum_detect::fault::{FaultPlan, FaultProfile, ScanService};
+
 use crate::redirects::{ChainExhibit, RedirectHistogram};
 use crate::report::{Fig2Bar, Table1};
-use crate::scanpipe::{ScanOutcome, ScanPipeline};
+use crate::scanpipe::{scan_key, FaultLog, ScanOutcome, ScanPipeline, VerdictSource};
 use crate::shortened::ShortenedRow;
 use crate::temporal::CumulativeSeries;
 
@@ -49,6 +51,11 @@ pub struct StudyConfig {
     /// historical behaviour); the default is the machine's available
     /// parallelism. Results are identical for every worker count.
     pub scan_workers: usize,
+    /// Fault-injection profile for the detection services. The default
+    /// is [`FaultProfile::none`] — inert, so fault injection is
+    /// strictly opt-in and fault-free runs stay bit-identical to the
+    /// pre-fault-layer pipeline.
+    pub fault_profile: FaultProfile,
 }
 
 impl Default for StudyConfig {
@@ -58,6 +65,7 @@ impl Default for StudyConfig {
             crawl_scale: 0.001,
             domain_scale: 0.05,
             scan_workers: default_scan_workers(),
+            fault_profile: FaultProfile::none(),
         }
     }
 }
@@ -114,6 +122,12 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection profile (validated at [`Self::build`]).
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.config.fault_profile = profile;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -134,6 +148,9 @@ impl StudyConfigBuilder {
                 return Err(ConfigError::NonPositiveScale { field, value });
             }
         }
+        if let Err(reason) = self.config.fault_profile.validate() {
+            return Err(ConfigError::InvalidFaultProfile { reason });
+        }
         Ok(self.config)
     }
 }
@@ -151,6 +168,12 @@ pub enum ConfigError {
         /// The offending value.
         value: f64,
     },
+    /// The fault profile's parameters were inconsistent (see
+    /// [`FaultProfile::validate`]).
+    InvalidFaultProfile {
+        /// Human-readable description of the first invalid field.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -161,6 +184,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NonPositiveScale { field, value } => {
                 write!(f, "{field} must be a positive finite number, got {value}")
+            }
+            ConfigError::InvalidFaultProfile { reason } => {
+                write!(f, "invalid fault profile: {reason}")
             }
         }
     }
@@ -251,12 +277,28 @@ impl Study {
                 store.records().iter().map(|r| filter.classify(r)).collect();
             record_filter_counts(&obs, &referrals);
 
-            let pipeline = ScanPipeline::new(&web);
+            let mut pipeline = ScanPipeline::new(&web);
+            if !config.fault_profile.is_inert() {
+                // Compile the fault schedule from the *corpus* (regular
+                // records in virtual-arrival order), never from scan
+                // scheduling — the determinism contract across worker
+                // counts hangs on this.
+                let requests: Vec<(String, u64)> = store
+                    .records()
+                    .iter()
+                    .zip(&referrals)
+                    .filter(|(_, class)| **class == ReferralClass::Regular)
+                    .map(|(record, _)| (scan_key(record), record.at))
+                    .collect();
+                let plan = FaultPlan::compile(&config.fault_profile, config.seed, &requests);
+                pipeline = pipeline.with_fault_plan(plan);
+            }
             let (outcomes, scan_workers) =
                 scan_phase(&pipeline, store.records(), &referrals, config.scan_workers, &obs);
             obs.gauge("scan.workers").set(scan_workers as i64);
             record_cache_stats(&obs, &pipeline);
             record_outcome_tallies(&obs, &outcomes, &referrals);
+            record_fault_tallies(&obs, &outcomes, &referrals, pipeline.fault_plan());
             (outcomes, referrals)
         };
 
@@ -466,6 +508,57 @@ fn record_outcome_tallies(obs: &Registry, outcomes: &[ScanOutcome], referrals: &
     obs.merge_local(&m);
 }
 
+/// Tallies fault-layer costs and verdict provenance over the regular
+/// records, plus the per-service breaker trajectory from the compiled
+/// plan. Runs serially after the scan phase from order-independent
+/// per-outcome logs, so every number is identical for every worker
+/// count. The counters are always registered — a fault-free run
+/// reports explicit zeros (which CI asserts) rather than absent keys.
+fn record_fault_tallies(
+    obs: &Registry,
+    outcomes: &[ScanOutcome],
+    referrals: &[ReferralClass],
+    plan: Option<&FaultPlan>,
+) {
+    let mut log = FaultLog::default();
+    let mut degraded = 0u64;
+    let mut blacklist_only = 0u64;
+    let mut unresolved = 0u64;
+    for (outcome, class) in outcomes.iter().zip(referrals) {
+        if *class != ReferralClass::Regular {
+            continue;
+        }
+        log.injected += outcome.faults.injected;
+        log.retries += outcome.faults.retries;
+        log.backoff_nanos += outcome.faults.backoff_nanos;
+        log.breaker_skips += outcome.faults.breaker_skips;
+        match outcome.source {
+            VerdictSource::Full => {}
+            VerdictSource::Degraded => degraded += 1,
+            VerdictSource::BlacklistOnly => blacklist_only += 1,
+            VerdictSource::Unresolved => unresolved += 1,
+        }
+    }
+    obs.counter("scan.faults.injected").add(u64::from(log.injected));
+    obs.counter("scan.retries").add(u64::from(log.retries));
+    obs.counter("scan.backoff_nanos").add(log.backoff_nanos);
+    obs.counter("scan.breaker.skips").add(u64::from(log.breaker_skips));
+    obs.counter("scan.degraded_verdicts").add(degraded);
+    obs.counter("scan.blacklist_only_verdicts").add(blacklist_only);
+    obs.counter("scan.unresolved_verdicts").add(unresolved);
+    for service in ScanService::ALL {
+        let name = service.name();
+        let (opens, state) = match plan {
+            Some(plan) => {
+                (plan.breaker_opens(service), plan.breaker_final_state(service).as_gauge())
+            }
+            None => (0, 0),
+        };
+        obs.counter(&format!("scan.breaker.{name}.opens")).add(opens);
+        obs.gauge(&format!("scan.breaker.{name}.state")).set(state);
+    }
+}
+
 /// Scans every Regular record across `workers` scoped threads and
 /// splices the results back into record order; Self/Popular referrals
 /// get an inert clean outcome so indices stay aligned. Each worker
@@ -555,6 +648,8 @@ fn clean_outcome(record: &CrawlRecord) -> ScanOutcome {
         },
         blacklisted_domain: None,
         needed_content_upload: false,
+        source: VerdictSource::Full,
+        faults: FaultLog::default(),
     }
 }
 
@@ -699,5 +794,62 @@ mod tests {
         ));
         let err = StudyConfig::builder().scan_workers(0).build().unwrap_err();
         assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fault_profile() {
+        let mut bad = FaultProfile::default_profile();
+        bad.services[0].transient_per_mille = 2_000;
+        let err = StudyConfig::builder().fault_profile(bad).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidFaultProfile { .. }));
+        assert!(err.to_string().contains("fault profile"));
+    }
+
+    #[test]
+    fn fault_free_run_registers_zero_fault_counters() {
+        let study = tiny_study();
+        let m = study.metrics();
+        // The counters must be *present* with explicit zeros (CI's
+        // fault-free smoke check greps the snapshot for them).
+        for name in [
+            "scan.faults.injected",
+            "scan.retries",
+            "scan.backoff_nanos",
+            "scan.degraded_verdicts",
+            "scan.blacklist_only_verdicts",
+            "scan.unresolved_verdicts",
+            "scan.breaker.skips",
+        ] {
+            assert!(m.counters.contains_key(name), "{name} must be registered");
+            assert_eq!(m.counter(name), 0, "{name} must be zero without faults");
+        }
+        for outcome in &study.outcomes {
+            assert_eq!(outcome.source, VerdictSource::Full);
+            assert_eq!(outcome.faults, FaultLog::default());
+        }
+    }
+
+    #[test]
+    fn default_fault_profile_injects_and_degrades() {
+        let config = StudyConfig::builder()
+            .seed(77)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .fault_profile(FaultProfile::default_profile())
+            .build()
+            .expect("valid config");
+        let study = Study::run(&config);
+        let m = study.metrics();
+        assert!(m.counter("scan.faults.injected") > 0, "default profile must inject");
+        assert!(m.counter("scan.retries") > 0, "faults must drive retries");
+        assert!(m.counter("scan.backoff_nanos") > 0);
+        assert!(m.counter("scan.degraded_verdicts") > 0, "some verdicts must degrade");
+        // Filtered (self/popular) records never touch the services, so
+        // their provenance stays Full.
+        for (outcome, class) in study.outcomes.iter().zip(&study.referrals) {
+            if *class != ReferralClass::Regular {
+                assert_eq!(outcome.source, VerdictSource::Full);
+            }
+        }
     }
 }

@@ -129,8 +129,18 @@ impl CumulativeSeries {
 mod tests {
     use super::*;
 
+    /// Evenly spread malice flags at `rate` over `n` slots, built from
+    /// an explicit stride so it is total over every `rate ∈ (0, 1]`.
+    /// (The old float-trick construction computed `i % (1.0 / rate) as
+    /// usize`, whose cast truncates to 0 for any `rate > 1.0` — a
+    /// mod-by-zero panic instead of a rejection.)
     fn uniform_flags(n: usize, rate: f64) -> Vec<bool> {
-        (0..n).map(|i| (i as f64 * rate).fract() < rate && i % (1.0 / rate) as usize == 0).collect()
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 1.0,
+            "rate must be in (0, 1], got {rate}"
+        );
+        let stride = (1.0 / rate).round().max(1.0) as usize;
+        (0..n).map(|i| i % stride == 0).collect()
     }
 
     #[test]
@@ -195,6 +205,28 @@ mod tests {
 
     #[test]
     fn helper_flags_sanity() {
-        let _ = uniform_flags(100, 0.1);
+        let flags = uniform_flags(100, 0.1);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 10);
+        assert!(flags[0] && flags[10] && !flags[5]);
+        // rate = 1.0 is the (0, 1] boundary: every slot flagged.
+        assert!(uniform_flags(10, 1.0).iter().all(|&f| f));
+        // A rate that doesn't divide n still spreads evenly.
+        let sparse = uniform_flags(100, 0.25);
+        assert_eq!(sparse.iter().filter(|&&f| f).count(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0, 1]")]
+    fn helper_flags_reject_rate_above_one() {
+        // The old construction hit `i % 0` here (the `(1.0 / rate) as
+        // usize` cast truncates to 0 for rate > 1.0) and died with a
+        // divisor-of-zero panic instead of this explicit rejection.
+        let _ = uniform_flags(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0, 1]")]
+    fn helper_flags_reject_zero_rate() {
+        let _ = uniform_flags(10, 0.0);
     }
 }

@@ -34,9 +34,11 @@
 pub mod blacklist;
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod features;
 pub mod hash;
 pub mod quttera;
+pub mod retry;
 pub mod tools;
 pub mod vetting;
 pub mod virustotal;
@@ -44,6 +46,11 @@ pub mod virustotal;
 pub use blacklist::{BlacklistDb, BlacklistVerdict};
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{EngineModel, FeatureClass};
+pub use fault::{
+    FaultKind, FaultPlan, FaultProfile, ScanError, ScanService, ServiceDecision,
+    ServiceFaultProfile,
+};
 pub use features::Features;
 pub use quttera::{Quttera, QutteraFinding, QutteraReport};
+pub use retry::{BreakerState, CircuitBreaker, Resolution, RetryPolicy};
 pub use virustotal::{VirusTotal, VtReport};

@@ -30,8 +30,43 @@ for key in ("crawl.pages", "filter.regular_out", "scan.scans",
 if snapshot["gauges"].get("config.seed") != 2016:
     sys.exit("METRICS smoke test: config.seed gauge mismatch")
 
+# The fault layer is opt-in: a fault-free run must still register its
+# counters (dashboards rely on their presence) and report zero faults.
+for key in ("scan.faults.injected", "scan.retries", "scan.degraded_verdicts"):
+    if key not in counters:
+        sys.exit(f"METRICS smoke test: fault counter {key!r} missing")
+    if counters[key] != 0:
+        sys.exit(f"METRICS smoke test: fault-free run has {key!r} = "
+                 f"{counters[key]}, expected 0")
+
 print(f"METRICS smoke test OK: {len(counters)} counters, "
       f"{len(snapshot['spans'])} spans")
+EOF
+
+fault_metrics_file="$(mktemp -t METRICS_FAULT.XXXXXX.json)"
+trap 'rm -f "$metrics_file" "$fault_metrics_file"' EXIT
+
+cargo run --release -p slum-bench --bin repro -- table1 \
+    --scale 0.0005 --seed 2016 --fault-profile default \
+    --metrics "$fault_metrics_file" >/dev/null
+
+python3 - "$fault_metrics_file" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+
+counters = snapshot["counters"]
+for key in ("scan.faults.injected", "scan.retries", "scan.degraded_verdicts"):
+    if counters.get(key, 0) <= 0:
+        sys.exit(f"FAULT smoke test: counter {key!r} is zero or missing "
+                 "under --fault-profile default")
+
+print("FAULT smoke test OK: "
+      f"{counters['scan.faults.injected']} injected, "
+      f"{counters['scan.retries']} retries, "
+      f"{counters['scan.degraded_verdicts']} degraded verdicts")
 EOF
 
 echo "ci.sh: all checks passed"
