@@ -11,21 +11,31 @@
 //! the unified [`ArtifactKind`] API), the auxiliary experiments
 //! `vetting` (§III-B), `burst` (§IV), `cloaking` (§III fn. 1) and
 //! `cases` (§V), `faultloss` (the detection-loss-under-faults
+//! experiment), `crawlloss` (the corpus-loss-under-exchange-faults
 //! experiment), plus `json` (the full study as one JSON document) and
 //! `bench-scan` (serial vs parallel scan-phase timing, written to
 //! `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl scale,
 //! default 0.002), `--seed <u64>` (default 2016), `--workers <N>`
 //! (scan-phase worker threads, default = available parallelism; `1`
 //! forces the serial path), `--fault-profile <name>` (scan under a
-//! named fault profile: `none`, `default`, `harsh`) and
+//! named fault profile: `none`, `default`, `harsh`),
+//! `--crawl-fault-profile <name>` (crawl under a named exchange-fault
+//! profile: `none`, `default`, `harsh`), `--checkpoint <dir>` (write
+//! crawl checkpoints into `<dir>`), `--checkpoint-every <N>` (surf
+//! slots per checkpoint segment, default 256), `--resume <dir>`
+//! (resume the crawl from the latest checkpoint in `<dir>`),
+//! `--kill-after-round <N>` (abandon a `--checkpoint` run after N
+//! checkpoint rounds — a deterministic stand-in for a crash) and
 //! `--metrics <path>` (dump the study's observability snapshot —
 //! `Study::metrics()` — as JSON).
 
+use std::path::Path;
 use std::sync::OnceLock;
 
 use malware_slums::artifact::{Artifact, ArtifactKind};
 use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
+use slum_crawler::CrawlFaultProfile;
 use slum_detect::fault::FaultProfile;
 
 struct Args {
@@ -34,6 +44,11 @@ struct Args {
     seed: u64,
     workers: usize,
     fault_profile: FaultProfile,
+    crawl_fault_profile: CrawlFaultProfile,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: Option<String>,
+    kill_after_round: Option<u64>,
     metrics: Option<String>,
 }
 
@@ -43,6 +58,11 @@ fn parse_args() -> Args {
     let mut seed = 2016;
     let mut workers = malware_slums::study::default_scan_workers();
     let mut fault_profile = FaultProfile::none();
+    let mut crawl_fault_profile = CrawlFaultProfile::none();
+    let mut checkpoint = None;
+    let mut checkpoint_every = 256;
+    let mut resume = None;
+    let mut kill_after_round = None;
     let mut metrics = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -75,15 +95,48 @@ fn parse_args() -> Args {
                     ))
                 });
             }
+            "--crawl-fault-profile" => {
+                let name =
+                    iter.next().unwrap_or_else(|| die("--crawl-fault-profile needs a name"));
+                crawl_fault_profile = CrawlFaultProfile::parse(&name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown crawl fault profile '{name}' (known: {})",
+                        CrawlFaultProfile::NAMES.join(", ")
+                    ))
+                });
+            }
+            "--checkpoint" => {
+                checkpoint = Some(iter.next().unwrap_or_else(|| die("--checkpoint needs a dir")));
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("--checkpoint-every needs a positive integer"));
+            }
+            "--resume" => {
+                resume = Some(iter.next().unwrap_or_else(|| die("--resume needs a dir")));
+            }
+            "--kill-after-round" => {
+                kill_after_round = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| die("--kill-after-round needs a positive integer")),
+                );
+            }
             "--metrics" => {
                 metrics = Some(iter.next().unwrap_or_else(|| die("--metrics needs a path")));
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
-                     [--fault-profile NAME] [--metrics PATH]\n\
+                     [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
+                     [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
+                     [--metrics PATH]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
-                     vetting burst cloaking staleness faultloss cases json bench-scan\n\
+                     vetting burst cloaking staleness faultloss crawlloss cases json bench-scan\n\
                      fault profiles: none default harsh"
                 );
                 std::process::exit(0);
@@ -94,7 +147,25 @@ fn parse_args() -> Args {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Args { artifacts, scale, seed, workers, fault_profile, metrics }
+    if kill_after_round.is_some() && checkpoint.is_none() {
+        die("--kill-after-round requires --checkpoint DIR");
+    }
+    if resume.is_some() && checkpoint.is_some() {
+        die("--resume continues writing into its own dir; drop --checkpoint");
+    }
+    Args {
+        artifacts,
+        scale,
+        seed,
+        workers,
+        fault_profile,
+        crawl_fault_profile,
+        checkpoint,
+        checkpoint_every,
+        resume,
+        kill_after_round,
+        metrics,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -109,27 +180,61 @@ fn main() {
     let study = || {
         study_cell.get_or_init(|| {
             eprintln!(
-                "[repro] running study: crawl_scale={} seed={} fault_profile={} ...",
-                args.scale, args.seed, args.fault_profile.name
+                "[repro] running study: crawl_scale={} seed={} fault_profile={} \
+                 crawl_fault_profile={} ...",
+                args.scale, args.seed, args.fault_profile.name, args.crawl_fault_profile.name
             );
             let t0 = std::time::Instant::now();
-            let config = StudyConfig::builder()
+            let mut builder = StudyConfig::builder()
                 .seed(args.seed)
                 .crawl_scale(args.scale)
                 .domain_scale((args.scale * 25.0).clamp(0.03, 1.0))
                 .scan_workers(args.workers)
                 .fault_profile(args.fault_profile.clone())
+                .crawl_fault_profile(args.crawl_fault_profile.clone());
+            if args.checkpoint.is_some() || args.resume.is_some() {
+                builder = builder.checkpoint_every(args.checkpoint_every);
+            }
+            let config = builder
                 .build()
                 .unwrap_or_else(|e| die(&format!("invalid configuration: {e}")));
-            let (study, timings) = Study::run_timed(&config);
+            let study = if let Some(dir) = &args.resume {
+                eprintln!("[repro] resuming crawl from latest checkpoint in {dir}");
+                Study::resume_from(&config, Path::new(dir))
+                    .unwrap_or_else(|e| die(&format!("resume failed: {e}")))
+            } else if let Some(dir) = &args.checkpoint {
+                match args.kill_after_round {
+                    Some(rounds) => {
+                        match Study::run_to_checkpoint(&config, Path::new(dir), rounds) {
+                            Ok(Some(study)) => study,
+                            Ok(None) => {
+                                eprintln!(
+                                    "[repro] crawl killed after {rounds} checkpoint round(s); \
+                                     state saved in {dir} (continue with --resume {dir})"
+                                );
+                                std::process::exit(0);
+                            }
+                            Err(e) => die(&format!("checkpointed run failed: {e}")),
+                        }
+                    }
+                    None => Study::run_checkpointed(&config, Path::new(dir))
+                        .unwrap_or_else(|e| die(&format!("checkpointed run failed: {e}"))),
+                }
+            } else {
+                Study::run(&config)
+            };
             eprintln!(
                 "[repro] study done: {} visits in {:?}",
                 study.store.len(),
                 t0.elapsed()
             );
+            let snapshot = study.metrics();
             eprintln!(
                 "[repro] phases: build {:?}  crawl {:?}  scan {:?} ({} worker(s))\n",
-                timings.build, timings.crawl, timings.scan, timings.scan_workers
+                snapshot.span_duration("phase.build"),
+                snapshot.span_duration("phase.crawl"),
+                snapshot.span_duration("phase.scan"),
+                snapshot.gauge("scan.workers").max(1)
             );
             study
         })
@@ -259,6 +364,57 @@ fn main() {
             report.backoff_nanos as f64 / 1e9,
             report.breaker_skips
         );
+    }
+    if wants("crawlloss") {
+        println!("=== Corpus loss under exchange faults ===");
+        // As with `faultloss`: an inert profile would diff a fault-free
+        // crawl against itself, so substitute the moderate one.
+        let profile = if args.crawl_fault_profile.is_inert() {
+            CrawlFaultProfile::default_profile()
+        } else {
+            args.crawl_fault_profile.clone()
+        };
+        let report = malware_slums::crawlloss::run_crawl_loss_experiment(
+            &malware_slums::crawlloss::CrawlLossConfig {
+                seed: args.seed,
+                profile,
+                ..Default::default()
+            },
+        );
+        println!(
+            "profile '{}': kept {} of {} planned pages ({:.1}% coverage)",
+            report.profile,
+            report.pages_faulted,
+            report.pages_baseline,
+            report.coverage_fraction() * 100.0
+        );
+        println!(
+            "slots lost: {}   permanent shutdowns: {}",
+            report.lost_steps, report.shutdowns
+        );
+        println!(
+            "overall malice rate: {:.2}% -> {:.2}%  (bias {:+.2} pp)",
+            report.overall_rate_baseline * 100.0,
+            report.overall_rate_faulted * 100.0,
+            report.overall_bias() * 100.0
+        );
+        for row in &report.rows {
+            println!(
+                "  {:<18} kept {:>4}/{:<4}  lost {:>4}  down {:>6}s  rate {:>5.1}% -> {:>5.1}%{}",
+                row.exchange,
+                row.pages_faulted,
+                row.planned_steps,
+                row.lost_steps,
+                row.downtime_secs,
+                row.rate_baseline() * 100.0,
+                row.rate_faulted() * 100.0,
+                match row.shutdown_at {
+                    Some(t) => format!("  (shut down at t={t}s)"),
+                    None => String::new(),
+                }
+            );
+        }
+        println!();
     }
     if wants("cases") {
         println!("=== SV: case studies ===");

@@ -1,0 +1,536 @@
+//! Versioned, checksummed crawl checkpoints.
+//!
+//! A checkpoint file captures the complete mid-crawl state of a study —
+//! every exchange's loop cursor (surf slot, virtual clock, raw RNG
+//! state, CAPTCHA nonce, stats and health counters) plus the records
+//! logged so far — so an interrupted run can resume and produce output
+//! **bit-identical** to an uninterrupted one.
+//!
+//! # File format
+//!
+//! ```text
+//! SLUMCKPT 1\n          ← magic + format version
+//! <crc32 decimal>\n     ← IEEE CRC-32 over everything below
+//! <header json>\n       ← seed, scales, profile, round, body length
+//! <body>                ← per-exchange "#cursor {json}" + record JSONL
+//! ```
+//!
+//! The CRC covers the header line *and* the body, so flipping any
+//! single byte past the CRC line is detected; corruption of the magic
+//! or CRC lines themselves is caught structurally. Files are written
+//! atomically (temp file + rename) as `ckpt-NNNNNN.slumckpt`, numbered
+//! by completed segment round.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use slum_crawler::CrawlCheckpointState;
+
+use crate::study::StudyConfig;
+
+/// Magic prefix of the first line; the format version follows it.
+pub const MAGIC_PREFIX: &str = "SLUMCKPT ";
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File extension of checkpoint files.
+pub const EXTENSION: &str = "slumckpt";
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), bitwise implementation — the
+/// payloads are small enough that a table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The checkpoint header: enough configuration echo to refuse resuming
+/// under an incompatible study, plus the round number and body length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointHeader {
+    /// Format version (duplicates the magic line for self-description).
+    pub version: u32,
+    /// Master seed of the run that wrote the checkpoint.
+    pub seed: u64,
+    /// Crawl scale in parts-per-million.
+    pub crawl_scale_ppm: u64,
+    /// Domain scale in parts-per-million.
+    pub domain_scale_ppm: u64,
+    /// Name of the crawl-fault profile in force.
+    pub crawl_fault_profile: String,
+    /// Configured segment budget (0 when unbounded).
+    pub checkpoint_every: u64,
+    /// Completed segment rounds at the time of writing.
+    pub round: u64,
+    /// Byte length of the body (a cheap truncation tripwire on top of
+    /// the CRC).
+    pub body_len: u64,
+}
+
+/// Scale fraction → parts-per-million, matching the `config.*_ppm`
+/// gauges.
+pub fn scale_ppm(scale: f64) -> u64 {
+    (scale * 1e6).round() as u64
+}
+
+impl CheckpointHeader {
+    /// A header for `config` (round and body length are filled in at
+    /// save time).
+    pub fn for_config(config: &StudyConfig) -> Self {
+        CheckpointHeader {
+            version: FORMAT_VERSION,
+            seed: config.seed,
+            crawl_scale_ppm: scale_ppm(config.crawl_scale),
+            domain_scale_ppm: scale_ppm(config.domain_scale),
+            crawl_fault_profile: config.crawl_fault_profile.name.clone(),
+            checkpoint_every: config.checkpoint_every.unwrap_or(0),
+            round: 0,
+            body_len: 0,
+        }
+    }
+
+    /// Refuses to resume under a study configuration that would diverge
+    /// from the run that wrote the checkpoint. `checkpoint_every` is
+    /// deliberately *not* checked: segment boundaries never affect
+    /// results, only file cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ConfigMismatch`] naming the first
+    /// differing field.
+    pub fn verify(&self, config: &StudyConfig) -> Result<(), CheckpointError> {
+        let checks: [(&'static str, String, String); 4] = [
+            ("seed", self.seed.to_string(), config.seed.to_string()),
+            (
+                "crawl_scale_ppm",
+                self.crawl_scale_ppm.to_string(),
+                scale_ppm(config.crawl_scale).to_string(),
+            ),
+            (
+                "domain_scale_ppm",
+                self.domain_scale_ppm.to_string(),
+                scale_ppm(config.domain_scale).to_string(),
+            ),
+            (
+                "crawl_fault_profile",
+                self.crawl_fault_profile.clone(),
+                config.crawl_fault_profile.name.clone(),
+            ),
+        ];
+        for (field, expected, found) in checks {
+            if expected != found {
+                return Err(CheckpointError::ConfigMismatch { field, expected, found });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a checkpoint could not be written or read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+    /// The file does not start with the checkpoint magic.
+    BadMagic {
+        /// What the first line actually held (truncated).
+        found: String,
+    },
+    /// The file is a checkpoint, but of an unsupported format version.
+    VersionSkew {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The file ends before the format's mandatory structure does.
+    Truncated {
+        /// What was missing.
+        detail: String,
+    },
+    /// The stored CRC does not match the payload.
+    CrcMismatch {
+        /// CRC the file declares.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// The checkpoint was written by a run with different configuration.
+    ConfigMismatch {
+        /// Which configuration field differs.
+        field: &'static str,
+        /// The checkpoint's value.
+        expected: String,
+        /// The resuming study's value.
+        found: String,
+    },
+    /// The payload passed the CRC but does not parse — header or body.
+    Malformed {
+        /// 1-based line number within the file.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// `load_latest` found no checkpoint file in the directory.
+    NoCheckpoint {
+        /// The directory searched.
+        dir: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => write!(f, "checkpoint I/O on {path}: {detail}"),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint file (first line {found:?})")
+            }
+            CheckpointError::VersionSkew { found } => {
+                write!(f, "checkpoint format version {found} (this build reads {FORMAT_VERSION})")
+            }
+            CheckpointError::Truncated { detail } => write!(f, "truncated checkpoint: {detail}"),
+            CheckpointError::CrcMismatch { expected, actual } => {
+                write!(f, "checkpoint CRC mismatch: stored {expected}, computed {actual}")
+            }
+            CheckpointError::ConfigMismatch { field, expected, found } => {
+                write!(f, "checkpoint {field} is {expected} but the study has {found}")
+            }
+            CheckpointError::Malformed { line, detail } => {
+                write!(f, "malformed checkpoint at line {line}: {detail}")
+            }
+            CheckpointError::NoCheckpoint { dir } => {
+                write!(f, "no checkpoint found in {dir}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.display().to_string(), detail: e.to_string() }
+}
+
+/// Serializes a checkpoint to its full file content.
+///
+/// # Errors
+///
+/// Propagates body serialization failures as [`CheckpointError::Malformed`].
+pub fn encode_checkpoint(
+    header: &CheckpointHeader,
+    state: &CrawlCheckpointState,
+) -> Result<String, CheckpointError> {
+    let body = state
+        .to_body()
+        .map_err(|e| CheckpointError::Malformed { line: 0, detail: e.to_string() })?;
+    let mut header = header.clone();
+    header.version = FORMAT_VERSION;
+    header.round = state.round;
+    header.body_len = body.len() as u64;
+    let header_json = serde_json::to_string(&header)
+        .map_err(|e| CheckpointError::Malformed { line: 0, detail: e.to_string() })?;
+    let payload = format!("{header_json}\n{body}");
+    Ok(format!("{MAGIC_PREFIX}{FORMAT_VERSION}\n{}\n{payload}", crc32(payload.as_bytes())))
+}
+
+/// Parses and validates full checkpoint file content.
+///
+/// # Errors
+///
+/// Every corruption mode maps to a typed [`CheckpointError`]; this
+/// function never panics on arbitrary input.
+pub fn decode_checkpoint(
+    raw: &str,
+) -> Result<(CheckpointHeader, CrawlCheckpointState), CheckpointError> {
+    let (magic_line, rest) = raw
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Truncated { detail: "no magic line".to_string() })?;
+    let version_text = magic_line.strip_prefix(MAGIC_PREFIX).ok_or_else(|| {
+        CheckpointError::BadMagic { found: magic_line.chars().take(32).collect() }
+    })?;
+    let version: u32 = version_text.trim().parse().map_err(|_| CheckpointError::BadMagic {
+        found: magic_line.chars().take(32).collect(),
+    })?;
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionSkew { found: version });
+    }
+    let (crc_line, payload) = rest
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Truncated { detail: "no CRC line".to_string() })?;
+    let expected: u32 = crc_line.trim().parse().map_err(|_| CheckpointError::Malformed {
+        line: 2,
+        detail: format!("unparseable CRC {crc_line:?}"),
+    })?;
+    let actual = crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(CheckpointError::CrcMismatch { expected, actual });
+    }
+    let (header_line, body) = payload
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Truncated { detail: "no header line".to_string() })?;
+    let header: CheckpointHeader = serde_json::from_str(header_line)
+        .map_err(|e| CheckpointError::Malformed { line: 3, detail: e.to_string() })?;
+    if header.version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionSkew { found: header.version });
+    }
+    if body.len() as u64 != header.body_len {
+        return Err(CheckpointError::Truncated {
+            detail: format!("header declares {} body bytes, file holds {}", header.body_len, body.len()),
+        });
+    }
+    let state = CrawlCheckpointState::from_body(header.round, body)
+        .map_err(|(line, detail)| CheckpointError::Malformed { line: 3 + line, detail })?;
+    Ok((header, state))
+}
+
+/// A directory of numbered checkpoint files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(round: u64) -> String {
+        format!("ckpt-{round:06}.{EXTENSION}")
+    }
+
+    /// Atomically writes the checkpoint for `state` (numbered by its
+    /// round), returning the file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem failures.
+    pub fn save(
+        &self,
+        header: &CheckpointHeader,
+        state: &CrawlCheckpointState,
+    ) -> Result<PathBuf, CheckpointError> {
+        let content = encode_checkpoint(header, state)?;
+        let path = self.dir.join(Self::file_name(state.round));
+        let tmp = self.dir.join(format!(".{}.tmp", Self::file_name(state.round)));
+        fs::write(&tmp, &content).map_err(|e| io_err(&tmp, &e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, &e))?;
+        Ok(path)
+    }
+
+    /// Loads and validates one checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and every [`decode_checkpoint`] error.
+    pub fn load(path: &Path) -> Result<(CheckpointHeader, CrawlCheckpointState), CheckpointError> {
+        let raw = fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        decode_checkpoint(&raw)
+    }
+
+    /// Checkpoint files present, sorted ascending by round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, &e))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(EXTENSION))
+            })
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Loads the highest-numbered checkpoint in the directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoCheckpoint`] when the directory holds none;
+    /// otherwise as [`Self::load`].
+    pub fn load_latest(&self) -> Result<(CheckpointHeader, CrawlCheckpointState), CheckpointError> {
+        let files = self.list()?;
+        let last = files
+            .last()
+            .ok_or_else(|| CheckpointError::NoCheckpoint { dir: self.dir.display().to_string() })?;
+        Self::load(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_crawler::drive::{CrawlConfig, CrawlCursor};
+    use slum_crawler::RecordStore;
+    use slum_exchange::{build_exchange, params::profile};
+    use slum_websim::build::WebBuilder;
+
+    fn sample_state() -> CrawlCheckpointState {
+        let mut b = WebBuilder::new(5);
+        let p = profile("Otohits").unwrap();
+        let mut x = build_exchange(&mut b, p, 0.05, 10_000);
+        let web = b.finish();
+        let config = CrawlConfig { steps: 12, seed: 5, ..Default::default() };
+        let mut cursor = CrawlCursor::start(&x, &config);
+        let mut store = RecordStore::new();
+        let lifecycle = slum_exchange::lifecycle::ExchangeLifecycle::inert(x.name());
+        let retry = slum_detect::retry::RetryPolicy::no_retries();
+        slum_crawler::drive::crawl_exchange_segment(
+            &web, &mut x, &config, &lifecycle, &retry, &mut cursor, &mut store, 7,
+        );
+        CrawlCheckpointState { round: 1, cursors: vec![cursor], stores: vec![store] }
+    }
+
+    fn sample_header() -> CheckpointHeader {
+        CheckpointHeader {
+            version: FORMAT_VERSION,
+            seed: 5,
+            crawl_scale_ppm: 300,
+            domain_scale_ppm: 30_000,
+            crawl_fault_profile: "none".to_string(),
+            checkpoint_every: 7,
+            round: 0,
+            body_len: 0,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let state = sample_state();
+        let raw = encode_checkpoint(&sample_header(), &state).unwrap();
+        assert!(raw.starts_with("SLUMCKPT 1\n"));
+        let (header, back) = decode_checkpoint(&raw).unwrap();
+        assert_eq!(header.round, 1);
+        assert_eq!(header.seed, 5);
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn save_and_load_latest_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("slumckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut state = sample_state();
+        let header = sample_header();
+        store.save(&header, &state).unwrap();
+        state.round = 2;
+        let path2 = store.save(&header, &state).unwrap();
+        assert!(path2.ends_with("ckpt-000002.slumckpt"));
+        assert_eq!(store.list().unwrap().len(), 2);
+        let (loaded_header, loaded) = store.load_latest().unwrap();
+        assert_eq!(loaded_header.round, 2);
+        assert_eq!(loaded, state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_reports_no_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("slumckpt-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(matches!(store.load_latest(), Err(CheckpointError::NoCheckpoint { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_skew_are_typed() {
+        assert!(matches!(
+            decode_checkpoint("WHATEVER\nrest\n"),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            decode_checkpoint("SLUMCKPT 9\n0\nx\n"),
+            Err(CheckpointError::VersionSkew { found: 9 })
+        ));
+        assert!(matches!(decode_checkpoint(""), Err(CheckpointError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let raw = encode_checkpoint(&sample_header(), &sample_state()).unwrap();
+        // Chop the tail: either the CRC or the body-length check trips.
+        let cut = &raw[..raw.len() - 10];
+        assert!(matches!(
+            decode_checkpoint(cut),
+            Err(CheckpointError::CrcMismatch { .. } | CheckpointError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let raw = encode_checkpoint(&sample_header(), &sample_state()).unwrap();
+        let bytes = raw.as_bytes();
+        // Exhaustive over a strided sample (every position for short
+        // files would be slow in debug builds at full corpus size; this
+        // state is small enough to do every byte).
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.to_vec();
+            corrupt[i] ^= 0x01;
+            let corrupt = String::from_utf8_lossy(&corrupt).into_owned();
+            assert!(
+                decode_checkpoint(&corrupt).is_err(),
+                "flip at byte {i} ({:?}) must not validate",
+                raw.as_bytes()[i] as char
+            );
+        }
+    }
+
+    #[test]
+    fn header_verify_flags_mismatches() {
+        let config = StudyConfig::builder()
+            .seed(5)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .build()
+            .unwrap();
+        let header = sample_header();
+        assert!(header.verify(&config).is_ok());
+        let mut wrong_seed = header.clone();
+        wrong_seed.seed = 6;
+        assert!(matches!(
+            wrong_seed.verify(&config),
+            Err(CheckpointError::ConfigMismatch { field: "seed", .. })
+        ));
+        let mut wrong_profile = header;
+        wrong_profile.crawl_fault_profile = "harsh".to_string();
+        let err = wrong_profile.verify(&config).unwrap_err();
+        assert!(err.to_string().contains("crawl_fault_profile"), "{err}");
+    }
+}

@@ -38,6 +38,55 @@ pub struct StudyExport {
     pub fig7: Vec<(String, u64)>,
     /// Fault-injection summary (all-zero for fault-free runs).
     pub faults: FaultSummaryExport,
+    /// Crawl-resilience summary: crawl-fault profile, aggregate costs
+    /// and per-exchange health (all-clean for fault-free runs).
+    pub crawl_resilience: CrawlResilienceExport,
+}
+
+/// Crawl-resilience summary: which crawl-fault profile ran, what it
+/// cost in aggregate, and the per-exchange health logs. Fully
+/// deterministic (derived from the health logs, never from wall-clock
+/// or resume bookkeeping), so a resumed run exports byte-identical
+/// JSON to an uninterrupted one.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrawlResilienceExport {
+    /// Crawl-fault-profile name (`none` for fault-free runs).
+    pub profile: String,
+    /// Surf slots lost to faults across all exchanges.
+    pub lost_steps: u64,
+    /// Faults injected during the crawl phase.
+    pub faults_injected: u64,
+    /// Retries issued against fault windows.
+    pub retries: u64,
+    /// Virtual seconds spent down (backoff + reconnects).
+    pub downtime_secs: u64,
+    /// Exchanges that permanently shut down mid-crawl.
+    pub shutdowns: u64,
+    /// Per-exchange health rows, in exchange input order.
+    pub health: Vec<CrawlHealthExport>,
+}
+
+/// One exchange's crawl-health row.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrawlHealthExport {
+    /// Exchange name.
+    pub exchange: String,
+    /// Pages logged.
+    pub pages: u64,
+    /// Slots lost to faults.
+    pub lost_steps: u64,
+    /// Steps that hit an outage window.
+    pub outage_hits: u64,
+    /// Steps that hit an anti-abuse ban.
+    pub ban_hits: u64,
+    /// Steps that hit a CAPTCHA lockout.
+    pub captcha_lockouts: u64,
+    /// Surf sessions dropped after a logged page.
+    pub session_drops: u64,
+    /// Virtual seconds this exchange's crawl spent down.
+    pub downtime_secs: u64,
+    /// Virtual second of the permanent shutdown, if one hit.
+    pub shutdown_at: Option<u64>,
 }
 
 /// Fault-layer summary: which profile ran, what it cost, and where the
@@ -256,6 +305,36 @@ pub fn export(study: &Study) -> StudyExport {
             .into_iter()
             .collect(),
         faults: fault_summary(study),
+        crawl_resilience: crawl_resilience_summary(study),
+    }
+}
+
+/// Builds the crawl-resilience section from the per-exchange health
+/// logs.
+fn crawl_resilience_summary(study: &Study) -> CrawlResilienceExport {
+    let health = &study.health;
+    let sum = |f: fn(&slum_crawler::CrawlHealth) -> u64| health.iter().map(f).sum::<u64>();
+    CrawlResilienceExport {
+        profile: study.config().crawl_fault_profile.name.clone(),
+        lost_steps: sum(|h| h.lost_steps),
+        faults_injected: sum(|h| h.faults_injected),
+        retries: sum(|h| h.retries),
+        downtime_secs: sum(|h| h.downtime_secs),
+        shutdowns: health.iter().filter(|h| h.shutdown_at.is_some()).count() as u64,
+        health: health
+            .iter()
+            .map(|h| CrawlHealthExport {
+                exchange: h.exchange.clone(),
+                pages: h.pages,
+                lost_steps: h.lost_steps,
+                outage_hits: h.outage_hits,
+                ban_hits: h.ban_hits,
+                captcha_lockouts: h.captcha_lockouts,
+                session_drops: h.session_drops,
+                downtime_secs: h.downtime_secs,
+                shutdown_at: h.shutdown_at,
+            })
+            .collect(),
     }
 }
 
@@ -329,6 +408,42 @@ mod tests {
         assert_eq!(doc.faults.degraded_verdicts, 0);
         assert_eq!(doc.faults.breakers.len(), 3);
         assert!(doc.faults.breakers.iter().all(|b| b.opens == 0 && b.final_state == 0));
+    }
+
+    #[test]
+    fn fault_free_export_carries_clean_crawl_resilience_section() {
+        let doc = export(&tiny());
+        let section = &doc.crawl_resilience;
+        assert_eq!(section.profile, "none");
+        assert_eq!(section.lost_steps, 0);
+        assert_eq!(section.faults_injected, 0);
+        assert_eq!(section.downtime_secs, 0);
+        assert_eq!(section.shutdowns, 0);
+        assert_eq!(section.health.len(), 9);
+        assert!(section.health.iter().all(|h| h.lost_steps == 0 && h.shutdown_at.is_none()));
+    }
+
+    #[test]
+    fn faulted_crawl_export_reports_losses() {
+        let config = StudyConfig::builder()
+            .seed(500)
+            .crawl_scale(0.0002)
+            .domain_scale(0.03)
+            .crawl_fault_profile(slum_crawler::CrawlFaultProfile::default_profile())
+            .build()
+            .expect("valid test config");
+        let doc = export(&Study::run(&config));
+        let section = &doc.crawl_resilience;
+        assert_eq!(section.profile, "default");
+        assert!(section.faults_injected > 0);
+        assert!(section.lost_steps > 0);
+        // The corpus still covers all nine exchanges and Table I's
+        // crawled column matches pages per health row.
+        assert_eq!(doc.table1.len(), 9);
+        for (row, h) in doc.table1.iter().zip(&section.health) {
+            assert_eq!(row.exchange, h.exchange);
+            assert_eq!(row.crawled, h.pages);
+        }
     }
 
     #[test]

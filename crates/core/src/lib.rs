@@ -45,7 +45,9 @@ pub mod artifact;
 pub mod breakdown;
 pub mod case_studies;
 pub mod categorize;
+pub mod checkpoint;
 pub mod countermeasures;
+pub mod crawlloss;
 pub mod export;
 pub mod faultloss;
 pub mod filter;
@@ -60,6 +62,8 @@ pub mod temporal;
 
 pub use artifact::{Artifact, ArtifactKind};
 pub use categorize::Category;
+pub use checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
+pub use crawlloss::{run_crawl_loss_experiment, CrawlLossConfig, CrawlLossReport};
 pub use faultloss::{run_fault_loss_experiment, FaultLossConfig, FaultLossReport};
 pub use filter::ReferralClass;
 pub use report::Render;

@@ -9,10 +9,14 @@
 //! pin them; only span/histogram wall-clock varies per machine.
 
 use std::fmt;
+use std::path::Path;
 use std::time::Instant;
 
 use slum_crawler::drive::estimated_duration_secs;
-use slum_crawler::{crawl_all, CrawlRecord, RecordStore};
+use slum_crawler::{
+    crawl_all_resilient, crawl_all_segmented, CrawlFaultProfile, CrawlHealth, CrawlRecord,
+    RecordStore,
+};
 use slum_exchange::params::PROFILES;
 use slum_exchange::Exchange;
 use slum_obs::{LocalMetrics, MetricsSnapshot, Registry};
@@ -21,6 +25,7 @@ use slum_websim::SyntheticWeb;
 
 use crate::artifact::ArtifactKind;
 use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
+use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
 use crate::case_studies;
 use crate::categorize::CategoryCounts;
 use crate::filter::{ReferralClass, ReferralFilter};
@@ -56,6 +61,16 @@ pub struct StudyConfig {
     /// strictly opt-in and fault-free runs stay bit-identical to the
     /// pre-fault-layer pipeline.
     pub fault_profile: FaultProfile,
+    /// Lifecycle-fault profile for the crawl phase (exchange outages,
+    /// bans, CAPTCHA lockouts, permanent shutdowns, session drops). The
+    /// default is [`CrawlFaultProfile::none`] — inert and RNG-neutral,
+    /// so default runs stay bit-identical to the pre-resilience crawler.
+    pub crawl_fault_profile: CrawlFaultProfile,
+    /// Segment budget (surf slots per exchange) between crawl
+    /// checkpoints on the checkpointed run paths. `None` writes a
+    /// single checkpoint when the crawl completes. Segment boundaries
+    /// never affect results — only checkpoint file cadence.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for StudyConfig {
@@ -66,6 +81,8 @@ impl Default for StudyConfig {
             domain_scale: 0.05,
             scan_workers: default_scan_workers(),
             fault_profile: FaultProfile::none(),
+            crawl_fault_profile: CrawlFaultProfile::none(),
+            checkpoint_every: None,
         }
     }
 }
@@ -128,6 +145,20 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Sets the crawl-phase lifecycle-fault profile (validated at
+    /// [`Self::build`]).
+    pub fn crawl_fault_profile(mut self, profile: CrawlFaultProfile) -> Self {
+        self.config.crawl_fault_profile = profile;
+        self
+    }
+
+    /// Sets the crawl checkpoint segment budget, in surf slots per
+    /// exchange between checkpoint writes.
+    pub fn checkpoint_every(mut self, slots: u64) -> Self {
+        self.config.checkpoint_every = Some(slots);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -150,6 +181,12 @@ impl StudyConfigBuilder {
         }
         if let Err(reason) = self.config.fault_profile.validate() {
             return Err(ConfigError::InvalidFaultProfile { reason });
+        }
+        if let Err(reason) = self.config.crawl_fault_profile.validate() {
+            return Err(ConfigError::InvalidCrawlFaultProfile { reason });
+        }
+        if self.config.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointInterval);
         }
         Ok(self.config)
     }
@@ -174,6 +211,14 @@ pub enum ConfigError {
         /// Human-readable description of the first invalid field.
         reason: String,
     },
+    /// The crawl-fault profile's parameters were inconsistent (see
+    /// [`CrawlFaultProfile::validate`]).
+    InvalidCrawlFaultProfile {
+        /// Human-readable description of the first invalid field.
+        reason: String,
+    },
+    /// `checkpoint_every` was zero — a segment must advance the crawl.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -187,6 +232,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidFaultProfile { reason } => {
                 write!(f, "invalid fault profile: {reason}")
+            }
+            ConfigError::InvalidCrawlFaultProfile { reason } => {
+                write!(f, "invalid crawl-fault profile: {reason}")
+            }
+            ConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_every must be at least 1 surf slot")
             }
         }
     }
@@ -227,13 +278,99 @@ pub struct Study {
     pub outcomes: Vec<ScanOutcome>,
     /// Referral class per record (aligned).
     pub referrals: Vec<ReferralClass>,
+    /// Per-exchange crawl-health logs (what the lifecycle faults cost
+    /// each exchange's crawl; all-clean under an inert profile).
+    pub health: Vec<CrawlHealth>,
     config: StudyConfig,
     obs: Registry,
+}
+
+/// How the crawl phase of [`Study::run_pipeline`] executes.
+enum CrawlMode<'a> {
+    /// In-memory crawl, no checkpoint I/O (the historical path).
+    Direct,
+    /// Segmented crawl writing a checkpoint file after every round.
+    Checkpointed {
+        /// Checkpoint directory.
+        dir: &'a Path,
+        /// Restore the latest checkpoint in `dir` before crawling.
+        resume: bool,
+        /// Abandon the run after this many rounds (simulated crash).
+        kill_after_round: Option<u64>,
+    },
+}
+
+/// Crawl-resume bookkeeping for the `crawl.resume.*` counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct ResumeStats {
+    /// Segment rounds restored from the checkpoint.
+    segments_restored: u64,
+    /// Records restored from the checkpoint.
+    records_restored: u64,
 }
 
 impl Study {
     /// Runs the full pipeline.
     pub fn run(config: &StudyConfig) -> Study {
+        match Study::run_pipeline(config, CrawlMode::Direct) {
+            Ok(Some(study)) => study,
+            Ok(None) => unreachable!("direct runs are never killed"),
+            Err(e) => unreachable!("direct runs do no checkpoint I/O: {e}"),
+        }
+    }
+
+    /// Runs the full pipeline with crawl checkpointing: after every
+    /// `checkpoint_every` surf slots (per exchange), the complete crawl
+    /// state is written to `dir` as a checksummed checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint I/O and serialization failures.
+    pub fn run_checkpointed(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
+        let mode = CrawlMode::Checkpointed { dir, resume: false, kill_after_round: None };
+        Ok(Study::run_pipeline(config, mode)?.expect("unkilled runs complete"))
+    }
+
+    /// Like [`Study::run_checkpointed`], but abandons the run after
+    /// `kill_after_round` checkpoint rounds — a deterministic stand-in
+    /// for killing the process mid-crawl. Returns `None` when the kill
+    /// fired before the crawl finished (the checkpoints remain in
+    /// `dir`), or the completed study when the crawl finished first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint I/O and serialization failures.
+    pub fn run_to_checkpoint(
+        config: &StudyConfig,
+        dir: &Path,
+        kill_after_round: u64,
+    ) -> Result<Option<Study>, CheckpointError> {
+        let mode = CrawlMode::Checkpointed {
+            dir,
+            resume: false,
+            kill_after_round: Some(kill_after_round),
+        };
+        Study::run_pipeline(config, mode)
+    }
+
+    /// Resumes an interrupted run from the latest checkpoint in `dir`
+    /// and completes the study (continuing to write checkpoints). The
+    /// result is bit-identical to a run that was never interrupted;
+    /// only the `crawl.resume.*` bookkeeping counters differ.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing/corrupt checkpoints and on configuration
+    /// mismatches between the checkpoint and `config`.
+    pub fn resume_from(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
+        let mode = CrawlMode::Checkpointed { dir, resume: true, kill_after_round: None };
+        Ok(Study::run_pipeline(config, mode)?.expect("unkilled runs complete"))
+    }
+
+    fn run_pipeline(
+        config: &StudyConfig,
+        mode: CrawlMode<'_>,
+    ) -> Result<Option<Study>, CheckpointError> {
         let obs = Registry::new();
         record_config(&obs, config);
 
@@ -256,16 +393,65 @@ impl Study {
 
         // 2. Crawl all nine exchanges in parallel; each crawl returns
         //    its per-worker counter buffer, merged here at phase end.
-        let store = {
+        //    Every mode funnels through the same segment driver, so the
+        //    records are bit-identical across modes, checkpoint cadence
+        //    and resume points.
+        let step_fn = |x: &Exchange| {
+            let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
+            steps_for(profile, config.crawl_scale)
+        };
+        let (store, health) = {
             let _span = obs.span("phase.crawl");
-            let (store, stats) = crawl_all(&web, &mut exchanges, config.seed, |x| {
-                let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
-                steps_for(profile, config.crawl_scale)
-            });
+            let (store, stats, health, resume_stats) = match mode {
+                CrawlMode::Direct => {
+                    let (store, stats, health) = crawl_all_resilient(
+                        &web,
+                        &mut exchanges,
+                        config.seed,
+                        &config.crawl_fault_profile,
+                        step_fn,
+                    );
+                    (store, stats, health, ResumeStats::default())
+                }
+                CrawlMode::Checkpointed { dir, resume, kill_after_round } => {
+                    let ckpt = CheckpointStore::open(dir)?;
+                    let (resume_state, resume_stats) = if resume {
+                        let (header, state) = ckpt.load_latest()?;
+                        header.verify(config)?;
+                        let stats = ResumeStats {
+                            segments_restored: state.round,
+                            records_restored: state.records_total(),
+                        };
+                        (Some(state), stats)
+                    } else {
+                        (None, ResumeStats::default())
+                    };
+                    let header = CheckpointHeader::for_config(config);
+                    let outcome = crawl_all_segmented(
+                        &web,
+                        &mut exchanges,
+                        config.seed,
+                        &config.crawl_fault_profile,
+                        step_fn,
+                        config.checkpoint_every.unwrap_or(u64::MAX),
+                        resume_state,
+                        kill_after_round,
+                        &mut |_round, state| ckpt.save(&header, state).map(|_| ()),
+                    )?;
+                    if !outcome.finished {
+                        // Simulated crash: the checkpoints are on disk,
+                        // the study is abandoned here.
+                        return Ok(None);
+                    }
+                    let (store, stats, health) = outcome.state.finish();
+                    (store, stats, health, resume_stats)
+                }
+            };
             for (_, s) in &stats {
                 obs.merge_local(&s.metrics);
             }
-            store
+            record_crawl_fault_tallies(&obs, &health, &resume_stats);
+            (store, health)
         };
 
         // 3. Classify referrals, then scan every *regular* record
@@ -302,7 +488,7 @@ impl Study {
             (outcomes, referrals)
         };
 
-        Study { web, store, outcomes, referrals, config: config.clone(), obs }
+        Ok(Some(Study { web, store, outcomes, referrals, health, config: config.clone(), obs }))
     }
 
     /// Runs the full pipeline, reporting per-phase wall-clock timings
@@ -445,6 +631,37 @@ fn record_config(obs: &Registry, config: &StudyConfig) {
     obs.gauge("config.scan_workers").set(config.scan_workers as i64);
     obs.gauge("config.crawl_scale_ppm").set((config.crawl_scale * 1e6).round() as i64);
     obs.gauge("config.domain_scale_ppm").set((config.domain_scale * 1e6).round() as i64);
+    obs.gauge("config.checkpoint_every").set(config.checkpoint_every.unwrap_or(0) as i64);
+}
+
+/// Tallies crawl-phase fault costs from the per-exchange health logs,
+/// plus the per-exchange health gauges and resume bookkeeping. Always
+/// registered — a fault-free run reports explicit zeros (which CI
+/// asserts) rather than absent keys. The `crawl.resume.*` counters are
+/// the one deliberate difference between a straight run and an
+/// interrupted-then-resumed one; everything else is bit-identical.
+fn record_crawl_fault_tallies(obs: &Registry, health: &[CrawlHealth], resume: &ResumeStats) {
+    let sum = |f: fn(&CrawlHealth) -> u64| health.iter().map(f).sum::<u64>();
+    obs.counter("crawl.faults.injected").add(sum(|h| h.faults_injected));
+    obs.counter("crawl.faults.retries").add(sum(|h| h.retries));
+    obs.counter("crawl.faults.backoff_nanos").add(sum(|h| h.backoff_nanos));
+    obs.counter("crawl.faults.outages").add(sum(|h| h.outage_hits));
+    obs.counter("crawl.faults.bans").add(sum(|h| h.ban_hits));
+    obs.counter("crawl.faults.captcha_lockouts").add(sum(|h| h.captcha_lockouts));
+    obs.counter("crawl.faults.session_drops").add(sum(|h| h.session_drops));
+    obs.counter("crawl.faults.lost_steps").add(sum(|h| h.lost_steps));
+    obs.counter("crawl.faults.downtime_secs").add(sum(|h| h.downtime_secs));
+    obs.counter("crawl.faults.shutdowns")
+        .add(health.iter().filter(|h| h.shutdown_at.is_some()).count() as u64);
+    obs.counter("crawl.resume.segments_restored").add(resume.segments_restored);
+    obs.counter("crawl.resume.records_restored").add(resume.records_restored);
+    for h in health {
+        obs.gauge(&format!("crawl.health.{}.lost_steps", h.exchange)).set(h.lost_steps as i64);
+        obs.gauge(&format!("crawl.health.{}.downtime_secs", h.exchange))
+            .set(h.downtime_secs as i64);
+        obs.gauge(&format!("crawl.health.{}.shutdown", h.exchange))
+            .set(i64::from(h.shutdown_at.is_some()));
+    }
 }
 
 /// Records the regular-traffic filter partition: records in, and the
@@ -827,6 +1044,101 @@ mod tests {
             assert_eq!(outcome.source, VerdictSource::Full);
             assert_eq!(outcome.faults, FaultLog::default());
         }
+    }
+
+    #[test]
+    fn fault_free_run_registers_zero_crawl_fault_counters() {
+        let study = tiny_study();
+        let m = study.metrics();
+        for name in [
+            "crawl.faults.injected",
+            "crawl.faults.retries",
+            "crawl.faults.backoff_nanos",
+            "crawl.faults.outages",
+            "crawl.faults.bans",
+            "crawl.faults.captcha_lockouts",
+            "crawl.faults.session_drops",
+            "crawl.faults.lost_steps",
+            "crawl.faults.downtime_secs",
+            "crawl.faults.shutdowns",
+            "crawl.resume.segments_restored",
+            "crawl.resume.records_restored",
+        ] {
+            assert!(m.counters.contains_key(name), "{name} must be registered");
+            assert_eq!(m.counter(name), 0, "{name} must be zero without crawl faults");
+        }
+        assert_eq!(study.health.len(), 9);
+        assert!(study.health.iter().all(CrawlHealth::is_clean));
+    }
+
+    #[test]
+    fn default_crawl_fault_profile_degrades_but_completes() {
+        let config = StudyConfig::builder()
+            .seed(77)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .crawl_fault_profile(CrawlFaultProfile::default_profile())
+            .build()
+            .expect("valid config");
+        let study = Study::run(&config);
+        let m = study.metrics();
+        assert!(m.counter("crawl.faults.injected") > 0, "default profile must inject");
+        assert!(m.counter("crawl.faults.downtime_secs") > 0);
+        // Every planned slot is accounted for: logged or lost.
+        let steps: u64 = PROFILES.iter().map(|p| steps_for(p, config.crawl_scale)).sum();
+        assert_eq!(m.counter("crawl.pages") + m.counter("crawl.faults.lost_steps"), steps);
+        // The study still produces all nine Table I rows — degraded, not
+        // aborted.
+        assert_eq!(study.table1().rows.len(), 9);
+        assert_eq!(study.health.len(), 9);
+        for h in &study.health {
+            assert!(
+                m.gauge(&format!("crawl.health.{}.lost_steps", h.exchange))
+                    == h.lost_steps as i64
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_direct_run() {
+        let dir =
+            std::env::temp_dir().join(format!("slum-study-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StudyConfig::builder()
+            .seed(77)
+            .crawl_scale(0.0003)
+            .domain_scale(0.03)
+            .scan_workers(2)
+            .checkpoint_every(48)
+            .build()
+            .expect("valid config");
+        let direct = Study::run(&config);
+        let checkpointed = Study::run_checkpointed(&config, &dir).expect("checkpoint I/O");
+        assert_eq!(
+            direct.store.to_jsonl().unwrap(),
+            checkpointed.store.to_jsonl().unwrap(),
+            "checkpointing must not change the corpus"
+        );
+        assert_eq!(direct.outcomes, checkpointed.outcomes);
+        assert_eq!(direct.health, checkpointed.health);
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() > 1,
+            "periodic checkpoints must be written"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_invalid_crawl_profile_and_zero_interval() {
+        let mut bad = CrawlFaultProfile::default_profile();
+        bad.auto.session_drop_per_mille = 9_999;
+        let err = StudyConfig::builder().crawl_fault_profile(bad).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidCrawlFaultProfile { .. }));
+        assert!(err.to_string().contains("crawl-fault"), "{err}");
+        assert!(matches!(
+            StudyConfig::builder().checkpoint_every(0).build(),
+            Err(ConfigError::ZeroCheckpointInterval)
+        ));
     }
 
     #[test]

@@ -1,18 +1,35 @@
 //! Auto-surf and manual-surf crawl drivers.
+//!
+//! The crawl loop is written once, as a *resumable segment driver*
+//! ([`crawl_exchange_segment`]) over an explicit [`CrawlCursor`] that
+//! holds every piece of loop state — surf slot, virtual clock, RNG
+//! state, CAPTCHA nonce, stats and health counters. [`crawl_exchange`]
+//! is a thin wrapper that runs one unbounded segment with an inert
+//! lifecycle, so the historical fail-fast behaviour is bit-identical by
+//! construction, while the resilience layer (`run::crawl_all_segmented`)
+//! drives the same loop in bounded segments with a fault schedule and
+//! checkpoints the cursor between them.
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use slum_browser::Browser;
+use slum_detect::retry::RetryPolicy;
 use slum_exchange::antiabuse::{Admission, IpAddr, SessionPolicy, SessionTracker};
 use slum_exchange::captcha::CaptchaOutcome;
 use slum_exchange::economy::{EconomyConfig, Ledger};
+use slum_exchange::lifecycle::{ExchangeLifecycle, LifecycleFaultKind};
 use slum_exchange::{Exchange, ExchangeKind};
 use slum_websim::rng::seeded;
 use slum_websim::SyntheticWeb;
 
+use crate::fault::CrawlHealth;
 use crate::record::CrawlRecord;
 use crate::store::RecordStore;
+
+/// Virtual nanoseconds per virtual second.
+const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// Configuration of one exchange crawl.
 #[derive(Debug, Clone)]
@@ -59,6 +76,167 @@ pub struct CrawlStats {
     pub metrics: slum_obs::LocalMetrics,
 }
 
+/// The complete resumable state of one exchange crawl.
+///
+/// A cursor plus the (deterministically rebuilt) exchange and web is
+/// everything needed to continue a crawl from exactly where it stopped:
+/// the surf-slot position, virtual clock, raw RNG state, the exchange's
+/// CAPTCHA nonce, and every stat/health counter accumulated so far.
+/// Serializes to one JSON object inside a checkpoint body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlCursor {
+    /// Exchange name (checkpoint sections are matched back by name).
+    pub exchange: String,
+    /// Planned surf-slot budget for the whole crawl.
+    pub steps: u64,
+    /// Seed this crawl's RNG stream started from.
+    pub seed: u64,
+    /// Next surf slot (== records logged + slots lost so far).
+    pub seq: u64,
+    /// Virtual clock (seconds).
+    pub t: u64,
+    /// xoshiro256** state word 0.
+    pub rng_s0: u64,
+    /// xoshiro256** state word 1.
+    pub rng_s1: u64,
+    /// xoshiro256** state word 2.
+    pub rng_s2: u64,
+    /// xoshiro256** state word 3.
+    pub rng_s3: u64,
+    /// The exchange's CAPTCHA nonce at the cursor position.
+    pub captcha_nonce: u64,
+    /// Whether the crawl has consumed its whole slot budget.
+    pub done: bool,
+    /// Pages logged so far.
+    pub pages: u64,
+    /// CAPTCHAs failed so far.
+    pub captcha_failures: u64,
+    /// Failed page loads so far.
+    pub load_failures: u64,
+    /// Credits earned so far (milli-credits).
+    pub credits_earned_millis: i64,
+    /// Surf steps taken so far (pages + burned CAPTCHAs).
+    pub surf_steps: u64,
+    /// Redirect hops followed so far.
+    pub redirects: u64,
+    /// Surf steps that landed inside a paid-campaign burst.
+    pub burst_steps: u64,
+    /// Visits that went through a URL shortener.
+    pub shortener_visits: u64,
+    /// Surf slots lost to lifecycle faults.
+    pub lost_steps: u64,
+    /// Steps that ran into an outage window.
+    pub outage_hits: u64,
+    /// Steps that ran into an anti-abuse ban.
+    pub ban_hits: u64,
+    /// Steps that ran into a CAPTCHA lockout.
+    pub captcha_lockouts: u64,
+    /// Surf sessions dropped after a logged page.
+    pub session_drops: u64,
+    /// Total faults injected (failed attempts + session drops).
+    pub faults_injected: u64,
+    /// Retries issued against fault windows.
+    pub retries: u64,
+    /// Virtual backoff spent between attempts (nanoseconds).
+    pub backoff_nanos: u64,
+    /// Virtual seconds spent down (backoff + reconnects).
+    pub downtime_secs: u64,
+    /// Virtual second of the permanent shutdown, if one hit.
+    pub shutdown_at: Option<u64>,
+}
+
+impl CrawlCursor {
+    /// A cursor at the very start of a crawl of `exchange` under
+    /// `config`.
+    pub fn start(exchange: &Exchange, config: &CrawlConfig) -> Self {
+        let rng = seeded(config.seed);
+        let s = rng.state();
+        CrawlCursor {
+            exchange: exchange.name().to_string(),
+            steps: config.steps,
+            seed: config.seed,
+            seq: 0,
+            t: config.start_time,
+            rng_s0: s[0],
+            rng_s1: s[1],
+            rng_s2: s[2],
+            rng_s3: s[3],
+            captcha_nonce: exchange.captcha_nonce(),
+            done: config.steps == 0,
+            pages: 0,
+            captcha_failures: 0,
+            load_failures: 0,
+            credits_earned_millis: 0,
+            surf_steps: 0,
+            redirects: 0,
+            burst_steps: 0,
+            shortener_visits: 0,
+            lost_steps: 0,
+            outage_hits: 0,
+            ban_hits: 0,
+            captcha_lockouts: 0,
+            session_drops: 0,
+            faults_injected: 0,
+            retries: 0,
+            backoff_nanos: 0,
+            downtime_secs: 0,
+            shutdown_at: None,
+        }
+    }
+
+    /// Rebuilds the RNG at the cursor position.
+    fn rng(&self) -> StdRng {
+        StdRng::from_state([self.rng_s0, self.rng_s1, self.rng_s2, self.rng_s3])
+    }
+
+    fn save_rng(&mut self, rng: &StdRng) {
+        let s = rng.state();
+        self.rng_s0 = s[0];
+        self.rng_s1 = s[1];
+        self.rng_s2 = s[2];
+        self.rng_s3 = s[3];
+    }
+
+    /// The crawl statistics accumulated so far, with the `crawl.*`
+    /// observability counters the study merges at phase end.
+    pub fn stats(&self) -> CrawlStats {
+        let mut stats = CrawlStats {
+            pages: self.pages,
+            captcha_failures: self.captcha_failures,
+            load_failures: self.load_failures,
+            credits_earned_millis: self.credits_earned_millis,
+            metrics: slum_obs::LocalMetrics::new(),
+        };
+        stats.metrics.add("crawl.pages", self.pages);
+        stats.metrics.add("crawl.surf_steps", self.surf_steps);
+        stats.metrics.add("crawl.redirects_followed", self.redirects);
+        stats.metrics.add("crawl.burst_steps", self.burst_steps);
+        stats.metrics.add("crawl.shortener_visits", self.shortener_visits);
+        stats.metrics.add("crawl.captcha_failures", self.captcha_failures);
+        stats.metrics.add("crawl.load_failures", self.load_failures);
+        stats.metrics.add_owned(format!("crawl.steps.{}", self.exchange), self.surf_steps);
+        stats
+    }
+
+    /// The per-exchange health log accumulated so far.
+    pub fn health(&self) -> CrawlHealth {
+        CrawlHealth {
+            exchange: self.exchange.clone(),
+            pages: self.pages,
+            lost_steps: self.lost_steps,
+            outage_hits: self.outage_hits,
+            ban_hits: self.ban_hits,
+            captcha_lockouts: self.captcha_lockouts,
+            session_drops: self.session_drops,
+            faults_injected: self.faults_injected,
+            retries: self.retries,
+            backoff_nanos: self.backoff_nanos,
+            downtime_secs: self.downtime_secs,
+            shutdown_at: self.shutdown_at,
+        }
+    }
+}
+
 /// Crawls one exchange for `config.steps` logged pages, appending
 /// records to `store`.
 ///
@@ -73,33 +251,104 @@ pub fn crawl_exchange(
     config: &CrawlConfig,
     store: &mut RecordStore,
 ) -> CrawlStats {
-    let mut rng: StdRng = seeded(config.seed);
-    let mut stats = CrawlStats::default();
+    let mut cursor = CrawlCursor::start(exchange, config);
+    let lifecycle = ExchangeLifecycle::inert(exchange.name());
+    let retry = RetryPolicy::no_retries();
+    crawl_exchange_segment(web, exchange, config, &lifecycle, &retry, &mut cursor, store, u64::MAX);
+    cursor.stats()
+}
+
+/// Advances one exchange crawl by up to `budget` surf slots (logged
+/// pages plus fault-lost slots), reading and writing all loop state
+/// through `cursor`. Returns the number of slots consumed.
+///
+/// Lifecycle faults are consulted on the virtual clock before every
+/// surf step: a permanent shutdown forfeits every remaining slot; a
+/// temporary window (outage / ban / CAPTCHA lockout) goes through
+/// `retry` — if backoff outlasts the window the step proceeds on the
+/// advanced clock, otherwise the slot is recorded as lost and the crawl
+/// degrades to the next slot. Session drops charge reconnect time after
+/// a logged page. None of this touches the RNG stream, so a crawl under
+/// an inert lifecycle is bit-identical to the historical fail-fast
+/// loop, and fault decisions replay identically across resume
+/// boundaries.
+#[allow(clippy::too_many_arguments)] // the segment driver threads all crawl state explicitly
+pub fn crawl_exchange_segment(
+    web: &SyntheticWeb,
+    exchange: &mut Exchange,
+    config: &CrawlConfig,
+    lifecycle: &ExchangeLifecycle,
+    retry: &RetryPolicy,
+    cursor: &mut CrawlCursor,
+    store: &mut RecordStore,
+    budget: u64,
+) -> u64 {
+    debug_assert_eq!(cursor.exchange, exchange.name(), "cursor/exchange mismatch");
+    let mut rng = cursor.rng();
+    exchange.restore_captcha_nonce(cursor.captcha_nonce);
 
     // Fresh account, fresh session — the study's brand-new accounts.
+    // The ledger holds no crawl-relevant state across segments (earning
+    // always succeeds for an active account), so each segment opens its
+    // own; earned credits accumulate in the cursor.
     let mut ledger = Ledger::new();
     let economy = EconomyConfig::default();
     let account = ledger.open_account();
     let mut sessions = SessionTracker::new(SessionPolicy::SingleSessionStrict);
-    let crawler_ip = IpAddr::new(format!("crawler-{}", config.seed));
+    let crawler_ip = IpAddr::new(format!("crawler-{}", cursor.seed));
     let Admission::Granted { .. } = sessions.open_session(account, crawler_ip) else {
         // Fresh tracker + fresh account: admission cannot fail.
         unreachable!("fresh session must be admitted");
     };
 
-    let exchange_name = exchange.name().to_string();
     let manual = exchange.kind() == ExchangeKind::ManualSurf;
-    let mut t = config.start_time;
-    let mut seq = 0u64;
-    let mut redirects = 0u64;
-    let mut burst_steps = 0u64;
-    let mut shortener_visits = 0u64;
-    let mut surf_steps = 0u64;
+    let mut used = 0u64;
 
-    while seq < config.steps {
-        let step = exchange.next_step(t, &mut rng);
-        surf_steps += 1;
-        burst_steps += u64::from(step.campaign_boosted);
+    while !cursor.done && used < budget {
+        // Lifecycle gate: is the exchange reachable at this instant?
+        if let Some(fault) = lifecycle.fault_at(cursor.t) {
+            if fault.kind == LifecycleFaultKind::Shutdown {
+                // Traffic-Monsoon case: the exchange is gone for good;
+                // every remaining slot is lost.
+                cursor.shutdown_at = lifecycle.shutdown_at();
+                cursor.lost_steps += cursor.steps - cursor.seq;
+                cursor.seq = cursor.steps;
+                cursor.done = true;
+                break;
+            }
+            match fault.kind {
+                LifecycleFaultKind::Outage => cursor.outage_hits += 1,
+                LifecycleFaultKind::Ban => cursor.ban_hits += 1,
+                LifecycleFaultKind::CaptchaLockout => cursor.captcha_lockouts += 1,
+                _ => {}
+            }
+            let key = format!("{}#{}", cursor.exchange, cursor.seq);
+            let resolution = retry.resolve(
+                &key,
+                cursor.t.saturating_mul(NANOS_PER_SEC),
+                fault.clears_at_secs.saturating_mul(NANOS_PER_SEC),
+            );
+            cursor.retries += u64::from(resolution.retries);
+            cursor.faults_injected += u64::from(resolution.failed_attempts);
+            cursor.backoff_nanos += resolution.backoff_nanos;
+            let backoff_secs = resolution.backoff_nanos.div_ceil(NANOS_PER_SEC);
+            cursor.t = cursor.t.saturating_add(backoff_secs);
+            cursor.downtime_secs += backoff_secs;
+            if !resolution.resolved {
+                // The retry budget never outlasted the window: this
+                // surf slot is lost; degrade to the next one.
+                cursor.lost_steps += 1;
+                cursor.seq += 1;
+                used += 1;
+                cursor.done = cursor.seq >= cursor.steps;
+                continue;
+            }
+            // Resolved: the clock advanced past the window; surf now.
+        }
+
+        let step = exchange.next_step(cursor.t, &mut rng);
+        cursor.surf_steps += 1;
+        cursor.burst_steps += u64::from(step.campaign_boosted);
 
         // Manual-surf: solve the CAPTCHA first; a failure burns time but
         // logs nothing (the page never opens).
@@ -111,48 +360,53 @@ pub fn crawl_exchange(
                 CaptchaOutcome::Failed
             };
             if outcome == CaptchaOutcome::Failed {
-                stats.captcha_failures += 1;
-                t += 5;
+                cursor.captcha_failures += 1;
+                cursor.t += 5;
                 continue;
             }
             // Human solve time.
-            t += rng.gen_range(3..10);
+            cursor.t += rng.gen_range(3..10);
         }
 
-        let browser = Browser::new(web).at_time(t);
+        let browser = Browser::new(web).at_time(cursor.t);
         let browser = if manual { browser } else { browser.without_click() };
         let load = browser.load(&step.url);
         if load.failed {
-            stats.load_failures += 1;
+            cursor.load_failures += 1;
         }
-        let mut record = CrawlRecord::from_load(&exchange_name, seq, t, &load);
+        let mut record = CrawlRecord::from_load(&cursor.exchange, cursor.seq, cursor.t, &load);
         if !config.capture_content {
             record.content = None;
         }
-        redirects += u64::from(record.redirect_hops);
-        shortener_visits += u64::from(record.via_shortener);
+        cursor.redirects += u64::from(record.redirect_hops);
+        cursor.shortener_visits += u64::from(record.via_shortener);
         store.push(record);
-        stats.pages += 1;
-        seq += 1;
+        cursor.pages += 1;
+        cursor.seq += 1;
+        used += 1;
 
         if ledger.earn_view(account, &economy).is_ok() {
-            stats.credits_earned_millis += economy.earn_per_view_millis;
+            cursor.credits_earned_millis += economy.earn_per_view_millis;
         }
         // Dwell for the required surf time (plus jitter for realism).
-        t += step.min_surf_secs as u64 + rng.gen_range(0..5);
+        cursor.t += step.min_surf_secs as u64 + rng.gen_range(0..5);
+
+        // The surf session may drop after any logged page; reopening it
+        // burns reconnect time but loses no slot. Keyed by the slot
+        // just logged, so the decision replays across resume points.
+        if lifecycle.drops_session(cursor.seq - 1) {
+            cursor.session_drops += 1;
+            cursor.faults_injected += 1;
+            cursor.t = cursor.t.saturating_add(lifecycle.reconnect_secs());
+            cursor.downtime_secs += lifecycle.reconnect_secs();
+        }
+
+        cursor.done = cursor.seq >= cursor.steps;
     }
 
-    // Buffer the crawl counters locally; the study merges them into its
-    // registry once the (parallel) crawl phase ends.
-    stats.metrics.add("crawl.pages", stats.pages);
-    stats.metrics.add("crawl.surf_steps", surf_steps);
-    stats.metrics.add("crawl.redirects_followed", redirects);
-    stats.metrics.add("crawl.burst_steps", burst_steps);
-    stats.metrics.add("crawl.shortener_visits", shortener_visits);
-    stats.metrics.add("crawl.captcha_failures", stats.captcha_failures);
-    stats.metrics.add("crawl.load_failures", stats.load_failures);
-    stats.metrics.add_owned(format!("crawl.steps.{exchange_name}"), surf_steps);
-    stats
+    cursor.save_rng(&rng);
+    cursor.captcha_nonce = exchange.captcha_nonce();
+    used
 }
 
 /// Estimates the virtual duration a crawl of `steps` pages will span —
@@ -162,6 +416,16 @@ pub fn estimated_duration_secs(profile: &slum_exchange::ExchangeProfile, steps: 
     let per_page = profile.min_surf_secs as u64
         + 2
         + if profile.kind == ExchangeKind::ManualSurf { 6 } else { 0 };
+    steps * per_page
+}
+
+/// The same span estimate computed from a built [`Exchange`] (the
+/// resilience layer compiles lifecycle schedules inside crawl workers,
+/// where only the exchange itself is at hand).
+pub fn estimated_exchange_span_secs(exchange: &Exchange, steps: u64) -> u64 {
+    let per_page = exchange.min_surf_secs() as u64
+        + 2
+        + if exchange.kind() == ExchangeKind::ManualSurf { 6 } else { 0 };
     steps * per_page
 }
 
@@ -266,5 +530,120 @@ mod tests {
             &mut store,
         );
         assert!(store.records().iter().all(|r| r.content.is_none()));
+    }
+
+    /// The segment driver with an inert lifecycle, stopped and resumed
+    /// at arbitrary budgets, must reproduce the one-shot crawl exactly.
+    #[test]
+    fn segmented_crawl_matches_one_shot_bit_for_bit() {
+        let steps = 90u64;
+        let seed = 21u64;
+        let one_shot = crawl("Cash N Hits", steps, seed);
+
+        for segment in [1u64, 7, 32] {
+            let mut b = WebBuilder::new(seed);
+            let p = profile("Cash N Hits").unwrap();
+            let span = estimated_duration_secs(p, steps);
+            let mut x = build_exchange(&mut b, p, 0.05, span);
+            let web = b.finish();
+            let config = CrawlConfig { steps, seed, ..Default::default() };
+            let lifecycle = ExchangeLifecycle::inert(x.name());
+            let retry = RetryPolicy::no_retries();
+            let mut cursor = CrawlCursor::start(&x, &config);
+            let mut store = RecordStore::new();
+            while !cursor.done {
+                // Round-trip the cursor through JSON between segments —
+                // exactly what a checkpoint/resume cycle does.
+                let json = serde_json::to_string(&cursor).expect("cursor serializes");
+                cursor = serde_json::from_str(&json).expect("cursor parses");
+                crawl_exchange_segment(
+                    &web, &mut x, &config, &lifecycle, &retry, &mut cursor, &mut store, segment,
+                );
+            }
+            let stats = cursor.stats();
+            assert_eq!(stats, one_shot.1, "stats diverged at segment budget {segment}");
+            assert_eq!(
+                store.to_jsonl().unwrap(),
+                one_shot.0.to_jsonl().unwrap(),
+                "records diverged at segment budget {segment}"
+            );
+            assert!(cursor.health().is_clean());
+        }
+    }
+
+    /// A mid-window fault schedule degrades the crawl instead of
+    /// aborting it: slots are lost, pages + lost always add up to the
+    /// plan, and the whole thing is deterministic.
+    #[test]
+    fn faulted_crawl_degrades_and_balances_its_slots() {
+        use slum_exchange::lifecycle::LifecycleParams;
+
+        let run = || {
+            let steps = 120u64;
+            let seed = 31u64;
+            let mut b = WebBuilder::new(seed);
+            let p = profile("Otohits").unwrap();
+            let span = estimated_duration_secs(p, steps);
+            let mut x = build_exchange(&mut b, p, 0.05, span);
+            let web = b.finish();
+            let config = CrawlConfig { steps, seed, ..Default::default() };
+            let params = LifecycleParams {
+                outage_windows: 3,
+                outage_secs: 200,
+                session_drop_per_mille: 50,
+                reconnect_secs: 20,
+                ..LifecycleParams::reliable()
+            };
+            let lifecycle = ExchangeLifecycle::compile(&params, 77, x.name(), span);
+            let retry = RetryPolicy { max_retries: 1, ..RetryPolicy::default() };
+            let mut cursor = CrawlCursor::start(&x, &config);
+            let mut store = RecordStore::new();
+            crawl_exchange_segment(
+                &web, &mut x, &config, &lifecycle, &retry, &mut cursor, &mut store, u64::MAX,
+            );
+            (cursor, store.to_jsonl().unwrap())
+        };
+        let (cursor, jsonl) = run();
+        let health = cursor.health();
+        assert_eq!(health.pages + health.lost_steps, 120, "slots must balance");
+        assert!(health.outage_hits > 0, "three windows over the span must hit");
+        assert!(health.faults_injected > 0);
+        assert!(health.downtime_secs > 0);
+        assert_eq!(cursor.pages as usize, jsonl.lines().count());
+        let (cursor2, jsonl2) = run();
+        assert_eq!(cursor, cursor2, "faulted crawl must be deterministic");
+        assert_eq!(jsonl, jsonl2);
+    }
+
+    /// A scheduled shutdown forfeits the remaining slots and is
+    /// recorded in the health log.
+    #[test]
+    fn shutdown_forfeits_remaining_slots() {
+        use slum_exchange::lifecycle::LifecycleParams;
+
+        let steps = 100u64;
+        let seed = 41u64;
+        let mut b = WebBuilder::new(seed);
+        let p = profile("ManyHits").unwrap();
+        let span = estimated_duration_secs(p, steps);
+        let mut x = build_exchange(&mut b, p, 0.05, span);
+        let web = b.finish();
+        let config = CrawlConfig { steps, seed, ..Default::default() };
+        let params =
+            LifecycleParams { shutdown_per_mille: 1000, ..LifecycleParams::reliable() };
+        let lifecycle = ExchangeLifecycle::compile(&params, 9, x.name(), span);
+        let retry = RetryPolicy::no_retries();
+        let mut cursor = CrawlCursor::start(&x, &config);
+        let mut store = RecordStore::new();
+        crawl_exchange_segment(
+            &web, &mut x, &config, &lifecycle, &retry, &mut cursor, &mut store, u64::MAX,
+        );
+        let health = cursor.health();
+        assert!(cursor.done);
+        assert!(health.shutdown_at.is_some());
+        assert!(health.pages < steps, "the back-half shutdown cuts the crawl short");
+        assert!(health.lost_steps > 0);
+        assert_eq!(health.pages + health.lost_steps, steps);
+        assert_eq!(store.len() as u64, health.pages);
     }
 }

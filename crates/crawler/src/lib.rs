@@ -15,7 +15,11 @@
 //! - [`drive`] — the auto-surf and manual-surf crawl drivers, including
 //!   the scripted CAPTCHA operator;
 //! - [`run`] — multi-exchange orchestration (one worker per exchange,
-//!   crossbeam-scoped);
+//!   crossbeam-scoped), including the resilient and checkpoint-segmented
+//!   variants;
+//! - [`fault`] — named crawl-fault profiles (exchange outages, bans,
+//!   CAPTCHA lockouts, permanent shutdowns, session drops) and the
+//!   per-exchange crawl-health log;
 //! - [`burst`] — the paid-campaign burst-validation experiment client
 //!   ($5 → 2,500 visits, §IV).
 
@@ -24,11 +28,13 @@
 
 pub mod burst;
 pub mod drive;
+pub mod fault;
 pub mod record;
 pub mod run;
 pub mod store;
 
-pub use drive::{crawl_exchange, CrawlConfig};
+pub use drive::{crawl_exchange, CrawlConfig, CrawlCursor};
+pub use fault::{CrawlFaultProfile, CrawlHealth};
 pub use record::CrawlRecord;
-pub use run::crawl_all;
-pub use store::RecordStore;
+pub use run::{crawl_all, crawl_all_resilient, crawl_all_segmented, CrawlCheckpointState};
+pub use store::{JsonlError, RecordStore};

@@ -8,7 +8,7 @@ use slum_websim::Url;
 
 /// Everything the crawler logs for one surfed URL — the unit the
 /// analysis pipeline consumes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrawlRecord {
     /// Exchange the URL was surfed on.
     pub exchange: String,

@@ -1,12 +1,35 @@
 //! Multi-exchange crawl orchestration.
+//!
+//! Three entry points share one loop implementation
+//! (`drive::crawl_exchange_segment`):
+//!
+//! - [`crawl_all`] — the historical fail-fast crawl (inert lifecycle,
+//!   one unbounded segment per exchange);
+//! - [`crawl_all_resilient`] — the same, but under a named
+//!   [`CrawlFaultProfile`], returning per-exchange [`CrawlHealth`];
+//! - [`crawl_all_segmented`] — bounded rounds with a checkpoint sink
+//!   between them, resumable from a [`CrawlCheckpointState`].
+//!
+//! All three merge per-exchange stores in exchange input order, so the
+//! merged record stream is independent of thread scheduling.
 
 use crossbeam::thread;
 
+use slum_exchange::lifecycle::ExchangeLifecycle;
 use slum_exchange::Exchange;
 use slum_websim::SyntheticWeb;
 
-use crate::drive::{crawl_exchange, CrawlConfig, CrawlStats};
+use crate::drive::{
+    crawl_exchange_segment, estimated_exchange_span_secs, CrawlConfig, CrawlCursor, CrawlStats,
+};
+use crate::fault::{CrawlFaultProfile, CrawlHealth};
 use crate::store::RecordStore;
+
+/// The RNG seed for the `index`-th exchange's crawl stream, derived
+/// from the study seed exactly as the original per-thread crawl did.
+pub fn exchange_crawl_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed.wrapping_add(index as u64 * 7919)
+}
 
 /// Crawls every exchange concurrently — one worker thread per exchange,
 /// matching how the study ran independent sessions per service — and
@@ -23,37 +46,262 @@ pub fn crawl_all<F>(
 where
     F: Fn(&Exchange) -> u64 + Sync,
 {
-    let results: Vec<(RecordStore, String, CrawlStats)> = thread::scope(|scope| {
-        let handles: Vec<_> = exchanges
-            .iter_mut()
-            .enumerate()
-            .map(|(i, exchange)| {
-                let step_fn = &step_fn;
-                scope.spawn(move |_| {
-                    let steps = step_fn(exchange);
-                    let config = CrawlConfig {
-                        steps,
-                        seed: base_seed.wrapping_add(i as u64 * 7919),
-                        ..Default::default()
-                    };
-                    let mut store = RecordStore::new();
-                    let name = exchange.name().to_string();
-                    let stats = crawl_exchange(web, exchange, &config, &mut store);
-                    (store, name, stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
-    })
-    .expect("crawl scope panicked");
+    let (store, stats, _health) =
+        crawl_all_resilient(web, exchanges, base_seed, &CrawlFaultProfile::none(), step_fn);
+    (store, stats)
+}
 
-    let mut merged = RecordStore::new();
-    let mut stats = Vec::with_capacity(results.len());
-    for (store, name, s) in results {
-        merged.extend(store.records().iter().cloned());
-        stats.push((name, s));
+/// [`crawl_all`] under a crawl-fault profile: every exchange gets a
+/// compiled lifecycle schedule and the crawl degrades (skip / retry /
+/// backoff) instead of aborting when an exchange goes dark. Also
+/// returns the per-exchange health logs.
+pub fn crawl_all_resilient<F>(
+    web: &SyntheticWeb,
+    exchanges: &mut [Exchange],
+    base_seed: u64,
+    profile: &CrawlFaultProfile,
+    step_fn: F,
+) -> (RecordStore, Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
+where
+    F: Fn(&Exchange) -> u64 + Sync,
+{
+    let outcome = crawl_all_segmented::<_, std::convert::Infallible>(
+        web,
+        exchanges,
+        base_seed,
+        profile,
+        step_fn,
+        u64::MAX,
+        None,
+        None,
+        &mut |_, _| Ok(()),
+    )
+    .expect("infallible checkpoint sink");
+    debug_assert!(outcome.finished);
+    outcome.state.finish()
+}
+
+/// The complete resumable state of a multi-exchange crawl: one cursor
+/// and one record store per exchange, in exchange input order, plus the
+/// number of completed segment rounds. This is exactly what a crawl
+/// checkpoint persists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlCheckpointState {
+    /// Completed segment rounds (checkpoint files are numbered by it).
+    pub round: u64,
+    /// Per-exchange loop cursors, in exchange input order.
+    pub cursors: Vec<CrawlCursor>,
+    /// Per-exchange record stores, parallel to `cursors`.
+    pub stores: Vec<RecordStore>,
+}
+
+/// Line prefix marking a per-exchange cursor inside a checkpoint body.
+const CURSOR_PREFIX: &str = "#cursor ";
+
+impl CrawlCheckpointState {
+    /// True once every exchange has consumed its whole slot budget.
+    pub fn all_done(&self) -> bool {
+        self.cursors.iter().all(|c| c.done)
     }
-    (merged, stats)
+
+    /// Total records held across all per-exchange stores.
+    pub fn records_total(&self) -> u64 {
+        self.stores.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Serializes the state to a checkpoint body: for each exchange, a
+    /// `#cursor {json}` line followed by that exchange's records as
+    /// JSON-lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde failures.
+    pub fn to_body(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for (cursor, store) in self.cursors.iter().zip(&self.stores) {
+            out.push_str(CURSOR_PREFIX);
+            out.push_str(&serde_json::to_string(cursor)?);
+            out.push('\n');
+            out.push_str(&store.to_jsonl()?);
+        }
+        Ok(out)
+    }
+
+    /// Parses a checkpoint body written by [`Self::to_body`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `(line_number, detail)` for the first malformed line —
+    /// a record before any cursor header, unparseable JSON, or a
+    /// cursor/store page-count mismatch.
+    pub fn from_body(round: u64, body: &str) -> Result<Self, (usize, String)> {
+        let mut cursors: Vec<CrawlCursor> = Vec::new();
+        let mut stores: Vec<RecordStore> = Vec::new();
+        for (idx, line) in body.lines().enumerate() {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                return Err((lineno, "blank line inside checkpoint body".to_string()));
+            }
+            if let Some(json) = line.strip_prefix(CURSOR_PREFIX) {
+                let cursor: CrawlCursor = serde_json::from_str(json)
+                    .map_err(|e| (lineno, format!("bad cursor: {e}")))?;
+                cursors.push(cursor);
+                stores.push(RecordStore::new());
+            } else {
+                let store = stores
+                    .last_mut()
+                    .ok_or_else(|| (lineno, "record before any #cursor header".to_string()))?;
+                store.push(
+                    serde_json::from_str(line)
+                        .map_err(|e| (lineno, format!("bad record: {e}")))?,
+                );
+            }
+        }
+        if cursors.is_empty() {
+            return Err((0, "checkpoint body holds no cursors".to_string()));
+        }
+        for (cursor, store) in cursors.iter().zip(&stores) {
+            if cursor.pages != store.len() as u64 {
+                return Err((
+                    0,
+                    format!(
+                        "cursor for {} claims {} pages but body holds {} records",
+                        cursor.exchange,
+                        cursor.pages,
+                        store.len()
+                    ),
+                ));
+            }
+        }
+        Ok(CrawlCheckpointState { round, cursors, stores })
+    }
+
+    /// Consumes the state into the merged store, per-exchange stats and
+    /// health logs — in exchange input order, same as [`crawl_all`].
+    pub fn finish(self) -> (RecordStore, Vec<(String, CrawlStats)>, Vec<CrawlHealth>) {
+        let mut merged = RecordStore::new();
+        let mut stats = Vec::with_capacity(self.cursors.len());
+        let mut health = Vec::with_capacity(self.cursors.len());
+        for (cursor, store) in self.cursors.iter().zip(&self.stores) {
+            merged.extend(store.records().iter().cloned());
+            stats.push((cursor.exchange.clone(), cursor.stats()));
+            health.push(cursor.health());
+        }
+        (merged, stats, health)
+    }
+}
+
+/// Outcome of a (possibly interrupted) segmented crawl.
+#[derive(Debug)]
+pub struct SegmentedCrawl {
+    /// The crawl state after the last completed round.
+    pub state: CrawlCheckpointState,
+    /// True when every exchange finished; false when stopped early by
+    /// `stop_after_round`.
+    pub finished: bool,
+    /// Rounds executed by this call (excludes resumed-from rounds).
+    pub rounds_run: u64,
+}
+
+/// Crawls every exchange in bounded segment rounds, invoking `on_round`
+/// with the full crawl state after each round — the checkpoint hook.
+///
+/// Each round advances every unfinished exchange by up to
+/// `segment_budget` surf slots, in parallel (one thread per exchange,
+/// like [`crawl_all`]). Pass a `resume` state to continue an
+/// interrupted crawl; pass `stop_after_round` to simulate a kill after
+/// the N-th round of this call. Because every fault and RNG decision is
+/// keyed to cursor position — never to segment boundaries — the merged
+/// outcome is bit-identical regardless of `segment_budget`, resume
+/// points, or kills.
+///
+/// # Errors
+///
+/// Propagates the first `on_round` error; the crawl stops there.
+#[allow(clippy::too_many_arguments)] // orchestration facade: every knob is an explicit argument
+pub fn crawl_all_segmented<F, E>(
+    web: &SyntheticWeb,
+    exchanges: &mut [Exchange],
+    base_seed: u64,
+    profile: &CrawlFaultProfile,
+    step_fn: F,
+    segment_budget: u64,
+    resume: Option<CrawlCheckpointState>,
+    stop_after_round: Option<u64>,
+    on_round: &mut dyn FnMut(u64, &CrawlCheckpointState) -> Result<(), E>,
+) -> Result<SegmentedCrawl, E>
+where
+    F: Fn(&Exchange) -> u64 + Sync,
+{
+    assert!(segment_budget > 0, "segment budget must be positive");
+    let plans: Vec<(CrawlConfig, ExchangeLifecycle)> = exchanges
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let steps = step_fn(x);
+            let config = CrawlConfig {
+                steps,
+                seed: exchange_crawl_seed(base_seed, i),
+                ..Default::default()
+            };
+            let span = estimated_exchange_span_secs(x, steps);
+            let lifecycle = profile.compile_for(x, base_seed, span);
+            (config, lifecycle)
+        })
+        .collect();
+
+    let mut state = resume.unwrap_or_else(|| CrawlCheckpointState {
+        round: 0,
+        cursors: exchanges
+            .iter()
+            .zip(&plans)
+            .map(|(x, (config, _))| CrawlCursor::start(x, config))
+            .collect(),
+        stores: exchanges.iter().map(|_| RecordStore::new()).collect(),
+    });
+    assert_eq!(state.cursors.len(), exchanges.len(), "checkpoint/exchange count mismatch");
+    for (cursor, x) in state.cursors.iter().zip(exchanges.iter()) {
+        assert_eq!(cursor.exchange, x.name(), "checkpoint/exchange order mismatch");
+    }
+
+    let mut rounds_run = 0u64;
+    while !state.all_done() {
+        thread::scope(|scope| {
+            let handles: Vec<_> = exchanges
+                .iter_mut()
+                .zip(state.cursors.iter_mut())
+                .zip(state.stores.iter_mut())
+                .zip(plans.iter())
+                .filter(|(((_, cursor), _), _)| !cursor.done)
+                .map(|(((exchange, cursor), store), (config, lifecycle))| {
+                    scope.spawn(move |_| {
+                        crawl_exchange_segment(
+                            web,
+                            exchange,
+                            config,
+                            lifecycle,
+                            &profile.retry,
+                            cursor,
+                            store,
+                            segment_budget,
+                        );
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("crawl worker panicked");
+            }
+        })
+        .expect("crawl scope panicked");
+
+        state.round += 1;
+        rounds_run += 1;
+        on_round(state.round, &state)?;
+        if stop_after_round == Some(rounds_run) && !state.all_done() {
+            return Ok(SegmentedCrawl { state, finished: false, rounds_run });
+        }
+    }
+    Ok(SegmentedCrawl { state, finished: true, rounds_run })
 }
 
 #[cfg(test)]
@@ -124,5 +372,98 @@ mod tests {
             urls
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inert_resilient_crawl_reports_clean_health() {
+        let mut b = WebBuilder::new(133);
+        let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+        let web = b.finish();
+        let (store, stats, health) =
+            crawl_all_resilient(&web, &mut exchanges, 5, &CrawlFaultProfile::none(), |_| 12);
+        assert_eq!(store.len(), 9 * 12);
+        assert_eq!(stats.len(), 9);
+        assert_eq!(health.len(), 9);
+        assert!(health.iter().all(CrawlHealth::is_clean));
+        assert!(health.iter().all(|h| h.pages == 12));
+    }
+
+    #[test]
+    fn faulted_crawl_degrades_but_balances_slots() {
+        let mut b = WebBuilder::new(134);
+        let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+        let web = b.finish();
+        let (store, _, health) = crawl_all_resilient(
+            &web,
+            &mut exchanges,
+            5,
+            &CrawlFaultProfile::harsh(),
+            |_| 40,
+        );
+        assert!(!health.iter().all(CrawlHealth::is_clean), "harsh profile must bite");
+        for h in &health {
+            assert_eq!(h.pages + h.lost_steps, 40, "{}", h.exchange);
+        }
+        assert_eq!(store.len() as u64, health.iter().map(|h| h.pages).sum::<u64>());
+    }
+
+    /// Checkpoint rounds with a JSON round-trip between every round
+    /// reproduce the one-shot crawl bit-for-bit, under both inert and
+    /// active profiles.
+    #[test]
+    fn segmented_rounds_with_serialization_match_one_shot() {
+        for profile in [CrawlFaultProfile::none(), CrawlFaultProfile::default_profile()] {
+            let one_shot = {
+                let mut b = WebBuilder::new(135);
+                let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+                let web = b.finish();
+                let (store, stats, health) =
+                    crawl_all_resilient(&web, &mut exchanges, 11, &profile, |_| 30);
+                (store.to_jsonl().unwrap(), stats, health)
+            };
+
+            let mut b = WebBuilder::new(135);
+            let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+            let web = b.finish();
+            let outcome = crawl_all_segmented::<_, String>(
+                &web,
+                &mut exchanges,
+                11,
+                &profile,
+                |_| 30,
+                7,
+                None,
+                None,
+                &mut |round, state| {
+                    // Round-trip the full state through the body format,
+                    // as a checkpoint save + resume would.
+                    let body = state.to_body().map_err(|e| e.to_string())?;
+                    let back = CrawlCheckpointState::from_body(round, &body)
+                        .map_err(|(l, d)| format!("line {l}: {d}"))?;
+                    assert_eq!(*state, back);
+                    Ok(())
+                },
+            )
+            .expect("round-trip must parse");
+            assert!(outcome.finished);
+            let (store, stats, health) = outcome.state.finish();
+            assert_eq!(store.to_jsonl().unwrap(), one_shot.0, "profile {}", profile.name);
+            assert_eq!(stats, one_shot.1, "profile {}", profile.name);
+            assert_eq!(health, one_shot.2, "profile {}", profile.name);
+        }
+    }
+
+    #[test]
+    fn from_body_rejects_malformed_input() {
+        let no_cursor = CrawlCheckpointState::from_body(1, "{\"not\":\"a record\"}\n");
+        let (line, detail) = no_cursor.unwrap_err();
+        assert_eq!(line, 1);
+        assert!(detail.contains("before any #cursor"), "{detail}");
+
+        let empty = CrawlCheckpointState::from_body(1, "");
+        assert!(empty.unwrap_err().1.contains("no cursors"));
+
+        let bad_cursor = CrawlCheckpointState::from_body(1, "#cursor {broken\n");
+        assert!(bad_cursor.unwrap_err().1.contains("bad cursor"));
     }
 }

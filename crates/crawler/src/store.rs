@@ -1,12 +1,46 @@
 //! The crawl-record store.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use crate::record::CrawlRecord;
 
+/// Maximum characters of the offending line echoed in a [`JsonlError`].
+const SNIPPET_MAX: usize = 60;
+
+/// A parse failure in a JSON-lines record stream, pinned to the line
+/// that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The offending line, truncated to a displayable snippet.
+    pub snippet: String,
+    /// What went wrong on that line.
+    pub detail: String,
+}
+
+impl JsonlError {
+    fn new(line: usize, raw: &str, detail: impl Into<String>) -> Self {
+        let mut snippet: String = raw.chars().take(SNIPPET_MAX).collect();
+        if raw.chars().count() > SNIPPET_MAX {
+            snippet.push('…');
+        }
+        JsonlError { line, snippet, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {} (in {:?})", self.line, self.detail, self.snippet)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
 /// An in-memory store of crawl records with the aggregate queries the
 /// dataset assembly needs.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct RecordStore {
     records: Vec<CrawlRecord>,
 }
@@ -82,15 +116,23 @@ impl RecordStore {
         Ok(out)
     }
 
-    /// Parses a store from JSON-lines.
+    /// Parses a store from JSON-lines. Blank lines between records are
+    /// tolerated; anything else — including trailing garbage after the
+    /// last record — must parse as a full record.
     ///
     /// # Errors
     ///
-    /// Fails on any malformed line.
-    pub fn from_jsonl(input: &str) -> Result<RecordStore, serde_json::Error> {
+    /// Returns a [`JsonlError`] naming the first offending line (1-based)
+    /// with a truncated snippet of its content.
+    pub fn from_jsonl(input: &str) -> Result<RecordStore, JsonlError> {
         let mut store = RecordStore::new();
-        for line in input.lines().filter(|l| !l.trim().is_empty()) {
-            store.push(serde_json::from_str(line)?);
+        for (idx, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = serde_json::from_str(line)
+                .map_err(|e| JsonlError::new(idx + 1, line, e.to_string()))?;
+            store.push(record);
         }
         Ok(store)
     }
@@ -174,5 +216,62 @@ mod tests {
     #[test]
     fn malformed_jsonl_errors() {
         assert!(RecordStore::from_jsonl("{not json}").is_err());
+    }
+
+    #[test]
+    fn jsonl_error_pins_the_failing_line_and_snippet() {
+        let mut s = RecordStore::new();
+        s.push(rec("A", "http://a.example.com/", 0));
+        s.push(rec("A", "http://b.example.com/", 1));
+        let mut jsonl = s.to_jsonl().unwrap();
+        jsonl.push_str("this is definitely not a record\n");
+        let err = RecordStore::from_jsonl(&jsonl).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.snippet.starts_with("this is definitely"), "{:?}", err.snippet);
+        assert!(!err.detail.is_empty());
+        // Display ties all three together for log lines.
+        let shown = err.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+    }
+
+    #[test]
+    fn jsonl_error_truncates_long_snippets() {
+        let long = format!("{{\"exchange\": \"{}\"", "x".repeat(500));
+        let err = RecordStore::from_jsonl(&long).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.snippet.chars().count() <= 61, "{}", err.snippet.len());
+        assert!(err.snippet.ends_with('…'));
+    }
+
+    #[test]
+    fn trailing_garbage_after_last_record_is_rejected() {
+        let mut s = RecordStore::new();
+        s.push(rec("A", "http://a.example.com/", 0));
+        let jsonl = s.to_jsonl().unwrap();
+        // Trailing whitespace is fine…
+        assert!(RecordStore::from_jsonl(&format!("{jsonl}\n  \n")).is_ok());
+        // …but a trailing non-whitespace fragment (even without a final
+        // newline) is not.
+        let err = RecordStore::from_jsonl(&format!("{jsonl}garbage")).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Nor is garbage appended to a record line itself.
+        let fused = jsonl.trim_end().to_string() + "garbage\n";
+        assert!(RecordStore::from_jsonl(&fused).is_err());
+    }
+
+    /// `exchanges()` returns lexicographically sorted names regardless
+    /// of first-seen order — analysis tables rely on this for stable
+    /// row ordering across worker counts.
+    #[test]
+    fn exchanges_sorted_not_first_seen() {
+        let mut s = RecordStore::new();
+        s.push(rec("Zeta", "http://z.example.com/", 0));
+        s.push(rec("Alpha", "http://a.example.com/", 0));
+        s.push(rec("Mid", "http://m.example.com/", 0));
+        s.push(rec("Alpha", "http://a2.example.com/", 1));
+        assert_eq!(
+            s.exchanges(),
+            vec!["Alpha".to_string(), "Mid".to_string(), "Zeta".to_string()]
+        );
     }
 }

@@ -3,59 +3,9 @@
 //!
 //! Engine and tool models need per-sample randomness (does Bright Cloud
 //! detect *this* URL?) that is stable across runs and independent of any
-//! RNG state — otherwise re-scanning a URL would flip verdicts. FNV-1a
-//! over the decision key gives that.
+//! RNG state — otherwise re-scanning a URL would flip verdicts. The
+//! implementation moved to [`slum_websim::hash`] so substrate-level
+//! crates (exchange lifecycles) can share it without depending on the
+//! detection stack; this module re-exports it for existing callers.
 
-/// FNV-1a 64-bit hash.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// Maps a decision key to a uniform fraction in `[0, 1)`.
-pub fn fraction(key: &str) -> f64 {
-    (fnv1a(key.as_bytes()) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// Deterministic Bernoulli draw: true with probability `p` for this key.
-pub fn chance(key: &str, p: f64) -> bool {
-    fraction(key) < p
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stable_across_calls() {
-        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
-        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
-    }
-
-    #[test]
-    fn fraction_in_unit_interval() {
-        for i in 0..1_000 {
-            let f = fraction(&format!("key-{i}"));
-            assert!((0.0..1.0).contains(&f));
-        }
-    }
-
-    #[test]
-    fn chance_rate_roughly_matches_p() {
-        let hits = (0..10_000).filter(|i| chance(&format!("sample-{i}"), 0.3)).count();
-        let rate = hits as f64 / 10_000.0;
-        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
-    }
-
-    #[test]
-    fn chance_extremes() {
-        assert!(!chance("x", 0.0));
-        assert!(chance("x", 1.0));
-    }
-}
+pub use slum_websim::hash::{chance, fnv1a, fraction};

@@ -150,6 +150,24 @@ impl Exchange {
         &self.campaigns
     }
 
+    /// Minimum per-page surf time the exchange enforces (seconds).
+    pub fn min_surf_secs(&self) -> u32 {
+        self.min_surf_secs
+    }
+
+    /// The current CAPTCHA nonce — the only piece of exchange state a
+    /// surf session mutates. Checkpointing a crawl records it so a
+    /// resumed session regenerates the identical CAPTCHA sequence.
+    pub fn captcha_nonce(&self) -> u64 {
+        self.captcha_nonce
+    }
+
+    /// Restores the CAPTCHA nonce captured by
+    /// [`Exchange::captcha_nonce`] when resuming a crawl.
+    pub fn restore_captcha_nonce(&mut self, nonce: u64) {
+        self.captcha_nonce = nonce;
+    }
+
     /// Schedules a campaign (weight boost on the listing whose URL
     /// matches `campaign.target`; unknown targets are accepted — the
     /// listing is added with zero base weight, matching how a freshly
@@ -289,6 +307,22 @@ mod tests {
         let a = x.next_step(0, &mut rng).captcha.unwrap();
         let b = x.next_step(1, &mut rng).captcha.unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn captcha_nonce_round_trips_for_resume() {
+        let mut x = basic_exchange(ExchangeKind::ManualSurf);
+        let mut rng = seeded(6);
+        let _ = x.next_step(0, &mut rng);
+        let _ = x.next_step(1, &mut rng);
+        let snapshot = x.captcha_nonce();
+        let expected = x.next_step(2, &mut rng).captcha.unwrap();
+        let mut resumed = basic_exchange(ExchangeKind::ManualSurf);
+        resumed.restore_captcha_nonce(snapshot);
+        let mut rng2 = seeded(6);
+        let _ = rng2.gen::<u64>(); // position is irrelevant to the CAPTCHA
+        let got = resumed.next_step(2, &mut rng2).captcha.unwrap();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   [`captcha`]);
 //! - **anti-abuse**: the one-account-per-IP rule and parallel-session
 //!   suspension the paper screenshots on Otohits ([`antiabuse`]);
+//! - **lifecycle faults**: seeded, deterministic outage / ban /
+//!   CAPTCHA-lockout / permanent-shutdown schedules modelling the
+//!   operational hazards of a months-long crawl ([`lifecycle`]);
 //! - **paid campaigns**: fixed-duration weight boosts that produce the
 //!   bursty malicious-URL arrivals of Figure 3(b), and the
 //!   $5-for-2500-visits burst-validation experiment ([`campaign`]);
@@ -34,6 +37,7 @@ pub mod captcha;
 pub mod economy;
 pub mod evasion;
 pub mod exchange;
+pub mod lifecycle;
 pub mod monetize;
 pub mod params;
 pub mod setup;

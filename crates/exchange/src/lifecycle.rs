@@ -1,0 +1,372 @@
+//! Exchange lifecycle faults: the operational hazards a months-long
+//! crawl runs into on the *exchange* side.
+//!
+//! The paper's measurement outlived some of its subjects — Traffic
+//! Monsoon was shut down by the SEC shortly after publication — and the
+//! live services banned crawlers, locked accounts behind CAPTCHA walls,
+//! and dropped surf sessions. This module models those hazards the same
+//! way `slum-detect` models scanner faults: a [`LifecycleParams`] set
+//! describes the hazard rates, and [`ExchangeLifecycle::compile`]
+//! freezes a deterministic schedule for one exchange from a seed salt
+//! and the planned crawl span, using stable hashing
+//! ([`slum_websim::hash`]) so the schedule is a pure function of
+//! `(salt, exchange name, span)` — independent of any RNG stream and of
+//! crawl-worker scheduling.
+//!
+//! The crawler consults the compiled schedule on its virtual clock:
+//! [`ExchangeLifecycle::fault_at`] says whether a surf step at time `t`
+//! hits an outage/ban/lockout (or finds the exchange permanently gone),
+//! and [`ExchangeLifecycle::drops_session`] decides per logged page
+//! whether the surf session drops afterwards.
+
+use slum_websim::hash::{chance, fnv1a};
+
+/// What kind of lifecycle fault a surf step ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifecycleFaultKind {
+    /// The exchange is temporarily unreachable (service outage).
+    Outage,
+    /// The anti-abuse layer banned the crawler's account; the ban
+    /// cools down after a window.
+    Ban,
+    /// A CAPTCHA wall locked the account out (manual-surf services
+    /// throw these after suspicious solve patterns).
+    CaptchaLockout,
+    /// The exchange shut down permanently (à la Traffic Monsoon).
+    Shutdown,
+    /// The surf session dropped and had to be reopened.
+    SessionDrop,
+}
+
+impl LifecycleFaultKind {
+    /// Stable metric-segment name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleFaultKind::Outage => "outage",
+            LifecycleFaultKind::Ban => "ban",
+            LifecycleFaultKind::CaptchaLockout => "captcha_lockout",
+            LifecycleFaultKind::Shutdown => "shutdown",
+            LifecycleFaultKind::SessionDrop => "session_drop",
+        }
+    }
+}
+
+/// A lifecycle fault in effect at some virtual time, with the time at
+/// which retrying starts working again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleFault {
+    /// What is blocking the crawl.
+    pub kind: LifecycleFaultKind,
+    /// Virtual second at which the fault clears. For
+    /// [`LifecycleFaultKind::Shutdown`] this is `u64::MAX` — it never
+    /// clears.
+    pub clears_at_secs: u64,
+}
+
+/// Hazard rates for one class of exchange (auto-surf or manual-surf).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleParams {
+    /// Seeded temporary-outage windows across the crawl span.
+    pub outage_windows: u32,
+    /// Length of each outage window (virtual seconds).
+    pub outage_secs: u64,
+    /// Seeded anti-abuse ban windows across the crawl span.
+    pub ban_windows: u32,
+    /// Ban cooldown length (virtual seconds).
+    pub ban_secs: u64,
+    /// Seeded CAPTCHA-lockout windows across the crawl span.
+    pub lockout_windows: u32,
+    /// Lockout length (virtual seconds).
+    pub lockout_secs: u64,
+    /// Probability (per mille) that the exchange shuts down permanently
+    /// somewhere inside the crawl span.
+    pub shutdown_per_mille: u32,
+    /// Probability (per mille) that the surf session drops after any
+    /// given logged page.
+    pub session_drop_per_mille: u32,
+    /// Time to reopen a dropped session (virtual seconds).
+    pub reconnect_secs: u64,
+}
+
+impl LifecycleParams {
+    /// An exchange that never misbehaves.
+    pub fn reliable() -> Self {
+        LifecycleParams {
+            outage_windows: 0,
+            outage_secs: 0,
+            ban_windows: 0,
+            ban_secs: 0,
+            lockout_windows: 0,
+            lockout_secs: 0,
+            shutdown_per_mille: 0,
+            session_drop_per_mille: 0,
+            reconnect_secs: 0,
+        }
+    }
+
+    /// True when these parameters can never produce a fault.
+    pub fn is_inert(&self) -> bool {
+        self.outage_windows == 0
+            && self.ban_windows == 0
+            && self.lockout_windows == 0
+            && self.shutdown_per_mille == 0
+            && self.session_drop_per_mille == 0
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field:
+    /// per-mille rates above 1000, or a window count with a zero window
+    /// length (a schedule of zero-length windows would silently never
+    /// fire).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, per_mille) in [
+            ("shutdown_per_mille", self.shutdown_per_mille),
+            ("session_drop_per_mille", self.session_drop_per_mille),
+        ] {
+            if per_mille > 1000 {
+                return Err(format!("{name} is {per_mille}, must be <= 1000"));
+            }
+        }
+        for (name, windows, secs) in [
+            ("outage", self.outage_windows, self.outage_secs),
+            ("ban", self.ban_windows, self.ban_secs),
+            ("lockout", self.lockout_windows, self.lockout_secs),
+        ] {
+            if windows > 0 && secs == 0 {
+                return Err(format!("{windows} {name} windows with zero length"));
+            }
+        }
+        if self.session_drop_per_mille > 0 && self.reconnect_secs == 0 {
+            return Err("session drops configured with zero reconnect time".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One scheduled fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Window {
+    start: u64,
+    end: u64,
+    kind: LifecycleFaultKind,
+}
+
+/// The compiled, deterministic lifecycle schedule for one exchange.
+///
+/// ```
+/// use slum_exchange::lifecycle::{ExchangeLifecycle, LifecycleParams};
+///
+/// let params = LifecycleParams { outage_windows: 2, outage_secs: 60, ..LifecycleParams::reliable() };
+/// let a = ExchangeLifecycle::compile(&params, 7, "Otohits", 10_000);
+/// let b = ExchangeLifecycle::compile(&params, 7, "Otohits", 10_000);
+/// assert_eq!(a.fault_at(5_000), b.fault_at(5_000), "pure function of inputs");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeLifecycle {
+    name: String,
+    salt: u64,
+    windows: Vec<Window>,
+    shutdown_at: Option<u64>,
+    session_drop_per_mille: u32,
+    reconnect_secs: u64,
+}
+
+impl ExchangeLifecycle {
+    /// Compiles the schedule for the exchange called `name` over a
+    /// crawl expected to span `span_secs` of virtual time. Window
+    /// starts and the shutdown instant are seeded per `(salt, name)`
+    /// and placed uniformly inside the span, so every window is
+    /// actually reachable by the crawl.
+    pub fn compile(params: &LifecycleParams, salt: u64, name: &str, span_secs: u64) -> Self {
+        let span = span_secs.max(1);
+        let mut windows = Vec::new();
+        let mut schedule = |count: u32, secs: u64, tag: &str, kind: LifecycleFaultKind| {
+            for w in 0..count {
+                let start = fnv1a(format!("{salt}/{name}/{tag}/{w}").as_bytes()) % span;
+                windows.push(Window { start, end: start.saturating_add(secs), kind });
+            }
+        };
+        schedule(params.outage_windows, params.outage_secs, "outage", LifecycleFaultKind::Outage);
+        schedule(params.ban_windows, params.ban_secs, "ban", LifecycleFaultKind::Ban);
+        schedule(
+            params.lockout_windows,
+            params.lockout_secs,
+            "lockout",
+            LifecycleFaultKind::CaptchaLockout,
+        );
+        windows.sort_by_key(|w| (w.start, w.end, w.kind.name()));
+
+        let shutdown_at = if chance(
+            &format!("{salt}/{name}/shutdown"),
+            params.shutdown_per_mille as f64 / 1000.0,
+        ) {
+            // Shut down in the back half of the span, so the dead
+            // exchange still contributes a partial crawl (the paper's
+            // Traffic Monsoon data predates its shutdown).
+            let at = span / 2 + fnv1a(format!("{salt}/{name}/shutdown-at").as_bytes()) % (span / 2).max(1);
+            Some(at)
+        } else {
+            None
+        };
+
+        ExchangeLifecycle {
+            name: name.to_string(),
+            salt,
+            windows,
+            shutdown_at,
+            session_drop_per_mille: params.session_drop_per_mille,
+            reconnect_secs: params.reconnect_secs,
+        }
+    }
+
+    /// A schedule that never faults (used when no profile is active).
+    pub fn inert(name: &str) -> Self {
+        ExchangeLifecycle::compile(&LifecycleParams::reliable(), 0, name, 1)
+    }
+
+    /// The fault in effect at virtual second `t`, if any. Shutdown
+    /// dominates (it never clears); overlapping windows resolve to the
+    /// earliest-starting one, which is deterministic because the
+    /// compiled windows are sorted.
+    pub fn fault_at(&self, t: u64) -> Option<LifecycleFault> {
+        if let Some(at) = self.shutdown_at {
+            if t >= at {
+                return Some(LifecycleFault {
+                    kind: LifecycleFaultKind::Shutdown,
+                    clears_at_secs: u64::MAX,
+                });
+            }
+        }
+        self.windows
+            .iter()
+            .find(|w| (w.start..w.end).contains(&t))
+            .map(|w| LifecycleFault { kind: w.kind, clears_at_secs: w.end })
+    }
+
+    /// Whether the surf session drops after the page logged in slot
+    /// `seq` — a pure function of `(salt, name, seq)`.
+    pub fn drops_session(&self, seq: u64) -> bool {
+        self.session_drop_per_mille > 0
+            && chance(
+                &format!("{}/{}/drop/{seq}", self.salt, self.name),
+                self.session_drop_per_mille as f64 / 1000.0,
+            )
+    }
+
+    /// Time to reopen a dropped session (virtual seconds).
+    pub fn reconnect_secs(&self) -> u64 {
+        self.reconnect_secs
+    }
+
+    /// Virtual second of the permanent shutdown, if one is scheduled.
+    pub fn shutdown_at(&self) -> Option<u64> {
+        self.shutdown_at
+    }
+
+    /// True when this schedule can never produce any fault.
+    pub fn is_inert(&self) -> bool {
+        self.windows.is_empty() && self.shutdown_at.is_none() && self.session_drop_per_mille == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hazardous() -> LifecycleParams {
+        LifecycleParams {
+            outage_windows: 3,
+            outage_secs: 120,
+            ban_windows: 1,
+            ban_secs: 300,
+            lockout_windows: 1,
+            lockout_secs: 60,
+            shutdown_per_mille: 0,
+            session_drop_per_mille: 20,
+            reconnect_secs: 15,
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let a = ExchangeLifecycle::compile(&hazardous(), 42, "Otohits", 50_000);
+        let b = ExchangeLifecycle::compile(&hazardous(), 42, "Otohits", 50_000);
+        assert_eq!(a, b);
+        let c = ExchangeLifecycle::compile(&hazardous(), 43, "Otohits", 50_000);
+        assert_ne!(a, c, "salt must steer the schedule");
+        let d = ExchangeLifecycle::compile(&hazardous(), 42, "Hit2Hit", 50_000);
+        assert_ne!(a, d, "name must steer the schedule");
+    }
+
+    #[test]
+    fn windows_land_inside_the_span() {
+        let life = ExchangeLifecycle::compile(&hazardous(), 7, "SendSurf", 10_000);
+        let mut hits = 0;
+        for t in 0..10_000 {
+            if let Some(fault) = life.fault_at(t) {
+                assert_ne!(fault.kind, LifecycleFaultKind::Shutdown);
+                assert!(fault.clears_at_secs > t);
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "five scheduled windows must cover some of the span");
+    }
+
+    #[test]
+    fn certain_shutdown_fires_in_back_half_and_never_clears() {
+        let params =
+            LifecycleParams { shutdown_per_mille: 1000, ..LifecycleParams::reliable() };
+        let life = ExchangeLifecycle::compile(&params, 3, "Traffic Monsoon", 40_000);
+        let at = life.shutdown_at().expect("per-mille 1000 always shuts down");
+        assert!((20_000..40_000).contains(&at), "back half: {at}");
+        assert_eq!(life.fault_at(at.saturating_sub(1)), None);
+        let fault = life.fault_at(at).expect("dead past the shutdown");
+        assert_eq!(fault.kind, LifecycleFaultKind::Shutdown);
+        assert_eq!(fault.clears_at_secs, u64::MAX);
+        assert_eq!(life.fault_at(u64::MAX).map(|f| f.kind), Some(LifecycleFaultKind::Shutdown));
+    }
+
+    #[test]
+    fn session_drops_track_rate_and_replay() {
+        let params = LifecycleParams {
+            session_drop_per_mille: 100,
+            reconnect_secs: 10,
+            ..LifecycleParams::reliable()
+        };
+        let life = ExchangeLifecycle::compile(&params, 11, "ManyHits", 10_000);
+        let drops = (0..10_000).filter(|&seq| life.drops_session(seq)).count();
+        assert!((800..1_200).contains(&drops), "~10% of 10k: {drops}");
+        for seq in 0..100 {
+            assert_eq!(life.drops_session(seq), life.drops_session(seq), "replayable");
+        }
+    }
+
+    #[test]
+    fn inert_schedule_never_faults() {
+        let life = ExchangeLifecycle::inert("Otohits");
+        assert!(life.is_inert());
+        for t in [0, 1, 1_000, u64::MAX] {
+            assert_eq!(life.fault_at(t), None);
+        }
+        assert!(!(0..1_000).any(|seq| life.drops_session(seq)));
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(LifecycleParams::reliable().validate().is_ok());
+        assert!(hazardous().validate().is_ok());
+        let bad = LifecycleParams { shutdown_per_mille: 1_001, ..LifecycleParams::reliable() };
+        assert!(bad.validate().unwrap_err().contains("shutdown_per_mille"));
+        let bad = LifecycleParams { outage_windows: 2, outage_secs: 0, ..LifecycleParams::reliable() };
+        assert!(bad.validate().unwrap_err().contains("outage"));
+        let bad = LifecycleParams {
+            session_drop_per_mille: 5,
+            reconnect_secs: 0,
+            ..LifecycleParams::reliable()
+        };
+        assert!(bad.validate().unwrap_err().contains("reconnect"));
+    }
+}

@@ -36,6 +36,7 @@
 pub mod build;
 pub mod content;
 pub mod domain;
+pub mod hash;
 pub mod page;
 pub mod params;
 pub mod payload;

@@ -30,9 +30,13 @@ for key in ("crawl.pages", "filter.regular_out", "scan.scans",
 if snapshot["gauges"].get("config.seed") != 2016:
     sys.exit("METRICS smoke test: config.seed gauge mismatch")
 
-# The fault layer is opt-in: a fault-free run must still register its
-# counters (dashboards rely on their presence) and report zero faults.
-for key in ("scan.faults.injected", "scan.retries", "scan.degraded_verdicts"):
+# The fault layers (scan-service and exchange-side) are opt-in: a
+# fault-free run must still register their counters (dashboards rely on
+# their presence) and report zero faults.
+for key in ("scan.faults.injected", "scan.retries", "scan.degraded_verdicts",
+            "crawl.faults.injected", "crawl.faults.lost_steps",
+            "crawl.faults.outages", "crawl.faults.shutdowns",
+            "crawl.resume.segments_restored"):
     if key not in counters:
         sys.exit(f"METRICS smoke test: fault counter {key!r} missing")
     if counters[key] != 0:
@@ -67,6 +71,57 @@ print("FAULT smoke test OK: "
       f"{counters['scan.faults.injected']} injected, "
       f"{counters['scan.retries']} retries, "
       f"{counters['scan.degraded_verdicts']} degraded verdicts")
+EOF
+
+# Checkpoint/resume smoke test: a crawl killed between checkpoint
+# rounds and resumed from disk must reproduce the uninterrupted run
+# byte for byte — same table output, same counters (minus the
+# crawl.resume.* bookkeeping that records the recovery itself).
+ckpt_dir="$(mktemp -d -t SLUMCKPT.XXXXXX)"
+straight_out="$(mktemp -t REPRO_STRAIGHT.XXXXXX.txt)"
+resumed_out="$(mktemp -t REPRO_RESUMED.XXXXXX.txt)"
+resumed_metrics_file="$(mktemp -t METRICS_RESUMED.XXXXXX.json)"
+trap 'rm -rf "$metrics_file" "$fault_metrics_file" "$ckpt_dir" \
+    "$straight_out" "$resumed_out" "$resumed_metrics_file"' EXIT
+
+cargo run --release -p slum-bench --bin repro -- table1 \
+    --scale 0.0005 --seed 2016 --crawl-fault-profile default \
+    > "$straight_out" 2>/dev/null
+
+cargo run --release -p slum-bench --bin repro -- table1 \
+    --scale 0.0005 --seed 2016 --crawl-fault-profile default \
+    --checkpoint "$ckpt_dir" --checkpoint-every 32 --kill-after-round 2 \
+    >/dev/null 2>&1
+
+ls "$ckpt_dir"/*.slumckpt >/dev/null \
+    || { echo "RESUME smoke test: no checkpoint files written"; exit 1; }
+
+cargo run --release -p slum-bench --bin repro -- table1 \
+    --scale 0.0005 --seed 2016 --crawl-fault-profile default \
+    --resume "$ckpt_dir" --checkpoint-every 32 \
+    --metrics "$resumed_metrics_file" > "$resumed_out" 2>/dev/null
+
+diff -u "$straight_out" "$resumed_out" \
+    || { echo "RESUME smoke test: resumed table1 diverged from straight run"; exit 1; }
+
+python3 - "$resumed_metrics_file" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+
+if counters.get("crawl.resume.segments_restored", 0) != 2:
+    sys.exit("RESUME smoke test: expected 2 restored segments, got "
+             f"{counters.get('crawl.resume.segments_restored')}")
+if counters.get("crawl.resume.records_restored", 0) <= 0:
+    sys.exit("RESUME smoke test: no records restored from the checkpoint")
+if counters.get("crawl.faults.injected", 0) <= 0:
+    sys.exit("RESUME smoke test: --crawl-fault-profile default injected nothing")
+
+print("RESUME smoke test OK: table1 identical after kill+resume, "
+      f"{counters['crawl.resume.records_restored']} records restored, "
+      f"{counters['crawl.faults.lost_steps']} slots lost to faults")
 EOF
 
 echo "ci.sh: all checks passed"

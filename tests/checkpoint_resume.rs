@@ -1,0 +1,178 @@
+//! Recovery contract of the crawl checkpoint subsystem: a study killed
+//! after *any* checkpoint round and resumed from disk must be
+//! bit-identical to one that never stopped — same record JSONL, same
+//! scan outcomes, same health logs, same export JSON, same
+//! deterministic counters (minus the `crawl.resume.*` bookkeeping that
+//! deliberately records the recovery itself).
+//!
+//! The kill is `Study::run_to_checkpoint`, a deterministic stand-in for
+//! `kill -9` between two checkpoint writes: the crawl abandons the
+//! process after N rounds with only the on-disk checkpoint surviving.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use malware_slums::export;
+use malware_slums::study::{Study, StudyConfig};
+use slum_crawler::CrawlFaultProfile;
+
+const SEED: u64 = 2016;
+const CHECKPOINT_EVERY: u64 = 16;
+
+fn config_with(workers: usize, profile: CrawlFaultProfile) -> StudyConfig {
+    StudyConfig::builder()
+        .seed(SEED)
+        .crawl_scale(0.0003)
+        .domain_scale(0.03)
+        .scan_workers(workers)
+        .crawl_fault_profile(profile)
+        .checkpoint_every(CHECKPOINT_EVERY)
+        .build()
+        .expect("valid config")
+}
+
+/// Deterministic counters/gauges minus the worker-count echoes and the
+/// `crawl.resume.*` recovery bookkeeping — the one intended difference
+/// between a straight and a resumed run.
+fn comparable_metrics(study: &Study) -> BTreeMap<String, i128> {
+    let mut m = study.metrics().deterministic_counters();
+    m.remove("gauge:config.scan_workers");
+    m.remove("gauge:scan.workers");
+    m.retain(|k, _| !k.starts_with("crawl.resume."));
+    m
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "slum-resume-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Counts the checkpoint rounds a full run of `config` writes.
+fn rounds_for(config: &StudyConfig, tag: &str) -> u64 {
+    let dir = scratch_dir(tag);
+    Study::run_checkpointed(config, &dir).expect("checkpointed run");
+    let rounds = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "slumckpt"))
+        })
+        .count() as u64;
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(rounds > 1, "scale must produce multiple checkpoint rounds");
+    rounds
+}
+
+fn assert_resume_matches(straight: &Study, config: &StudyConfig, kill_after: u64, tag: &str) {
+    let dir = scratch_dir(&format!("{tag}-k{kill_after}"));
+    let killed = Study::run_to_checkpoint(config, &dir, kill_after)
+        .expect("killed run does checkpoint I/O");
+    assert!(killed.is_none(), "{tag}: kill at round {kill_after} must abandon the run");
+    let resumed = Study::resume_from(config, &dir).expect("resume");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        resumed.store.to_jsonl(),
+        straight.store.to_jsonl(),
+        "{tag}: corpus diverged after kill at round {kill_after}"
+    );
+    assert_eq!(resumed.outcomes, straight.outcomes, "{tag}: outcomes diverged");
+    assert_eq!(resumed.health, straight.health, "{tag}: health logs diverged");
+    assert_eq!(
+        export::to_json(&resumed).expect("export"),
+        export::to_json(straight).expect("export"),
+        "{tag}: export JSON diverged"
+    );
+    assert_eq!(
+        comparable_metrics(&resumed),
+        comparable_metrics(straight),
+        "{tag}: counters diverged"
+    );
+    // The resume itself is visible — and only there.
+    let m = resumed.metrics();
+    assert_eq!(m.counter("crawl.resume.segments_restored"), kill_after);
+    assert!(m.counter("crawl.resume.records_restored") > 0);
+    assert_eq!(straight.metrics().counter("crawl.resume.segments_restored"), 0);
+}
+
+#[test]
+fn kill_at_every_round_resumes_bit_identical_fault_free() {
+    let config = config_with(1, CrawlFaultProfile::none());
+    let straight = Study::run(&config);
+    let rounds = rounds_for(&config, "none-w1");
+    for kill_after in 1..rounds {
+        assert_resume_matches(&straight, &config, kill_after, "none-w1");
+    }
+}
+
+#[test]
+fn kill_at_every_round_resumes_bit_identical_under_faults() {
+    // The adversarial combination: active fault windows (retries,
+    // session drops, a possible shutdown) AND parallel scan workers.
+    let config = config_with(4, CrawlFaultProfile::default_profile());
+    let straight = Study::run(&config);
+    let rounds = rounds_for(&config, "default-w4");
+    for kill_after in 1..rounds {
+        assert_resume_matches(&straight, &config, kill_after, "default-w4");
+    }
+}
+
+#[test]
+fn mid_crawl_kill_resumes_bit_identical_across_remaining_grid() {
+    // The other two cells of the {none, default} x {1, 4} acceptance
+    // grid, killed at a single mid-crawl round each.
+    for (workers, profile, tag) in [
+        (4usize, CrawlFaultProfile::none(), "none-w4"),
+        (1usize, CrawlFaultProfile::default_profile(), "default-w1"),
+    ] {
+        let config = config_with(workers, profile);
+        let straight = Study::run(&config);
+        let rounds = rounds_for(&config, tag);
+        assert_resume_matches(&straight, &config, rounds / 2, tag);
+    }
+}
+
+#[test]
+fn kill_past_the_last_round_just_completes() {
+    // Asking to kill after more rounds than the crawl needs is not an
+    // error: the run finishes first and returns the completed study.
+    let config = config_with(1, CrawlFaultProfile::none());
+    let dir = scratch_dir("overrun");
+    let study = Study::run_to_checkpoint(&config, &dir, u64::MAX)
+        .expect("checkpoint I/O")
+        .expect("run completes before the kill fires");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(study.store.to_jsonl(), Study::run(&config).store.to_jsonl());
+}
+
+#[test]
+fn resume_rejects_a_mismatched_config() {
+    // A checkpoint written under one seed must refuse to resume a study
+    // configured with another — silent cross-seed resumption would
+    // corrupt the corpus undetectably.
+    let config = config_with(1, CrawlFaultProfile::none());
+    let dir = scratch_dir("mismatch");
+    let killed = Study::run_to_checkpoint(&config, &dir, 1).expect("killed run");
+    assert!(killed.is_none());
+    let other = StudyConfig::builder()
+        .seed(SEED + 1)
+        .crawl_scale(0.0003)
+        .domain_scale(0.03)
+        .scan_workers(1)
+        .checkpoint_every(CHECKPOINT_EVERY)
+        .build()
+        .expect("valid config");
+    let err = match Study::resume_from(&other, &dir) {
+        Ok(_) => panic!("seed mismatch must be rejected"),
+        Err(e) => e,
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        matches!(err, malware_slums::CheckpointError::ConfigMismatch { ref field, .. } if *field == "seed"),
+        "unexpected error: {err}"
+    );
+}
