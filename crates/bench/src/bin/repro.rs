@@ -13,21 +13,26 @@
 //! `cases` (§V), `faultloss` (the detection-loss-under-faults
 //! experiment), `crawlloss` (the corpus-loss-under-exchange-faults
 //! experiment), plus `json` (the full study as one JSON document) and
-//! `bench-scan` (serial vs parallel scan-phase timing, written to
-//! `BENCH_scanpipe.json`). Options: `--scale <f64>` (crawl scale,
-//! default 0.002), `--seed <u64>` (default 2016), `--workers <N>`
-//! (scan-phase worker threads, default = available parallelism; `1`
-//! forces the serial path), `--fault-profile <name>` (scan under a
-//! named fault profile: `none`, `default`, `harsh`),
-//! `--crawl-fault-profile <name>` (crawl under a named exchange-fault
-//! profile: `none`, `default`, `harsh`), `--checkpoint <dir>` (write
-//! crawl checkpoints into `<dir>`), `--checkpoint-every <N>` (surf
-//! slots per checkpoint segment, default 256), `--resume <dir>`
-//! (resume the crawl from the latest checkpoint in `<dir>`),
-//! `--kill-after-round <N>` (abandon a `--checkpoint` run after N
-//! checkpoint rounds — a deterministic stand-in for a crash) and
-//! `--metrics <path>` (dump the study's observability snapshot —
-//! `Study::metrics()` — as JSON).
+//! `bench-scan` (the crawl→scan scaling harness: serial vs chunked
+//! parallel scan timing plus barrier-vs-overlap pipeline wall-clock
+//! across crawl scales, written to `BENCH_scanpipe.json`). Options:
+//! `--scale <f64>` (crawl scale, default 0.002), `--seed <u64>`
+//! (default 2016), `--workers <N>` (scan-phase worker threads, default
+//! = available parallelism; `1` forces the serial path),
+//! `--fault-profile <name>` (scan under a named fault profile: `none`,
+//! `default`, `harsh`), `--crawl-fault-profile <name>` (crawl under a
+//! named exchange-fault profile: `none`, `default`, `harsh`),
+//! `--checkpoint <dir>` (write crawl checkpoints into `<dir>`),
+//! `--checkpoint-every <N>` (surf slots per checkpoint segment,
+//! default 256), `--resume <dir>` (resume the crawl from the latest
+//! checkpoint in `<dir>`), `--kill-after-round <N>` (abandon a
+//! `--checkpoint` run after N checkpoint rounds — a deterministic
+//! stand-in for a crash), `--metrics <path>` (dump the study's
+//! observability snapshot — `Study::metrics()` — as JSON),
+//! `--overlap` (stream crawl chunks straight into the scan phase
+//! instead of waiting for the crawl barrier; bit-identical output) and
+//! `--quick` (restrict `bench-scan` to its smallest crawl scale, for
+//! CI smoke runs).
 
 use std::path::Path;
 use std::sync::OnceLock;
@@ -50,6 +55,8 @@ struct Args {
     resume: Option<String>,
     kill_after_round: Option<u64>,
     metrics: Option<String>,
+    overlap: bool,
+    quick: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +71,8 @@ fn parse_args() -> Args {
     let mut resume = None;
     let mut kill_after_round = None;
     let mut metrics = None;
+    let mut overlap = false;
+    let mut quick = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -129,15 +138,19 @@ fn parse_args() -> Args {
             "--metrics" => {
                 metrics = Some(iter.next().unwrap_or_else(|| die("--metrics needs a path")));
             }
+            "--overlap" => overlap = true,
+            "--quick" => quick = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
                      [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
                      [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
-                     [--metrics PATH]\n\
+                     [--metrics PATH] [--overlap] [--quick]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
                      vetting burst cloaking staleness faultloss crawlloss cases json bench-scan\n\
-                     fault profiles: none default harsh"
+                     fault profiles: none default harsh\n\
+                     --overlap streams crawl chunks into the scan phase (no barrier); \
+                     --quick restricts bench-scan to its smallest scale"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +178,8 @@ fn parse_args() -> Args {
         resume,
         kill_after_round,
         metrics,
+        overlap,
+        quick,
     }
 }
 
@@ -190,6 +205,7 @@ fn main() {
                 .crawl_scale(args.scale)
                 .domain_scale((args.scale * 25.0).clamp(0.03, 1.0))
                 .scan_workers(args.workers)
+                .overlap_scan(args.overlap)
                 .fault_profile(args.fault_profile.clone())
                 .crawl_fault_profile(args.crawl_fault_profile.clone());
             if args.checkpoint.is_some() || args.resume.is_some() {
@@ -454,8 +470,8 @@ fn main() {
     // Explicitly requested only — timing output is machine-dependent,
     // so it must not pollute the deterministic `all` artifacts.
     if args.artifacts.iter().any(|a| a == "bench-scan") {
-        println!("=== Scan-phase benchmark: serial vs parallel ===");
-        bench_scan(study(), args.seed, args.scale);
+        println!("=== Crawl→scan pipeline benchmark ===");
+        bench_scan(args.seed, args.quick);
     }
     if let Some(path) = &args.metrics {
         let json = study().metrics().to_json();
@@ -466,54 +482,208 @@ fn main() {
     }
 }
 
-/// Times the scan phase serially and at several worker counts over the
-/// already-crawled corpus, checks the parallel outcomes stay identical,
-/// and writes the measurements to `BENCH_scanpipe.json`.
-fn bench_scan(study: &Study, seed: u64, scale: f64) {
-    use malware_slums::scanpipe::ScanPipeline;
-
-    let records = study.store.records();
-    let pipeline = ScanPipeline::new(&study.web);
-
-    let time_cold = |scan: &dyn Fn() -> Vec<malware_slums::scanpipe::ScanOutcome>| {
-        pipeline.clear_caches();
-        let t0 = std::time::Instant::now();
-        let outcomes = scan();
-        (t0.elapsed(), outcomes)
+/// The crawl→scan scaling harness behind `repro bench-scan`.
+///
+/// For each crawl scale (`--quick` keeps only the smallest) it:
+///
+/// 1. runs the phase-barrier study end to end (`Study::run_timed`),
+/// 2. times a cold serial scan plus chunked parallel scans at 1/2/4/8
+///    requested workers over the crawled corpus — requests that the
+///    serial-fallback/parallelism clamp resolves to the serial plan
+///    reuse the serial measurement, because that *is* the plan the
+///    study executes (`serial_fallback: true` in the row),
+/// 3. runs the same study with `overlap_scan` (crawl chunks streamed
+///    straight into scan workers) and reports the wall-clock saved by
+///    removing the barrier,
+///
+/// checks every variant stays bit-identical to the serial baseline,
+/// and writes `BENCH_scanpipe.json`: the legacy top-level
+/// `benchmark`/`seed`/`crawl_scale`/`records`/`runs` keys (from the
+/// first scale) plus `host.cpus`, scan-chunk parameters, and the
+/// per-scale `scales` array.
+fn bench_scan(seed: u64, quick: bool) {
+    use malware_slums::scanpipe::{
+        effective_scan_workers, ScanPipeline, DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
     };
 
-    let (serial, baseline) = time_cold(&|| pipeline.scan_all(records));
-    println!("serial          {:>10.1?}  ({} records)", serial, records.len());
+    let scales: &[f64] = if quick { &[0.001] } else { &[0.001, 0.1, 1.0] };
+    let cpus = malware_slums::study::default_scan_workers();
+    println!("host: {cpus} cpu(s); scales {scales:?}; workers [1, 2, 4, 8]");
 
-    let mut rows = vec![(1usize, serial)];
-    for workers in [2usize, 4, 8] {
-        let (elapsed, outcomes) = time_cold(&|| pipeline.scan_all_parallel(records, workers));
-        assert_eq!(outcomes, baseline, "parallel scan must match serial bit-for-bit");
+    let mut scale_entries: Vec<BenchScale> = Vec::new();
+    for &scale in scales {
+        let config = || {
+            StudyConfig::builder()
+                .seed(seed)
+                .crawl_scale(scale)
+                .domain_scale((scale * 25.0).clamp(0.03, 1.0))
+        };
+        eprintln!("[bench] crawl_scale {scale}: barrier study ...");
+        let (study, barrier) = Study::run_timed(&config().build().expect("bench config"));
+        let records = study.store.records();
+        let regular = study.regular_mask().iter().filter(|r| **r).count();
+
+        // Scan-only scaling: cold caches for every measurement so rows
+        // are comparable; identical outcomes enforced on every variant.
+        let pipeline = ScanPipeline::new(&study.web);
+        pipeline.clear_caches();
+        let t0 = std::time::Instant::now();
+        let baseline = pipeline.scan_all(records);
+        let serial = t0.elapsed().as_secs_f64();
         println!(
-            "{workers} workers       {:>10.1?}  (speedup {:.2}x)",
-            elapsed,
-            serial.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+            "scale {scale}: {} records ({regular} regular), serial scan {serial:.3}s \
+             ({:.0} records/s)",
+            records.len(),
+            records.len() as f64 / serial.max(1e-9)
         );
-        rows.push((workers, elapsed));
+
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let effective =
+                effective_scan_workers(records.len(), workers, DEFAULT_SERIAL_SCAN_THRESHOLD);
+            let (seconds, fallback) = if effective == 1 {
+                // The study would execute the serial plan for this
+                // request (small corpus or single-core host), so the
+                // serial measurement is the honest one to report.
+                (serial, workers > 1)
+            } else {
+                pipeline.clear_caches();
+                let t0 = std::time::Instant::now();
+                let outcomes =
+                    pipeline.scan_all_parallel_chunked(records, effective, DEFAULT_SCAN_CHUNK);
+                let elapsed = t0.elapsed().as_secs_f64();
+                assert_eq!(outcomes, baseline, "parallel scan must match serial bit-for-bit");
+                (elapsed, false)
+            };
+            let speedup = serial / seconds.max(1e-9);
+            println!(
+                "  {workers} worker(s) -> {effective} effective: {seconds:.3}s \
+                 (speedup {speedup:.2}x{})",
+                if fallback { ", serial fallback" } else { "" }
+            );
+            runs.push(BenchRun {
+                workers,
+                effective_workers: effective,
+                seconds,
+                speedup,
+                records_per_sec: records.len() as f64 / seconds.max(1e-9),
+                serial_fallback: fallback,
+            });
+        }
+
+        // Pipeline overlap: same study with the barrier removed. The
+        // overlapped scan span covers the streamed region, so its total
+        // is build + the longer of the two overlapped phases.
+        eprintln!("[bench] crawl_scale {scale}: overlapped study ...");
+        let (overlap_study, overlap) =
+            Study::run_timed(&config().overlap_scan(true).build().expect("bench config"));
+        assert_eq!(
+            overlap_study.outcomes, study.outcomes,
+            "overlapped pipeline must match the barrier run bit-for-bit"
+        );
+        let barrier_total =
+            (barrier.build + barrier.crawl + barrier.scan).as_secs_f64();
+        let overlap_total =
+            (overlap.build + overlap.crawl.max(overlap.scan)).as_secs_f64();
+        let savings = barrier_total - overlap_total;
+        println!(
+            "  barrier total {barrier_total:.3}s (crawl {:.3}s + scan {:.3}s), \
+             overlapped total {overlap_total:.3}s -> {savings:+.3}s saved\n",
+            barrier.crawl.as_secs_f64(),
+            barrier.scan.as_secs_f64()
+        );
+
+        scale_entries.push(BenchScale {
+            crawl_scale: scale,
+            records: records.len(),
+            regular_records: regular,
+            crawl_seconds: barrier.crawl.as_secs_f64(),
+            scan_seconds: barrier.scan.as_secs_f64(),
+            barrier_total_seconds: barrier_total,
+            overlap_total_seconds: overlap_total,
+            overlap_savings_seconds: savings,
+            runs,
+        });
     }
 
-    let entries: Vec<String> = rows
-        .iter()
-        .map(|(workers, elapsed)| {
-            format!(
-                "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"speedup\": {:.4}}}",
-                elapsed.as_secs_f64(),
-                serial.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
-            )
-        })
-        .collect();
+    // The first (smallest) scale doubles as the legacy flat schema so
+    // existing consumers of BENCH_scanpipe.json keep parsing.
+    let first = scale_entries.first().expect("at least one scale ran");
+    let doc = BenchDoc {
+        benchmark: "scanpipe".to_string(),
+        seed,
+        crawl_scale: first.crawl_scale,
+        records: first.records,
+        runs: first
+            .runs
+            .iter()
+            .map(|r| LegacyRun { workers: r.workers, seconds: r.seconds, speedup: r.speedup })
+            .collect(),
+        host: BenchHost { cpus },
+        scan_chunk: DEFAULT_SCAN_CHUNK,
+        serial_scan_threshold: DEFAULT_SERIAL_SCAN_THRESHOLD,
+        scales: scale_entries,
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"scanpipe\",\n  \"seed\": {seed},\n  \"crawl_scale\": {scale},\n  \"records\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        records.len(),
-        entries.join(",\n")
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("bench document serializes")
     );
     match std::fs::write("BENCH_scanpipe.json", &json) {
-        Ok(()) => println!("wrote BENCH_scanpipe.json\n"),
+        Ok(()) => println!("wrote BENCH_scanpipe.json"),
         Err(e) => eprintln!("repro: could not write BENCH_scanpipe.json: {e}"),
     }
+}
+
+/// One measured scan run inside `BENCH_scanpipe.json`.
+#[derive(serde::Serialize)]
+struct BenchRun {
+    workers: usize,
+    effective_workers: usize,
+    seconds: f64,
+    speedup: f64,
+    records_per_sec: f64,
+    serial_fallback: bool,
+}
+
+/// The pre-scaling-harness row shape, kept for existing consumers.
+#[derive(serde::Serialize)]
+struct LegacyRun {
+    workers: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+/// Per-crawl-scale section of `BENCH_scanpipe.json`.
+#[derive(serde::Serialize)]
+struct BenchScale {
+    crawl_scale: f64,
+    records: usize,
+    regular_records: usize,
+    crawl_seconds: f64,
+    scan_seconds: f64,
+    barrier_total_seconds: f64,
+    overlap_total_seconds: f64,
+    overlap_savings_seconds: f64,
+    runs: Vec<BenchRun>,
+}
+
+/// Host facts needed to interpret the speedup columns.
+#[derive(serde::Serialize)]
+struct BenchHost {
+    cpus: usize,
+}
+
+/// Top-level `BENCH_scanpipe.json` document: the legacy flat keys
+/// (first scale) plus the per-scale scaling sections.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    benchmark: String,
+    seed: u64,
+    crawl_scale: f64,
+    records: usize,
+    runs: Vec<LegacyRun>,
+    host: BenchHost,
+    scan_chunk: usize,
+    serial_scan_threshold: usize,
+    scales: Vec<BenchScale>,
 }

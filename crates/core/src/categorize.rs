@@ -214,7 +214,7 @@ mod tests {
                 findings,
                 verdict,
             },
-            blacklisted_domain: blacklisted_domain.map(String::from),
+            blacklisted_domain: blacklisted_domain.map(std::sync::Arc::from),
             needed_content_upload: false,
             source: crate::scanpipe::VerdictSource::Full,
             faults: crate::scanpipe::FaultLog::default(),

@@ -13,13 +13,17 @@
 //! fans a batch out over scoped worker threads while keeping the output
 //! order — and the verdicts themselves — identical to the serial path.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use slum_browser::Browser;
 use slum_crawler::CrawlRecord;
 use slum_detect::blacklist::BlacklistDb;
 use slum_detect::fault::{FaultPlan, ScanService, ServiceDecision};
+use slum_detect::hash::fnv1a;
 use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport, QutteraVerdict};
 use slum_detect::virustotal::{VirusTotal, VtReport};
-use slum_detect::{Features, ShardedCache};
+use slum_detect::{Features, Interner, ShardedCache};
 use slum_websim::{RequestContext, SyntheticWeb, Url};
 
 /// Which services contributed to a verdict — the provenance record the
@@ -95,8 +99,50 @@ impl FaultLog {
 /// The schedule-independent identity of a record in a fault plan:
 /// `exchange#seq` is unique per corpus and fixed by the crawl, never by
 /// scan-worker chunking.
+///
+/// Only plan *compilation* materializes these strings (once per
+/// record); the scan hot path looks decisions up allocation-free via
+/// [`FaultPlan::decisions_for`] with the record's own fields.
 pub fn scan_key(record: &CrawlRecord) -> String {
     format!("{}#{}", record.exchange, record.seq)
+}
+
+/// Default scan work-unit size: records per chunk pulled by a parallel
+/// scan worker, and the surf-slot budget per streamed crawl chunk in
+/// the overlapped pipeline. Small enough to load-balance, large enough
+/// that the atomic pull and channel hop amortize to noise.
+pub const DEFAULT_SCAN_CHUNK: usize = 256;
+
+/// Default corpus size below which the scan phase runs serially.
+///
+/// Thread spawn/join and cold shared caches cost more than they save on
+/// small corpora (the crawl_scale 0.001 CI runs measured parallel scans
+/// *slower* than serial), so below this many records the study ignores
+/// the configured worker count and takes the serial path.
+pub const DEFAULT_SERIAL_SCAN_THRESHOLD: usize = 4096;
+
+/// The worker count the scan phase actually uses for `record_count`
+/// records when the caller asked for `requested` workers.
+///
+/// Three clamps, in order: below `serial_threshold` records the answer
+/// is 1 (spawn overhead dominates — the small-corpus regression this
+/// fixes); the count never exceeds the host's available parallelism
+/// (extra threads on a saturated host only add contention); and it
+/// never exceeds the record count. The choice is invisible in results —
+/// outputs are identical for every worker count — so this is purely a
+/// scheduling decision.
+pub fn effective_scan_workers(
+    record_count: usize,
+    requested: usize,
+    serial_threshold: usize,
+) -> usize {
+    if record_count < serial_threshold {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(usize::MAX);
+    requested.max(1).min(cores).min(record_count.max(1))
 }
 
 /// Verdict and evidence for one scanned record.
@@ -109,8 +155,9 @@ pub struct ScanOutcome {
     pub vt: VtReport,
     /// Quttera report.
     pub quttera: QutteraReport,
-    /// Blacklist consensus hit on any chain domain.
-    pub blacklisted_domain: Option<String>,
+    /// Blacklist consensus hit on any chain domain (interned: every
+    /// record hitting the same domain shares one allocation).
+    pub blacklisted_domain: Option<Arc<str>>,
     /// Whether the verdict required the content-upload path (i.e. the
     /// URL scan was clean but the uploaded browser capture was not).
     pub needed_content_upload: bool,
@@ -142,13 +189,22 @@ pub struct ScanPipeline<'w> {
     blacklists: BlacklistDb,
     /// URL-scan features: one scanner fetch per distinct canonical URL.
     url_features: ShardedCache<Features>,
-    /// Host → registered domain, so chain hosts repeated across records
-    /// don't re-derive the suffix computation.
-    host_domains: ShardedCache<String>,
+    /// Content-upload features, keyed `canonical#content-hash`: the VT
+    /// file scan and the Quttera content scan both need them, and the
+    /// same capture recurs across records, so extraction runs once per
+    /// distinct capture instead of twice per record.
+    content_features: ShardedCache<Features>,
+    /// Host → registered domain (interned), so chain hosts repeated
+    /// across records don't re-derive the suffix computation or
+    /// allocate a fresh domain string per hop.
+    host_domains: ShardedCache<Arc<str>>,
     /// Registered domain → blacklist-consensus verdict. The consensus
     /// walks all six lists; memoizing it per domain collapses that to
     /// one walk per distinct domain across the whole corpus.
     domain_blacklisted: ShardedCache<bool>,
+    /// Deduplicating pool behind `host_domains` values and
+    /// `blacklisted_domain` outcomes.
+    interner: Interner,
     /// Optional compiled fault schedule. `None` (the default) keeps the
     /// pipeline infallible and bit-identical to the pre-fault-layer
     /// behaviour.
@@ -165,8 +221,10 @@ impl<'w> ScanPipeline<'w> {
             quttera: Quttera::new(web),
             blacklists: BlacklistDb::populate_from_web(web),
             url_features: ShardedCache::new(),
+            content_features: ShardedCache::new(),
             host_domains: ShardedCache::new(),
             domain_blacklisted: ShardedCache::new(),
+            interner: Interner::new(),
             fault_plan: None,
         }
     }
@@ -195,6 +253,7 @@ impl<'w> ScanPipeline<'w> {
     /// paying pipeline construction again.
     pub fn clear_caches(&self) {
         self.url_features.clear();
+        self.content_features.clear();
         self.host_domains.clear();
         self.domain_blacklisted.clear();
     }
@@ -204,13 +263,14 @@ impl<'w> ScanPipeline<'w> {
         self.url_features.len()
     }
 
-    /// Lookup/entry/hit statistics for each of the three memoization
+    /// Lookup/entry/hit statistics for each of the four memoization
     /// caches, keyed by the metric group name used under
     /// `scan.cache.*`. Hits are derived (`lookups - entries`), so the
     /// numbers are deterministic for every worker count.
-    pub fn cache_stats(&self) -> [(&'static str, slum_detect::CacheStats); 3] {
+    pub fn cache_stats(&self) -> [(&'static str, slum_detect::CacheStats); 4] {
         [
             ("url_features", self.url_features.stats()),
+            ("content_features", self.content_features.stats()),
             ("host_domains", self.host_domains.stats()),
             ("domain_blacklisted", self.domain_blacklisted.stats()),
         ]
@@ -224,7 +284,7 @@ impl<'w> ScanPipeline<'w> {
     /// byte-for-byte the historical one.
     pub fn scan(&self, record: &CrawlRecord) -> ScanOutcome {
         let decisions = match &self.fault_plan {
-            Some(plan) => plan.decisions(&scan_key(record)),
+            Some(plan) => plan.decisions_for(&record.exchange, record.seq),
             None => [ServiceDecision::Ok; 3],
         };
         let vt_up = decisions[ScanService::VirusTotal.index()].available();
@@ -236,39 +296,48 @@ impl<'w> ScanPipeline<'w> {
         let blacklisted_domain =
             if blacklist_up { self.chain_blacklist_hit(record) } else { None };
 
-        let mut vt = empty_vt_report();
-        let mut quttera = empty_quttera_report(&record.url);
+        // Reports stay `None` for unreachable services until the end, so
+        // the degraded path constructs nothing it won't keep.
+        let mut vt: Option<VtReport> = None;
+        let mut quttera: Option<QutteraReport> = None;
         let mut needed_content_upload = false;
 
         if vt_up || quttera_up {
             // 2. URL scans (scanner-side fetch; cloaking applies). The
             //    feature extraction is shared, so it runs once even when
-            //    only one scanner is reachable.
-            let url_features = self.url_features(&record.url);
-            let key = record.url.canonical();
+            //    only one scanner is reachable; the canonical form is
+            //    computed once and reused as both cache and sample key.
+            let canon = record.url.canonical();
+            let url_features = self.url_features(&record.url, &canon);
             if vt_up {
-                vt = self.vt.aggregate(&key, &url_features);
+                vt = Some(self.vt.aggregate(&canon, &url_features));
             }
             if quttera_up {
-                quttera = self.quttera.report(&record.url, &url_features);
+                quttera = Some(self.quttera.report(&record.url, &url_features));
             }
 
             // 3. Content upload for URL-scan-clean pages with captured
             //    content (the cloaking defeat) — only to reachable
-            //    services.
-            if !vt.is_malicious() && !quttera.is_malicious() {
+            //    services. Feature extraction over the capture is shared
+            //    between both scanners and memoized per distinct
+            //    (URL, content) pair; the sample key matches the one
+            //    `VirusTotal::scan_content` derives, so engine decisions
+            //    are unchanged.
+            let url_scan_clean = !vt.as_ref().is_some_and(VtReport::is_malicious)
+                && !quttera.as_ref().is_some_and(QutteraReport::is_malicious);
+            if url_scan_clean {
                 if let Some(content) = &record.content {
-                    let vt_content = if vt_up {
-                        self.vt.scan_content(&record.url, content)
-                    } else {
-                        empty_vt_report()
-                    };
-                    let quttera_content = if quttera_up {
-                        self.quttera.scan_content(&record.url, content)
-                    } else {
-                        empty_quttera_report(&record.url)
-                    };
-                    if vt_content.is_malicious() || quttera_content.is_malicious() {
+                    let content_key = format!("{canon}#{:x}", fnv1a(content.as_bytes()));
+                    let features = self.content_features.get_or_insert_with(&content_key, || {
+                        Features::from_content(&record.url, content)
+                    });
+                    let vt_content =
+                        vt_up.then(|| self.vt.aggregate(&content_key, &features));
+                    let quttera_content =
+                        quttera_up.then(|| self.quttera.report(&record.url, &features));
+                    if vt_content.as_ref().is_some_and(VtReport::is_malicious)
+                        || quttera_content.as_ref().is_some_and(QutteraReport::is_malicious)
+                    {
                         needed_content_upload = true;
                         if vt_up {
                             vt = vt_content;
@@ -281,6 +350,8 @@ impl<'w> ScanPipeline<'w> {
             }
         }
 
+        let vt = vt.unwrap_or_else(empty_vt_report);
+        let quttera = quttera.unwrap_or_else(|| empty_quttera_report(&record.url));
         let malicious =
             vt.is_malicious() || quttera.is_malicious() || blacklisted_domain.is_some();
         ScanOutcome {
@@ -299,29 +370,66 @@ impl<'w> ScanPipeline<'w> {
         records.iter().map(|r| self.scan(r)).collect()
     }
 
-    /// Scans a batch across `workers` scoped threads.
-    ///
-    /// Records are split into contiguous chunks, each worker scans its
-    /// chunk independently against the shared caches, and the per-chunk
-    /// results are concatenated in input order — so the output is
-    /// index-aligned with `records` and identical to
-    /// [`ScanPipeline::scan_all`] for every worker count (verdicts are
-    /// pure functions of the record; caches only change *when* work
-    /// happens, never its result).
+    /// Scans a batch across `workers` scoped threads with the default
+    /// work-unit size ([`DEFAULT_SCAN_CHUNK`]); see
+    /// [`ScanPipeline::scan_all_parallel_chunked`].
     pub fn scan_all_parallel(&self, records: &[CrawlRecord], workers: usize) -> Vec<ScanOutcome> {
+        self.scan_all_parallel_chunked(records, workers, DEFAULT_SCAN_CHUNK)
+    }
+
+    /// Scans a batch across `workers` scoped threads, distributing the
+    /// records as fixed-size chunks pulled from a shared atomic index.
+    ///
+    /// Unlike one contiguous mega-chunk per worker, chunk-sized work
+    /// units load-balance: a worker that drew cache-cold records keeps
+    /// pulling small chunks while its peers do the same, so no thread
+    /// idles behind one unlucky stretch of the corpus. Each worker tags
+    /// its results with the chunk index and the chunks are reassembled
+    /// in order — so the output is index-aligned with `records` and
+    /// identical to [`ScanPipeline::scan_all`] for every worker count
+    /// and chunk size (verdicts are pure functions of the record;
+    /// caches only change *when* work happens, never its result).
+    pub fn scan_all_parallel_chunked(
+        &self,
+        records: &[CrawlRecord],
+        workers: usize,
+        chunk: usize,
+    ) -> Vec<ScanOutcome> {
         let workers = workers.max(1).min(records.len().max(1));
         if workers == 1 {
             return self.scan_all(records);
         }
-        let chunk_len = records.len().div_ceil(workers);
+        let chunk = chunk.max(1);
+        let n_chunks = records.len().div_ceil(chunk);
+        let next = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = records
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move |_| self.scan_all(chunk)))
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut parts: Vec<(usize, Vec<ScanOutcome>)> = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let lo = c * chunk;
+                            let hi = (lo + chunk).min(records.len());
+                            parts.push((c, self.scan_all(&records[lo..hi])));
+                        }
+                        parts
+                    })
+                })
                 .collect();
-            let mut merged = Vec::with_capacity(records.len());
+            let mut by_chunk: Vec<Option<Vec<ScanOutcome>>> = vec![None; n_chunks];
             for handle in handles {
-                merged.extend(handle.join().expect("scan worker panicked"));
+                for (c, outcomes) in handle.join().expect("scan worker panicked") {
+                    by_chunk[c] = Some(outcomes);
+                }
+            }
+            let mut merged = Vec::with_capacity(records.len());
+            for outcomes in by_chunk {
+                merged.extend(outcomes.expect("every chunk scanned exactly once"));
             }
             merged
         })
@@ -332,11 +440,11 @@ impl<'w> ScanPipeline<'w> {
     /// redirect chain that hits the list consensus. Domain derivation is
     /// memoized per host and the consensus per domain, so repeated
     /// chains cost two cache reads per hop.
-    fn chain_blacklist_hit(&self, record: &CrawlRecord) -> Option<String> {
+    fn chain_blacklist_hit(&self, record: &CrawlRecord) -> Option<Arc<str>> {
         for host in &record.chain_hosts {
-            let domain = self
-                .host_domains
-                .get_or_insert_with(host, || slum_websim::domain::registered_domain(host));
+            let domain = self.host_domains.get_or_insert_with(host, || {
+                self.interner.intern(&slum_websim::domain::registered_domain(host))
+            });
             let hit = self
                 .domain_blacklisted
                 .get_or_insert_with(&domain, || self.blacklists.check(&domain).is_blacklisted());
@@ -349,10 +457,11 @@ impl<'w> ScanPipeline<'w> {
 
     /// Cached feature extraction for the URL-scan path: one scanner
     /// fetch per distinct URL, shared between VT and Quttera (and
-    /// between scan workers). Redirected loads mark the redirect
+    /// between scan workers). `canon` is the URL's canonical form,
+    /// computed once by the caller. Redirected loads mark the redirect
     /// feature the way the Quttera URL scan does.
-    fn url_features(&self, url: &Url) -> Features {
-        self.url_features.get_or_insert_with(&url.canonical(), || {
+    fn url_features(&self, url: &Url, canon: &str) -> Features {
+        self.url_features.get_or_insert_with(canon, || {
             let browser =
                 Browser::new(self.web).with_context(RequestContext::scanner("pipeline"));
             let load = browser.load(url);
@@ -413,7 +522,7 @@ mod tests {
         let pipe = ScanPipeline::new(&web);
         let outcome = pipe.scan(&record_for(&web, &spec.url));
         assert!(outcome.malicious);
-        assert_eq!(outcome.blacklisted_domain, Some(spec.url.registered_domain()));
+        assert_eq!(outcome.blacklisted_domain.as_deref(), Some(spec.url.registered_domain().as_str()));
     }
 
     #[test]
@@ -473,6 +582,57 @@ mod tests {
         assert_eq!(pipe.cached_urls(), 0);
     }
 
+    #[test]
+    fn chunked_parallel_matches_serial_for_every_chunk_size() {
+        let mut b = WebBuilder::new(206);
+        let benign = b.benign_site(BenignOptions::default());
+        let bad = b.js_site(JsAttack::HiddenIframe, Tld::Com, ContentCategory::Business, false);
+        let cloaked = b.misc_site(Tld::Com, ContentCategory::Business, true);
+        let web = b.finish();
+        let pipe = ScanPipeline::new(&web);
+        let records: Vec<CrawlRecord> = (0..25)
+            .map(|i| {
+                let url = match i % 3 {
+                    0 => &benign.url,
+                    1 => &bad.url,
+                    _ => &cloaked.url,
+                };
+                let mut r = record_for(&web, url);
+                r.seq = i;
+                r
+            })
+            .collect();
+        let baseline = pipe.scan_all(&records);
+        for workers in [2usize, 3, 8] {
+            for chunk in [1usize, 4, 64, 4096] {
+                pipe.clear_caches();
+                let outcomes = pipe.scan_all_parallel_chunked(&records, workers, chunk);
+                assert_eq!(
+                    outcomes, baseline,
+                    "chunked scan diverged at {workers} workers, chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_workers_fall_back_to_serial_below_threshold() {
+        // The crawl_scale 0.001 corpus (1,145 records) must resolve to
+        // the serial plan no matter how many workers were requested —
+        // the regression where 8 workers ran slower than 1.
+        for requested in [1usize, 2, 4, 8] {
+            assert_eq!(effective_scan_workers(1_145, requested, DEFAULT_SERIAL_SCAN_THRESHOLD), 1);
+        }
+        // At or above the threshold the request is honored up to the
+        // host's parallelism and the record count.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(usize::MAX);
+        assert_eq!(effective_scan_workers(10_000, 4, 4096), 4.min(cores));
+        assert_eq!(effective_scan_workers(10_000, 0, 4096), 1, "zero request clamps to 1");
+        assert_eq!(effective_scan_workers(5_000, 8, 0), 8.min(cores), "threshold 0 disables");
+    }
+
     /// A profile that takes the given services down for the whole span
     /// (one outage window longer than any corpus) with no retries.
     fn downed(services: &[ScanService]) -> slum_detect::fault::FaultProfile {
@@ -521,7 +681,7 @@ mod tests {
         let outcome = pipe.scan(&record);
         assert_eq!(outcome.source, VerdictSource::BlacklistOnly);
         assert!(outcome.malicious, "blacklist consensus alone must still convict");
-        assert_eq!(outcome.blacklisted_domain, Some(spec.url.registered_domain()));
+        assert_eq!(outcome.blacklisted_domain.as_deref(), Some(spec.url.registered_domain().as_str()));
         assert_eq!(pipe.cached_urls(), 0, "no scanner up, no feature fetch");
     }
 

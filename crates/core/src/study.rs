@@ -10,12 +10,14 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use slum_crawler::drive::estimated_duration_secs;
 use slum_crawler::{
-    crawl_all_resilient, crawl_all_segmented, CrawlFaultProfile, CrawlHealth, CrawlRecord,
-    RecordStore,
+    crawl_all_resilient, crawl_all_segmented, crawl_all_streaming, CrawlFaultProfile, CrawlHealth,
+    CrawlRecord, RecordChunk, RecordStore,
 };
 use slum_exchange::params::PROFILES;
 use slum_exchange::Exchange;
@@ -33,7 +35,10 @@ use slum_detect::fault::{FaultPlan, FaultProfile, ScanService};
 
 use crate::redirects::{ChainExhibit, RedirectHistogram};
 use crate::report::{Fig2Bar, Table1};
-use crate::scanpipe::{scan_key, FaultLog, ScanOutcome, ScanPipeline, VerdictSource};
+use crate::scanpipe::{
+    effective_scan_workers, scan_key, FaultLog, ScanOutcome, ScanPipeline, VerdictSource,
+    DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
+};
 use crate::shortened::ShortenedRow;
 use crate::temporal::CumulativeSeries;
 
@@ -71,6 +76,24 @@ pub struct StudyConfig {
     /// single checkpoint when the crawl completes. Segment boundaries
     /// never affect results — only checkpoint file cadence.
     pub checkpoint_every: Option<u64>,
+    /// Scan work-unit size: records per chunk pulled by each parallel
+    /// scan worker on the barrier path, and surf slots per streamed
+    /// record chunk on the overlapped path. Chunk size never affects
+    /// results — only scheduling granularity.
+    pub scan_chunk: usize,
+    /// Corpus size (regular records) below which the scan phase runs
+    /// serially regardless of `scan_workers` — thread spawn overhead
+    /// and cold shared caches make small parallel scans *slower* than
+    /// serial. Set to 0 to always honor `scan_workers`.
+    pub serial_scan_threshold: usize,
+    /// Overlap the crawl and scan phases: crawl workers stream
+    /// sequence-numbered record chunks through a bounded channel and
+    /// scan workers consume them while the crawl is still running.
+    /// Results are bit-identical to the phase-barrier path. Mutually
+    /// exclusive with `checkpoint_every`; a non-inert `fault_profile`
+    /// forces the barrier path (the fault plan needs the full corpus)
+    /// and counts `scan.pipeline.fault_fallback`.
+    pub overlap_scan: bool,
 }
 
 impl Default for StudyConfig {
@@ -83,6 +106,9 @@ impl Default for StudyConfig {
             fault_profile: FaultProfile::none(),
             crawl_fault_profile: CrawlFaultProfile::none(),
             checkpoint_every: None,
+            scan_chunk: DEFAULT_SCAN_CHUNK,
+            serial_scan_threshold: DEFAULT_SERIAL_SCAN_THRESHOLD,
+            overlap_scan: false,
         }
     }
 }
@@ -159,6 +185,28 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Sets the scan work-unit / streamed-chunk size (validated at
+    /// [`Self::build`]; must be at least 1).
+    pub fn scan_chunk(mut self, records: usize) -> Self {
+        self.config.scan_chunk = records;
+        self
+    }
+
+    /// Sets the corpus size below which the scan phase runs serially
+    /// (0 always honors `scan_workers`).
+    pub fn serial_scan_threshold(mut self, records: usize) -> Self {
+        self.config.serial_scan_threshold = records;
+        self
+    }
+
+    /// Enables or disables the overlapped (streaming) crawl→scan
+    /// pipeline (validated at [`Self::build`]; incompatible with
+    /// checkpointing).
+    pub fn overlap_scan(mut self, overlap: bool) -> Self {
+        self.config.overlap_scan = overlap;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -187,6 +235,12 @@ impl StudyConfigBuilder {
         }
         if self.config.checkpoint_every == Some(0) {
             return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        if self.config.scan_chunk == 0 {
+            return Err(ConfigError::ZeroScanChunk);
+        }
+        if self.config.overlap_scan && self.config.checkpoint_every.is_some() {
+            return Err(ConfigError::OverlapWithCheckpoint);
         }
         Ok(self.config)
     }
@@ -219,6 +273,13 @@ pub enum ConfigError {
     },
     /// `checkpoint_every` was zero — a segment must advance the crawl.
     ZeroCheckpointInterval,
+    /// `scan_chunk` was zero — a work unit must hold at least one
+    /// record.
+    ZeroScanChunk,
+    /// `overlap_scan` was combined with `checkpoint_every` — the
+    /// streaming pipeline never materializes the per-exchange stores a
+    /// crawl checkpoint persists.
+    OverlapWithCheckpoint,
 }
 
 impl fmt::Display for ConfigError {
@@ -238,6 +299,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint_every must be at least 1 surf slot")
+            }
+            ConfigError::ZeroScanChunk => {
+                write!(f, "scan_chunk must be at least 1 record")
+            }
+            ConfigError::OverlapWithCheckpoint => {
+                write!(f, "overlap_scan cannot be combined with crawl checkpointing")
             }
         }
     }
@@ -400,6 +467,30 @@ impl Study {
             let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
             steps_for(profile, config.crawl_scale)
         };
+
+        // Overlapped (streaming) pipeline: only on the direct path —
+        // checkpointing needs the per-exchange stores the stream never
+        // materializes — and only with an inert scan-fault profile,
+        // because a fault plan is compiled from the *complete* corpus.
+        // Ineligible overlap requests fall through to the barrier path
+        // below and are counted as `scan.pipeline.fault_fallback`.
+        if config.overlap_scan
+            && matches!(mode, CrawlMode::Direct)
+            && config.fault_profile.is_inert()
+        {
+            let (store, outcomes, referrals, health) =
+                run_overlapped(config, &obs, &web, &mut exchanges, &step_fn);
+            return Ok(Some(Study {
+                web,
+                store,
+                outcomes,
+                referrals,
+                health,
+                config: config.clone(),
+                obs,
+            }));
+        }
+
         let (store, health) = {
             let _span = obs.span("phase.crawl");
             let (store, stats, health, resume_stats) = match mode {
@@ -480,11 +571,22 @@ impl Study {
                 pipeline = pipeline.with_fault_plan(plan);
             }
             let (outcomes, scan_workers) =
-                scan_phase(&pipeline, store.records(), &referrals, config.scan_workers, &obs);
+                scan_phase(&pipeline, store.records(), &referrals, config, &obs);
             obs.gauge("scan.workers").set(scan_workers as i64);
             record_cache_stats(&obs, &pipeline);
             record_outcome_tallies(&obs, &outcomes, &referrals);
             record_fault_tallies(&obs, &outcomes, &referrals, pipeline.fault_plan());
+            record_pipeline_tallies(
+                &obs,
+                &PipelineTally {
+                    chunks: 0,
+                    records_streamed: 0,
+                    // An overlap request that reached the barrier path
+                    // was forced here (checkpointing or a fault plan).
+                    fault_fallback: u64::from(config.overlap_scan),
+                    overlapped: false,
+                },
+            );
             (outcomes, referrals)
         };
 
@@ -632,6 +734,9 @@ fn record_config(obs: &Registry, config: &StudyConfig) {
     obs.gauge("config.crawl_scale_ppm").set((config.crawl_scale * 1e6).round() as i64);
     obs.gauge("config.domain_scale_ppm").set((config.domain_scale * 1e6).round() as i64);
     obs.gauge("config.checkpoint_every").set(config.checkpoint_every.unwrap_or(0) as i64);
+    obs.gauge("config.scan_chunk").set(config.scan_chunk as i64);
+    obs.gauge("config.serial_scan_threshold").set(config.serial_scan_threshold as i64);
+    obs.gauge("config.overlap").set(i64::from(config.overlap_scan));
 }
 
 /// Tallies crawl-phase fault costs from the per-exchange health logs,
@@ -776,18 +881,26 @@ fn record_fault_tallies(
     }
 }
 
-/// Scans every Regular record across `workers` scoped threads and
+/// Scans every Regular record across the effective worker count and
 /// splices the results back into record order; Self/Popular referrals
-/// get an inert clean outcome so indices stay aligned. Each worker
-/// buffers its counters in a [`LocalMetrics`] and records per-record
-/// latencies into the shared `scan.record_nanos` histogram; the buffers
-/// merge into `obs` once the phase ends. Returns the outcomes and the
-/// worker count actually used.
+/// get an inert clean outcome so indices stay aligned.
+///
+/// Worker selection goes through
+/// [`effective_scan_workers`] — small corpora run serially (below
+/// `config.serial_scan_threshold`) and the count is clamped to the
+/// host's parallelism. Parallel work is distributed as
+/// `config.scan_chunk`-sized chunks pulled from a shared atomic index,
+/// so no worker idles behind one unlucky contiguous stretch; chunks are
+/// reassembled in index order, keeping the output bit-identical to the
+/// serial path. Each worker buffers its counters in a [`LocalMetrics`]
+/// and records per-record latencies into the shared `scan.record_nanos`
+/// histogram; the buffers merge into `obs` once the phase ends. Returns
+/// the outcomes and the worker count actually used.
 fn scan_phase(
     pipeline: &ScanPipeline<'_>,
     records: &[CrawlRecord],
     referrals: &[ReferralClass],
-    workers: usize,
+    config: &StudyConfig,
     obs: &Registry,
 ) -> (Vec<ScanOutcome>, usize) {
     let regular_idx: Vec<usize> = referrals
@@ -796,10 +909,14 @@ fn scan_phase(
         .filter(|(_, class)| **class == ReferralClass::Regular)
         .map(|(i, _)| i)
         .collect();
-    let workers = workers.max(1).min(regular_idx.len().max(1));
+    let workers = effective_scan_workers(
+        regular_idx.len(),
+        config.scan_workers,
+        config.serial_scan_threshold,
+    );
     let latency = obs.histogram("scan.record_nanos");
 
-    let scan_chunk = |chunk: &[usize]| -> (Vec<ScanOutcome>, LocalMetrics) {
+    let scan_slice = |chunk: &[usize]| -> (Vec<ScanOutcome>, LocalMetrics) {
         let mut local = LocalMetrics::new();
         let outcomes = chunk
             .iter()
@@ -815,21 +932,48 @@ fn scan_phase(
     };
 
     let scanned: Vec<ScanOutcome> = if workers == 1 {
-        let (outcomes, local) = scan_chunk(&regular_idx);
+        let (outcomes, local) = scan_slice(&regular_idx);
         obs.merge_local(&local);
         outcomes
     } else {
-        let chunk_len = regular_idx.len().div_ceil(workers);
+        let chunk = config.scan_chunk.max(1);
+        let n_chunks = regular_idx.len().div_ceil(chunk);
+        let next = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = regular_idx
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(|_| scan_chunk(chunk)))
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let scan_slice = &scan_slice;
+                    let regular_idx = &regular_idx;
+                    scope.spawn(move |_| {
+                        let mut parts: Vec<(usize, Vec<ScanOutcome>)> = Vec::new();
+                        let mut local = LocalMetrics::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let lo = c * chunk;
+                            let hi = (lo + chunk).min(regular_idx.len());
+                            let (outcomes, chunk_local) = scan_slice(&regular_idx[lo..hi]);
+                            local.merge(&chunk_local);
+                            parts.push((c, outcomes));
+                        }
+                        (parts, local)
+                    })
+                })
                 .collect();
-            let mut merged = Vec::with_capacity(regular_idx.len());
+            let mut by_chunk: Vec<Option<Vec<ScanOutcome>>> = vec![None; n_chunks];
             for handle in handles {
-                let (outcomes, local) = handle.join().expect("scan worker panicked");
+                let (parts, local) = handle.join().expect("scan worker panicked");
                 obs.merge_local(&local);
-                merged.extend(outcomes);
+                for (c, outcomes) in parts {
+                    by_chunk[c] = Some(outcomes);
+                }
+            }
+            let mut merged = Vec::with_capacity(regular_idx.len());
+            for outcomes in by_chunk {
+                merged.extend(outcomes.expect("every chunk scanned exactly once"));
             }
             merged
         })
@@ -848,6 +992,184 @@ fn scan_phase(
         })
         .collect();
     (outcomes, workers)
+}
+
+/// Capacity of the crawl→scan chunk channel in the overlapped
+/// pipeline. Bounds the records in flight between the two sides — at
+/// most this many chunks (each at most `scan_chunk` surf slots' worth)
+/// plus what each worker holds; a full channel back-pressures the crawl
+/// threads instead of buffering the whole corpus.
+const PIPELINE_CHANNEL_CAP: usize = 32;
+
+/// What the streaming pipeline did this run — all-zero on the barrier
+/// path, so the `scan.pipeline.*` counters stay always-present and
+/// deterministic whether or not overlap ran (the same convention the
+/// fault and resume counters follow).
+struct PipelineTally {
+    /// Record chunks streamed crawl→scan.
+    chunks: u64,
+    /// Records carried by those chunks.
+    records_streamed: u64,
+    /// 1 when overlap was requested but the barrier path ran instead
+    /// (checkpointing or a non-inert scan-fault profile).
+    fault_fallback: u64,
+    /// Whether the overlapped path actually ran (gauge).
+    overlapped: bool,
+}
+
+fn record_pipeline_tallies(obs: &Registry, tally: &PipelineTally) {
+    obs.counter("scan.pipeline.chunks").add(tally.chunks);
+    obs.counter("scan.pipeline.records_streamed").add(tally.records_streamed);
+    obs.counter("scan.pipeline.fault_fallback").add(tally.fault_fallback);
+    obs.gauge("scan.pipeline.overlap").set(i64::from(tally.overlapped));
+}
+
+/// One streamed chunk after scanning, awaiting reassembly.
+struct ScannedChunk {
+    exchange_index: usize,
+    chunk_seq: u64,
+    records: Vec<CrawlRecord>,
+    referrals: Vec<ReferralClass>,
+    outcomes: Vec<ScanOutcome>,
+}
+
+/// The overlapped crawl→scan pipeline: one crawl producer (fanning out
+/// to one thread per exchange) streams sequence-numbered record chunks
+/// through a bounded channel while scan workers consume them, so
+/// scanning starts on the first chunk instead of after the last crawl
+/// step. Scanned chunks are reassembled in `(exchange_index,
+/// chunk_seq)` order, which reproduces the barrier path's merged store
+/// exactly — records, referral classes, outcomes and every
+/// deterministic counter are bit-identical for all worker counts and
+/// chunk sizes.
+///
+/// The `phase.crawl` span covers the producer and `phase.scan` the
+/// whole overlapped region, so their wall-clock now overlaps — the
+/// saving the streaming restructure exists to win.
+fn run_overlapped<F>(
+    config: &StudyConfig,
+    obs: &Registry,
+    web: &SyntheticWeb,
+    exchanges: &mut [Exchange],
+    step_fn: &F,
+) -> (RecordStore, Vec<ScanOutcome>, Vec<ReferralClass>, Vec<CrawlHealth>)
+where
+    F: Fn(&Exchange) -> u64 + Sync,
+{
+    let filter = ReferralFilter::from_profiles(PROFILES.iter());
+    let pipeline = ScanPipeline::new(web);
+    let latency = obs.histogram("scan.record_nanos");
+    // Worker selection needs a corpus size before the corpus exists;
+    // the planned surf slots are an exact upper bound on records (and
+    // equal to them under an inert crawl-fault profile).
+    let planned: u64 = PROFILES.iter().map(|p| steps_for(p, config.crawl_scale)).sum();
+    let scan_workers = effective_scan_workers(
+        planned as usize,
+        config.scan_workers,
+        config.serial_scan_threshold,
+    );
+    let (tx, rx) = crossbeam::channel::bounded::<RecordChunk>(PIPELINE_CHANNEL_CAP);
+    let results: Mutex<Vec<ScannedChunk>> = Mutex::new(Vec::new());
+
+    let (stats, health) = crossbeam::thread::scope(|scope| {
+        let _scan_span = obs.span("phase.scan");
+        let producer = scope.spawn(move |_| {
+            let _span = obs.span("phase.crawl");
+            crawl_all_streaming(
+                web,
+                exchanges,
+                config.seed,
+                &config.crawl_fault_profile,
+                step_fn,
+                config.scan_chunk as u64,
+                tx,
+            )
+        });
+        let consumers: Vec<_> = (0..scan_workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let results = &results;
+                let pipeline = &pipeline;
+                let filter = &filter;
+                let latency = &latency;
+                scope.spawn(move |_| {
+                    let mut local = LocalMetrics::new();
+                    while let Ok(chunk) = rx.recv() {
+                        let referrals: Vec<ReferralClass> =
+                            chunk.records.iter().map(|r| filter.classify(r)).collect();
+                        let outcomes: Vec<ScanOutcome> = chunk
+                            .records
+                            .iter()
+                            .zip(&referrals)
+                            .map(|(record, class)| {
+                                if *class == ReferralClass::Regular {
+                                    let t0 = Instant::now();
+                                    let outcome = pipeline.scan(record);
+                                    latency.record(
+                                        u64::try_from(t0.elapsed().as_nanos())
+                                            .unwrap_or(u64::MAX),
+                                    );
+                                    local.inc("scan.scans");
+                                    outcome
+                                } else {
+                                    clean_outcome(record)
+                                }
+                            })
+                            .collect();
+                        results.lock().expect("chunk results poisoned").push(ScannedChunk {
+                            exchange_index: chunk.exchange_index,
+                            chunk_seq: chunk.chunk_seq,
+                            records: chunk.records,
+                            referrals,
+                            outcomes,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        drop(rx);
+        let (stats, health) = producer.join().expect("crawl producer panicked");
+        for consumer in consumers {
+            let local = consumer.join().expect("scan consumer panicked");
+            obs.merge_local(&local);
+        }
+        (stats, health)
+    })
+    .expect("pipeline scope panicked");
+
+    for (_, s) in &stats {
+        obs.merge_local(&s.metrics);
+    }
+    record_crawl_fault_tallies(obs, &health, &ResumeStats::default());
+
+    let mut chunks = results.into_inner().expect("chunk results poisoned");
+    chunks.sort_unstable_by_key(|c| (c.exchange_index, c.chunk_seq));
+    let n_chunks = chunks.len() as u64;
+    let mut store = RecordStore::new();
+    let mut outcomes = Vec::new();
+    let mut referrals = Vec::new();
+    for chunk in chunks {
+        store.extend(chunk.records);
+        referrals.extend(chunk.referrals);
+        outcomes.extend(chunk.outcomes);
+    }
+
+    record_filter_counts(obs, &referrals);
+    obs.gauge("scan.workers").set(scan_workers as i64);
+    record_cache_stats(obs, &pipeline);
+    record_outcome_tallies(obs, &outcomes, &referrals);
+    record_fault_tallies(obs, &outcomes, &referrals, None);
+    record_pipeline_tallies(
+        obs,
+        &PipelineTally {
+            chunks: n_chunks,
+            records_streamed: store.len() as u64,
+            fault_fallback: 0,
+            overlapped: true,
+        },
+    );
+    (store, outcomes, referrals, health)
 }
 
 fn clean_outcome(record: &CrawlRecord) -> ScanOutcome {

@@ -36,5 +36,8 @@ pub mod store;
 pub use drive::{crawl_exchange, CrawlConfig, CrawlCursor};
 pub use fault::{CrawlFaultProfile, CrawlHealth};
 pub use record::CrawlRecord;
-pub use run::{crawl_all, crawl_all_resilient, crawl_all_segmented, CrawlCheckpointState};
+pub use run::{
+    crawl_all, crawl_all_resilient, crawl_all_segmented, crawl_all_streaming,
+    CrawlCheckpointState, RecordChunk,
+};
 pub use store::{JsonlError, RecordStore};

@@ -23,12 +23,156 @@ use crate::drive::{
     crawl_exchange_segment, estimated_exchange_span_secs, CrawlConfig, CrawlCursor, CrawlStats,
 };
 use crate::fault::{CrawlFaultProfile, CrawlHealth};
+use crate::record::CrawlRecord;
 use crate::store::RecordStore;
 
 /// The RNG seed for the `index`-th exchange's crawl stream, derived
 /// from the study seed exactly as the original per-thread crawl did.
 pub fn exchange_crawl_seed(base_seed: u64, index: usize) -> u64 {
     base_seed.wrapping_add(index as u64 * 7919)
+}
+
+/// Per-exchange crawl plan: the loop configuration plus the compiled
+/// lifecycle-fault schedule. Shared by the segmented and streaming
+/// drivers so every mode crawls from identical plans.
+fn crawl_plans<F>(
+    exchanges: &[Exchange],
+    base_seed: u64,
+    profile: &CrawlFaultProfile,
+    step_fn: F,
+) -> Vec<(CrawlConfig, ExchangeLifecycle)>
+where
+    F: Fn(&Exchange) -> u64,
+{
+    exchanges
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let steps = step_fn(x);
+            let config = CrawlConfig {
+                steps,
+                seed: exchange_crawl_seed(base_seed, i),
+                ..Default::default()
+            };
+            let span = estimated_exchange_span_secs(x, steps);
+            let lifecycle = profile.compile_for(x, base_seed, span);
+            (config, lifecycle)
+        })
+        .collect()
+}
+
+/// One sequence-numbered batch of records emitted by
+/// [`crawl_all_streaming`]: which exchange produced it (input index),
+/// where it sits in that exchange's stream, and the records themselves.
+///
+/// Sorting chunks by `(exchange_index, chunk_seq)` and concatenating
+/// their records reproduces the merged [`RecordStore`] of
+/// [`crawl_all_resilient`] exactly — the reassembly contract the
+/// overlapped crawl→scan pipeline relies on.
+#[derive(Debug)]
+pub struct RecordChunk {
+    /// Index of the producing exchange in the input slice.
+    pub exchange_index: usize,
+    /// 0-based position of this chunk in the exchange's stream.
+    pub chunk_seq: u64,
+    /// The records crawled in this segment, in crawl order.
+    pub records: Vec<CrawlRecord>,
+}
+
+/// Crawls every exchange concurrently, emitting records through `sink`
+/// in bounded, sequence-numbered chunks as they are produced — the
+/// producer half of the overlapped crawl→scan pipeline.
+///
+/// Each exchange thread repeatedly advances its cursor by up to
+/// `chunk_budget` surf slots (the same resumable segment driver the
+/// checkpointed crawl uses) and sends the segment's records as one
+/// [`RecordChunk`]; empty segments (every slot lost to faults) are
+/// skipped. Records travel *only* through the channel — the caller
+/// reassembles the store — so nothing is held twice. Sends block when
+/// the channel is full (bounded memory) and chunk production stops if
+/// every receiver is gone.
+///
+/// Because every fault and RNG decision is keyed to cursor position,
+/// never to segment boundaries, the reassembled record stream is
+/// bit-identical to [`crawl_all_resilient`] for every `chunk_budget`.
+/// Returns the same per-exchange stats and health logs.
+pub fn crawl_all_streaming<F>(
+    web: &SyntheticWeb,
+    exchanges: &mut [Exchange],
+    base_seed: u64,
+    profile: &CrawlFaultProfile,
+    step_fn: F,
+    chunk_budget: u64,
+    sink: crossbeam::channel::Sender<RecordChunk>,
+) -> (Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
+where
+    F: Fn(&Exchange) -> u64 + Sync,
+{
+    assert!(chunk_budget > 0, "chunk budget must be positive");
+    let plans = crawl_plans(exchanges, base_seed, profile, &step_fn);
+    let cursors: Vec<(String, CrawlStats, CrawlHealth)> = thread::scope(|scope| {
+        let handles: Vec<_> = exchanges
+            .iter_mut()
+            .enumerate()
+            .zip(plans.iter())
+            .map(|((exchange_index, exchange), (config, lifecycle))| {
+                let sink = sink.clone();
+                scope.spawn(move |_| {
+                    let mut cursor = CrawlCursor::start(exchange, config);
+                    let mut chunk_seq = 0u64;
+                    while !cursor.done {
+                        let mut segment = RecordStore::new();
+                        crawl_exchange_segment(
+                            web,
+                            exchange,
+                            config,
+                            lifecycle,
+                            &profile.retry,
+                            &mut cursor,
+                            &mut segment,
+                            chunk_budget,
+                        );
+                        let records = segment.into_records();
+                        if !records.is_empty()
+                            && sink
+                                .send(RecordChunk { exchange_index, chunk_seq, records })
+                                .is_err()
+                        {
+                            // Every receiver is gone; keep crawling so
+                            // stats/health stay complete, drop records.
+                            while !cursor.done {
+                                let mut rest = RecordStore::new();
+                                crawl_exchange_segment(
+                                    web,
+                                    exchange,
+                                    config,
+                                    lifecycle,
+                                    &profile.retry,
+                                    &mut cursor,
+                                    &mut rest,
+                                    u64::MAX,
+                                );
+                            }
+                            break;
+                        }
+                        chunk_seq += 1;
+                    }
+                    (cursor.exchange.clone(), cursor.stats(), cursor.health())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
+    })
+    .expect("crawl scope panicked");
+    drop(sink);
+
+    let mut stats = Vec::with_capacity(cursors.len());
+    let mut health = Vec::with_capacity(cursors.len());
+    for (name, s, h) in cursors {
+        stats.push((name, s));
+        health.push(h);
+    }
+    (stats, health)
 }
 
 /// Crawls every exchange concurrently — one worker thread per exchange,
@@ -234,21 +378,7 @@ where
     F: Fn(&Exchange) -> u64 + Sync,
 {
     assert!(segment_budget > 0, "segment budget must be positive");
-    let plans: Vec<(CrawlConfig, ExchangeLifecycle)> = exchanges
-        .iter()
-        .enumerate()
-        .map(|(i, x)| {
-            let steps = step_fn(x);
-            let config = CrawlConfig {
-                steps,
-                seed: exchange_crawl_seed(base_seed, i),
-                ..Default::default()
-            };
-            let span = estimated_exchange_span_secs(x, steps);
-            let lifecycle = profile.compile_for(x, base_seed, span);
-            (config, lifecycle)
-        })
-        .collect();
+    let plans = crawl_plans(exchanges, base_seed, profile, &step_fn);
 
     let mut state = resume.unwrap_or_else(|| CrawlCheckpointState {
         round: 0,
@@ -450,6 +580,63 @@ mod tests {
             assert_eq!(store.to_jsonl().unwrap(), one_shot.0, "profile {}", profile.name);
             assert_eq!(stats, one_shot.1, "profile {}", profile.name);
             assert_eq!(health, one_shot.2, "profile {}", profile.name);
+        }
+    }
+
+    /// Streaming chunks, reassembled by (exchange_index, chunk_seq),
+    /// reproduce the one-shot merged store bit-for-bit — for every
+    /// chunk budget, under both inert and active fault profiles.
+    #[test]
+    fn streaming_chunks_reassemble_to_one_shot_store() {
+        for profile in [CrawlFaultProfile::none(), CrawlFaultProfile::default_profile()] {
+            let one_shot = {
+                let mut b = WebBuilder::new(136);
+                let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+                let web = b.finish();
+                let (store, stats, health) =
+                    crawl_all_resilient(&web, &mut exchanges, 13, &profile, |_| 30);
+                (store.to_jsonl().unwrap(), stats, health)
+            };
+
+            for chunk_budget in [1u64, 7, 64, 10_000] {
+                let mut b = WebBuilder::new(136);
+                let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+                let web = b.finish();
+                let (tx, rx) = crossbeam::channel::bounded::<RecordChunk>(4);
+                let (chunks, stats, health) = thread::scope(|scope| {
+                    let consumer = scope.spawn(move |_| {
+                        let mut chunks = Vec::new();
+                        while let Ok(chunk) = rx.recv() {
+                            assert!(!chunk.records.is_empty(), "empty chunks are skipped");
+                            chunks.push(chunk);
+                        }
+                        chunks
+                    });
+                    let (stats, health) = crawl_all_streaming(
+                        &web,
+                        &mut exchanges,
+                        13,
+                        &profile,
+                        |_| 30,
+                        chunk_budget,
+                        tx,
+                    );
+                    let chunks = consumer.join().expect("consumer panicked");
+                    (chunks, stats, health)
+                })
+                .expect("stream scope panicked");
+
+                let mut chunks = chunks;
+                chunks.sort_by_key(|c| (c.exchange_index, c.chunk_seq));
+                let mut merged = RecordStore::new();
+                for chunk in chunks {
+                    merged.extend(chunk.records);
+                }
+                let label = format!("profile {} budget {chunk_budget}", profile.name);
+                assert_eq!(merged.to_jsonl().unwrap(), one_shot.0, "{label}");
+                assert_eq!(stats, one_shot.1, "{label}");
+                assert_eq!(health, one_shot.2, "{label}");
+            }
         }
     }
 

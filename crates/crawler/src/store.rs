@@ -66,6 +66,12 @@ impl RecordStore {
         &self.records
     }
 
+    /// Consumes the store into its records (no cloning) — how the
+    /// streaming crawl hands a segment's records to the scan side.
+    pub fn into_records(self) -> Vec<CrawlRecord> {
+        self.records
+    }
+
     /// Total visit count.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -7,10 +7,21 @@
 //! every lookup; instead the key space is split across a fixed number
 //! of shards, each behind its own [`RwLock`], so readers on different
 //! shards never contend and even same-shard readers proceed together.
+//!
+//! On top of the `RwLock` sharding, each shard *publishes* a read-only
+//! snapshot of itself through an RCU cell (`crossbeam::rcu::RcuCell`,
+//! after the Mola Collections `RcuMap` model): the hot read path is one
+//! atomic pointer load plus a `HashMap` probe — no lock at all. The
+//! `RwLock`-guarded map stays the source of truth and the write/
+//! fallback path; a shard republishes its snapshot whenever the live
+//! map has doubled past it, so the total bytes ever copied stay O(2n)
+//! and warm read-mostly workloads (host→domain, domain→blacklist) run
+//! lock-free after a handful of republishes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crossbeam::rcu::RcuCell;
 use parking_lot::RwLock;
 
 use crate::hash::fnv1a;
@@ -20,14 +31,49 @@ use crate::hash::fnv1a;
 /// targets (typically <= number of cores) without bloating the struct.
 const SHARDS: usize = 16;
 
-/// A concurrent string-keyed cache, sharded by key hash.
+/// One shard: the authoritative locked map plus its published RCU
+/// snapshot (always a subset of `live`, since entries are only ever
+/// added between republishes and `clear` resets both).
+struct Shard<V> {
+    live: RwLock<HashMap<String, V>>,
+    snapshot: RcuCell<HashMap<String, V>>,
+    /// `live.len()` at the moment `snapshot` was last published.
+    published: AtomicU64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            live: RwLock::new(HashMap::new()),
+            snapshot: RcuCell::new(HashMap::new()),
+            published: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V: Clone> Shard<V> {
+    /// Republishes the snapshot if the live map has doubled past the
+    /// published one. Caller must hold the write lock (`live` is the
+    /// already-locked map) so publishes are serialized and each
+    /// snapshot is a consistent copy.
+    fn maybe_republish(&self, live: &HashMap<String, V>) {
+        let published = self.published.load(Ordering::Relaxed);
+        if live.len() as u64 >= published.saturating_mul(2).max(1) {
+            self.snapshot.store(live.clone());
+            self.published.store(live.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A concurrent string-keyed cache, sharded by key hash, with a
+/// lock-free RCU read path over per-shard published snapshots.
 ///
 /// Values are cloned out on hit, so `V` should be cheap to clone (the
-/// pipeline stores small feature vectors, domain strings, and bools).
-/// All methods take `&self`; the cache is `Sync` whenever `V: Send +
-/// Sync`.
+/// pipeline stores small feature vectors, interned domain handles, and
+/// bools). All methods take `&self`; the cache is `Sync` whenever
+/// `V: Send + Sync`.
 pub struct ShardedCache<V> {
-    shards: Vec<RwLock<HashMap<String, V>>>,
+    shards: Vec<Shard<V>>,
     /// Total [`ShardedCache::get_or_insert_with`] calls (relaxed; the
     /// count is deterministic because callers issue a fixed lookup
     /// sequence per record regardless of scheduling).
@@ -65,32 +111,39 @@ impl<V> ShardedCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ShardedCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             lookups: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+    fn shard(&self, key: &str) -> &Shard<V> {
         &self.shards[(fnv1a(key.as_bytes()) as usize) & (SHARDS - 1)]
     }
 
     /// Total number of cached entries (takes every read lock; intended
     /// for tests and diagnostics, not hot paths).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.live.read().len()).sum()
     }
 
     /// True when no shard holds an entry.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.shards.iter().all(|s| s.live.read().is_empty())
     }
 
     /// Drops every cached entry and resets the lookup statistics (used
     /// by benchmarks to measure cold scans without rebuilding the
     /// pipeline).
+    ///
+    /// Retired snapshots stay on each shard's RCU graveyard until the
+    /// cache itself drops — bounded, because republishing only happens
+    /// on size doubling.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            let mut live = shard.live.write();
+            live.clear();
+            shard.snapshot.store(HashMap::new());
+            shard.published.store(0, Ordering::Relaxed);
         }
         self.lookups.store(0, Ordering::Relaxed);
     }
@@ -106,26 +159,46 @@ impl<V> ShardedCache<V> {
 
 impl<V: Clone> ShardedCache<V> {
     /// The cached value for `key`, if present.
+    ///
+    /// Served lock-free from the published snapshot when possible,
+    /// falling back to the locked live map (the snapshot lags inserts
+    /// until the next republish).
     pub fn get(&self, key: &str) -> Option<V> {
-        self.shard(key).read().get(key).cloned()
+        let shard = self.shard(key);
+        if let Some(hit) = shard.snapshot.load().get(key) {
+            return Some(hit.clone());
+        }
+        shard.live.read().get(key).cloned()
     }
 
     /// Returns the cached value for `key`, computing and caching it
     /// with `compute` on a miss.
     ///
+    /// The fast path is lock-free: one atomic load of the shard's
+    /// published snapshot plus a probe. A snapshot miss falls back to
+    /// the `RwLock` live map, and only a genuine miss computes.
+    ///
     /// `compute` runs *outside* any lock, so it may be expensive (a
     /// scanner page fetch) without stalling other shard users. Two
     /// threads racing on the same cold key may both compute; the first
     /// insertion wins and both observe that value — with deterministic
-    /// `compute` the race is invisible in the results.
+    /// `compute` the race is invisible in the results. The snapshot is
+    /// always a subset of the live map, so both paths agree on every
+    /// key they can both serve.
     pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = self.shard(key).read().get(key) {
+        let shard = self.shard(key);
+        if let Some(hit) = shard.snapshot.load().get(key) {
+            return hit.clone();
+        }
+        if let Some(hit) = shard.live.read().get(key) {
             return hit.clone();
         }
         let value = compute();
-        let mut shard = self.shard(key).write();
-        shard.entry(key.to_string()).or_insert(value).clone()
+        let mut live = shard.live.write();
+        let value = live.entry(key.to_string()).or_insert(value).clone();
+        shard.maybe_republish(&live);
+        value
     }
 }
 
@@ -186,6 +259,39 @@ mod tests {
         assert_eq!(stats, CacheStats { lookups: 4, entries: 2, hits: 2 });
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn snapshot_republish_keeps_serving_after_growth() {
+        let cache = ShardedCache::new();
+        // Grow well past several doublings so every shard has published
+        // at least once, then verify both read paths agree everywhere.
+        for i in 0..500 {
+            cache.get_or_insert_with(&format!("key-{i}"), || i);
+        }
+        for i in 0..500 {
+            let key = format!("key-{i}");
+            assert_eq!(cache.get(&key), Some(i));
+            assert_eq!(cache.get_or_insert_with(&key, || unreachable!("must hit")), i);
+        }
+        assert_eq!(cache.len(), 500);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 1000);
+        assert_eq!(stats.entries, 500);
+        assert_eq!(stats.hits, 500);
+    }
+
+    #[test]
+    fn clear_resets_snapshots_too() {
+        let cache = ShardedCache::new();
+        for i in 0..64 {
+            cache.get_or_insert_with(&format!("k{i}"), || i);
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        // A snapshot surviving clear() would wrongly serve stale hits.
+        assert_eq!(cache.get("k0"), None);
+        assert_eq!(cache.get_or_insert_with("k0", || 99), 99);
     }
 
     #[test]

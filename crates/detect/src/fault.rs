@@ -452,10 +452,25 @@ impl ServiceCompiler {
 /// across scan worker threads.
 #[derive(Debug)]
 pub struct FaultPlan {
-    decisions: HashMap<String, [ServiceDecision; 3]>,
+    /// Decisions keyed `exchange → seq → triple` for the canonical
+    /// `exchange#seq` request keys, so the scan hot path can look a
+    /// record up without formatting a key ([`FaultPlan::decisions_for`]).
+    decisions: HashMap<String, HashMap<u64, [ServiceDecision; 3]>>,
+    /// Decisions whose keys don't parse as `exchange#seq` (plans are
+    /// occasionally compiled over ad-hoc key sets in tests/tools).
+    flat: HashMap<String, [ServiceDecision; 3]>,
+    /// Total requests covered.
+    covered: usize,
     breaker_opens: [u64; 3],
     breaker_final: [BreakerState; 3],
     injected: [u64; 3],
+}
+
+/// Splits a canonical `exchange#seq` request key; `None` when the part
+/// after the last `#` is not a plain integer.
+fn split_key(key: &str) -> Option<(&str, u64)> {
+    let (exchange, seq) = key.rsplit_once('#')?;
+    seq.parse::<u64>().ok().map(|seq| (exchange, seq))
 }
 
 impl FaultPlan {
@@ -491,8 +506,9 @@ impl FaultPlan {
         let mut order: Vec<&(String, u64)> = requests.iter().collect();
         order.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
 
-        let mut decisions: HashMap<String, [ServiceDecision; 3]> =
-            HashMap::with_capacity(requests.len());
+        let mut decisions: HashMap<String, HashMap<u64, [ServiceDecision; 3]>> = HashMap::new();
+        let mut flat: HashMap<String, [ServiceDecision; 3]> = HashMap::new();
+        let mut covered = 0usize;
         let mut injected = [0u64; 3];
         for (key, at) in order {
             let mut triple = [ServiceDecision::Ok; 3];
@@ -530,11 +546,23 @@ impl FaultPlan {
                     }
                 }
             }
-            decisions.insert(key.clone(), triple);
+            let fresh = match split_key(key) {
+                Some((exchange, seq)) => decisions
+                    .entry(exchange.to_string())
+                    .or_default()
+                    .insert(seq, triple)
+                    .is_none(),
+                None => flat.insert(key.clone(), triple).is_none(),
+            };
+            if fresh {
+                covered += 1;
+            }
         }
 
         FaultPlan {
             decisions,
+            flat,
+            covered,
             breaker_opens: [
                 compilers[0].breaker.opens(),
                 compilers[1].breaker.opens(),
@@ -552,17 +580,31 @@ impl FaultPlan {
     /// The decision triple for one request key (all-Ok for unknown
     /// keys, so a plan compiled over a subset degrades safely).
     pub fn decisions(&self, key: &str) -> [ServiceDecision; 3] {
-        self.decisions.get(key).copied().unwrap_or_default()
+        match split_key(key) {
+            Some((exchange, seq)) => self.decisions_for(exchange, seq),
+            None => self.flat.get(key).copied().unwrap_or_default(),
+        }
+    }
+
+    /// The decision triple for the record identified by `exchange` and
+    /// `seq` — the allocation-free form of [`FaultPlan::decisions`] the
+    /// scan hot path uses (all-Ok for unknown records).
+    pub fn decisions_for(&self, exchange: &str, seq: u64) -> [ServiceDecision; 3] {
+        self.decisions
+            .get(exchange)
+            .and_then(|per_seq| per_seq.get(&seq))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Number of requests the plan covers.
     pub fn len(&self) -> usize {
-        self.decisions.len()
+        self.covered
     }
 
     /// True when the plan covers no requests.
     pub fn is_empty(&self) -> bool {
-        self.decisions.is_empty()
+        self.covered == 0
     }
 
     /// Total injected faults (failed attempts) planned for a service.
@@ -729,6 +771,32 @@ mod tests {
             })
             .count();
         assert!(skips > 0, "open breaker must skip requests");
+    }
+
+    #[test]
+    fn decisions_for_agrees_with_string_keys() {
+        let plan = FaultPlan::compile(&FaultProfile::harsh(), 42, &requests(120, 3));
+        for i in 0..120u64 {
+            assert_eq!(plan.decisions(&format!("X#{i}")), plan.decisions_for("X", i), "seq {i}");
+        }
+        assert_eq!(plan.decisions_for("unknown-exchange", 0), [ServiceDecision::Ok; 3]);
+        assert_eq!(plan.len(), 120);
+    }
+
+    #[test]
+    fn unparseable_keys_fall_back_to_flat_storage() {
+        let reqs = vec![
+            ("no-separator".to_string(), 0),
+            ("trailing#text".to_string(), 5),
+            ("ex#7".to_string(), 9),
+        ];
+        let plan = FaultPlan::compile(&FaultProfile::harsh(), 3, &reqs);
+        assert_eq!(plan.len(), 3);
+        for (key, _) in &reqs {
+            // Whatever the storage route, every compiled key resolves.
+            let _ = plan.decisions(key);
+        }
+        assert_eq!(plan.decisions("ex#7"), plan.decisions_for("ex", 7));
     }
 
     #[test]

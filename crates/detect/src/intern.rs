@@ -1,0 +1,157 @@
+//! A deterministic string interner for scan-phase hot paths.
+//!
+//! The scan pipeline resolves the same few thousand hosts, registered
+//! domains, and exchange names millions of times at paper scale; before
+//! interning, every resolution allocated a fresh `String`. The interner
+//! deduplicates each distinct string into a single shared `Arc<str>`,
+//! so repeat resolutions are a map hit plus a reference-count bump.
+//!
+//! Two access layers:
+//!
+//! - [`Interner::intern`] returns the canonical `Arc<str>` — what the
+//!   caches store and the hot path passes around;
+//! - [`Interner::sym`] / [`Interner::resolve`] expose a dense
+//!   [`Sym`] id per distinct string for code that wants `Copy` keys.
+//!
+//! Ids are assigned in first-intern order, which depends on thread
+//! scheduling under a parallel scan — so ids must never leak into
+//! study output (the determinism contract). The strings themselves are
+//! schedule-independent, and that is all the pipeline ever emits.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A dense, copyable id for an interned string (see [`Interner::sym`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index (dense, first-intern order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct InternerState {
+    ids: HashMap<Arc<str>, Sym>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe deduplicating string pool.
+///
+/// All methods take `&self`; lookups share a read lock and only a
+/// first-ever intern of a string takes the write lock.
+#[derive(Default)]
+pub struct Interner {
+    state: RwLock<InternerState>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The canonical shared copy of `s`, allocating it on first use.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        if let Some(hit) = self.state.read().ids.get_key_value(s) {
+            return Arc::clone(hit.0);
+        }
+        let mut state = self.state.write();
+        if let Some(hit) = state.ids.get_key_value(s) {
+            return Arc::clone(hit.0);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Sym(u32::try_from(state.strings.len()).expect("interner overflow"));
+        state.strings.push(Arc::clone(&arc));
+        state.ids.insert(Arc::clone(&arc), sym);
+        arc
+    }
+
+    /// The dense id of `s`, interning it on first use.
+    pub fn sym(&self, s: &str) -> Sym {
+        if let Some(sym) = self.state.read().ids.get(s) {
+            return *sym;
+        }
+        self.intern(s);
+        *self.state.read().ids.get(s).expect("just interned")
+    }
+
+    /// The string behind `sym`, or `None` for an id this interner never
+    /// issued.
+    pub fn resolve(&self, sym: Sym) -> Option<Arc<str>> {
+        self.state.read().strings.get(sym.index()).map(Arc::clone)
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.state.read().strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Interner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+// Compile-time audit: the interner is shared across scan workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Interner>();
+    assert_send_sync::<Sym>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes_to_one_allocation() {
+        let pool = Interner::new();
+        let a = pool.intern("example.com");
+        let b = pool.intern("example.com");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(&*a, "example.com");
+    }
+
+    #[test]
+    fn syms_round_trip() {
+        let pool = Interner::new();
+        let a = pool.sym("a");
+        let b = pool.sym("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.sym("a"), a);
+        assert_eq!(pool.resolve(a).as_deref(), Some("a"));
+        assert_eq!(pool.resolve(b).as_deref(), Some("b"));
+        assert_eq!(pool.resolve(Sym(99)), None);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let pool = Interner::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..200 {
+                        let s = format!("host-{}.example", i % 50);
+                        let arc = pool.intern(&s);
+                        assert_eq!(&*arc, s.as_str());
+                        let sym = pool.sym(&s);
+                        assert_eq!(pool.resolve(sym).as_deref(), Some(s.as_str()));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 50);
+    }
+}

@@ -37,6 +37,7 @@ pub mod engine;
 pub mod fault;
 pub mod features;
 pub mod hash;
+pub mod intern;
 pub mod quttera;
 pub mod retry;
 pub mod tools;
@@ -51,6 +52,7 @@ pub use fault::{
     ServiceFaultProfile,
 };
 pub use features::Features;
+pub use intern::{Interner, Sym};
 pub use quttera::{Quttera, QutteraFinding, QutteraReport};
 pub use retry::{BreakerState, CircuitBreaker, Resolution, RetryPolicy};
 pub use virustotal::{VirusTotal, VtReport};

@@ -43,6 +43,19 @@ for key in ("scan.faults.injected", "scan.retries", "scan.degraded_verdicts",
         sys.exit(f"METRICS smoke test: fault-free run has {key!r} = "
                  f"{counters[key]}, expected 0")
 
+# Same convention for the streaming-pipeline bookkeeping: a barrier run
+# must register the scan.pipeline.* counters at zero with the overlap
+# gauge off.
+for key in ("scan.pipeline.chunks", "scan.pipeline.records_streamed",
+            "scan.pipeline.fault_fallback"):
+    if key not in counters:
+        sys.exit(f"METRICS smoke test: pipeline counter {key!r} missing")
+    if counters[key] != 0:
+        sys.exit(f"METRICS smoke test: barrier run has {key!r} = "
+                 f"{counters[key]}, expected 0")
+if snapshot["gauges"].get("scan.pipeline.overlap") != 0:
+    sys.exit("METRICS smoke test: barrier run reports scan.pipeline.overlap != 0")
+
 print(f"METRICS smoke test OK: {len(counters)} counters, "
       f"{len(snapshot['spans'])} spans")
 EOF
@@ -122,6 +135,85 @@ if counters.get("crawl.faults.injected", 0) <= 0:
 print("RESUME smoke test OK: table1 identical after kill+resume, "
       f"{counters['crawl.resume.records_restored']} records restored, "
       f"{counters['crawl.faults.lost_steps']} slots lost to faults")
+EOF
+
+# Streaming-pipeline smoke test: the overlapped crawl→scan pipeline
+# (scan workers consuming record chunks while the crawl runs) must
+# export the exact same study as the phase-barrier path — byte for
+# byte, including metrics-derived figures.
+barrier_json="$(mktemp -t REPRO_BARRIER.XXXXXX.json)"
+overlap_json="$(mktemp -t REPRO_OVERLAP.XXXXXX.json)"
+overlap_metrics_file="$(mktemp -t METRICS_OVERLAP.XXXXXX.json)"
+bench_dir="$(mktemp -d -t SLUMBENCH.XXXXXX)"
+trap 'rm -rf "$metrics_file" "$fault_metrics_file" "$ckpt_dir" \
+    "$straight_out" "$resumed_out" "$resumed_metrics_file" \
+    "$barrier_json" "$overlap_json" "$overlap_metrics_file" "$bench_dir"' EXIT
+
+cargo run --release -p slum-bench --bin repro -- json \
+    --scale 0.001 --seed 2016 > "$barrier_json" 2>/dev/null
+
+cargo run --release -p slum-bench --bin repro -- json \
+    --scale 0.001 --seed 2016 --overlap --workers 8 \
+    --metrics "$overlap_metrics_file" > "$overlap_json" 2>/dev/null
+
+cmp "$barrier_json" "$overlap_json" \
+    || { echo "OVERLAP smoke test: overlapped export diverged from barrier run"; exit 1; }
+
+python3 - "$overlap_metrics_file" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+
+counters = snapshot["counters"]
+if snapshot["gauges"].get("scan.pipeline.overlap") != 1:
+    sys.exit("OVERLAP smoke test: --overlap run did not take the streaming path")
+if counters.get("scan.pipeline.chunks", 0) <= 0:
+    sys.exit("OVERLAP smoke test: no record chunks streamed")
+if counters.get("scan.pipeline.records_streamed", 0) != counters.get("crawl.pages"):
+    sys.exit("OVERLAP smoke test: streamed records != crawled pages")
+
+print("OVERLAP smoke test OK: export byte-identical to barrier, "
+      f"{counters['scan.pipeline.records_streamed']} records in "
+      f"{counters['scan.pipeline.chunks']} chunks")
+EOF
+
+# Benchmark smoke test: bench-scan --quick (smallest scale only) must
+# produce a BENCH_scanpipe.json carrying both the legacy flat schema
+# and the per-scale scaling sections. Run from a scratch dir so the
+# committed BENCH_scanpipe.json is untouched.
+repro_bin="$(pwd)/target/release/repro"
+(cd "$bench_dir" && "$repro_bin" bench-scan --quick --seed 2016 >/dev/null 2>&1)
+
+python3 - "$bench_dir/BENCH_scanpipe.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key in ("benchmark", "seed", "crawl_scale", "records", "runs",
+            "host", "scan_chunk", "serial_scan_threshold", "scales"):
+    if key not in doc:
+        sys.exit(f"BENCH smoke test: key {key!r} missing from BENCH_scanpipe.json")
+if doc["benchmark"] != "scanpipe" or doc["host"].get("cpus", 0) < 1:
+    sys.exit("BENCH smoke test: malformed benchmark/host fields")
+if [r["workers"] for r in doc["runs"]] != [1, 2, 4, 8]:
+    sys.exit("BENCH smoke test: legacy runs must cover workers 1/2/4/8")
+scale = doc["scales"][0]
+for key in ("crawl_seconds", "scan_seconds", "overlap_total_seconds",
+            "overlap_savings_seconds", "regular_records"):
+    if key not in scale:
+        sys.exit(f"BENCH smoke test: per-scale key {key!r} missing")
+for run in scale["runs"]:
+    if run["effective_workers"] > doc["host"]["cpus"]:
+        sys.exit("BENCH smoke test: effective workers exceed host cpus")
+    if run["seconds"] <= 0 or run["records_per_sec"] <= 0:
+        sys.exit("BENCH smoke test: non-positive timing fields")
+
+print(f"BENCH smoke test OK: {doc['records']} records, "
+      f"{len(doc['scales'])} scale(s), host cpus {doc['host']['cpus']}")
 EOF
 
 echo "ci.sh: all checks passed"

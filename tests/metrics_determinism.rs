@@ -58,7 +58,7 @@ fn key_counters_are_nonzero_and_cross_consistent() {
     // One scan (and one URL-feature lookup) per regular record.
     assert_eq!(m.counter("scan.scans"), regular);
     assert_eq!(m.counter("scan.cache.url_features.lookups"), regular);
-    for group in ["url_features", "host_domains", "domain_blacklisted"] {
+    for group in ["url_features", "content_features", "host_domains", "domain_blacklisted"] {
         let lookups = m.counter(&format!("scan.cache.{group}.lookups"));
         let entries = m.counter(&format!("scan.cache.{group}.entries"));
         let hits = m.counter(&format!("scan.cache.{group}.hits"));

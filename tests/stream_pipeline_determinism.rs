@@ -1,0 +1,169 @@
+//! Streaming-pipeline determinism: the overlapped crawl→scan pipeline
+//! must be bit-identical to the phase-barrier path — same export JSON,
+//! same deterministic counters — for every scan worker count and chunk
+//! size, with and without fault profiles. Also pins the small-corpus
+//! serial fallback (8 requested workers must resolve to the serial
+//! plan below the threshold) and the always-present-but-zero
+//! `scan.pipeline.*` convention on the barrier path.
+
+use std::collections::BTreeMap;
+
+use malware_slums::study::{Study, StudyConfig, StudyConfigBuilder};
+use slum_crawler::CrawlFaultProfile;
+use slum_detect::fault::FaultProfile;
+
+const SEED: u64 = 4242;
+const SCALE: f64 = 0.0003;
+
+fn base_builder() -> StudyConfigBuilder {
+    StudyConfig::builder().seed(SEED).crawl_scale(SCALE).domain_scale(0.03)
+}
+
+/// Export JSON plus deterministic counters, with the keys that
+/// legitimately vary between pipeline modes stripped: worker-count
+/// echoes, chunk-size echoes, and the `scan.pipeline.*` bookkeeping
+/// that *describes* the mode (chunk counts differ by chunk size; the
+/// overlap gauge differs by definition).
+fn fingerprint(study: &Study) -> (String, BTreeMap<String, i128>) {
+    let json = malware_slums::export::to_json(study).expect("export JSON");
+    let mut counters = study.metrics().deterministic_counters();
+    for key in [
+        "gauge:config.scan_workers",
+        "gauge:scan.workers",
+        "gauge:config.scan_chunk",
+        "gauge:config.serial_scan_threshold",
+        "gauge:config.overlap",
+        "gauge:scan.pipeline.overlap",
+        "scan.pipeline.chunks",
+        "scan.pipeline.records_streamed",
+        "scan.pipeline.fault_fallback",
+    ] {
+        counters.remove(key);
+    }
+    (json, counters)
+}
+
+#[test]
+fn overlapped_matches_barrier_for_every_worker_count_and_chunk_size() {
+    let barrier = Study::run(&base_builder().build().expect("barrier config"));
+    let baseline = fingerprint(&barrier);
+
+    // Barrier path: pipeline counters present but zero (the PR 4/5
+    // always-register convention), overlap gauge off.
+    let m = barrier.metrics();
+    assert_eq!(m.counter("scan.pipeline.chunks"), 0);
+    assert_eq!(m.counter("scan.pipeline.records_streamed"), 0);
+    assert_eq!(m.counter("scan.pipeline.fault_fallback"), 0);
+    assert_eq!(m.gauge("scan.pipeline.overlap"), 0);
+
+    for workers in [1usize, 2, 4, 8] {
+        for chunk in [1usize, 64, 4096] {
+            let config = base_builder()
+                .scan_workers(workers)
+                .scan_chunk(chunk)
+                .overlap_scan(true)
+                .build()
+                .expect("overlap config");
+            let study = Study::run(&config);
+            assert_eq!(
+                fingerprint(&study),
+                baseline,
+                "overlap diverged from barrier at {workers} workers, chunk {chunk}"
+            );
+
+            // The overlapped path really streamed: every record arrived
+            // in a chunk, none fell back.
+            let m = study.metrics();
+            assert_eq!(m.gauge("scan.pipeline.overlap"), 1);
+            assert!(m.counter("scan.pipeline.chunks") > 0);
+            assert_eq!(
+                m.counter("scan.pipeline.records_streamed"),
+                study.store.len() as u64
+            );
+            assert_eq!(m.counter("scan.pipeline.fault_fallback"), 0);
+        }
+    }
+}
+
+#[test]
+fn overlapped_matches_barrier_under_crawl_faults() {
+    // Lifecycle faults (outages, bans, shutdowns) perturb the record
+    // stream itself — lost slots make chunks ragged — which is exactly
+    // what the (exchange, sequence) reassembly has to absorb.
+    let faulted = || base_builder().crawl_fault_profile(CrawlFaultProfile::default_profile());
+    let barrier = Study::run(&faulted().build().expect("barrier config"));
+    let baseline = fingerprint(&barrier);
+
+    for (workers, chunk) in [(2usize, 1usize), (8, 64), (4, 4096)] {
+        let config = faulted()
+            .scan_workers(workers)
+            .scan_chunk(chunk)
+            .overlap_scan(true)
+            .build()
+            .expect("overlap config");
+        let study = Study::run(&config);
+        assert_eq!(
+            fingerprint(&study),
+            baseline,
+            "faulted overlap diverged at {workers} workers, chunk {chunk}"
+        );
+        assert_eq!(study.metrics().gauge("scan.pipeline.overlap"), 1);
+    }
+}
+
+#[test]
+fn overlap_request_under_scan_faults_falls_back_to_barrier() {
+    // A scan-fault plan is compiled from the complete corpus, so the
+    // overlapped path cannot start scanning mid-crawl; the run must
+    // take the barrier path, say so in the metrics, and still produce
+    // identical results.
+    let faulted = || base_builder().fault_profile(FaultProfile::default_profile());
+    let barrier = Study::run(&faulted().build().expect("barrier config"));
+    let overlap = Study::run(
+        &faulted().overlap_scan(true).scan_workers(4).build().expect("overlap config"),
+    );
+    assert_eq!(fingerprint(&overlap), fingerprint(&barrier));
+
+    let m = overlap.metrics();
+    assert_eq!(m.gauge("scan.pipeline.overlap"), 0, "fault plans force the barrier path");
+    assert_eq!(m.counter("scan.pipeline.fault_fallback"), 1);
+    assert_eq!(m.counter("scan.pipeline.chunks"), 0);
+}
+
+#[test]
+fn small_corpus_resolves_to_serial_regardless_of_requested_workers() {
+    // The crawl_scale 0.001-class corpora sit far below the serial
+    // threshold; requesting 8 workers must not spawn 8 threads (the
+    // regression where parallel scans of tiny corpora ran slower than
+    // serial). `scan.workers` reports the plan actually executed.
+    let config = base_builder().scan_workers(8).build().expect("config");
+    let study = Study::run(&config);
+    let regular = study.metrics().counter("filter.regular_out");
+    assert!(
+        (regular as usize) < malware_slums::scanpipe::DEFAULT_SERIAL_SCAN_THRESHOLD,
+        "test corpus must sit below the serial threshold"
+    );
+    assert_eq!(study.metrics().gauge("scan.workers"), 1);
+
+    // Lowering the threshold re-enables parallelism (clamped to the
+    // host), without changing results.
+    let parallel = Study::run(
+        &base_builder()
+            .scan_workers(8)
+            .serial_scan_threshold(0)
+            .build()
+            .expect("config"),
+    );
+    assert!(parallel.metrics().gauge("scan.workers") >= 1);
+    assert_eq!(fingerprint(&parallel), fingerprint(&study));
+}
+
+#[test]
+fn builder_rejects_invalid_pipeline_combinations() {
+    assert!(base_builder().scan_chunk(0).build().is_err(), "zero chunk must be rejected");
+    assert!(
+        base_builder().overlap_scan(true).checkpoint_every(64).build().is_err(),
+        "overlap + checkpointing must be rejected"
+    );
+    assert!(base_builder().overlap_scan(true).scan_chunk(128).build().is_ok());
+}

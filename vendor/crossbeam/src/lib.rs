@@ -1,6 +1,336 @@
 //! Offline shim for the `crossbeam` API subset this workspace uses:
 //! `crossbeam::thread::scope` + scoped spawn/join, implemented directly
-//! on `std::thread::scope` (stable since Rust 1.63).
+//! on `std::thread::scope` (stable since Rust 1.63), and
+//! `crossbeam::channel::bounded` — a blocking MPMC channel with
+//! disconnect semantics, built on `Mutex<VecDeque>` + two `Condvar`s.
+
+/// Multi-producer multi-consumer bounded channels (mirrors the
+/// `crossbeam::channel` subset the streaming scan pipeline needs).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+        cap: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloneable. The channel disconnects for
+    /// receivers once the last clone drops.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (competing consumers). The channel
+    /// disconnects for senders once the last clone drops.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight items
+    /// (`cap` of zero is rounded up to one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if every [`Receiver`] has dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if queue.len() < self.inner.cap {
+                    queue.push_back(value);
+                    drop(queue);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = self.inner.not_full.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Number of items currently queued (racy; for metrics only).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// True when nothing is queued (racy; for metrics only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives and returns it.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the queue is empty and every
+        /// [`Sender`] has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.not_empty.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Number of items currently queued (racy; for metrics only).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// True when nothing is queued (racy; for metrics only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake receivers parked in recv() so they
+                // observe the disconnect. Taking the lock orders the
+                // wake-up after any in-flight recv reaches wait().
+                let _guard = self.inner.queue.lock().expect("channel poisoned");
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = self.inner.queue.lock().expect("channel poisoned");
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+/// RCU-style published snapshots: wait-free reads of a shared value,
+/// with writers replacing the whole value at once (the Mola Collections
+/// `RcuMap` reclamation model: retired values go to a graveyard that is
+/// only freed when the cell is exclusively held or dropped, so readers
+/// never race reclamation and need no locks, epochs, or hazard
+/// pointers).
+pub mod rcu {
+    use std::sync::atomic::{AtomicPtr, Ordering};
+    use std::sync::Mutex;
+
+    /// A shared cell holding one `T`, readable without locking.
+    ///
+    /// [`RcuCell::load`] is a single atomic pointer read; [`RcuCell::
+    /// store`] boxes the new value, swaps it in, and *retires* the old
+    /// value instead of freeing it. Retired values are reclaimed by
+    /// [`RcuCell::collect`] (which takes `&mut self`, proving no reader
+    /// exists) or on drop. Memory stays bounded when writers replace the
+    /// value O(log n) times (e.g. republish-on-doubling caches).
+    pub struct RcuCell<T> {
+        current: AtomicPtr<T>,
+        graveyard: Mutex<Vec<*mut T>>,
+    }
+
+    // SAFETY: the raw pointers are only ever created from `Box<T>` and
+    // only dereferenced while the cell is alive; `T: Send + Sync` makes
+    // sharing and cross-thread dropping of those boxes sound.
+    unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+    unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+    impl<T> RcuCell<T> {
+        /// Creates a cell holding `value`.
+        pub fn new(value: T) -> Self {
+            RcuCell {
+                current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+                graveyard: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// The current value. Wait-free: one atomic load, no locks.
+        ///
+        /// The reference is valid for the whole `&self` borrow: replaced
+        /// values are retired, never freed, while shared references can
+        /// exist.
+        pub fn load(&self) -> &T {
+            // SAFETY: `current` always points at a live Box leaked by
+            // `new`/`store`. Old values are moved to the graveyard and
+            // freed only under `&mut self` (collect/drop), which cannot
+            // overlap this `&self` borrow.
+            unsafe { &*self.current.load(Ordering::Acquire) }
+        }
+
+        /// Publishes `value` as the new current value and retires the
+        /// old one (reclaimed later by [`RcuCell::collect`] or drop).
+        pub fn store(&self, value: T) {
+            let fresh = Box::into_raw(Box::new(value));
+            let old = self.current.swap(fresh, Ordering::AcqRel);
+            self.graveyard.lock().expect("rcu graveyard poisoned").push(old);
+        }
+
+        /// Frees every retired value. Requires `&mut self`, which
+        /// guarantees no outstanding [`RcuCell::load`] reference.
+        pub fn collect(&mut self) {
+            for ptr in self.graveyard.get_mut().expect("rcu graveyard poisoned").drain(..) {
+                // SAFETY: graveyard pointers are uniquely-owned retired
+                // boxes; `&mut self` proves no reader still holds `&T`.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+
+        /// Number of retired values awaiting reclamation.
+        pub fn retired(&self) -> usize {
+            self.graveyard.lock().expect("rcu graveyard poisoned").len()
+        }
+    }
+
+    impl<T> Drop for RcuCell<T> {
+        fn drop(&mut self) {
+            self.collect();
+            let current = *self.current.get_mut();
+            // SAFETY: `current` is the uniquely-owned live box; nobody
+            // can load it again once drop runs.
+            drop(unsafe { Box::from_raw(current) });
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for RcuCell<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("RcuCell").field(self.load()).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::RcuCell;
+
+        #[test]
+        fn load_sees_latest_store() {
+            let cell = RcuCell::new(1u32);
+            assert_eq!(*cell.load(), 1);
+            cell.store(2);
+            assert_eq!(*cell.load(), 2);
+            assert_eq!(cell.retired(), 1);
+        }
+
+        #[test]
+        fn collect_drains_the_graveyard() {
+            let mut cell = RcuCell::new(String::from("a"));
+            cell.store(String::from("b"));
+            cell.store(String::from("c"));
+            assert_eq!(cell.retired(), 2);
+            cell.collect();
+            assert_eq!(cell.retired(), 0);
+            assert_eq!(cell.load(), "c");
+        }
+
+        #[test]
+        fn old_reference_stays_valid_across_store() {
+            let cell = RcuCell::new(vec![1, 2, 3]);
+            let old = cell.load();
+            cell.store(vec![4]);
+            // `old` still points at the retired value — the graveyard
+            // keeps it alive for as long as `cell` is shared.
+            assert_eq!(old, &[1, 2, 3]);
+            assert_eq!(cell.load(), &[4]);
+        }
+
+        #[test]
+        fn concurrent_readers_and_writers_never_tear() {
+            let cell = RcuCell::new((0u64, 0u64));
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        for _ in 0..10_000 {
+                            let (a, b) = *cell.load();
+                            assert_eq!(a, b, "readers must never observe a torn pair");
+                        }
+                    });
+                }
+                scope.spawn(|| {
+                    for i in 1..=1_000u64 {
+                        cell.store((i, i));
+                    }
+                });
+            });
+            assert_eq!(cell.retired(), 1_000);
+        }
+    }
+}
 
 /// Scoped threads (mirrors `crossbeam::thread`).
 pub mod thread {
@@ -100,5 +430,96 @@ mod tests {
         })
         .expect("scope");
         assert!(res.is_err());
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, RecvError};
+    use super::thread;
+
+    #[test]
+    fn fifo_within_a_single_producer() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_errors_once_senders_are_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_once_receivers_are_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(7u8).is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        thread::scope(|scope| {
+            scope.spawn(|_| {
+                for i in 0..100u32 {
+                    tx.send(i).expect("send");
+                }
+                drop(tx.clone()); // exercise clone bookkeeping
+            });
+            let mut seen = Vec::new();
+            while let Ok(v) = rx.recv() {
+                seen.push(v);
+                if seen.len() == 100 {
+                    break;
+                }
+            }
+            assert_eq!(seen.len(), 100);
+            assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        })
+        .expect("scope");
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything_once() {
+        let (tx, rx) = bounded(4);
+        let total: u64 = thread::scope(|scope| {
+            let producers: Vec<_> = (0..3u64)
+                .map(|p| {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        for i in 0..50 {
+                            tx.send(p * 1000 + i).expect("send");
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| {
+                        let mut count = 0u64;
+                        while rx.recv().is_ok() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().expect("producer");
+            }
+            consumers.into_iter().map(|c| c.join().expect("consumer")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 150);
     }
 }
