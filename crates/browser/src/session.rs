@@ -1,8 +1,11 @@
 //! The page-load pipeline: redirects → DOM → scripts → clicks.
 
+use std::sync::Arc;
+
 use slum_html::Document;
 use slum_js::flash::SwfMovie;
-use slum_js::sandbox::{Effect, Sandbox, SandboxReport};
+use slum_js::sandbox::{Effect, JsEngine, Sandbox, SandboxReport};
+use slum_js::ModuleStore;
 use slum_websim::{FetchOutcome, RequestContext, SyntheticWeb, Url};
 
 use crate::har::{HarEntry, HarLog};
@@ -96,6 +99,8 @@ pub struct Browser<'w> {
     max_hops: u32,
     simulate_click: bool,
     clock: u64,
+    js_engine: JsEngine,
+    module_store: Option<Arc<dyn ModuleStore>>,
 }
 
 impl<'w> Browser<'w> {
@@ -107,7 +112,25 @@ impl<'w> Browser<'w> {
             max_hops: 8,
             simulate_click: true,
             clock: 0,
+            js_engine: JsEngine::default(),
+            module_store: None,
         }
+    }
+
+    /// Selects the JavaScript engine used for page scripts (the bytecode
+    /// VM by default; the tree-walking interpreter as the differential
+    /// oracle).
+    pub fn with_js_engine(mut self, engine: JsEngine) -> Self {
+        self.js_engine = engine;
+        self
+    }
+
+    /// Shares a compiled-module cache across loads, so pages reusing the
+    /// same packed payload compile it once. Only consulted by the
+    /// [`JsEngine::Vm`] engine.
+    pub fn with_module_store(mut self, store: Arc<dyn ModuleStore>) -> Self {
+        self.module_store = Some(store);
+        self
     }
 
     /// Overrides the request context (visitor country, referrer, or a
@@ -324,7 +347,11 @@ impl<'w> Browser<'w> {
         if !program.trim().is_empty() {
             let mut sandbox = Sandbox::new()
                 .with_location(page_url.to_string())
-                .with_referrer(self.ctx.referrer.clone());
+                .with_referrer(self.ctx.referrer.clone())
+                .with_engine(self.js_engine);
+            if let Some(store) = &self.module_store {
+                sandbox = sandbox.with_module_store(store.clone());
+            }
             let report = sandbox.run(&program);
             merge_reports(&mut merged, report);
         }
@@ -465,6 +492,8 @@ fn merge_reports(base: &mut SandboxReport, addition: SandboxReport) {
     base.errors.extend(addition.errors);
     base.steps_used += addition.steps_used;
     base.max_eval_depth = base.max_eval_depth.max(addition.max_eval_depth);
+    base.vm_instructions += addition.vm_instructions;
+    base.vm_module_lookups += addition.vm_module_lookups;
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@ use slum_detect::fault::{FaultPlan, ScanService, ServiceDecision};
 use slum_detect::hash::fnv1a;
 use slum_detect::quttera::{Quttera, QutteraFinding, QutteraReport, QutteraVerdict};
 use slum_detect::virustotal::{VirusTotal, VtReport};
-use slum_detect::{Features, Interner, ShardedCache};
+use slum_detect::{Features, Interner, JsModuleCache, ShardedCache};
+use slum_js::sandbox::{JsEngine, SandboxReport};
+use slum_js::ModuleStore;
 use slum_websim::{RequestContext, SyntheticWeb, Url};
 
 /// Which services contributed to a verdict — the provenance record the
@@ -209,6 +211,75 @@ pub struct ScanPipeline<'w> {
     /// pipeline infallible and bit-identical to the pre-fault-layer
     /// behaviour.
     fault_plan: Option<FaultPlan>,
+    /// Which JavaScript engine sandboxed page execution uses (the
+    /// bytecode VM by default; the tree-walking interpreter as the
+    /// differential oracle). The choice is invisible in verdicts — the
+    /// engines are observably identical — only throughput and the
+    /// `js.vm.*` counters differ.
+    js_engine: JsEngine,
+    /// Compiled-module cache shared across scan workers: campaign pages
+    /// reusing the same packed payload compile it once. Only consulted
+    /// under [`JsEngine::Vm`].
+    js_modules: Arc<JsModuleCache>,
+    /// Per-sample JS execution stats, keyed like the feature caches
+    /// (canonical URL for URL scans, `canon#hash` for content uploads).
+    /// Memoizing per sample makes the `js.vm.*` execution counters
+    /// deterministic across worker counts: racing duplicate computes
+    /// collapse to one entry per distinct sample.
+    js_stats: ShardedCache<JsRunStats>,
+}
+
+/// JS execution counters for one distinct scanned sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct JsRunStats {
+    /// Bytecode instructions the VM dispatched (0 under the tree-walk
+    /// engine).
+    instructions: u64,
+    /// Module-cache lookups the VM issued (one per script + eval layer).
+    module_lookups: u64,
+    /// Scripts that ran out of step budget.
+    budget_exhaustions: u64,
+}
+
+impl JsRunStats {
+    fn from_report(report: &SandboxReport) -> JsRunStats {
+        JsRunStats {
+            instructions: report.vm_instructions,
+            module_lookups: report.vm_module_lookups,
+            budget_exhaustions: report
+                .errors
+                .iter()
+                .filter(|e| e.contains("step budget exhausted"))
+                .count() as u64,
+        }
+    }
+}
+
+/// Aggregated `js.vm.*` statistics of one [`ScanPipeline`], read via
+/// [`ScanPipeline::js_vm_stats`].
+///
+/// Every field except `compile_nanos` is derived from per-sample
+/// memoized stats and the module cache's entry set, both of which are
+/// schedule-independent — so the numbers are identical for every worker
+/// count. `compile_nanos` is wall-clock and excluded from determinism
+/// contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JsVmStats {
+    /// Distinct modules compiled (== module-cache entries == the
+    /// compilations a serial run would perform).
+    pub compiles: u64,
+    /// Total wall-clock nanoseconds spent compiling those modules
+    /// (wall-clock; not deterministic).
+    pub compile_nanos: u64,
+    /// Module-cache lookups across all distinct samples.
+    pub module_lookups: u64,
+    /// Lookups served from cache (`module_lookups - compiles`,
+    /// saturating).
+    pub module_hits: u64,
+    /// Bytecode instructions executed across all distinct samples.
+    pub instructions: u64,
+    /// Scripts that exhausted their step budget.
+    pub budget_exhaustions: u64,
 }
 
 impl<'w> ScanPipeline<'w> {
@@ -226,7 +297,23 @@ impl<'w> ScanPipeline<'w> {
             domain_blacklisted: ShardedCache::new(),
             interner: Interner::new(),
             fault_plan: None,
+            js_engine: JsEngine::default(),
+            js_modules: Arc::new(JsModuleCache::new()),
+            js_stats: ShardedCache::new(),
         }
+    }
+
+    /// Selects the JavaScript engine for sandboxed page execution.
+    /// Verdicts are bit-identical either way; only throughput and the
+    /// `js.vm.*` counters change.
+    pub fn with_js_engine(mut self, engine: JsEngine) -> Self {
+        self.js_engine = engine;
+        self
+    }
+
+    /// The JS engine this pipeline scans with.
+    pub fn js_engine(&self) -> JsEngine {
+        self.js_engine
     }
 
     /// Attaches a compiled fault schedule: every subsequent
@@ -248,14 +335,26 @@ impl<'w> ScanPipeline<'w> {
     }
 
     /// Drops all memoized state (URL features, domain derivations,
-    /// consensus verdicts). Verdicts are deterministic with or without
-    /// warm caches; benchmarks use this to measure cold scans without
-    /// paying pipeline construction again.
+    /// consensus verdicts, per-sample JS stats). Verdicts are
+    /// deterministic with or without warm caches; benchmarks use this
+    /// to measure cold scans without paying pipeline construction
+    /// again.
+    ///
+    /// The compiled-module cache survives: modules are keyed by content
+    /// hash and behaviourally inert, and warm-module/cold-feature is
+    /// exactly the configuration the JS-VM benchmark measures. Use
+    /// [`ScanPipeline::clear_module_cache`] for a fully cold run.
     pub fn clear_caches(&self) {
         self.url_features.clear();
         self.content_features.clear();
         self.host_domains.clear();
         self.domain_blacklisted.clear();
+        self.js_stats.clear();
+    }
+
+    /// Drops the compiled-JS module cache too (fully cold scans).
+    pub fn clear_module_cache(&self) {
+        self.js_modules.clear();
     }
 
     /// Number of distinct URLs whose scan features are currently cached.
@@ -274,6 +373,26 @@ impl<'w> ScanPipeline<'w> {
             ("host_domains", self.host_domains.stats()),
             ("domain_blacklisted", self.domain_blacklisted.stats()),
         ]
+    }
+
+    /// Aggregated JS-engine statistics (see [`JsVmStats`]). All-zero
+    /// under [`JsEngine::TreeWalk`] and before any scan, so the
+    /// `js.vm.*` counters derived from this are always present.
+    pub fn js_vm_stats(&self) -> JsVmStats {
+        let per_sample = self.js_stats.fold(JsRunStats::default(), |acc, _key, s| JsRunStats {
+            instructions: acc.instructions + s.instructions,
+            module_lookups: acc.module_lookups + s.module_lookups,
+            budget_exhaustions: acc.budget_exhaustions + s.budget_exhaustions,
+        });
+        let compiles = self.js_modules.len() as u64;
+        JsVmStats {
+            compiles,
+            compile_nanos: self.js_modules.total_compile_nanos(),
+            module_lookups: per_sample.module_lookups,
+            module_hits: per_sample.module_lookups.saturating_sub(compiles),
+            instructions: per_sample.instructions,
+            budget_exhaustions: per_sample.budget_exhaustions,
+        }
     }
 
     /// Scans one crawl record, degrading gracefully when the fault plan
@@ -329,7 +448,16 @@ impl<'w> ScanPipeline<'w> {
                 if let Some(content) = &record.content {
                     let content_key = format!("{canon}#{:x}", fnv1a(content.as_bytes()));
                     let features = self.content_features.get_or_insert_with(&content_key, || {
-                        Features::from_content(&record.url, content)
+                        let (features, report) = Features::from_content_with_engine(
+                            &record.url,
+                            content,
+                            self.js_engine,
+                            self.module_store(),
+                        );
+                        self.js_stats.get_or_insert_with(&content_key, || {
+                            JsRunStats::from_report(&report)
+                        });
+                        features
                     });
                     let vt_content =
                         vt_up.then(|| self.vt.aggregate(&content_key, &features));
@@ -462,15 +590,28 @@ impl<'w> ScanPipeline<'w> {
     /// feature the way the Quttera URL scan does.
     fn url_features(&self, url: &Url, canon: &str) -> Features {
         self.url_features.get_or_insert_with(canon, || {
-            let browser =
-                Browser::new(self.web).with_context(RequestContext::scanner("pipeline"));
+            let mut browser = Browser::new(self.web)
+                .with_context(RequestContext::scanner("pipeline"))
+                .with_js_engine(self.js_engine);
+            if let Some(store) = self.module_store() {
+                browser = browser.with_module_store(store);
+            }
             let load = browser.load(url);
+            self.js_stats.get_or_insert_with(canon, || JsRunStats::from_report(&load.js));
             let mut features = Features::from_load(&load);
             if load.was_redirected() {
                 features.js_redirect = true;
             }
             features
         })
+    }
+
+    /// The shared module store, when the engine can use one.
+    fn module_store(&self) -> Option<Arc<dyn ModuleStore>> {
+        match self.js_engine {
+            JsEngine::Vm => Some(self.js_modules.clone()),
+            JsEngine::TreeWalk => None,
+        }
     }
 }
 

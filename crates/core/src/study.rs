@@ -35,6 +35,8 @@ use slum_detect::fault::{FaultPlan, FaultProfile, ScanService};
 
 use crate::redirects::{ChainExhibit, RedirectHistogram};
 use crate::report::{Fig2Bar, Table1};
+use slum_js::sandbox::JsEngine;
+
 use crate::scanpipe::{
     effective_scan_workers, scan_key, FaultLog, ScanOutcome, ScanPipeline, VerdictSource,
     DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
@@ -94,6 +96,12 @@ pub struct StudyConfig {
     /// forces the barrier path (the fault plan needs the full corpus)
     /// and counts `scan.pipeline.fault_fallback`.
     pub overlap_scan: bool,
+    /// JavaScript engine for the scan phase's sandboxed execution: the
+    /// bytecode VM (default, with the shared compiled-module cache) or
+    /// the tree-walking interpreter (the differential oracle). Scan
+    /// output is bit-identical either way; only throughput and the
+    /// `js.vm.*` counters differ.
+    pub js_engine: JsEngine,
 }
 
 impl Default for StudyConfig {
@@ -109,6 +117,7 @@ impl Default for StudyConfig {
             scan_chunk: DEFAULT_SCAN_CHUNK,
             serial_scan_threshold: DEFAULT_SERIAL_SCAN_THRESHOLD,
             overlap_scan: false,
+            js_engine: JsEngine::default(),
         }
     }
 }
@@ -207,6 +216,25 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Selects the scan-phase JavaScript engine.
+    pub fn js_engine(mut self, engine: JsEngine) -> Self {
+        self.config.js_engine = engine;
+        self
+    }
+
+    /// Selects the scan-phase JavaScript engine from its CLI name
+    /// (validated immediately: `vm`/`bytecode` or
+    /// `interp`/`interpreter`/`tree-walk`/`treewalk`).
+    pub fn js_engine_name(mut self, name: &str) -> Result<Self, ConfigError> {
+        match JsEngine::parse(name) {
+            Some(engine) => {
+                self.config.js_engine = engine;
+                Ok(self)
+            }
+            None => Err(ConfigError::UnknownJsEngine { name: name.to_string() }),
+        }
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -280,6 +308,12 @@ pub enum ConfigError {
     /// streaming pipeline never materializes the per-exchange stores a
     /// crawl checkpoint persists.
     OverlapWithCheckpoint,
+    /// The JS engine name did not parse (see
+    /// [`slum_js::sandbox::JsEngine::parse`]).
+    UnknownJsEngine {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -305,6 +339,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OverlapWithCheckpoint => {
                 write!(f, "overlap_scan cannot be combined with crawl checkpointing")
+            }
+            ConfigError::UnknownJsEngine { name } => {
+                write!(f, "unknown JS engine {name:?} (expected vm or interp)")
             }
         }
     }
@@ -554,7 +591,7 @@ impl Study {
                 store.records().iter().map(|r| filter.classify(r)).collect();
             record_filter_counts(&obs, &referrals);
 
-            let mut pipeline = ScanPipeline::new(&web);
+            let mut pipeline = ScanPipeline::new(&web).with_js_engine(config.js_engine);
             if !config.fault_profile.is_inert() {
                 // Compile the fault schedule from the *corpus* (regular
                 // records in virtual-arrival order), never from scan
@@ -574,6 +611,7 @@ impl Study {
                 scan_phase(&pipeline, store.records(), &referrals, config, &obs);
             obs.gauge("scan.workers").set(scan_workers as i64);
             record_cache_stats(&obs, &pipeline);
+            record_js_vm_stats(&obs, &pipeline);
             record_outcome_tallies(&obs, &outcomes, &referrals);
             record_fault_tallies(&obs, &outcomes, &referrals, pipeline.fault_plan());
             record_pipeline_tallies(
@@ -737,6 +775,7 @@ fn record_config(obs: &Registry, config: &StudyConfig) {
     obs.gauge("config.scan_chunk").set(config.scan_chunk as i64);
     obs.gauge("config.serial_scan_threshold").set(config.serial_scan_threshold as i64);
     obs.gauge("config.overlap").set(i64::from(config.overlap_scan));
+    obs.gauge("config.js_engine_vm").set(i64::from(config.js_engine == JsEngine::Vm));
 }
 
 /// Tallies crawl-phase fault costs from the per-exchange health logs,
@@ -796,6 +835,25 @@ fn record_cache_stats(obs: &Registry, pipeline: &ScanPipeline<'_>) {
         obs.counter(&format!("scan.cache.{group}.entries")).add(stats.entries);
         obs.counter(&format!("scan.cache.{group}.hits")).add(stats.hits);
     }
+}
+
+/// Records the `js.vm.*` counters from the pipeline's aggregated JS
+/// stats. Always registered — a tree-walk run (or a corpus with no
+/// scripts) reports explicit zeros rather than absent keys, the same
+/// convention the fault and pipeline counters follow. Every counter
+/// except `js.vm.compile_nanos` (wall-clock) is deterministic across
+/// worker counts: the execution tallies are memoized per distinct
+/// sample and the compile count is the module cache's entry set.
+/// `compile_nanos` goes to a histogram, the home for wall-clock per the
+/// crate's determinism contract.
+fn record_js_vm_stats(obs: &Registry, pipeline: &ScanPipeline<'_>) {
+    let stats = pipeline.js_vm_stats();
+    obs.counter("js.vm.compiles").add(stats.compiles);
+    obs.histogram("js.vm.compile_nanos").record(stats.compile_nanos);
+    obs.counter("js.vm.module_cache.lookups").add(stats.module_lookups);
+    obs.counter("js.vm.module_cache.hits").add(stats.module_hits);
+    obs.counter("js.vm.instructions").add(stats.instructions);
+    obs.counter("js.vm.budget_exhaustions").add(stats.budget_exhaustions);
 }
 
 /// Tallies scan verdicts, blacklist consensus outcomes and per-engine
@@ -1057,7 +1115,7 @@ where
     F: Fn(&Exchange) -> u64 + Sync,
 {
     let filter = ReferralFilter::from_profiles(PROFILES.iter());
-    let pipeline = ScanPipeline::new(web);
+    let pipeline = ScanPipeline::new(web).with_js_engine(config.js_engine);
     let latency = obs.histogram("scan.record_nanos");
     // Worker selection needs a corpus size before the corpus exists;
     // the planned surf slots are an exact upper bound on records (and
@@ -1158,6 +1216,7 @@ where
     record_filter_counts(obs, &referrals);
     obs.gauge("scan.workers").set(scan_workers as i64);
     record_cache_stats(obs, &pipeline);
+    record_js_vm_stats(obs, &pipeline);
     record_outcome_tallies(obs, &outcomes, &referrals);
     record_fault_tallies(obs, &outcomes, &referrals, None);
     record_pipeline_tallies(

@@ -148,6 +148,24 @@ impl<V> ShardedCache<V> {
         self.lookups.store(0, Ordering::Relaxed);
     }
 
+    /// Folds `f` over every cached `(key, value)` pair, shard by shard.
+    ///
+    /// Each shard's read lock is held only while that shard is visited,
+    /// so concurrent inserts may or may not be seen — call this at
+    /// phase boundaries (metrics publication, bench reporting) when the
+    /// cache is quiescent. Iteration order is unspecified; use an
+    /// order-insensitive accumulator.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &str, &V) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let live = shard.live.read();
+            for (key, value) in live.iter() {
+                acc = f(acc, key, value);
+            }
+        }
+        acc
+    }
+
     /// Current usage statistics (takes every read lock for the entry
     /// count; intended for phase-end reporting, not hot paths).
     pub fn stats(&self) -> CacheStats {

@@ -7,11 +7,14 @@
 //! fetched the URL itself, subresources included — the dynamic signals
 //! from the real load are folded in too.
 
+use std::sync::Arc;
+
 use slum_browser::LoadResult;
 use slum_html::attr::HiddenReason;
 use slum_html::Document;
 use slum_js::obfuscate::{is_likely_obfuscated, unpack_all_static};
-use slum_js::sandbox::{Effect, Sandbox};
+use slum_js::sandbox::{Effect, JsEngine, Sandbox, SandboxReport};
+use slum_js::ModuleStore;
 use slum_websim::Url;
 
 /// Extracted detection features of one sample.
@@ -56,16 +59,35 @@ pub struct Features {
 
 impl Features {
     /// Extracts features from raw page content (the uploaded-file scan
-    /// path: no subresources available).
+    /// path: no subresources available) with the default JS engine.
     pub fn from_content(url: &Url, html: &str) -> Features {
+        Self::from_content_with_engine(url, html, JsEngine::default(), None).0
+    }
+
+    /// Like [`Features::from_content`], but with an explicit JS engine
+    /// and optional compiled-module cache, returning the sandbox report
+    /// alongside the features (so the pipeline can tally `js.vm.*`
+    /// execution counters). The report is [`SandboxReport::default`]
+    /// when the content carries no inline scripts.
+    pub fn from_content_with_engine(
+        url: &Url,
+        html: &str,
+        engine: JsEngine,
+        store: Option<Arc<dyn ModuleStore>>,
+    ) -> (Features, SandboxReport) {
         let dom = Document::parse(html);
         let mut f = Features::default();
         f.static_pass(&dom, html);
         // Dynamic pass over inline scripts only.
-        let mut sandbox = Sandbox::new().with_location(url.to_string());
+        let mut report = SandboxReport::default();
         let program = dom.inline_scripts().join("\n;\n");
         if !program.trim().is_empty() {
-            let report = sandbox.run(&program);
+            let mut sandbox =
+                Sandbox::new().with_location(url.to_string()).with_engine(engine);
+            if let Some(store) = store {
+                sandbox = sandbox.with_module_store(store);
+            }
+            report = sandbox.run(&program);
             f.fold_effects(&report.effects, url);
             f.eval_layers = f.eval_layers.max(report.max_eval_depth);
             if !report.written_html.is_empty() {
@@ -73,7 +95,7 @@ impl Features {
                 f.fold_injected_dom(&injected);
             }
         }
-        f
+        (f, report)
     }
 
     /// Extracts features from a full browser load (the URL-scan path —

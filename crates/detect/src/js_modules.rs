@@ -1,0 +1,196 @@
+//! Compiled-JS module cache shared across scan workers.
+//!
+//! Traffic-exchange campaigns reuse packed payloads across thousands of
+//! pages (§IV of the paper groups them into campaigns precisely because
+//! the *same* obfuscated script shows up under many URLs). The bytecode
+//! engine in `slum-js` therefore keys compiled [`Module`]s by a content
+//! hash of the source, so a payload seen on page one compiles once and
+//! every later page — and every `eval` layer inside it — executes the
+//! cached bytecode.
+//!
+//! [`JsModuleCache`] is the concrete [`ModuleStore`] the pipeline hands
+//! to each sandbox: a [`ShardedCache`] keyed by the zero-padded hex
+//! source hash, so the module cache inherits the scan cache's lock-free
+//! read path, first-insert-wins race semantics, and deterministic
+//! [`CacheStats`] across worker counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use slum_js::{Module, ModuleStore};
+
+use crate::cache::{CacheStats, ShardedCache};
+
+/// A concurrent [`ModuleStore`] backed by a [`ShardedCache`].
+///
+/// Keys are the `slum_js::source_hash` of the script source, formatted
+/// as 16 hex digits so every key is the same length and shard selection
+/// stays uniform. Values are `Arc<Module>`, cheap to clone out on the
+/// hot path.
+#[derive(Default)]
+pub struct JsModuleCache {
+    modules: ShardedCache<Arc<Module>>,
+    /// Warm hits served by [`ModuleStore::get`]. The VM probes `get`
+    /// first and only falls through to `get_or_compile` on a miss, so
+    /// one logical lookup is either a `get` hit (counted here) or a
+    /// `get_or_compile` call (counted by the inner cache) — never both.
+    /// The sum is therefore schedule-independent: a racing pair of
+    /// workers that both miss `get` produce two inner lookups and one
+    /// entry, exactly matching the serial lookup+hit totals.
+    get_hits: AtomicU64,
+}
+
+impl JsModuleCache {
+    /// Creates an empty module cache.
+    pub fn new() -> Self {
+        JsModuleCache { modules: ShardedCache::new(), get_hits: AtomicU64::new(0) }
+    }
+
+    /// Number of distinct compiled modules currently cached.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Lookup/entry/hit statistics. `entries` equals the number of
+    /// compilations a serial run would perform, so `hits` is
+    /// deterministic for every worker count (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.modules.stats();
+        let get_hits = self.get_hits.load(Ordering::Relaxed);
+        CacheStats {
+            lookups: inner.lookups + get_hits,
+            entries: inner.entries,
+            hits: inner.hits + get_hits,
+        }
+    }
+
+    /// Total wall-clock nanoseconds spent compiling every cached
+    /// module. Wall-clock, so only suitable for throughput reporting —
+    /// never for verdict-determining data.
+    pub fn total_compile_nanos(&self) -> u64 {
+        self.modules.fold(0u64, |acc, _key, module| acc.saturating_add(module.compile_nanos))
+    }
+
+    /// Total bytecode instructions across all cached modules (a size
+    /// proxy for the cache footprint).
+    pub fn total_instructions(&self) -> u64 {
+        self.modules.fold(0u64, |acc, _key, module| {
+            acc + module.chunks.iter().map(|c| c.code.len() as u64).sum::<u64>()
+        })
+    }
+
+    /// Drops every compiled module and resets lookup statistics (cold
+    /// benchmark runs).
+    pub fn clear(&self) {
+        self.modules.clear();
+        self.get_hits.store(0, Ordering::Relaxed);
+    }
+
+    fn key(hash: u64) -> String {
+        format!("{hash:016x}")
+    }
+}
+
+impl std::fmt::Debug for JsModuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("JsModuleCache")
+            .field("modules", &stats.entries)
+            .field("lookups", &stats.lookups)
+            .finish()
+    }
+}
+
+impl ModuleStore for JsModuleCache {
+    fn get(&self, key: u64) -> Option<Arc<Module>> {
+        let hit = self.modules.get(&Self::key(key));
+        if hit.is_some() {
+            self.get_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn get_or_compile(
+        &self,
+        key: u64,
+        compile: &mut dyn FnMut() -> Arc<Module>,
+    ) -> Arc<Module> {
+        self.modules.get_or_insert_with(&Self::key(key), || compile())
+    }
+}
+
+// The scan phase shares one JsModuleCache across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<JsModuleCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slum_js::sandbox::Sandbox;
+    use slum_js::source_hash;
+
+    #[test]
+    fn compiles_once_per_distinct_source() {
+        let cache = JsModuleCache::new();
+        let src = "var a = 1; alert(a);";
+        let key = source_hash(src);
+
+        assert!(cache.get(key).is_none());
+        let mut compiles = 0;
+        let mut make = || {
+            compiles += 1;
+            slum_js::compile::compile_program(
+                &slum_js::parse_program(src).expect("valid source"),
+                key,
+            )
+        };
+        let first = cache.get_or_compile(key, &mut make);
+        let second = cache.get_or_compile(key, &mut make);
+        assert_eq!(compiles, 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn sandbox_populates_shared_cache() {
+        let cache = Arc::new(JsModuleCache::new());
+        let store: Arc<dyn ModuleStore> = cache.clone();
+
+        let report = Sandbox::new()
+            .with_module_store(store.clone())
+            .run("document.write('<b>hi</b>');");
+        assert!(report.errors.is_empty());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.total_compile_nanos() > 0 || cache.total_instructions() > 0);
+
+        // Same payload from a "different page": pure cache hit.
+        let again = Sandbox::new().with_module_store(store).run("document.write('<b>hi</b>');");
+        assert!(again.errors.is_empty());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn fold_sums_over_all_shards() {
+        let cache = ShardedCache::new();
+        for i in 0..100u64 {
+            cache.get_or_insert_with(&format!("k{i}"), || i);
+        }
+        let sum = cache.fold(0u64, |acc, _k, v| acc + v);
+        assert_eq!(sum, (0..100).sum::<u64>());
+        let count = cache.fold(0usize, |acc, _k, _v| acc + 1);
+        assert_eq!(count, 100);
+    }
+}

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod features;
 pub mod hash;
 pub mod intern;
+pub mod js_modules;
 pub mod quttera;
 pub mod retry;
 pub mod tools;
@@ -53,6 +54,7 @@ pub use fault::{
 };
 pub use features::Features;
 pub use intern::{Interner, Sym};
+pub use js_modules::JsModuleCache;
 pub use quttera::{Quttera, QutteraFinding, QutteraReport};
 pub use retry::{BreakerState, CircuitBreaker, Resolution, RetryPolicy};
 pub use virustotal::{VirusTotal, VtReport};

@@ -1,8 +1,22 @@
 //! Lexical scope chain.
+//!
+//! Scopes come in two flavours. Plain scopes hold a name→value map and
+//! are what the tree-walking interpreter always uses. Function
+//! activation scopes created by the bytecode VM additionally carry a
+//! *slot vector*: the compiler pre-resolves the function's parameters
+//! and top-level declarations to dense indices, and the VM reads and
+//! writes those through [`Env::get_slot`]/[`Env::set_slot`] without
+//! hashing. Slot-mapped names never enter `bindings` — `declare`,
+//! `lookup` and `assign` all route through the slot map first, so
+//! dynamically injected code (an `eval` layer re-declaring a packed
+//! payload's locals) observes exactly the same scope the interpreter
+//! would build. An unset slot (`None`) means "not declared here": the
+//! chain walk continues to the parent, mirroring a missing map entry.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -14,6 +28,11 @@ pub type EnvRef = Rc<RefCell<Env>>;
 pub struct Env {
     bindings: HashMap<String, Value>,
     parent: Option<EnvRef>,
+    /// Pre-resolved name→slot indices (function activation scopes built
+    /// by the VM only; `None` for every interpreter-made scope).
+    slot_map: Option<Arc<HashMap<String, u32>>>,
+    /// Slot storage; `None` entries are undeclared.
+    slots: Vec<Option<Value>>,
 }
 
 impl Env {
@@ -24,18 +43,62 @@ impl Env {
 
     /// Creates a child scope of `parent`.
     pub fn child(parent: &EnvRef) -> EnvRef {
-        Rc::new(RefCell::new(Env { bindings: HashMap::new(), parent: Some(parent.clone()) }))
+        Rc::new(RefCell::new(Env {
+            bindings: HashMap::new(),
+            parent: Some(parent.clone()),
+            slot_map: None,
+            slots: Vec::new(),
+        }))
+    }
+
+    /// Creates a slotted function activation scope of `parent` with
+    /// `n_slots` undeclared slots resolved through `slot_map`.
+    pub fn child_with_slots(
+        parent: &EnvRef,
+        slot_map: Arc<HashMap<String, u32>>,
+        n_slots: u32,
+    ) -> EnvRef {
+        Rc::new(RefCell::new(Env {
+            bindings: HashMap::new(),
+            parent: Some(parent.clone()),
+            slot_map: Some(slot_map),
+            slots: vec![None; n_slots as usize],
+        }))
+    }
+
+    /// The slot index `name` resolves to in *this* scope, if any.
+    fn slot_of(&self, name: &str) -> Option<usize> {
+        self.slot_map.as_ref().and_then(|m| m.get(name)).map(|&i| i as usize)
+    }
+
+    /// Reads slot `i` (`None` while undeclared).
+    pub fn get_slot(&self, i: u32) -> Option<Value> {
+        self.slots.get(i as usize).and_then(|v| v.clone())
+    }
+
+    /// Writes slot `i`, declaring it if it was unset.
+    pub fn set_slot(&mut self, i: u32, value: Value) {
+        self.slots[i as usize] = Some(value);
     }
 
     /// Declares (or re-declares) a binding in *this* scope.
     pub fn declare(&mut self, name: impl Into<String>, value: Value) {
-        self.bindings.insert(name.into(), value);
+        let name = name.into();
+        if let Some(i) = self.slot_of(&name) {
+            self.slots[i] = Some(value);
+            return;
+        }
+        self.bindings.insert(name, value);
     }
 
     /// Looks a name up through the scope chain.
     pub fn lookup(env: &EnvRef, name: &str) -> Option<Value> {
         let e = env.borrow();
-        if let Some(v) = e.bindings.get(name) {
+        if let Some(i) = e.slot_of(name) {
+            if let Some(v) = &e.slots[i] {
+                return Some(v.clone());
+            }
+        } else if let Some(v) = e.bindings.get(name) {
             return Some(v.clone());
         }
         e.parent.as_ref().and_then(|p| Env::lookup(p, name))
@@ -62,7 +125,12 @@ impl Env {
 
     fn try_assign(env: &EnvRef, name: &str, value: &Value) -> bool {
         let mut e = env.borrow_mut();
-        if e.bindings.contains_key(name) {
+        if let Some(i) = e.slot_of(name) {
+            if e.slots[i].is_some() {
+                e.slots[i] = Some(value.clone());
+                return true;
+            }
+        } else if e.bindings.contains_key(name) {
             e.bindings.insert(name.to_string(), value.clone());
             return true;
         }
@@ -110,5 +178,38 @@ mod tests {
         let c = Env::child(&g);
         Env::assign(&c, "implicit", Value::Bool(true));
         assert!(matches!(Env::lookup(&g, "implicit"), Some(Value::Bool(true))));
+    }
+
+    fn slot_map(names: &[&str]) -> Arc<HashMap<String, u32>> {
+        Arc::new(names.iter().enumerate().map(|(i, n)| (n.to_string(), i as u32)).collect())
+    }
+
+    #[test]
+    fn slotted_declare_and_lookup_route_through_slots() {
+        let g = Env::global();
+        let f = Env::child_with_slots(&g, slot_map(&["x", "y"]), 2);
+        f.borrow_mut().declare("x", Value::Num(7.0));
+        assert!(matches!(Env::lookup(&f, "x"), Some(Value::Num(n)) if n == 7.0));
+        assert!(matches!(f.borrow().get_slot(0), Some(Value::Num(n)) if n == 7.0));
+        // The map routed the declaration away from `bindings`.
+        assert!(f.borrow().bindings.is_empty());
+    }
+
+    #[test]
+    fn unset_slot_falls_through_to_parent() {
+        let g = Env::global();
+        g.borrow_mut().declare("x", Value::Num(1.0));
+        let f = Env::child_with_slots(&g, slot_map(&["x"]), 1);
+        // Undeclared slot: reads and writes reach the outer binding,
+        // exactly like a missing map entry would.
+        assert!(matches!(Env::lookup(&f, "x"), Some(Value::Num(n)) if n == 1.0));
+        Env::assign(&f, "x", Value::Num(2.0));
+        assert!(matches!(Env::lookup(&g, "x"), Some(Value::Num(n)) if n == 2.0));
+        assert!(f.borrow().get_slot(0).is_none());
+        // Once declared locally, the slot shadows the outer binding.
+        f.borrow_mut().declare("x", Value::Num(3.0));
+        Env::assign(&f, "x", Value::Num(4.0));
+        assert!(matches!(Env::lookup(&f, "x"), Some(Value::Num(n)) if n == 4.0));
+        assert!(matches!(Env::lookup(&g, "x"), Some(Value::Num(n)) if n == 2.0));
     }
 }

@@ -11,18 +11,20 @@ use crate::env::{Env, EnvRef};
 use crate::value::{format_number, FnDef, ObjectData, Value};
 use crate::JsError;
 
-/// Host interface the interpreter calls out to for every native function.
+/// Host interface the engines call out to for every native function.
 ///
 /// The sandbox implements this to wire up `document`, `window`, `eval`
 /// and friends; tests can implement it directly for fine-grained control.
 pub trait Host {
     /// Invokes the native function `name` with `this_val` and `args`.
-    /// `env` is the caller's scope chain, which `eval`-style natives run
-    /// dynamically generated code inside (so unpacked definitions persist
-    /// into the calling script).
+    /// `cx` is the engine that dispatched the call (tree-walking
+    /// interpreter or bytecode VM) so `eval`-style natives and forced
+    /// callbacks re-enter the *same* engine. `env` is the caller's
+    /// scope chain, which `eval` runs dynamically generated code inside
+    /// (so unpacked definitions persist into the calling script).
     fn call_native(
         &mut self,
-        interp: &mut Interp,
+        cx: &mut dyn EngineCtx,
         env: &EnvRef,
         name: &str,
         this_val: Value,
@@ -34,6 +36,37 @@ pub trait Host {
     /// `location.href = ...` navigations and `document.cookie` writes
     /// that plain property semantics would otherwise swallow.
     fn on_property_set(&mut self, _class: &str, _name: &str, _value: &Value) {}
+}
+
+/// Engine-agnostic re-entry interface handed to [`Host::call_native`].
+///
+/// Both [`Interp`] and [`crate::vm::Vm`] implement it, so a host can
+/// force callbacks (`setTimeout`, `addEventListener`) and execute
+/// `eval` layers without knowing which engine is driving — and the two
+/// engines stay drop-in interchangeable for differential testing.
+pub trait EngineCtx {
+    /// Invokes a user-defined function value (forced callbacks).
+    fn call_function_value(
+        &mut self,
+        host: &mut dyn Host,
+        def: &FnDef,
+        this_val: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, JsError>;
+
+    /// Parses and executes dynamically generated source in `env` (the
+    /// `eval` native). Lex/parse failures come back as `Err` for the
+    /// host to report; the VM additionally content-hashes `src` so
+    /// repeated eval layers hit the shared module cache.
+    fn run_program(
+        &mut self,
+        host: &mut dyn Host,
+        src: &str,
+        env: &EnvRef,
+    ) -> Result<(), JsError>;
+
+    /// Budget steps consumed so far.
+    fn steps_used(&self) -> u64;
 }
 
 /// Control-flow signal from statement execution.
@@ -101,6 +134,7 @@ impl Interp {
                     params: params.clone(),
                     body: body.clone(),
                     env: env.clone(),
+                    code: None,
                 };
                 env.borrow_mut().declare(name.clone(), Value::Function(Rc::new(def)));
             }
@@ -391,6 +425,7 @@ impl Interp {
                     params: params.clone(),
                     body: body.clone(),
                     env: env.clone(),
+                    code: None,
                 };
                 Ok(Value::Function(Rc::new(def)))
             }
@@ -522,47 +557,7 @@ impl Interp {
 
     /// Property read with string/array method support.
     pub fn get_member(&mut self, base: &Value, name: &str) -> Result<Value, JsError> {
-        match base {
-            Value::Str(s) => match name {
-                "length" => Ok(Value::Num(s.chars().count() as f64)),
-                // String methods are dispatched as natives bound to the
-                // receiver at call time; here we return the marker.
-                "charCodeAt" | "charAt" | "substring" | "substr" | "indexOf" | "lastIndexOf"
-                | "replace" | "split" | "toLowerCase" | "toUpperCase" | "slice" | "concat"
-                | "trim" => Ok(Value::Native(str_method_marker(name))),
-                _ => {
-                    // Numeric index.
-                    if let Ok(i) = name.parse::<usize>() {
-                        return Ok(s
-                            .chars()
-                            .nth(i)
-                            .map(|c| Value::Str(c.to_string()))
-                            .unwrap_or(Value::Undefined));
-                    }
-                    Ok(Value::Undefined)
-                }
-            },
-            Value::Object(o) => {
-                let data = o.borrow();
-                if let Some(v) = data.props.get(name) {
-                    return Ok(v.clone());
-                }
-                if data.class == "Array" {
-                    match name {
-                        "push" | "pop" | "join" | "reverse" | "shift" => {
-                            return Ok(Value::Native(array_method_marker(name)))
-                        }
-                        _ => {}
-                    }
-                }
-                Ok(Value::Undefined)
-            }
-            Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
-                "cannot read property {name:?} of {}",
-                base.type_of()
-            ))),
-            _ => Ok(Value::Undefined),
-        }
+        member_get(base, name)
     }
 
     fn set_member(
@@ -572,76 +567,165 @@ impl Interp {
         value: Value,
         host: &mut dyn Host,
     ) -> Result<(), JsError> {
-        match base {
-            Value::Object(o) => {
-                let class = o.borrow().class.clone();
-                host.on_property_set(&class, name, &value);
-                let mut data = o.borrow_mut();
-                // Keep array length in sync when appending by index.
-                if data.class == "Array" {
-                    if let Ok(idx) = name.parse::<usize>() {
-                        let cur_len = data
-                            .props
-                            .get("length")
-                            .and_then(Value::as_number)
-                            .unwrap_or(0.0) as usize;
-                        if idx >= cur_len {
-                            data.props.insert("length".into(), Value::Num((idx + 1) as f64));
-                        }
-                    }
-                }
-                data.props.insert(name.to_string(), value);
-                Ok(())
-            }
-            Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
-                "cannot set property {name:?} of {}",
-                base.type_of()
-            ))),
-            // Writes to primitives are silently dropped (JS semantics).
-            _ => Ok(()),
-        }
+        member_set(base, name, value, host)
     }
 
     fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, JsError> {
-        use BinOp::*;
-        Ok(match op {
-            Add => match (&l, &r) {
-                (Value::Str(_), _) | (_, Value::Str(_)) | (Value::Object(_), _) | (_, Value::Object(_)) => {
-                    Value::Str(format!("{}{}", l.to_js_string(), r.to_js_string()))
+        binop_eval(op, l, r)
+    }
+}
+
+impl EngineCtx for Interp {
+    fn call_function_value(
+        &mut self,
+        host: &mut dyn Host,
+        def: &FnDef,
+        this_val: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, JsError> {
+        self.call_function(def, this_val, args, host)
+    }
+
+    fn run_program(
+        &mut self,
+        host: &mut dyn Host,
+        src: &str,
+        env: &EnvRef,
+    ) -> Result<(), JsError> {
+        let prog = crate::parser::parse_program(src)?;
+        self.run(&prog, env, host)
+    }
+
+    fn steps_used(&self) -> u64 {
+        self.steps_used
+    }
+}
+
+/// Property read with string/array method support. Shared by both
+/// engines so member semantics cannot drift between them.
+pub(crate) fn member_get(base: &Value, name: &str) -> Result<Value, JsError> {
+    match base {
+        Value::Str(s) => match name {
+            "length" => Ok(Value::Num(s.chars().count() as f64)),
+            // String methods are dispatched as natives bound to the
+            // receiver at call time; here we return the marker.
+            "charCodeAt" | "charAt" | "substring" | "substr" | "indexOf" | "lastIndexOf"
+            | "replace" | "split" | "toLowerCase" | "toUpperCase" | "slice" | "concat"
+            | "trim" => Ok(Value::Native(str_method_marker(name))),
+            _ => {
+                // Numeric index.
+                if let Ok(i) = name.parse::<usize>() {
+                    return Ok(s
+                        .chars()
+                        .nth(i)
+                        .map(|c| Value::Str(c.to_string()))
+                        .unwrap_or(Value::Undefined));
                 }
-                _ => Value::Num(l.to_number() + r.to_number()),
-            },
-            Sub => Value::Num(l.to_number() - r.to_number()),
-            Mul => Value::Num(l.to_number() * r.to_number()),
-            Div => Value::Num(l.to_number() / r.to_number()),
-            Mod => Value::Num(l.to_number() % r.to_number()),
-            Eq => Value::Bool(l.loose_eq(&r)),
-            Ne => Value::Bool(!l.loose_eq(&r)),
-            StrictEq => Value::Bool(l.strict_eq(&r)),
-            StrictNe => Value::Bool(!l.strict_eq(&r)),
-            Lt | Gt | Le | Ge => {
-                let res = match (&l, &r) {
-                    (Value::Str(a), Value::Str(b)) => match op {
+                Ok(Value::Undefined)
+            }
+        },
+        Value::Object(o) => {
+            let data = o.borrow();
+            if let Some(v) = data.props.get(name) {
+                return Ok(v.clone());
+            }
+            if data.class == "Array" {
+                match name {
+                    "push" | "pop" | "join" | "reverse" | "shift" => {
+                        return Ok(Value::Native(array_method_marker(name)))
+                    }
+                    _ => {}
+                }
+            }
+            Ok(Value::Undefined)
+        }
+        Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
+            "cannot read property {name:?} of {}",
+            base.type_of()
+        ))),
+        _ => Ok(Value::Undefined),
+    }
+}
+
+/// Property write with array length upkeep and host notification.
+/// Shared by both engines.
+pub(crate) fn member_set(
+    base: &Value,
+    name: &str,
+    value: Value,
+    host: &mut dyn Host,
+) -> Result<(), JsError> {
+    match base {
+        Value::Object(o) => {
+            let class = o.borrow().class.clone();
+            host.on_property_set(&class, name, &value);
+            let mut data = o.borrow_mut();
+            // Keep array length in sync when appending by index.
+            if data.class == "Array" {
+                if let Ok(idx) = name.parse::<usize>() {
+                    let cur_len = data
+                        .props
+                        .get("length")
+                        .and_then(Value::as_number)
+                        .unwrap_or(0.0) as usize;
+                    if idx >= cur_len {
+                        data.props.insert("length".into(), Value::Num((idx + 1) as f64));
+                    }
+                }
+            }
+            data.props.insert(name.to_string(), value);
+            Ok(())
+        }
+        Value::Undefined | Value::Null => Err(JsError::Runtime(format!(
+            "cannot set property {name:?} of {}",
+            base.type_of()
+        ))),
+        // Writes to primitives are silently dropped (JS semantics).
+        _ => Ok(()),
+    }
+}
+
+/// Evaluates a (non-short-circuit) binary operator. Shared by both
+/// engines.
+pub(crate) fn binop_eval(op: BinOp, l: Value, r: Value) -> Result<Value, JsError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => match (&l, &r) {
+            (Value::Str(_), _) | (_, Value::Str(_)) | (Value::Object(_), _) | (_, Value::Object(_)) => {
+                Value::Str(format!("{}{}", l.to_js_string(), r.to_js_string()))
+            }
+            _ => Value::Num(l.to_number() + r.to_number()),
+        },
+        Sub => Value::Num(l.to_number() - r.to_number()),
+        Mul => Value::Num(l.to_number() * r.to_number()),
+        Div => Value::Num(l.to_number() / r.to_number()),
+        Mod => Value::Num(l.to_number() % r.to_number()),
+        Eq => Value::Bool(l.loose_eq(&r)),
+        Ne => Value::Bool(!l.loose_eq(&r)),
+        StrictEq => Value::Bool(l.strict_eq(&r)),
+        StrictNe => Value::Bool(!l.strict_eq(&r)),
+        Lt | Gt | Le | Ge => {
+            let res = match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => match op {
+                    Lt => a < b,
+                    Gt => a > b,
+                    Le => a <= b,
+                    _ => a >= b,
+                },
+                _ => {
+                    let (a, b) = (l.to_number(), r.to_number());
+                    match op {
                         Lt => a < b,
                         Gt => a > b,
                         Le => a <= b,
                         _ => a >= b,
-                    },
-                    _ => {
-                        let (a, b) = (l.to_number(), r.to_number());
-                        match op {
-                            Lt => a < b,
-                            Gt => a > b,
-                            Le => a <= b,
-                            _ => a >= b,
-                        }
                     }
-                };
-                Value::Bool(res)
-            }
-            And | Or => unreachable!("short-circuit ops handled in eval"),
-        })
-    }
+                }
+            };
+            Value::Bool(res)
+        }
+        And | Or => unreachable!("short-circuit ops handled before dispatch"),
+    })
 }
 
 /// Maps a string method name to its native dispatch marker.
@@ -914,7 +998,7 @@ mod tests {
     impl Host for TestHost {
         fn call_native(
             &mut self,
-            _interp: &mut Interp,
+            _cx: &mut dyn EngineCtx,
             _env: &EnvRef,
             name: &str,
             this_val: Value,

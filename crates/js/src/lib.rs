@@ -13,6 +13,9 @@
 //!
 //! - a total lexer/parser for a practical JS subset ([`lexer`], [`parser`]),
 //! - a tree-walking interpreter with a hard step budget ([`interp`]),
+//! - a bytecode compiler and stack VM with the same observable
+//!   semantics, which carry the scan hot path while the interpreter
+//!   serves as the differential-testing oracle ([`compile`], [`vm`]),
 //! - a browser-shaped sandbox that records every externally visible
 //!   side effect ([`sandbox::Sandbox`], [`sandbox::Effect`]),
 //! - obfuscation tooling used by the synthetic web *and* the
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod env;
 pub mod flash;
 pub mod interp;
@@ -45,9 +49,11 @@ pub mod obfuscate;
 pub mod parser;
 pub mod sandbox;
 pub mod value;
+pub mod vm;
 
+pub use compile::{source_hash, Module, ModuleStore};
 pub use parser::parse_program;
-pub use sandbox::{Effect, Sandbox, SandboxReport};
+pub use sandbox::{Effect, JsEngine, Sandbox, SandboxReport};
 pub use value::Value;
 
 /// Errors produced while lexing, parsing or executing JavaScript.

@@ -7,12 +7,52 @@
 //! headless browser both consume the effect stream.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::compile::ModuleStore;
 use crate::env::{Env, EnvRef};
-use crate::interp::{call_prototype_method, display_value, Host, Interp, DEFAULT_BUDGET};
+use crate::interp::{
+    call_prototype_method, display_value, EngineCtx, Host, Interp, DEFAULT_BUDGET,
+};
 use crate::parser::parse_program;
 use crate::value::{ObjectData, Value};
+use crate::vm::Vm;
 use crate::JsError;
+
+/// Which execution engine the sandbox drives.
+///
+/// Both engines produce bit-identical [`SandboxReport`]s (modulo the
+/// `vm_*` instrumentation fields, which are zero on the tree-walk
+/// path); the tree-walking interpreter survives as the differential-
+/// testing oracle while the bytecode VM carries the scan hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JsEngine {
+    /// The original AST-walking interpreter ([`crate::interp`]).
+    TreeWalk,
+    /// The bytecode compiler + stack VM ([`crate::compile`],
+    /// [`crate::vm`]), optionally backed by a shared module cache.
+    #[default]
+    Vm,
+}
+
+impl JsEngine {
+    /// Parses a CLI/config spelling of an engine name.
+    pub fn parse(s: &str) -> Option<JsEngine> {
+        match s {
+            "vm" | "bytecode" => Some(JsEngine::Vm),
+            "interp" | "interpreter" | "tree-walk" | "treewalk" => Some(JsEngine::TreeWalk),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (round-trips through [`JsEngine::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            JsEngine::TreeWalk => "tree-walk",
+            JsEngine::Vm => "vm",
+        }
+    }
+}
 
 /// An externally observable action taken by a script.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +121,11 @@ pub struct SandboxReport {
     pub steps_used: u64,
     /// Deepest `eval` nesting observed.
     pub max_eval_depth: u32,
+    /// Bytecode instructions dispatched (zero on the tree-walk path).
+    pub vm_instructions: u64,
+    /// Module-cache lookups issued (zero on the tree-walk path or
+    /// without a cache).
+    pub vm_module_lookups: u64,
 }
 
 impl SandboxReport {
@@ -129,6 +174,8 @@ pub struct Sandbox {
     user_agent: String,
     location: String,
     referrer: String,
+    engine: JsEngine,
+    module_store: Option<Arc<dyn ModuleStore>>,
 }
 
 impl Default for Sandbox {
@@ -147,7 +194,23 @@ impl Sandbox {
                 .into(),
             location: "about:blank".into(),
             referrer: String::new(),
+            engine: JsEngine::default(),
+            module_store: None,
         }
+    }
+
+    /// Selects the execution engine (default: [`JsEngine::Vm`]).
+    pub fn with_engine(mut self, engine: JsEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Attaches a shared compiled-module cache (VM engine only; the
+    /// tree-walk path ignores it). Pages sharing a payload hash then
+    /// skip the parse and compile entirely.
+    pub fn with_module_store(mut self, store: Arc<dyn ModuleStore>) -> Self {
+        self.module_store = Some(store);
+        self
     }
 
     /// Sets the interpreter step budget.
@@ -189,30 +252,53 @@ impl Sandbox {
             location: self.location.clone(),
             referrer: self.referrer.clone(),
         };
-        let mut interp = Interp::new(self.budget);
-        let program = match parse_program(src) {
-            Ok(p) => p,
-            Err(e) => {
-                state.errors.push(e.to_string());
-                return finish(state, interp.steps_used);
+        match self.engine {
+            JsEngine::TreeWalk => {
+                let mut interp = Interp::new(self.budget);
+                let program = match parse_program(src) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        state.errors.push(e.to_string());
+                        return finish(state, interp.steps_used, 0, 0);
+                    }
+                };
+                let env = global_env(&state);
+                let mut host = BrowserHost { state: &mut state };
+                if let Err(e) = interp.run(&program, &env, &mut host) {
+                    state.errors.push(e.to_string());
+                }
+                finish(state, interp.steps_used, 0, 0)
             }
-        };
-        let env = global_env(&state);
-        let mut host = BrowserHost { state: &mut state };
-        if let Err(e) = interp.run(&program, &env, &mut host) {
-            state.errors.push(e.to_string());
+            JsEngine::Vm => {
+                // The VM parses lazily: a warm module-cache hit skips
+                // the parse outright (an erroring source never enters
+                // the cache, so parse errors still surface each run).
+                let mut vm = Vm::new(self.budget, self.module_store.clone());
+                let env = global_env(&state);
+                let mut host = BrowserHost { state: &mut state };
+                if let Err(e) = vm.run_source(src, &env, &mut host) {
+                    state.errors.push(e.to_string());
+                }
+                finish(state, vm.steps_used, vm.instructions, vm.module_lookups)
+            }
         }
-        finish(state, interp.steps_used)
     }
 }
 
-fn finish(state: BrowserState, steps_used: u64) -> SandboxReport {
+fn finish(
+    state: BrowserState,
+    steps_used: u64,
+    vm_instructions: u64,
+    vm_module_lookups: u64,
+) -> SandboxReport {
     SandboxReport {
         effects: state.effects,
         written_html: state.written_html,
         errors: state.errors,
         steps_used,
         max_eval_depth: state.max_eval_depth,
+        vm_instructions,
+        vm_module_lookups,
     }
 }
 
@@ -407,7 +493,7 @@ impl Host for BrowserHost<'_> {
 
     fn call_native(
         &mut self,
-        interp: &mut Interp,
+        cx: &mut dyn EngineCtx,
         env: &EnvRef,
         name: &str,
         this_val: Value,
@@ -526,11 +612,11 @@ impl Host for BrowserHost<'_> {
                 if let Some(Value::Function(def)) = args.get(1) {
                     let event = ObjectData::object();
                     event.borrow_mut().props.insert("type".into(), Value::Str(arg_str(0)));
-                    let _ = interp.call_function(
+                    let _ = cx.call_function_value(
+                        self,
                         def,
                         Value::Undefined,
                         vec![Value::Object(event)],
-                        self,
                     );
                 }
                 Ok(Value::Undefined)
@@ -560,23 +646,20 @@ impl Host for BrowserHost<'_> {
                 self.state
                     .effects
                     .push(Effect::EvalLayer { depth: self.state.eval_depth, code_len: code.len() });
-                let result = match parse_program(&code) {
-                    Ok(prog) => {
-                        // Evaluated code runs in the *caller's* scope so
-                        // that definitions unpacked out of obfuscation
-                        // layers (e.g. the Flash glue's `AdFlash` object)
-                        // persist into the surrounding script.
-                        match interp.run(&prog, env, self) {
-                            Ok(()) => Ok(Value::Undefined),
-                            Err(JsError::BudgetExhausted) => Err(JsError::BudgetExhausted),
-                            Err(e) => {
-                                self.state.errors.push(format!("eval: {e}"));
-                                Ok(Value::Undefined)
-                            }
-                        }
+                // Evaluated code runs in the *caller's* scope so that
+                // definitions unpacked out of obfuscation layers (e.g.
+                // the Flash glue's `AdFlash` object) persist into the
+                // surrounding script. The engine owns parsing so the VM
+                // can content-hash the layer into its module cache.
+                let result = match cx.run_program(self, &code, env) {
+                    Ok(()) => Ok(Value::Undefined),
+                    Err(JsError::BudgetExhausted) => Err(JsError::BudgetExhausted),
+                    Err(e @ (JsError::Parse(_) | JsError::Lex(_))) => {
+                        self.state.errors.push(format!("eval parse: {e}"));
+                        Ok(Value::Undefined)
                     }
                     Err(e) => {
-                        self.state.errors.push(format!("eval parse: {e}"));
+                        self.state.errors.push(format!("eval: {e}"));
                         Ok(Value::Undefined)
                     }
                 };
@@ -604,11 +687,11 @@ impl Host for BrowserHost<'_> {
                 self.state.effects.push(Effect::TimerScheduled);
                 // Run the callback once, immediately — time is virtual.
                 if let Some(Value::Function(def)) = args.first() {
-                    let _ = interp.call_function(def, Value::Undefined, Vec::new(), self);
+                    let _ = cx.call_function_value(self, def, Value::Undefined, Vec::new());
                 } else if let Some(Value::Str(code)) = args.first() {
                     let code = code.clone();
                     return self.call_native(
-                        interp,
+                        cx,
                         env,
                         "eval",
                         Value::Undefined,

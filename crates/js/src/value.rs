@@ -4,8 +4,10 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::Stmt;
+use crate::compile::Module;
 use crate::env::EnvRef;
 
 /// Shared, mutable object storage.
@@ -46,10 +48,14 @@ pub struct FnDef {
     pub name: Option<String>,
     /// Parameter names.
     pub params: Vec<String>,
-    /// Body statements.
+    /// Body statements (empty for closures minted by the bytecode VM,
+    /// which carry [`FnDef::code`] instead).
     pub body: Vec<Stmt>,
     /// Captured lexical environment.
     pub env: EnvRef,
+    /// Compiled body: the owning module plus the chunk index within it.
+    /// `None` for closures built by the tree-walking interpreter.
+    pub code: Option<(Arc<Module>, u32)>,
 }
 
 /// A JavaScript value.

@@ -56,6 +56,17 @@ for key in ("scan.pipeline.chunks", "scan.pipeline.records_streamed",
 if snapshot["gauges"].get("scan.pipeline.overlap") != 0:
     sys.exit("METRICS smoke test: barrier run reports scan.pipeline.overlap != 0")
 
+# The JS-VM counters are always registered (the default engine is the
+# bytecode VM, so they are live here; a tree-walk run reports zeros —
+# checked by the ENGINE smoke test below).
+for key in ("js.vm.compiles", "js.vm.module_cache.lookups",
+            "js.vm.module_cache.hits", "js.vm.instructions",
+            "js.vm.budget_exhaustions"):
+    if key not in counters:
+        sys.exit(f"METRICS smoke test: JS-VM counter {key!r} missing")
+if snapshot["gauges"].get("config.js_engine_vm") != 1:
+    sys.exit("METRICS smoke test: default engine must be the bytecode VM")
+
 print(f"METRICS smoke test OK: {len(counters)} counters, "
       f"{len(snapshot['spans'])} spans")
 EOF
@@ -206,14 +217,113 @@ for key in ("crawl_seconds", "scan_seconds", "overlap_total_seconds",
             "overlap_savings_seconds", "regular_records"):
     if key not in scale:
         sys.exit(f"BENCH smoke test: per-scale key {key!r} missing")
+covered = set()
 for run in scale["runs"]:
     if run["effective_workers"] > doc["host"]["cpus"]:
         sys.exit("BENCH smoke test: effective workers exceed host cpus")
     if run["seconds"] <= 0 or run["records_per_sec"] <= 0:
         sys.exit("BENCH smoke test: non-positive timing fields")
+    covered.add(run["workers"])
+    covered.update(run.get("covers_workers") or [])
+    # A row may only repeat the serial timing when it says so.
+    if run.get("duplicates_of") is not None and not run["serial_fallback"]:
+        sys.exit("BENCH smoke test: duplicates_of set on a measured row")
+if covered != {1, 2, 4, 8}:
+    sys.exit(f"BENCH smoke test: per-scale rows cover workers {sorted(covered)}, "
+             "expected 1/2/4/8")
+dupes = [r for r in scale["runs"] if r.get("duplicates_of") is not None]
+if len(dupes) > 1:
+    sys.exit("BENCH smoke test: collapsed serial-fallback rows must fold into one")
 
 print(f"BENCH smoke test OK: {doc['records']} records, "
       f"{len(doc['scales'])} scale(s), host cpus {doc['host']['cpus']}")
+EOF
+
+# Engine smoke test: the same seeded study under the bytecode VM and
+# under the tree-walk interpreter must export byte-identical artifacts;
+# the interpreter run must still register the js.vm.* counters (at
+# zero).
+vm_json="$(mktemp -t REPRO_VM.XXXXXX.json)"
+interp_json="$(mktemp -t REPRO_INTERP.XXXXXX.json)"
+interp_metrics_file="$(mktemp -t METRICS_INTERP.XXXXXX.json)"
+trap 'rm -rf "$metrics_file" "$fault_metrics_file" "$ckpt_dir" \
+    "$straight_out" "$resumed_out" "$resumed_metrics_file" \
+    "$barrier_json" "$overlap_json" "$overlap_metrics_file" "$bench_dir" \
+    "$vm_json" "$interp_json" "$interp_metrics_file"' EXIT
+
+cargo run --release -p slum-bench --bin repro -- json \
+    --scale 0.001 --seed 2016 --js-engine vm > "$vm_json" 2>/dev/null
+
+cargo run --release -p slum-bench --bin repro -- json \
+    --scale 0.001 --seed 2016 --js-engine interp --workers 4 \
+    --metrics "$interp_metrics_file" > "$interp_json" 2>/dev/null
+
+cmp "$vm_json" "$interp_json" \
+    || { echo "ENGINE smoke test: vm export diverged from the interpreter's"; exit 1; }
+
+python3 - "$interp_metrics_file" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+
+counters = snapshot["counters"]
+for key in ("js.vm.compiles", "js.vm.module_cache.lookups",
+            "js.vm.module_cache.hits", "js.vm.instructions",
+            "js.vm.budget_exhaustions"):
+    if key not in counters:
+        sys.exit(f"ENGINE smoke test: counter {key!r} missing under --js-engine interp")
+    if counters[key] != 0:
+        sys.exit(f"ENGINE smoke test: tree-walk run has {key!r} = "
+                 f"{counters[key]}, expected 0")
+if snapshot["gauges"].get("config.js_engine_vm") != 0:
+    sys.exit("ENGINE smoke test: interp run reports config.js_engine_vm != 0")
+
+print("ENGINE smoke test OK: vm export byte-identical to the interpreter, "
+      "js.vm.* registered at zero")
+EOF
+
+# JS-VM benchmark smoke test: bench-jsvm --quick must produce a
+# BENCH_jsvm.json whose microbench rows cover all three engine
+# configurations with sane timings, and whose warm cache actually
+# out-runs the per-run-compile configurations.
+(cd "$bench_dir" && "$repro_bin" bench-jsvm --quick --seed 2016 >/dev/null 2>&1)
+
+python3 - "$bench_dir/BENCH_jsvm.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key in ("benchmark", "seed", "host", "microbench", "scales"):
+    if key not in doc:
+        sys.exit(f"JSVM smoke test: key {key!r} missing from BENCH_jsvm.json")
+if doc["benchmark"] != "jsvm":
+    sys.exit("JSVM smoke test: wrong benchmark tag")
+micro = doc["microbench"]
+engines = {run["engine"]: run for run in micro["engines"]}
+if set(engines) != {"tree-walk", "vm-cold", "vm-warm"}:
+    sys.exit(f"JSVM smoke test: engine rows {sorted(engines)} incomplete")
+for run in engines.values():
+    if run["seconds"] <= 0 or run["runs_per_sec"] <= 0:
+        sys.exit("JSVM smoke test: non-positive timing fields")
+warm = engines["vm-warm"]
+if warm.get("compiles", 0) <= 0 or warm.get("module_hits", 0) <= warm["compiles"]:
+    sys.exit("JSVM smoke test: warm cache did not serve repeated payloads")
+if micro["warm_speedup_vs_treewalk"] <= 1.0:
+    sys.exit(f"JSVM smoke test: warm cache slower than the tree-walker "
+             f"({micro['warm_speedup_vs_treewalk']:.2f}x)")
+for scale in doc["scales"]:
+    if scale["treewalk_scan_seconds"] <= 0 or scale["vm_scan_seconds"] <= 0:
+        sys.exit("JSVM smoke test: non-positive scan timings")
+    if scale["js_vm"]["compiles"] <= 0:
+        sys.exit("JSVM smoke test: scan phase compiled nothing under the VM")
+
+print(f"JSVM smoke test OK: {micro['executions']} executions/engine, "
+      f"warm cache {micro['warm_speedup_vs_treewalk']:.2f}x tree-walk, "
+      f"{len(doc['scales'])} scan scale(s)")
 EOF
 
 echo "ci.sh: all checks passed"
