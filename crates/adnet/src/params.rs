@@ -1,0 +1,159 @@
+//! Per-network calibration profiles for the ad-network substrate.
+//!
+//! The exchanges carry the paper's measured Table I / Table II
+//! marginals; ad networks have no published analog, so these profiles
+//! are synthetic but shaped by the same intuition the paper closes
+//! with: low-quality ad inventory carries a malice rate comparable to
+//! the dirtier exchanges, while premium-leaning networks look more
+//! like the cleaner ones.
+
+use serde::{Deserialize, Serialize};
+
+use slum_exchange::ExchangeKind;
+
+/// Calibration profile of one ad network.
+///
+/// Counts are "paper-scale" volumes consumed at the study's crawl and
+/// domain scales, mirroring how [`slum_exchange::ExchangeProfile`]
+/// carries Table I / Table II values; fractions are derived by the
+/// accessors so rounding stays in one place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdNetProfile {
+    /// Network display name.
+    pub name: &'static str,
+    /// Simulated ad-server host (interstitials and landing pages).
+    pub host: &'static str,
+    /// Pacing class. Programmatic ad rotation is passive, so every
+    /// network is [`ExchangeKind::AutoSurf`].
+    pub kind: ExchangeKind,
+    /// Impressions served over a full-scale crawl.
+    pub urls_crawled: u64,
+    /// Impressions landing on the network's own interstitial pages.
+    pub self_impressions: u64,
+    /// Impressions filled by premium direct-deal publishers.
+    pub premium_impressions: u64,
+    /// Malicious impressions among regular (creative) impressions.
+    pub malicious_urls: u64,
+    /// Creative inventory size (the domain-pool analog).
+    pub creatives: u64,
+    /// Creatives running malicious campaigns.
+    pub malicious_creatives: u64,
+    /// Minimum dwell on a landing page, in virtual seconds (ad
+    /// verification loads are quick compared to surfbar rotations).
+    pub min_surf_secs: u32,
+    /// Malvertising flights (time-boxed campaign buys) over the crawl
+    /// window.
+    pub campaign_flights: u32,
+}
+
+impl AdNetProfile {
+    /// Regular impressions (served creatives).
+    pub fn regular_urls(&self) -> u64 {
+        self.urls_crawled - self.self_impressions - self.premium_impressions
+    }
+
+    /// Fraction of impressions hitting the network's own pages.
+    pub fn self_fraction(&self) -> f64 {
+        self.self_impressions as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of impressions filled by premium publishers.
+    pub fn premium_fraction(&self) -> f64 {
+        self.premium_impressions as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of regular impressions that are malicious.
+    pub fn malicious_fraction(&self) -> f64 {
+        self.malicious_urls as f64 / self.regular_urls() as f64
+    }
+
+    /// Fraction of creatives running malicious campaigns.
+    pub fn malicious_creative_fraction(&self) -> f64 {
+        self.malicious_creatives as f64 / self.creatives as f64
+    }
+}
+
+/// The four modeled ad networks, dirtiest inventory first.
+pub const PROFILES: [AdNetProfile; 4] = [
+    AdNetProfile {
+        name: "AdRotor",
+        host: "adrotor.adnet.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 188_000,
+        self_impressions: 9_400,
+        premium_impressions: 15_040,
+        malicious_urls: 57_200,
+        creatives: 3_900,
+        malicious_creatives: 585,
+        min_surf_secs: 8,
+        campaign_flights: 3,
+    },
+    AdNetProfile {
+        name: "ClickNimbus",
+        host: "clicknimbus.adnet.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 152_000,
+        self_impressions: 12_160,
+        premium_impressions: 22_800,
+        malicious_urls: 16_380,
+        creatives: 2_800,
+        malicious_creatives: 308,
+        min_surf_secs: 6,
+        campaign_flights: 2,
+    },
+    AdNetProfile {
+        name: "PopMatrix",
+        host: "popmatrix.adnet.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 97_000,
+        self_impressions: 19_400,
+        premium_impressions: 7_760,
+        malicious_urls: 20_950,
+        creatives: 1_450,
+        malicious_creatives: 102,
+        min_surf_secs: 5,
+        campaign_flights: 2,
+    },
+    AdNetProfile {
+        name: "BannerBloom",
+        host: "bannerbloom.adnet.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 64_000,
+        self_impressions: 5_120,
+        premium_impressions: 12_800,
+        malicious_urls: 3_220,
+        creatives: 1_100,
+        malicious_creatives: 88,
+        min_surf_secs: 10,
+        campaign_flights: 1,
+    },
+];
+
+/// Looks a profile up by name.
+pub fn profile(name: &str) -> Option<&'static AdNetProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_sane() {
+        for p in &PROFILES {
+            assert!(p.self_fraction() + p.premium_fraction() < 1.0, "{}", p.name);
+            let f = p.malicious_fraction();
+            assert!(f > 0.0 && f < 0.6, "{}: {f}", p.name);
+            let cf = p.malicious_creative_fraction();
+            assert!(cf > 0.0 && cf < 0.2, "{}: {cf}", p.name);
+            assert_eq!(p.kind, ExchangeKind::AutoSurf, "{}", p.name);
+            assert!(p.campaign_flights > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(profile("AdRotor").unwrap().host, "adrotor.adnet.example");
+        assert!(profile("DoubleClick").is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Wires an [`AdNetwork`] to the synthetic web: installs its creative
+//! inventory and calibrates rotation weights so the impression stream
+//! lands on the profile's malice marginals.
+
+use rand::Rng;
+
+use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+use slum_websim::{ContentCategory, JsAttack, MaliceKind, Url};
+
+use crate::network::{AdNetwork, Creative, Flight};
+use crate::params::AdNetProfile;
+
+/// Premium direct-deal publishers every network pads its reporting
+/// with — the popular-referral analog of the exchanges' Google /
+/// Facebook / YouTube set. Installed once; shared across networks.
+pub const PREMIUM_HOSTS: [&str; 3] =
+    ["news.premium.example", "sports.premium.example", "weather.premium.example"];
+
+/// Fraction of crawl wall-time covered by malvertising flights, and the
+/// malice share inside a flight. Same calibration scheme as the
+/// exchange substrate's campaign bursts: flight mass is carved out of
+/// the static malice fraction so the time-average still lands on the
+/// profile's `malicious_fraction`.
+const FLIGHT_TIME_SHARE: f64 = 0.08;
+const FLIGHT_MALICE_SHARE: f64 = 0.85;
+
+/// Malicious creative archetypes guaranteed at small inventory scales,
+/// so the ad-chain flavors (redirect trees, rotating redirectors,
+/// hidden-iframe landings) are always represented. Taken in order up to
+/// the profile's malicious-creative budget; weights are in units of the
+/// base malicious weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForcedCreative {
+    /// Ad-chain redirect: the click-through bounces through `hops`
+    /// third-party ad servers before the landing page.
+    Chain(u32),
+    /// Rotating redirector that round-robins landing offers.
+    Rotor,
+    /// Landing page with a hidden-iframe drive-by.
+    HiddenIframe,
+    /// Plain blacklisted landing domain.
+    Blacklisted,
+    /// Uncategorized malicious landing.
+    Misc,
+}
+
+/// Builds an ad network from its profile.
+///
+/// * `domain_scale` scales the creative inventory (1.0 = full size).
+/// * `planned_virtual_secs` is the expected virtual duration of the
+///   crawl; malvertising flights are placed inside it.
+///
+/// Weight calibration matches the exchange substrate: with `M`
+/// malicious and `B` benign creatives and a target malicious impression
+/// fraction `f`, benign creatives get weight 1 and malicious creatives
+/// weight `f·B / ((1−f)·M)` (after carving out the flight mass).
+pub fn build_ad_network(
+    builder: &mut WebBuilder,
+    profile: &AdNetProfile,
+    domain_scale: f64,
+    planned_virtual_secs: u64,
+) -> AdNetwork {
+    let n_creatives = ((profile.creatives as f64 * domain_scale).round() as usize).max(10);
+    let budget = ((n_creatives as f64 * profile.malicious_creative_fraction()).round() as usize)
+        .clamp(2, n_creatives.saturating_sub(2).max(2));
+    // The ad-chain archetypes dominate: malvertising reaches its
+    // payload through redirect chains far more often than exchange
+    // listings do.
+    let forced_plan: Vec<(ForcedCreative, f64, ContentCategory)> = vec![
+        (ForcedCreative::Chain(3), 1.4, ContentCategory::Advertisement),
+        (ForcedCreative::Rotor, 1.0, ContentCategory::Advertisement),
+        (ForcedCreative::Blacklisted, 1.0, ContentCategory::Business),
+        (ForcedCreative::HiddenIframe, 0.7, ContentCategory::Advertisement),
+        (ForcedCreative::Chain(2), 0.6, ContentCategory::Entertainment),
+        (ForcedCreative::Misc, 1.2, ContentCategory::Advertisement),
+        (ForcedCreative::Misc, 0.8, ContentCategory::Business),
+        (ForcedCreative::Chain(4), 0.4, ContentCategory::InformationTechnology),
+        (ForcedCreative::Misc, 0.5, ContentCategory::Other),
+    ];
+    let forced: Vec<(ForcedCreative, f64, ContentCategory)> =
+        forced_plan.into_iter().take(budget).collect();
+    let n_sampled = budget - forced.len();
+    let n_benign = n_creatives.saturating_sub(budget).max(2);
+
+    let f = profile.malicious_fraction();
+    let f_static = if profile.campaign_flights > 0 {
+        ((f - FLIGHT_TIME_SHARE * FLIGHT_MALICE_SHARE) / (1.0 - FLIGHT_TIME_SHARE)).max(0.005)
+    } else {
+        f
+    };
+    let forced_units: f64 = forced.iter().map(|(_, u, _)| u).sum();
+    let malicious_units = n_sampled as f64 + forced_units;
+    let malicious_weight = (f_static * n_benign as f64) / ((1.0 - f_static) * malicious_units);
+
+    let mut creatives = Vec::with_capacity(n_creatives);
+    for _ in 0..n_benign {
+        let spec = builder.benign_site(BenignOptions::default());
+        creatives.push(Creative { url: spec.url, weight: 1.0, malicious: false });
+    }
+    for _ in 0..n_sampled {
+        let spec = builder.malicious_site(MaliciousOptions::default());
+        use slum_websim::MaliceKind as Mk;
+        // Rare archetypes stay rare per impression, as in the exchange
+        // substrate.
+        let unit = match spec.truth.malice_kind() {
+            Some(Mk::MaliciousShortened) | Some(Mk::MaliciousFlash) => 0.1,
+            _ => 1.0,
+        };
+        creatives.push(Creative { url: spec.url, weight: malicious_weight * unit, malicious: true });
+    }
+    for (kind, units, category) in &forced {
+        let url = match kind {
+            ForcedCreative::Chain(hops) => {
+                builder.redirect_chain_site(*hops, slum_websim::Tld::Com, *category).url
+            }
+            ForcedCreative::Rotor => builder.rotating_redirector_site(3, *category).url,
+            ForcedCreative::HiddenIframe => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::MaliciousJs(JsAttack::HiddenIframe)),
+                        cloaked: Some(false),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+            ForcedCreative::Blacklisted => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::Blacklisted),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+            ForcedCreative::Misc => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::Misc),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+        };
+        creatives.push(Creative { url, weight: malicious_weight * units, malicious: true });
+    }
+
+    let home = builder.exchange_home(profile.host).url;
+    let premium: Vec<Url> =
+        PREMIUM_HOSTS.iter().map(|h| builder.popular_site(h).url).collect();
+
+    let mut network = AdNetwork::new(
+        profile.name,
+        home,
+        premium,
+        creatives,
+        profile.self_fraction(),
+        profile.premium_fraction(),
+        profile.min_surf_secs,
+    );
+
+    // Place the malvertising flights across the middle 80% of the crawl
+    // window, each boosting one full-weight malicious creative.
+    if profile.campaign_flights > 0 {
+        let flights = profile.campaign_flights as u64;
+        let flight_total = (planned_virtual_secs as f64 * FLIGHT_TIME_SHARE) as u64;
+        let flight_len = (flight_total / flights).max(60);
+        let malicious_urls: Vec<Url> = network
+            .creatives()
+            .iter()
+            .filter(|c| c.malicious && c.weight >= malicious_weight * 0.9)
+            .map(|c| c.url.clone())
+            .collect();
+        let total_static: f64 = n_benign as f64 + malicious_units * malicious_weight;
+        let boost = total_static * FLIGHT_MALICE_SHARE / (1.0 - FLIGHT_MALICE_SHARE);
+        for i in 0..flights {
+            let center = planned_virtual_secs / 10
+                + (i * 2 + 1) * (planned_virtual_secs * 8 / 10) / (2 * flights);
+            let start = center.saturating_sub(flight_len / 2);
+            let target =
+                malicious_urls[builder.rng().gen_range(0..malicious_urls.len())].clone();
+            network.schedule_flight(Flight { target, start, end: start + flight_len, boost });
+        }
+    }
+    network
+}
+
+/// Convenience: builds all four modeled networks into one web.
+pub fn build_all_networks(
+    builder: &mut WebBuilder,
+    domain_scale: f64,
+    planned_virtual_secs: u64,
+) -> Vec<AdNetwork> {
+    crate::params::PROFILES
+        .iter()
+        .map(|p| build_ad_network(builder, p, domain_scale, planned_virtual_secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::profile;
+    use slum_exchange::TrafficSource;
+    use slum_websim::rng::seeded;
+
+    #[test]
+    fn inventory_respects_creative_malice_fraction() {
+        let mut b = WebBuilder::new(60);
+        let p = profile("AdRotor").unwrap();
+        let net = build_ad_network(&mut b, p, 0.05, 100_000);
+        let malicious = net.creatives().iter().filter(|c| c.malicious).count();
+        let frac = malicious as f64 / net.creatives().len() as f64;
+        assert!(
+            (frac - p.malicious_creative_fraction()).abs() < 0.05,
+            "creative malice fraction {frac} vs {}",
+            p.malicious_creative_fraction()
+        );
+    }
+
+    #[test]
+    fn impression_malice_fraction_matches_profile() {
+        let mut b = WebBuilder::new(61);
+        let p = profile("ClickNimbus").unwrap();
+        let mut net = build_ad_network(&mut b, p, 0.05, 100_000);
+        let malicious_hosts: std::collections::BTreeSet<String> = net
+            .creatives()
+            .iter()
+            .filter(|c| c.malicious)
+            .map(|c| c.url.host().to_string())
+            .collect();
+        let mut rng = seeded(19);
+        let (mut regular, mut malicious) = (0u64, 0u64);
+        for t in 0..30_000u64 {
+            let step = net.next_step(t, &mut rng);
+            let host = step.url.host().to_string();
+            if host == p.host || PREMIUM_HOSTS.contains(&host.as_str()) {
+                continue;
+            }
+            regular += 1;
+            if malicious_hosts.contains(&host) {
+                malicious += 1;
+            }
+        }
+        let frac = malicious as f64 / regular as f64;
+        assert!(
+            (frac - p.malicious_fraction()).abs() < 0.03,
+            "impression malice {frac} vs {}",
+            p.malicious_fraction()
+        );
+    }
+
+    #[test]
+    fn every_network_gets_flights_inside_the_window() {
+        let mut b = WebBuilder::new(62);
+        let span = 150_000;
+        for net in build_all_networks(&mut b, 0.05, span) {
+            assert!(!net.flights().is_empty(), "{}", TrafficSource::name(&net));
+            for f in net.flights() {
+                assert!(f.end <= span, "flight [{}, {}) outside window", f.start, f.end);
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_build_with_population() {
+        let mut b = WebBuilder::new(63);
+        let nets = build_all_networks(&mut b, 0.02, 50_000);
+        assert_eq!(nets.len(), 4);
+        let web = b.finish();
+        assert!(web.len() > 50, "population installed: {}", web.len());
+        for net in &nets {
+            assert!(!net.creatives().is_empty());
+        }
+    }
+}

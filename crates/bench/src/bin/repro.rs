@@ -36,8 +36,12 @@
 //! instead of waiting for the crawl barrier; bit-identical output),
 //! `--js-engine <name>` (`vm`, the default compiled-bytecode engine,
 //! or `interp`, the tree-walking oracle — scan output is bit-identical
-//! either way) and `--quick` (restrict `bench-scan`/`bench-jsvm` to
-//! their smallest crawl scale, for CI smoke runs).
+//! either way), `--substrate <name>` (traffic substrate to crawl:
+//! `exchange`, the paper's nine traffic exchanges and the default;
+//! `adnet`, the low-tier ad-network ecosystem; or `torrent`, the
+//! torrent-index ecosystem) and `--quick` (restrict
+//! `bench-scan`/`bench-jsvm` to their smallest crawl scale, for CI
+//! smoke runs).
 
 use std::path::Path;
 use std::sync::OnceLock;
@@ -45,6 +49,7 @@ use std::sync::OnceLock;
 use malware_slums::artifact::{Artifact, ArtifactKind};
 use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
+use malware_slums::substrate::Substrate;
 use slum_crawler::CrawlFaultProfile;
 use slum_detect::fault::FaultProfile;
 use slum_js::sandbox::JsEngine;
@@ -64,6 +69,7 @@ struct Args {
     overlap: bool,
     quick: bool,
     js_engine: JsEngine,
+    substrate: Substrate,
 }
 
 fn parse_args() -> Args {
@@ -81,6 +87,7 @@ fn parse_args() -> Args {
     let mut overlap = false;
     let mut quick = false;
     let mut js_engine = JsEngine::default();
+    let mut substrate = Substrate::default();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -154,18 +161,30 @@ fn parse_args() -> Args {
                     die(&format!("unknown JS engine '{name}' (known: vm, interp)"))
                 });
             }
+            "--substrate" => {
+                let name = iter.next().unwrap_or_else(|| die("--substrate needs a name"));
+                substrate = Substrate::parse(&name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown substrate '{name}' (known: {})",
+                        Substrate::NAMES.join(", ")
+                    ))
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
                      [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
                      [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
-                     [--metrics PATH] [--overlap] [--quick] [--js-engine NAME]\n\
+                     [--metrics PATH] [--overlap] [--quick] [--js-engine NAME] \
+                     [--substrate NAME]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
-                     vetting burst cloaking staleness faultloss crawlloss cases json bench-scan \
-                     bench-jsvm\n\
+                     substrates vetting burst cloaking staleness faultloss crawlloss cases json \
+                     bench-scan bench-jsvm\n\
                      fault profiles: none default harsh\n\
                      JS engines: vm (default; compiled bytecode) interp (tree-walking oracle) \
                      — scan output is bit-identical either way\n\
+                     substrates: exchange (default; the paper's nine traffic exchanges) \
+                     adnet (low-tier ad networks) torrent (torrent indexes)\n\
                      --overlap streams crawl chunks into the scan phase (no barrier); \
                      --quick restricts bench-scan/bench-jsvm to their smallest scale"
                 );
@@ -198,6 +217,7 @@ fn parse_args() -> Args {
         overlap,
         quick,
         js_engine,
+        substrate,
     }
 }
 
@@ -213,9 +233,13 @@ fn main() {
     let study = || {
         study_cell.get_or_init(|| {
             eprintln!(
-                "[repro] running study: crawl_scale={} seed={} fault_profile={} \
+                "[repro] running study: substrate={} crawl_scale={} seed={} fault_profile={} \
                  crawl_fault_profile={} ...",
-                args.scale, args.seed, args.fault_profile.name, args.crawl_fault_profile.name
+                args.substrate.name(),
+                args.scale,
+                args.seed,
+                args.fault_profile.name,
+                args.crawl_fault_profile.name
             );
             let t0 = std::time::Instant::now();
             let mut builder = StudyConfig::builder()
@@ -225,6 +249,7 @@ fn main() {
                 .scan_workers(args.workers)
                 .overlap_scan(args.overlap)
                 .js_engine(args.js_engine)
+                .substrate(args.substrate)
                 .fault_profile(args.fault_profile.clone())
                 .crawl_fault_profile(args.crawl_fault_profile.clone());
             if args.checkpoint.is_some() || args.resume.is_some() {

@@ -134,15 +134,20 @@ impl<'w> Browser<'w> {
     }
 
     /// Overrides the request context (visitor country, referrer, or a
-    /// scanner identity for cloaking experiments).
+    /// scanner identity for cloaking experiments). The browser clock
+    /// stays authoritative for the context's request time.
     pub fn with_context(mut self, ctx: RequestContext) -> Self {
         self.ctx = ctx;
+        self.ctx.time = self.clock;
         self
     }
 
-    /// Sets the virtual timestamp stamped into HAR entries.
+    /// Sets the virtual timestamp stamped into HAR entries and carried
+    /// on every request (time-keyed resources such as the rotating
+    /// redirector resolve against it).
     pub fn at_time(mut self, seconds: u64) -> Self {
         self.clock = seconds;
+        self.ctx.time = seconds;
         self
     }
 
@@ -585,16 +590,19 @@ mod tests {
     }
 
     #[test]
-    fn rotating_redirector_navigates_differently_per_load() {
+    fn rotating_redirector_navigates_differently_per_time() {
         let mut b = WebBuilder::new(106);
         let spec = b.rotating_redirector_site(4, ContentCategory::Advertisement);
         let web = b.finish();
-        let browser = Browser::new(&web);
-        let first = browser.load(&spec.url);
-        let second = browser.load(&spec.url);
+        let first = Browser::new(&web).at_time(0).load(&spec.url);
+        let second = Browser::new(&web).at_time(1).load(&spec.url);
         assert!(first.was_redirected());
         assert!(second.was_redirected());
         assert_ne!(first.final_url, second.final_url, "rotator must vary destination");
+        // Replaying the same instant lands on the same destination: the
+        // rotation is a pure function of the clock, not of fetch order.
+        let replay = Browser::new(&web).at_time(0).load(&spec.url);
+        assert_eq!(replay.final_url, first.final_url);
     }
 
     #[test]

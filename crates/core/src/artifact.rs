@@ -8,8 +8,6 @@
 //! survive as thin delegating wrappers (see `study.rs`) so existing
 //! code keeps compiling; new code should go through this module.
 
-use slum_exchange::params::PROFILES;
-
 use crate::breakdown::{domain_rows, ContentBreakdown, DomainRow, TldBreakdown};
 use crate::categorize::{tally, CategoryCounts};
 use crate::filter::ReferralClass;
@@ -17,6 +15,7 @@ use crate::redirects::{longest_chain, ChainExhibit, RedirectHistogram};
 use crate::report::{Fig2Bar, Table1, Table1Row};
 use crate::shortened::{shortened_rows, ShortenedRow};
 use crate::study::Study;
+use crate::substrate::SubstrateComparison;
 use crate::temporal::CumulativeSeries;
 
 /// Which published artifact to build.
@@ -42,11 +41,15 @@ pub enum ArtifactKind {
     Fig6,
     /// Figure 7: content-category breakdown of malicious URLs.
     Fig7,
+    /// Cross-substrate malice comparison: per-source statistics in a
+    /// substrate-agnostic shape (this reproduction's extension; not a
+    /// paper artifact).
+    SubstrateComparison,
 }
 
 impl ArtifactKind {
     /// Every artifact, in publication order.
-    pub const ALL: [ArtifactKind; 10] = [
+    pub const ALL: [ArtifactKind; 11] = [
         ArtifactKind::Table1,
         ArtifactKind::Table2,
         ArtifactKind::Table3,
@@ -57,6 +60,7 @@ impl ArtifactKind {
         ArtifactKind::Fig5,
         ArtifactKind::Fig6,
         ArtifactKind::Fig7,
+        ArtifactKind::SubstrateComparison,
     ];
 
     /// The short CLI name (`table1`, `fig5`, ...).
@@ -72,6 +76,7 @@ impl ArtifactKind {
             ArtifactKind::Fig5 => "fig5",
             ArtifactKind::Fig6 => "fig6",
             ArtifactKind::Fig7 => "fig7",
+            ArtifactKind::SubstrateComparison => "substrates",
         }
     }
 
@@ -88,6 +93,9 @@ impl ArtifactKind {
             ArtifactKind::Fig5 => "Figure 5: distribution of URL redirection count",
             ArtifactKind::Fig6 => "Figure 6: malicious URLs across TLDs",
             ArtifactKind::Fig7 => "Figure 7: malicious content across categories",
+            ArtifactKind::SubstrateComparison => {
+                "Substrate comparison: malice across traffic ecosystems"
+            }
         }
     }
 
@@ -120,6 +128,8 @@ pub enum Artifact {
     Fig6(TldBreakdown),
     /// Figure 7 breakdown.
     Fig7(ContentBreakdown),
+    /// Substrate-comparison rows.
+    SubstrateComparison(SubstrateComparison),
 }
 
 macro_rules! artifact_accessor {
@@ -148,6 +158,7 @@ impl Artifact {
             Artifact::Fig5(_) => ArtifactKind::Fig5,
             Artifact::Fig6(_) => ArtifactKind::Fig6,
             Artifact::Fig7(_) => ArtifactKind::Fig7,
+            Artifact::SubstrateComparison(_) => ArtifactKind::SubstrateComparison,
         }
     }
 
@@ -181,6 +192,10 @@ impl Artifact {
     artifact_accessor!(
         /// The Figure 7 payload, if this is a [`Artifact::Fig7`].
         into_fig7, Fig7, ContentBreakdown);
+    artifact_accessor!(
+        /// The comparison payload, if this is a
+        /// [`Artifact::SubstrateComparison`].
+        into_substrate_comparison, SubstrateComparison, SubstrateComparison);
 }
 
 impl Study {
@@ -206,18 +221,29 @@ impl Study {
             ArtifactKind::Fig7 => {
                 Artifact::Fig7(ContentBreakdown::build(&self.web, &self.regular_pairs()))
             }
+            ArtifactKind::SubstrateComparison => {
+                Artifact::SubstrateComparison(SubstrateComparison::build(
+                    self.config().substrate,
+                    &self.sources,
+                    self.store.records(),
+                    &self.referrals,
+                    &self.outcomes,
+                ))
+            }
         }
     }
 }
 
-/// Table I: per-exchange crawl statistics.
+/// Table I: per-source crawl statistics (one row per traffic source of
+/// the substrate that ran; the nine exchanges under the default).
 fn build_table1(study: &Study) -> Table1 {
-    let rows = PROFILES
+    let rows = study
+        .sources
         .iter()
-        .map(|profile| {
+        .map(|meta| {
             let mut row = Table1Row {
-                exchange: profile.name.to_string(),
-                kind: profile.kind.label().to_string(),
+                exchange: meta.name.clone(),
+                kind: meta.kind.label().to_string(),
                 crawled: 0,
                 self_referrals: 0,
                 popular_referrals: 0,
@@ -227,7 +253,7 @@ fn build_table1(study: &Study) -> Table1 {
             for ((record, outcome), class) in
                 study.store.records().iter().zip(&study.outcomes).zip(&study.referrals)
             {
-                if record.exchange != profile.name {
+                if record.exchange != meta.name {
                     continue;
                 }
                 row.crawled += 1;
@@ -261,12 +287,13 @@ fn build_fig2(study: &Study) -> Vec<Fig2Bar> {
         .collect()
 }
 
-/// Figure 3: per-exchange cumulative malicious series (regular URLs,
+/// Figure 3: per-source cumulative malicious series (regular URLs,
 /// crawl order).
 fn build_fig3(study: &Study) -> Vec<CumulativeSeries> {
-    PROFILES
+    study
+        .sources
         .iter()
-        .map(|profile| {
+        .map(|meta| {
             let flags: Vec<bool> = study
                 .store
                 .records()
@@ -274,11 +301,11 @@ fn build_fig3(study: &Study) -> Vec<CumulativeSeries> {
                 .zip(&study.outcomes)
                 .zip(&study.referrals)
                 .filter(|((record, _), class)| {
-                    record.exchange == profile.name && **class == ReferralClass::Regular
+                    record.exchange == meta.name && **class == ReferralClass::Regular
                 })
                 .map(|((_, outcome), _)| outcome.malicious)
                 .collect();
-            CumulativeSeries::from_flags(profile.name, &flags)
+            CumulativeSeries::from_flags(&meta.name, &flags)
         })
         .collect()
 }

@@ -163,8 +163,12 @@ pub fn rotating_redirectors(
                 continue;
             }
             let mut destinations = Vec::new();
-            for _ in 0..probes.max(2) {
-                let outcome = web.fetch(&script_url, &slum_websim::RequestContext::browser());
+            for probe in 0..probes.max(2) {
+                // Spread the probes over virtual time: the rotor keys
+                // its cycle to the request clock.
+                let ctx = slum_websim::RequestContext::browser()
+                    .with_time(record.at + probe as u64);
+                let outcome = web.fetch(&script_url, &ctx);
                 if let Some(target) = outcome.redirect_target() {
                     destinations.push(target.clone());
                 }

@@ -68,6 +68,10 @@ pub struct CheckpointHeader {
     pub domain_scale_ppm: u64,
     /// Name of the crawl-fault profile in force.
     pub crawl_fault_profile: String,
+    /// Canonical name of the traffic substrate crawled. Defaults to
+    /// `exchange` when absent so pre-substrate checkpoints stay
+    /// readable (see [`parse_header`]).
+    pub substrate: String,
     /// Configured segment budget (0 when unbounded).
     pub checkpoint_every: u64,
     /// Completed segment rounds at the time of writing.
@@ -83,6 +87,32 @@ pub fn scale_ppm(scale: f64) -> u64 {
     (scale * 1e6).round() as u64
 }
 
+fn default_substrate_name() -> String {
+    crate::substrate::Substrate::Exchange.name().to_string()
+}
+
+/// Parses a header line, defaulting `substrate` to `exchange` when the
+/// field is absent (checkpoints written before the substrate refactor
+/// carry no such field). The vendored serde shim has no per-field
+/// default support, so the compatibility shim lives here, at the only
+/// header parse site.
+fn parse_header(header_line: &str) -> Result<CheckpointHeader, CheckpointError> {
+    let malformed =
+        |detail: String| CheckpointError::Malformed { line: 3, detail };
+    let mut value: serde_json::Value =
+        serde_json::from_str(header_line).map_err(|e| malformed(e.to_string()))?;
+    if let serde_json::Value::Map(entries) = &mut value {
+        if !entries.iter().any(|(k, _)| k == "substrate") {
+            entries.push((
+                "substrate".to_string(),
+                serde_json::Value::Str(default_substrate_name()),
+            ));
+        }
+    }
+    <CheckpointHeader as serde::Deserialize>::from_content(&value)
+        .map_err(|e| malformed(e.to_string()))
+}
+
 impl CheckpointHeader {
     /// A header for `config` (round and body length are filled in at
     /// save time).
@@ -93,6 +123,7 @@ impl CheckpointHeader {
             crawl_scale_ppm: scale_ppm(config.crawl_scale),
             domain_scale_ppm: scale_ppm(config.domain_scale),
             crawl_fault_profile: config.crawl_fault_profile.name.clone(),
+            substrate: config.substrate.name().to_string(),
             checkpoint_every: config.checkpoint_every.unwrap_or(0),
             round: 0,
             body_len: 0,
@@ -109,7 +140,7 @@ impl CheckpointHeader {
     /// Returns [`CheckpointError::ConfigMismatch`] naming the first
     /// differing field.
     pub fn verify(&self, config: &StudyConfig) -> Result<(), CheckpointError> {
-        let checks: [(&'static str, String, String); 4] = [
+        let checks: [(&'static str, String, String); 5] = [
             ("seed", self.seed.to_string(), config.seed.to_string()),
             (
                 "crawl_scale_ppm",
@@ -126,6 +157,7 @@ impl CheckpointHeader {
                 self.crawl_fault_profile.clone(),
                 config.crawl_fault_profile.name.clone(),
             ),
+            ("substrate", self.substrate.clone(), config.substrate.name().to_string()),
         ];
         for (field, expected, found) in checks {
             if expected != found {
@@ -281,8 +313,7 @@ pub fn decode_checkpoint(
     let (header_line, body) = payload
         .split_once('\n')
         .ok_or_else(|| CheckpointError::Truncated { detail: "no header line".to_string() })?;
-    let header: CheckpointHeader = serde_json::from_str(header_line)
-        .map_err(|e| CheckpointError::Malformed { line: 3, detail: e.to_string() })?;
+    let header = parse_header(header_line)?;
     if header.version != FORMAT_VERSION {
         return Err(CheckpointError::VersionSkew { found: header.version });
     }
@@ -418,6 +449,7 @@ mod tests {
             crawl_scale_ppm: 300,
             domain_scale_ppm: 30_000,
             crawl_fault_profile: "none".to_string(),
+            substrate: "exchange".to_string(),
             checkpoint_every: 7,
             round: 0,
             body_len: 0,
@@ -528,9 +560,26 @@ mod tests {
             wrong_seed.verify(&config),
             Err(CheckpointError::ConfigMismatch { field: "seed", .. })
         ));
-        let mut wrong_profile = header;
+        let mut wrong_profile = header.clone();
         wrong_profile.crawl_fault_profile = "harsh".to_string();
         let err = wrong_profile.verify(&config).unwrap_err();
         assert!(err.to_string().contains("crawl_fault_profile"), "{err}");
+        let mut wrong_substrate = header;
+        wrong_substrate.substrate = "torrent".to_string();
+        assert!(matches!(
+            wrong_substrate.verify(&config),
+            Err(CheckpointError::ConfigMismatch { field: "substrate", .. })
+        ));
+    }
+
+    #[test]
+    fn pre_substrate_headers_default_to_exchange() {
+        // A header JSON without the substrate field (written before the
+        // substrate refactor) must still parse and verify as exchange.
+        let json = r#"{"version":1,"seed":5,"crawl_scale_ppm":300,"domain_scale_ppm":30000,"crawl_fault_profile":"none","checkpoint_every":7,"round":0,"body_len":0}"#;
+        let header = parse_header(json).unwrap();
+        assert_eq!(header.substrate, "exchange");
+        assert_eq!(header.seed, 5);
+        assert_eq!(header.checkpoint_every, 7);
     }
 }

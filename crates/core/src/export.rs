@@ -18,6 +18,9 @@ pub struct StudyExport {
     pub seed: u64,
     /// Crawl scale used.
     pub crawl_scale: f64,
+    /// Traffic substrate the study crawled (`exchange`, `adnet`, or
+    /// `torrent`).
+    pub substrate: String,
     /// Corpus statistics.
     pub corpus: CorpusExport,
     /// Table I rows.
@@ -41,6 +44,27 @@ pub struct StudyExport {
     /// Crawl-resilience summary: crawl-fault profile, aggregate costs
     /// and per-exchange health (all-clean for fault-free runs).
     pub crawl_resilience: CrawlResilienceExport,
+    /// Cross-substrate comparison rows: per-source malice tallies under
+    /// the substrate this study ran. Join documents from runs with
+    /// different `substrate` echoes to compare ecosystems.
+    pub substrate_comparison: Vec<SubstrateRowExport>,
+}
+
+/// One traffic source's row in the substrate-comparison section.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubstrateRowExport {
+    /// Source name.
+    pub source: String,
+    /// Source kind label.
+    pub kind: String,
+    /// URLs crawled.
+    pub crawled: u64,
+    /// Regular URLs.
+    pub regular: u64,
+    /// Malicious URLs.
+    pub malicious: u64,
+    /// Malicious fraction.
+    pub malicious_fraction: f64,
 }
 
 /// Crawl-resilience summary: which crawl-fault profile ran, what it
@@ -219,6 +243,7 @@ pub fn export(study: &Study) -> StudyExport {
     StudyExport {
         seed: study.config().seed,
         crawl_scale: study.config().crawl_scale,
+        substrate: study.config().substrate.name().to_string(),
         corpus: CorpusExport {
             visits: study.store.len(),
             distinct_urls: study.store.distinct_urls(),
@@ -306,6 +331,21 @@ pub fn export(study: &Study) -> StudyExport {
             .collect(),
         faults: fault_summary(study),
         crawl_resilience: crawl_resilience_summary(study),
+        substrate_comparison: study
+            .artifact(ArtifactKind::SubstrateComparison)
+            .into_substrate_comparison()
+            .expect("SubstrateComparison artifact")
+            .rows
+            .iter()
+            .map(|r| SubstrateRowExport {
+                source: r.source.clone(),
+                kind: r.kind.label().to_string(),
+                crawled: r.crawled,
+                regular: r.regular,
+                malicious: r.malicious,
+                malicious_fraction: r.malicious_fraction(),
+            })
+            .collect(),
     }
 }
 
@@ -444,6 +484,36 @@ mod tests {
             assert_eq!(row.exchange, h.exchange);
             assert_eq!(row.crawled, h.pages);
         }
+    }
+
+    #[test]
+    fn export_carries_substrate_section() {
+        let doc = export(&tiny());
+        assert_eq!(doc.substrate, "exchange");
+        assert_eq!(doc.substrate_comparison.len(), 9);
+        for (row, t1) in doc.substrate_comparison.iter().zip(&doc.table1) {
+            assert_eq!(row.source, t1.exchange);
+            assert_eq!(row.crawled, t1.crawled);
+            assert_eq!(row.malicious, t1.malicious);
+        }
+    }
+
+    #[test]
+    fn adnet_export_reports_its_own_sources() {
+        let config = StudyConfig::builder()
+            .seed(500)
+            .crawl_scale(0.0002)
+            .domain_scale(0.03)
+            .substrate(crate::substrate::Substrate::AdNet)
+            .build()
+            .expect("valid test config");
+        let doc = export(&Study::run(&config));
+        assert_eq!(doc.substrate, "adnet");
+        assert_eq!(doc.substrate_comparison.len(), 4);
+        assert_eq!(doc.table1.len(), 4);
+        assert_eq!(doc.crawl_resilience.health.len(), 4);
+        let crawled: u64 = doc.substrate_comparison.iter().map(|r| r.crawled).sum();
+        assert_eq!(crawled as usize, doc.corpus.visits);
     }
 
     #[test]

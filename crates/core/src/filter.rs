@@ -37,9 +37,23 @@ impl ReferralFilter {
     pub fn from_profiles<'a>(
         profiles: impl IntoIterator<Item = &'a slum_exchange::ExchangeProfile>,
     ) -> Self {
+        ReferralFilter::from_hosts(
+            profiles.into_iter().map(|p| p.host.to_string()),
+            POPULAR_HOSTS.iter().map(|h| h.to_string()),
+        )
+    }
+
+    /// Builds a filter from raw host sets — the substrate-agnostic
+    /// constructor the ad-network and torrent ecosystems use (their
+    /// "self" hosts are ad servers / index sites, their "popular" hosts
+    /// premium publishers / community mirrors).
+    pub fn from_hosts(
+        source_hosts: impl IntoIterator<Item = String>,
+        popular_hosts: impl IntoIterator<Item = String>,
+    ) -> Self {
         ReferralFilter {
-            exchange_hosts: profiles.into_iter().map(|p| p.host.to_string()).collect(),
-            popular_hosts: POPULAR_HOSTS.iter().map(|h| h.to_string()).collect(),
+            exchange_hosts: source_hosts.into_iter().collect(),
+            popular_hosts: popular_hosts.into_iter().collect(),
         }
     }
 

@@ -58,6 +58,7 @@ pub mod shortened;
 pub mod snippets;
 pub mod staleness;
 pub mod study;
+pub mod substrate;
 pub mod temporal;
 
 pub use artifact::{Artifact, ArtifactKind};
@@ -69,3 +70,4 @@ pub use filter::ReferralClass;
 pub use report::Render;
 pub use scanpipe::{FaultLog, ScanOutcome, ScanPipeline, VerdictSource};
 pub use study::{ConfigError, Study, StudyConfig, StudyConfigBuilder};
+pub use substrate::{SourceMeta, Substrate};

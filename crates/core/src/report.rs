@@ -16,6 +16,7 @@ use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
 use crate::categorize::{Category, CategoryCounts};
 use crate::redirects::{ChainExhibit, RedirectHistogram};
 use crate::shortened::ShortenedRow;
+use crate::substrate::SubstrateComparison;
 use crate::temporal::CumulativeSeries;
 
 /// Plain-text rendering of a published table or figure.
@@ -44,7 +45,43 @@ impl Render for Artifact {
             Artifact::Fig5(hist) => hist.render(),
             Artifact::Fig6(tld) => tld.render(),
             Artifact::Fig7(content) => content.render(),
+            Artifact::SubstrateComparison(cmp) => cmp.render(),
         }
+    }
+}
+
+impl Render for SubstrateComparison {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "substrate: {}", self.substrate);
+        let _ = writeln!(
+            out,
+            "{:<16} {:<12} {:>9} {:>7} {:>9} {:>9} {:>10} {:>7}",
+            "Source", "Type", "Crawled", "Self", "Popular", "Regular", "Malicious", "%Mal"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<12} {:>9} {:>7} {:>9} {:>9} {:>10} {:>6.1}%",
+                r.source,
+                r.kind.label(),
+                r.crawled,
+                r.self_referrals,
+                r.popular_referrals,
+                r.regular,
+                r.malicious,
+                r.malicious_fraction() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} overall: {} malicious / {} regular ({:.1}%)",
+            "",
+            self.total_malicious(),
+            self.total_regular(),
+            self.overall_malicious_fraction() * 100.0
+        );
+        out
     }
 }
 

@@ -14,15 +14,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use slum_crawler::drive::estimated_duration_secs;
 use slum_crawler::{
     crawl_all_resilient, crawl_all_segmented, crawl_all_streaming, CrawlFaultProfile, CrawlHealth,
     CrawlRecord, RecordChunk, RecordStore,
 };
-use slum_exchange::params::PROFILES;
-use slum_exchange::Exchange;
+use slum_exchange::TrafficSource;
 use slum_obs::{LocalMetrics, MetricsSnapshot, Registry};
-use slum_websim::build::WebBuilder;
 use slum_websim::SyntheticWeb;
 
 use crate::artifact::ArtifactKind;
@@ -42,6 +39,7 @@ use crate::scanpipe::{
     DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
 };
 use crate::shortened::ShortenedRow;
+use crate::substrate::{build_substrate, BuiltSubstrate, SourceMeta, Substrate};
 use crate::temporal::CumulativeSeries;
 
 /// Study configuration.
@@ -102,6 +100,11 @@ pub struct StudyConfig {
     /// output is bit-identical either way; only throughput and the
     /// `js.vm.*` counters differ.
     pub js_engine: JsEngine,
+    /// Which traffic ecosystem to crawl. The default
+    /// ([`Substrate::Exchange`]) is bit-identical to the pre-substrate
+    /// pipeline; `AdNet` and `Torrent` swap in the ad-network and
+    /// torrent ecosystems behind the same crawl/scan/artifact path.
+    pub substrate: Substrate,
 }
 
 impl Default for StudyConfig {
@@ -118,6 +121,7 @@ impl Default for StudyConfig {
             serial_scan_threshold: DEFAULT_SERIAL_SCAN_THRESHOLD,
             overlap_scan: false,
             js_engine: JsEngine::default(),
+            substrate: Substrate::default(),
         }
     }
 }
@@ -235,6 +239,24 @@ impl StudyConfigBuilder {
         }
     }
 
+    /// Selects the traffic substrate.
+    pub fn substrate(mut self, substrate: Substrate) -> Self {
+        self.config.substrate = substrate;
+        self
+    }
+
+    /// Selects the traffic substrate from its CLI name (validated
+    /// immediately: `exchange`, `adnet`, or `torrent`).
+    pub fn substrate_name(mut self, name: &str) -> Result<Self, ConfigError> {
+        match Substrate::parse(name) {
+            Some(substrate) => {
+                self.config.substrate = substrate;
+                Ok(self)
+            }
+            None => Err(ConfigError::UnknownSubstrate { name: name.to_string() }),
+        }
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -314,6 +336,11 @@ pub enum ConfigError {
         /// The unrecognized name.
         name: String,
     },
+    /// The substrate name did not parse (see [`Substrate::parse`]).
+    UnknownSubstrate {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -342,6 +369,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::UnknownJsEngine { name } => {
                 write!(f, "unknown JS engine {name:?} (expected vm or interp)")
+            }
+            ConfigError::UnknownSubstrate { name } => {
+                write!(f, "unknown substrate {name:?} (expected exchange, adnet, or torrent)")
             }
         }
     }
@@ -385,6 +415,10 @@ pub struct Study {
     /// Per-exchange crawl-health logs (what the lifecycle faults cost
     /// each exchange's crawl; all-clean under an inert profile).
     pub health: Vec<CrawlHealth>,
+    /// Per-source metadata for the substrate that ran, in crawl input
+    /// order — what the artifact layer iterates instead of a
+    /// substrate-specific profile table.
+    pub sources: Vec<SourceMeta>,
     config: StudyConfig,
     obs: Registry,
 }
@@ -478,31 +512,25 @@ impl Study {
         let obs = Registry::new();
         record_config(&obs, config);
 
-        // 1. Build the web population + the nine exchanges. Each
-        //    exchange gets its *own* planned crawl span so manual-surf
-        //    campaign bursts land inside the (much shorter) manual
-        //    crawls rather than after they end.
-        let (web, mut exchanges) = {
+        // 1. Build the configured substrate: its web population plus
+        //    the traffic sources, boxed behind the `TrafficSource`
+        //    contract. Each source gets its *own* planned crawl span so
+        //    time-boxed campaigns (manual-surf bursts, malvertising
+        //    flights) land inside the crawl window rather than after it
+        //    ends.
+        let BuiltSubstrate { web, sources: mut traffic, meta, filter, steps } = {
             let _span = obs.span("phase.build");
-            let mut builder = WebBuilder::new(config.seed);
-            let exchanges: Vec<Exchange> = PROFILES
-                .iter()
-                .map(|p| {
-                    let span = estimated_duration_secs(p, steps_for(p, config.crawl_scale));
-                    slum_exchange::build_exchange(&mut builder, p, config.domain_scale, span)
-                })
-                .collect();
-            (builder.finish(), exchanges)
+            build_substrate(config)
         };
+        let planned: u64 = steps.values().sum();
 
-        // 2. Crawl all nine exchanges in parallel; each crawl returns
-        //    its per-worker counter buffer, merged here at phase end.
+        // 2. Crawl every source in parallel; each crawl returns its
+        //    per-worker counter buffer, merged here at phase end.
         //    Every mode funnels through the same segment driver, so the
         //    records are bit-identical across modes, checkpoint cadence
         //    and resume points.
-        let step_fn = |x: &Exchange| {
-            let profile = PROFILES.iter().find(|p| p.name == x.name()).expect("known");
-            steps_for(profile, config.crawl_scale)
+        let step_fn = |x: &Box<dyn TrafficSource + Send>| {
+            *steps.get(x.name()).expect("known source")
         };
 
         // Overlapped (streaming) pipeline: only on the direct path —
@@ -516,13 +544,15 @@ impl Study {
             && config.fault_profile.is_inert()
         {
             let (store, outcomes, referrals, health) =
-                run_overlapped(config, &obs, &web, &mut exchanges, &step_fn);
+                run_overlapped(config, &obs, &web, &mut traffic, &step_fn, &filter, planned);
+            record_substrate_tallies(&obs, config.substrate, meta.len(), store.len() as u64);
             return Ok(Some(Study {
                 web,
                 store,
                 outcomes,
                 referrals,
                 health,
+                sources: meta,
                 config: config.clone(),
                 obs,
             }));
@@ -534,7 +564,7 @@ impl Study {
                 CrawlMode::Direct => {
                     let (store, stats, health) = crawl_all_resilient(
                         &web,
-                        &mut exchanges,
+                        &mut traffic,
                         config.seed,
                         &config.crawl_fault_profile,
                         step_fn,
@@ -557,7 +587,7 @@ impl Study {
                     let header = CheckpointHeader::for_config(config);
                     let outcome = crawl_all_segmented(
                         &web,
-                        &mut exchanges,
+                        &mut traffic,
                         config.seed,
                         &config.crawl_fault_profile,
                         step_fn,
@@ -581,12 +611,12 @@ impl Study {
             record_crawl_fault_tallies(&obs, &health, &resume_stats);
             (store, health)
         };
+        record_substrate_tallies(&obs, config.substrate, meta.len(), store.len() as u64);
 
         // 3. Classify referrals, then scan every *regular* record
         //    across the configured worker count.
         let (outcomes, referrals) = {
             let _span = obs.span("phase.scan");
-            let filter = ReferralFilter::from_profiles(PROFILES.iter());
             let referrals: Vec<ReferralClass> =
                 store.records().iter().map(|r| filter.classify(r)).collect();
             record_filter_counts(&obs, &referrals);
@@ -628,7 +658,16 @@ impl Study {
             (outcomes, referrals)
         };
 
-        Ok(Some(Study { web, store, outcomes, referrals, health, config: config.clone(), obs }))
+        Ok(Some(Study {
+            web,
+            store,
+            outcomes,
+            referrals,
+            health,
+            sources: meta,
+            config: config.clone(),
+            obs,
+        }))
     }
 
     /// Runs the full pipeline, reporting per-phase wall-clock timings
@@ -776,6 +815,23 @@ fn record_config(obs: &Registry, config: &StudyConfig) {
     obs.gauge("config.serial_scan_threshold").set(config.serial_scan_threshold as i64);
     obs.gauge("config.overlap").set(i64::from(config.overlap_scan));
     obs.gauge("config.js_engine_vm").set(i64::from(config.js_engine == JsEngine::Vm));
+    obs.gauge("config.substrate")
+        .set(Substrate::ALL.iter().position(|s| *s == config.substrate).unwrap_or(0) as i64);
+}
+
+/// Records the `crawl.substrate.*` counters. Always registered for
+/// every substrate name — inactive substrates report explicit zeros
+/// (the convention the fault and pipeline counters follow) so CI can
+/// grep the snapshot for the full key set regardless of which
+/// substrate ran.
+fn record_substrate_tallies(obs: &Registry, substrate: Substrate, n_sources: usize, pages: u64) {
+    for name in Substrate::NAMES {
+        obs.counter(&format!("crawl.substrate.{name}.pages")).add(0);
+        obs.counter(&format!("crawl.substrate.{name}.sources")).add(0);
+    }
+    let name = substrate.name();
+    obs.counter(&format!("crawl.substrate.{name}.pages")).add(pages);
+    obs.counter(&format!("crawl.substrate.{name}.sources")).add(n_sources as u64);
 }
 
 /// Tallies crawl-phase fault costs from the per-exchange health logs,
@@ -1104,23 +1160,24 @@ struct ScannedChunk {
 /// The `phase.crawl` span covers the producer and `phase.scan` the
 /// whole overlapped region, so their wall-clock now overlaps — the
 /// saving the streaming restructure exists to win.
-fn run_overlapped<F>(
+fn run_overlapped<S, F>(
     config: &StudyConfig,
     obs: &Registry,
     web: &SyntheticWeb,
-    exchanges: &mut [Exchange],
+    sources: &mut [S],
     step_fn: &F,
+    filter: &ReferralFilter,
+    planned: u64,
 ) -> (RecordStore, Vec<ScanOutcome>, Vec<ReferralClass>, Vec<CrawlHealth>)
 where
-    F: Fn(&Exchange) -> u64 + Sync,
+    S: TrafficSource + Send,
+    F: Fn(&S) -> u64 + Sync,
 {
-    let filter = ReferralFilter::from_profiles(PROFILES.iter());
     let pipeline = ScanPipeline::new(web).with_js_engine(config.js_engine);
     let latency = obs.histogram("scan.record_nanos");
     // Worker selection needs a corpus size before the corpus exists;
     // the planned surf slots are an exact upper bound on records (and
     // equal to them under an inert crawl-fault profile).
-    let planned: u64 = PROFILES.iter().map(|p| steps_for(p, config.crawl_scale)).sum();
     let scan_workers = effective_scan_workers(
         planned as usize,
         config.scan_workers,
@@ -1135,7 +1192,7 @@ where
             let _span = obs.span("phase.crawl");
             crawl_all_streaming(
                 web,
-                exchanges,
+                sources,
                 config.seed,
                 &config.crawl_fault_profile,
                 step_fn,
@@ -1254,6 +1311,7 @@ fn clean_outcome(record: &CrawlRecord) -> ScanOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slum_exchange::params::PROFILES;
 
     fn tiny_study() -> Study {
         let config = StudyConfig::builder()
@@ -1543,6 +1601,101 @@ mod tests {
             if *class != ReferralClass::Regular {
                 assert_eq!(outcome.source, VerdictSource::Full);
             }
+        }
+    }
+
+    #[test]
+    fn unknown_substrate_name_rejected() {
+        let err = StudyConfig::builder().substrate_name("usenet").unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownSubstrate { .. }));
+        assert!(err.to_string().contains("usenet"), "{err}");
+        let config =
+            StudyConfig::builder().substrate_name("adnet").unwrap().build().unwrap();
+        assert_eq!(config.substrate, Substrate::AdNet);
+    }
+
+    #[test]
+    fn substrate_counters_always_registered() {
+        let study = tiny_study();
+        let m = study.metrics();
+        for name in Substrate::NAMES {
+            for key in [
+                format!("crawl.substrate.{name}.pages"),
+                format!("crawl.substrate.{name}.sources"),
+            ] {
+                assert!(m.counters.contains_key(&key), "{key} must be registered");
+            }
+        }
+        assert_eq!(m.counter("crawl.substrate.exchange.pages") as usize, study.store.len());
+        assert_eq!(m.counter("crawl.substrate.exchange.sources"), 9);
+        assert_eq!(m.counter("crawl.substrate.adnet.pages"), 0);
+        assert_eq!(m.counter("crawl.substrate.torrent.sources"), 0);
+    }
+
+    fn substrate_study(substrate: Substrate) -> Study {
+        let config = StudyConfig::builder()
+            .seed(77)
+            .crawl_scale(0.0005)
+            .domain_scale(0.03)
+            .substrate(substrate)
+            .build()
+            .expect("valid config");
+        Study::run(&config)
+    }
+
+    #[test]
+    fn adnet_substrate_runs_end_to_end() {
+        let study = substrate_study(Substrate::AdNet);
+        assert_eq!(study.sources.len(), 4);
+        assert_eq!(study.health.len(), 4);
+        let t1 = study.table1();
+        assert_eq!(t1.rows.len(), 4);
+        for row in &t1.rows {
+            assert!(row.crawled >= 40, "{}: {}", row.exchange, row.crawled);
+            assert_eq!(
+                row.crawled,
+                row.self_referrals + row.popular_referrals + row.regular,
+                "{} partition",
+                row.exchange
+            );
+            assert!(row.regular > 0, "{}", row.exchange);
+        }
+        assert!(t1.overall_malicious_fraction() > 0.0, "ad networks must carry malice");
+        let m = study.metrics();
+        assert_eq!(m.counter("crawl.substrate.adnet.pages") as usize, study.store.len());
+        assert_eq!(m.counter("crawl.substrate.adnet.sources"), 4);
+        assert_eq!(m.counter("crawl.substrate.exchange.pages"), 0);
+    }
+
+    #[test]
+    fn torrent_substrate_runs_end_to_end() {
+        let study = substrate_study(Substrate::Torrent);
+        assert_eq!(study.sources.len(), 3);
+        assert_eq!(study.health.len(), 3);
+        let t1 = study.table1();
+        assert_eq!(t1.rows.len(), 3);
+        for row in &t1.rows {
+            assert_eq!(
+                row.crawled,
+                row.self_referrals + row.popular_referrals + row.regular,
+                "{} partition",
+                row.exchange
+            );
+        }
+        assert!(t1.overall_malicious_fraction() > 0.0, "fake publishers must seed malice");
+    }
+
+    #[test]
+    fn new_substrates_are_deterministic_per_seed() {
+        for substrate in [Substrate::AdNet, Substrate::Torrent] {
+            let a = substrate_study(substrate);
+            let b = substrate_study(substrate);
+            assert_eq!(
+                a.store.to_jsonl().expect("serializable corpus"),
+                b.store.to_jsonl().expect("serializable corpus"),
+                "{substrate:?} corpus must be deterministic"
+            );
+            assert_eq!(a.outcomes, b.outcomes, "{substrate:?} outcomes");
         }
     }
 }

@@ -20,7 +20,7 @@ use slum_exchange::antiabuse::{Admission, IpAddr, SessionPolicy, SessionTracker}
 use slum_exchange::captcha::CaptchaOutcome;
 use slum_exchange::economy::{EconomyConfig, Ledger};
 use slum_exchange::lifecycle::{ExchangeLifecycle, LifecycleFaultKind};
-use slum_exchange::{Exchange, ExchangeKind};
+use slum_exchange::{ExchangeKind, TrafficSource};
 use slum_websim::rng::seeded;
 use slum_websim::SyntheticWeb;
 
@@ -146,13 +146,13 @@ pub struct CrawlCursor {
 }
 
 impl CrawlCursor {
-    /// A cursor at the very start of a crawl of `exchange` under
+    /// A cursor at the very start of a crawl of `source` under
     /// `config`.
-    pub fn start(exchange: &Exchange, config: &CrawlConfig) -> Self {
+    pub fn start<S: TrafficSource + ?Sized>(source: &S, config: &CrawlConfig) -> Self {
         let rng = seeded(config.seed);
         let s = rng.state();
         CrawlCursor {
-            exchange: exchange.name().to_string(),
+            exchange: source.name().to_string(),
             steps: config.steps,
             seed: config.seed,
             seq: 0,
@@ -161,7 +161,7 @@ impl CrawlCursor {
             rng_s1: s[1],
             rng_s2: s[2],
             rng_s3: s[3],
-            captcha_nonce: exchange.captcha_nonce(),
+            captcha_nonce: source.captcha_nonce(),
             done: config.steps == 0,
             pages: 0,
             captcha_failures: 0,
@@ -237,28 +237,28 @@ impl CrawlCursor {
     }
 }
 
-/// Crawls one exchange for `config.steps` logged pages, appending
+/// Crawls one traffic source for `config.steps` logged pages, appending
 /// records to `store`.
 ///
 /// The procedure mirrors §III-A: register a brand-new account, open a
 /// session (subject to anti-abuse checks), then either let the auto-surf
 /// rotation run or click through manually, solving CAPTCHAs. Auto-surf
 /// loads never simulate user clicks; the virtual clock advances by the
-/// exchange's minimum surf time per page.
-pub fn crawl_exchange(
+/// source's minimum surf time per page.
+pub fn crawl_exchange<S: TrafficSource + ?Sized>(
     web: &SyntheticWeb,
-    exchange: &mut Exchange,
+    source: &mut S,
     config: &CrawlConfig,
     store: &mut RecordStore,
 ) -> CrawlStats {
-    let mut cursor = CrawlCursor::start(exchange, config);
-    let lifecycle = ExchangeLifecycle::inert(exchange.name());
+    let mut cursor = CrawlCursor::start(source, config);
+    let lifecycle = ExchangeLifecycle::inert(source.name());
     let retry = RetryPolicy::no_retries();
-    crawl_exchange_segment(web, exchange, config, &lifecycle, &retry, &mut cursor, store, u64::MAX);
+    crawl_exchange_segment(web, source, config, &lifecycle, &retry, &mut cursor, store, u64::MAX);
     cursor.stats()
 }
 
-/// Advances one exchange crawl by up to `budget` surf slots (logged
+/// Advances one traffic-source crawl by up to `budget` surf slots (logged
 /// pages plus fault-lost slots), reading and writing all loop state
 /// through `cursor`. Returns the number of slots consumed.
 ///
@@ -273,9 +273,9 @@ pub fn crawl_exchange(
 /// loop, and fault decisions replay identically across resume
 /// boundaries.
 #[allow(clippy::too_many_arguments)] // the segment driver threads all crawl state explicitly
-pub fn crawl_exchange_segment(
+pub fn crawl_exchange_segment<S: TrafficSource + ?Sized>(
     web: &SyntheticWeb,
-    exchange: &mut Exchange,
+    source: &mut S,
     config: &CrawlConfig,
     lifecycle: &ExchangeLifecycle,
     retry: &RetryPolicy,
@@ -283,9 +283,9 @@ pub fn crawl_exchange_segment(
     store: &mut RecordStore,
     budget: u64,
 ) -> u64 {
-    debug_assert_eq!(cursor.exchange, exchange.name(), "cursor/exchange mismatch");
+    debug_assert_eq!(cursor.exchange, source.name(), "cursor/source mismatch");
     let mut rng = cursor.rng();
-    exchange.restore_captcha_nonce(cursor.captcha_nonce);
+    source.restore_captcha_nonce(cursor.captcha_nonce);
 
     // Fresh account, fresh session — the study's brand-new accounts.
     // The ledger holds no crawl-relevant state across segments (earning
@@ -301,7 +301,7 @@ pub fn crawl_exchange_segment(
         unreachable!("fresh session must be admitted");
     };
 
-    let manual = exchange.kind() == ExchangeKind::ManualSurf;
+    let manual = source.kind() == ExchangeKind::ManualSurf;
     let mut used = 0u64;
 
     while !cursor.done && used < budget {
@@ -346,7 +346,7 @@ pub fn crawl_exchange_segment(
             // Resolved: the clock advanced past the window; surf now.
         }
 
-        let step = exchange.next_step(cursor.t, &mut rng);
+        let step = source.next_step(cursor.t, &mut rng);
         cursor.surf_steps += 1;
         cursor.burst_steps += u64::from(step.campaign_boosted);
 
@@ -405,7 +405,7 @@ pub fn crawl_exchange_segment(
     }
 
     cursor.save_rng(&rng);
-    cursor.captcha_nonce = exchange.captcha_nonce();
+    cursor.captcha_nonce = source.captcha_nonce();
     used
 }
 
@@ -419,13 +419,13 @@ pub fn estimated_duration_secs(profile: &slum_exchange::ExchangeProfile, steps: 
     steps * per_page
 }
 
-/// The same span estimate computed from a built [`Exchange`] (the
+/// The same span estimate computed from a built [`TrafficSource`] (the
 /// resilience layer compiles lifecycle schedules inside crawl workers,
-/// where only the exchange itself is at hand).
-pub fn estimated_exchange_span_secs(exchange: &Exchange, steps: u64) -> u64 {
-    let per_page = exchange.min_surf_secs() as u64
+/// where only the source itself is at hand).
+pub fn estimated_exchange_span_secs<S: TrafficSource + ?Sized>(source: &S, steps: u64) -> u64 {
+    let per_page = source.min_surf_secs() as u64
         + 2
-        + if exchange.kind() == ExchangeKind::ManualSurf { 6 } else { 0 };
+        + if source.kind() == ExchangeKind::ManualSurf { 6 } else { 0 };
     steps * per_page
 }
 

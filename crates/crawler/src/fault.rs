@@ -12,7 +12,7 @@ use serde::Serialize;
 
 use slum_detect::retry::RetryPolicy;
 use slum_exchange::lifecycle::{ExchangeLifecycle, LifecycleParams};
-use slum_exchange::{Exchange, ExchangeKind};
+use slum_exchange::{ExchangeKind, TrafficSource};
 
 /// A named, seeded crawl-fault profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,19 +153,19 @@ impl CrawlFaultProfile {
         }
     }
 
-    /// Compiles the lifecycle schedule for `exchange`, expected to
+    /// Compiles the lifecycle schedule for `source`, expected to
     /// crawl for `span_secs` of virtual time. The salt mixes the study
     /// seed with the profile salt exactly like the scan-side
     /// `FaultPlan::compile`, so the same corpus faults independently
     /// per profile.
-    pub fn compile_for(&self, exchange: &Exchange, seed: u64, span_secs: u64) -> ExchangeLifecycle {
+    pub fn compile_for<S: TrafficSource + ?Sized>(
+        &self,
+        source: &S,
+        seed: u64,
+        span_secs: u64,
+    ) -> ExchangeLifecycle {
         let salt = seed ^ self.seed_salt.rotate_left(17);
-        ExchangeLifecycle::compile(
-            self.params_for(exchange.kind()),
-            salt,
-            exchange.name(),
-            span_secs,
-        )
+        ExchangeLifecycle::compile(self.params_for(source.kind()), salt, source.name(), span_secs)
     }
 }
 

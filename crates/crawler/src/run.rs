@@ -1,22 +1,30 @@
-//! Multi-exchange crawl orchestration.
+//! Multi-source crawl orchestration.
 //!
-//! Three entry points share one loop implementation
+//! One builder, [`CrawlPlan`], configures every crawl mode over any
+//! [`TrafficSource`] substrate (exchanges, ad networks, torrent
+//! indexes), and all modes share one loop implementation
 //! (`drive::crawl_exchange_segment`):
 //!
-//! - [`crawl_all`] — the historical fail-fast crawl (inert lifecycle,
-//!   one unbounded segment per exchange);
-//! - [`crawl_all_resilient`] — the same, but under a named
-//!   [`CrawlFaultProfile`], returning per-exchange [`CrawlHealth`];
-//! - [`crawl_all_segmented`] — bounded rounds with a checkpoint sink
-//!   between them, resumable from a [`CrawlCheckpointState`].
+//! - [`CrawlPlan::collect`] — run to completion and return the merged
+//!   store (the historical barrier crawl);
+//! - [`CrawlPlan::run_segmented`] — bounded rounds with a checkpoint
+//!   sink between them, resumable from a [`CrawlCheckpointState`];
+//! - [`CrawlPlan::stream`] — emit sequence-numbered [`RecordChunk`]s
+//!   through a channel as they are produced (the producer half of the
+//!   overlapped crawl→scan pipeline).
 //!
-//! All three merge per-exchange stores in exchange input order, so the
+//! The four historical entry points ([`crawl_all`],
+//! [`crawl_all_resilient`], [`crawl_all_segmented`],
+//! [`crawl_all_streaming`]) are thin delegating wrappers over the plan,
+//! kept so existing callers compile unchanged.
+//!
+//! All modes merge per-source stores in source input order, so the
 //! merged record stream is independent of thread scheduling.
 
 use crossbeam::thread;
 
 use slum_exchange::lifecycle::ExchangeLifecycle;
-use slum_exchange::Exchange;
+use slum_exchange::TrafficSource;
 use slum_websim::SyntheticWeb;
 
 use crate::drive::{
@@ -26,25 +34,26 @@ use crate::fault::{CrawlFaultProfile, CrawlHealth};
 use crate::record::CrawlRecord;
 use crate::store::RecordStore;
 
-/// The RNG seed for the `index`-th exchange's crawl stream, derived
+/// The RNG seed for the `index`-th source's crawl stream, derived
 /// from the study seed exactly as the original per-thread crawl did.
 pub fn exchange_crawl_seed(base_seed: u64, index: usize) -> u64 {
     base_seed.wrapping_add(index as u64 * 7919)
 }
 
-/// Per-exchange crawl plan: the loop configuration plus the compiled
+/// Per-source crawl plan: the loop configuration plus the compiled
 /// lifecycle-fault schedule. Shared by the segmented and streaming
 /// drivers so every mode crawls from identical plans.
-fn crawl_plans<F>(
-    exchanges: &[Exchange],
+fn crawl_plans<S, F>(
+    sources: &[S],
     base_seed: u64,
     profile: &CrawlFaultProfile,
     step_fn: F,
 ) -> Vec<(CrawlConfig, ExchangeLifecycle)>
 where
-    F: Fn(&Exchange) -> u64,
+    S: TrafficSource,
+    F: Fn(&S) -> u64,
 {
-    exchanges
+    sources
         .iter()
         .enumerate()
         .map(|(i, x)| {
@@ -62,43 +71,288 @@ where
 }
 
 /// One sequence-numbered batch of records emitted by
-/// [`crawl_all_streaming`]: which exchange produced it (input index),
-/// where it sits in that exchange's stream, and the records themselves.
+/// [`CrawlPlan::stream`]: which source produced it (input index),
+/// where it sits in that source's stream, and the records themselves.
 ///
 /// Sorting chunks by `(exchange_index, chunk_seq)` and concatenating
 /// their records reproduces the merged [`RecordStore`] of
-/// [`crawl_all_resilient`] exactly — the reassembly contract the
+/// [`CrawlPlan::collect`] exactly — the reassembly contract the
 /// overlapped crawl→scan pipeline relies on.
 #[derive(Debug)]
 pub struct RecordChunk {
-    /// Index of the producing exchange in the input slice.
+    /// Index of the producing source in the input slice.
     pub exchange_index: usize,
-    /// 0-based position of this chunk in the exchange's stream.
+    /// 0-based position of this chunk in the source's stream.
     pub chunk_seq: u64,
     /// The records crawled in this segment, in crawl order.
     pub records: Vec<CrawlRecord>,
 }
 
-/// Crawls every exchange concurrently, emitting records through `sink`
-/// in bounded, sequence-numbered chunks as they are produced — the
-/// producer half of the overlapped crawl→scan pipeline.
+/// Builder configuring one multi-source crawl: fault profile, segment /
+/// chunk budget, resume state and kill point. Terminal methods pick the
+/// mode ([`collect`](Self::collect), [`run_segmented`](Self::run_segmented),
+/// [`stream`](Self::stream)); all are generic over [`TrafficSource`]
+/// and crawl from identical per-source plans, so the merged record
+/// stream is bit-identical across modes for a given configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlPlan {
+    base_seed: u64,
+    profile: CrawlFaultProfile,
+    segment_budget: Option<u64>,
+    resume: Option<CrawlCheckpointState>,
+    stop_after_round: Option<u64>,
+}
+
+impl CrawlPlan {
+    /// A plan seeded with the study seed: inert fault profile, unbounded
+    /// segments, no resume state.
+    pub fn new(base_seed: u64) -> Self {
+        CrawlPlan { base_seed, ..Default::default() }
+    }
+
+    /// Crawl under a named fault profile (default: inert).
+    #[must_use]
+    pub fn fault_profile(mut self, profile: CrawlFaultProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Bound each segment round / stream chunk to `budget` surf slots
+    /// (default: unbounded). Must be positive.
+    #[must_use]
+    pub fn segment_budget(mut self, budget: u64) -> Self {
+        assert!(budget > 0, "segment budget must be positive");
+        self.segment_budget = Some(budget);
+        self
+    }
+
+    /// Continue an interrupted crawl from a checkpointed state instead
+    /// of starting fresh.
+    #[must_use]
+    pub fn resume(mut self, state: CrawlCheckpointState) -> Self {
+        self.resume = Some(state);
+        self
+    }
+
+    /// Simulate a kill after the N-th segment round of this run
+    /// (counting rounds executed by this call, not resumed-from ones).
+    #[must_use]
+    pub fn stop_after_round(mut self, rounds: u64) -> Self {
+        self.stop_after_round = Some(rounds);
+        self
+    }
+
+    fn budget(&self) -> u64 {
+        self.segment_budget.unwrap_or(u64::MAX)
+    }
+
+    /// Runs the crawl to completion and returns the merged store,
+    /// per-source stats and health logs — the barrier mode.
+    pub fn collect<S, F>(
+        self,
+        web: &SyntheticWeb,
+        sources: &mut [S],
+        step_fn: F,
+    ) -> (RecordStore, Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
+    where
+        S: TrafficSource + Send,
+        F: Fn(&S) -> u64 + Sync,
+    {
+        let outcome = self
+            .run_segmented::<S, F, std::convert::Infallible>(web, sources, step_fn, &mut |_, _| {
+                Ok(())
+            })
+            .expect("infallible checkpoint sink");
+        debug_assert!(outcome.finished);
+        outcome.state.finish()
+    }
+
+    /// Crawls every source in bounded segment rounds, invoking
+    /// `on_round` with the full crawl state after each round — the
+    /// checkpoint hook.
+    ///
+    /// Each round advances every unfinished source by up to the segment
+    /// budget, in parallel (one thread per source). Because every fault
+    /// and RNG decision is keyed to cursor position — never to segment
+    /// boundaries — the merged outcome is bit-identical regardless of
+    /// budget, resume points, or kills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `on_round` error; the crawl stops there.
+    pub fn run_segmented<S, F, E>(
+        self,
+        web: &SyntheticWeb,
+        sources: &mut [S],
+        step_fn: F,
+        on_round: &mut dyn FnMut(u64, &CrawlCheckpointState) -> Result<(), E>,
+    ) -> Result<SegmentedCrawl, E>
+    where
+        S: TrafficSource + Send,
+        F: Fn(&S) -> u64 + Sync,
+    {
+        let segment_budget = self.budget();
+        let plans = crawl_plans(sources, self.base_seed, &self.profile, &step_fn);
+
+        let mut state = self.resume.unwrap_or_else(|| CrawlCheckpointState {
+            round: 0,
+            cursors: sources
+                .iter()
+                .zip(&plans)
+                .map(|(x, (config, _))| CrawlCursor::start(x, config))
+                .collect(),
+            stores: sources.iter().map(|_| RecordStore::new()).collect(),
+        });
+        assert_eq!(state.cursors.len(), sources.len(), "checkpoint/source count mismatch");
+        for (cursor, x) in state.cursors.iter().zip(sources.iter()) {
+            assert_eq!(cursor.exchange, x.name(), "checkpoint/source order mismatch");
+        }
+
+        let profile = &self.profile;
+        let mut rounds_run = 0u64;
+        while !state.all_done() {
+            thread::scope(|scope| {
+                let handles: Vec<_> = sources
+                    .iter_mut()
+                    .zip(state.cursors.iter_mut())
+                    .zip(state.stores.iter_mut())
+                    .zip(plans.iter())
+                    .filter(|(((_, cursor), _), _)| !cursor.done)
+                    .map(|(((source, cursor), store), (config, lifecycle))| {
+                        scope.spawn(move |_| {
+                            crawl_exchange_segment(
+                                web,
+                                source,
+                                config,
+                                lifecycle,
+                                &profile.retry,
+                                cursor,
+                                store,
+                                segment_budget,
+                            );
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("crawl worker panicked");
+                }
+            })
+            .expect("crawl scope panicked");
+
+            state.round += 1;
+            rounds_run += 1;
+            on_round(state.round, &state)?;
+            if self.stop_after_round == Some(rounds_run) && !state.all_done() {
+                return Ok(SegmentedCrawl { state, finished: false, rounds_run });
+            }
+        }
+        Ok(SegmentedCrawl { state, finished: true, rounds_run })
+    }
+
+    /// Crawls every source concurrently, emitting records through
+    /// `sink` in bounded, sequence-numbered chunks as they are produced
+    /// — the producer half of the overlapped crawl→scan pipeline.
+    ///
+    /// Each source thread repeatedly advances its cursor by up to the
+    /// segment budget (the same resumable segment driver the
+    /// checkpointed crawl uses) and sends the segment's records as one
+    /// [`RecordChunk`]; empty segments (every slot lost to faults) are
+    /// skipped. Records travel *only* through the channel — the caller
+    /// reassembles the store — so nothing is held twice. Sends block
+    /// when the channel is full (bounded memory) and chunk production
+    /// stops if every receiver is gone.
+    ///
+    /// Because every fault and RNG decision is keyed to cursor
+    /// position, never to segment boundaries, the reassembled record
+    /// stream is bit-identical to [`collect`](Self::collect) for every
+    /// budget. Returns the same per-source stats and health logs.
+    pub fn stream<S, F>(
+        self,
+        web: &SyntheticWeb,
+        sources: &mut [S],
+        step_fn: F,
+        sink: crossbeam::channel::Sender<RecordChunk>,
+    ) -> (Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
+    where
+        S: TrafficSource + Send,
+        F: Fn(&S) -> u64 + Sync,
+    {
+        let chunk_budget = self.budget();
+        let profile = &self.profile;
+        let plans = crawl_plans(sources, self.base_seed, profile, &step_fn);
+        let cursors: Vec<(String, CrawlStats, CrawlHealth)> = thread::scope(|scope| {
+            let handles: Vec<_> = sources
+                .iter_mut()
+                .enumerate()
+                .zip(plans.iter())
+                .map(|((exchange_index, source), (config, lifecycle))| {
+                    let sink = sink.clone();
+                    scope.spawn(move |_| {
+                        let mut cursor = CrawlCursor::start(source, config);
+                        let mut chunk_seq = 0u64;
+                        while !cursor.done {
+                            let mut segment = RecordStore::new();
+                            crawl_exchange_segment(
+                                web,
+                                source,
+                                config,
+                                lifecycle,
+                                &profile.retry,
+                                &mut cursor,
+                                &mut segment,
+                                chunk_budget,
+                            );
+                            let records = segment.into_records();
+                            if !records.is_empty()
+                                && sink
+                                    .send(RecordChunk { exchange_index, chunk_seq, records })
+                                    .is_err()
+                            {
+                                // Every receiver is gone; keep crawling so
+                                // stats/health stay complete, drop records.
+                                while !cursor.done {
+                                    let mut rest = RecordStore::new();
+                                    crawl_exchange_segment(
+                                        web,
+                                        source,
+                                        config,
+                                        lifecycle,
+                                        &profile.retry,
+                                        &mut cursor,
+                                        &mut rest,
+                                        u64::MAX,
+                                    );
+                                }
+                                break;
+                            }
+                            chunk_seq += 1;
+                        }
+                        (cursor.exchange.clone(), cursor.stats(), cursor.health())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
+        })
+        .expect("crawl scope panicked");
+        drop(sink);
+
+        let mut stats = Vec::with_capacity(cursors.len());
+        let mut health = Vec::with_capacity(cursors.len());
+        for (name, s, h) in cursors {
+            stats.push((name, s));
+            health.push(h);
+        }
+        (stats, health)
+    }
+}
+
+/// Crawls every source concurrently, emitting records through `sink`
+/// in bounded, sequence-numbered chunks as they are produced.
 ///
-/// Each exchange thread repeatedly advances its cursor by up to
-/// `chunk_budget` surf slots (the same resumable segment driver the
-/// checkpointed crawl uses) and sends the segment's records as one
-/// [`RecordChunk`]; empty segments (every slot lost to faults) are
-/// skipped. Records travel *only* through the channel — the caller
-/// reassembles the store — so nothing is held twice. Sends block when
-/// the channel is full (bounded memory) and chunk production stops if
-/// every receiver is gone.
-///
-/// Because every fault and RNG decision is keyed to cursor position,
-/// never to segment boundaries, the reassembled record stream is
-/// bit-identical to [`crawl_all_resilient`] for every `chunk_budget`.
-/// Returns the same per-exchange stats and health logs.
-pub fn crawl_all_streaming<F>(
+/// Thin wrapper over [`CrawlPlan::stream`].
+pub fn crawl_all_streaming<S, F>(
     web: &SyntheticWeb,
-    exchanges: &mut [Exchange],
+    sources: &mut [S],
     base_seed: u64,
     profile: &CrawlFaultProfile,
     step_fn: F,
@@ -106,155 +360,84 @@ pub fn crawl_all_streaming<F>(
     sink: crossbeam::channel::Sender<RecordChunk>,
 ) -> (Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
 where
-    F: Fn(&Exchange) -> u64 + Sync,
+    S: TrafficSource + Send,
+    F: Fn(&S) -> u64 + Sync,
 {
-    assert!(chunk_budget > 0, "chunk budget must be positive");
-    let plans = crawl_plans(exchanges, base_seed, profile, &step_fn);
-    let cursors: Vec<(String, CrawlStats, CrawlHealth)> = thread::scope(|scope| {
-        let handles: Vec<_> = exchanges
-            .iter_mut()
-            .enumerate()
-            .zip(plans.iter())
-            .map(|((exchange_index, exchange), (config, lifecycle))| {
-                let sink = sink.clone();
-                scope.spawn(move |_| {
-                    let mut cursor = CrawlCursor::start(exchange, config);
-                    let mut chunk_seq = 0u64;
-                    while !cursor.done {
-                        let mut segment = RecordStore::new();
-                        crawl_exchange_segment(
-                            web,
-                            exchange,
-                            config,
-                            lifecycle,
-                            &profile.retry,
-                            &mut cursor,
-                            &mut segment,
-                            chunk_budget,
-                        );
-                        let records = segment.into_records();
-                        if !records.is_empty()
-                            && sink
-                                .send(RecordChunk { exchange_index, chunk_seq, records })
-                                .is_err()
-                        {
-                            // Every receiver is gone; keep crawling so
-                            // stats/health stay complete, drop records.
-                            while !cursor.done {
-                                let mut rest = RecordStore::new();
-                                crawl_exchange_segment(
-                                    web,
-                                    exchange,
-                                    config,
-                                    lifecycle,
-                                    &profile.retry,
-                                    &mut cursor,
-                                    &mut rest,
-                                    u64::MAX,
-                                );
-                            }
-                            break;
-                        }
-                        chunk_seq += 1;
-                    }
-                    (cursor.exchange.clone(), cursor.stats(), cursor.health())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
-    })
-    .expect("crawl scope panicked");
-    drop(sink);
-
-    let mut stats = Vec::with_capacity(cursors.len());
-    let mut health = Vec::with_capacity(cursors.len());
-    for (name, s, h) in cursors {
-        stats.push((name, s));
-        health.push(h);
-    }
-    (stats, health)
+    CrawlPlan::new(base_seed)
+        .fault_profile(profile.clone())
+        .segment_budget(chunk_budget)
+        .stream(web, sources, step_fn, sink)
 }
 
-/// Crawls every exchange concurrently — one worker thread per exchange,
+/// Crawls every source concurrently — one worker thread per source,
 /// matching how the study ran independent sessions per service — and
-/// merges the per-exchange stores into one.
+/// merges the per-source stores into one.
 ///
-/// `step_fn` decides how many pages to log on each exchange (Table I's
+/// `step_fn` decides how many pages to log on each source (Table I's
 /// volumes differ by two orders of magnitude between auto and manual).
-pub fn crawl_all<F>(
+/// Thin wrapper over [`CrawlPlan::collect`] with the inert profile.
+pub fn crawl_all<S, F>(
     web: &SyntheticWeb,
-    exchanges: &mut [Exchange],
+    sources: &mut [S],
     base_seed: u64,
     step_fn: F,
 ) -> (RecordStore, Vec<(String, CrawlStats)>)
 where
-    F: Fn(&Exchange) -> u64 + Sync,
+    S: TrafficSource + Send,
+    F: Fn(&S) -> u64 + Sync,
 {
-    let (store, stats, _health) =
-        crawl_all_resilient(web, exchanges, base_seed, &CrawlFaultProfile::none(), step_fn);
+    let (store, stats, _health) = CrawlPlan::new(base_seed).collect(web, sources, step_fn);
     (store, stats)
 }
 
-/// [`crawl_all`] under a crawl-fault profile: every exchange gets a
+/// [`crawl_all`] under a crawl-fault profile: every source gets a
 /// compiled lifecycle schedule and the crawl degrades (skip / retry /
-/// backoff) instead of aborting when an exchange goes dark. Also
-/// returns the per-exchange health logs.
-pub fn crawl_all_resilient<F>(
+/// backoff) instead of aborting when a source goes dark. Also returns
+/// the per-source health logs. Thin wrapper over [`CrawlPlan::collect`].
+pub fn crawl_all_resilient<S, F>(
     web: &SyntheticWeb,
-    exchanges: &mut [Exchange],
+    sources: &mut [S],
     base_seed: u64,
     profile: &CrawlFaultProfile,
     step_fn: F,
 ) -> (RecordStore, Vec<(String, CrawlStats)>, Vec<CrawlHealth>)
 where
-    F: Fn(&Exchange) -> u64 + Sync,
+    S: TrafficSource + Send,
+    F: Fn(&S) -> u64 + Sync,
 {
-    let outcome = crawl_all_segmented::<_, std::convert::Infallible>(
-        web,
-        exchanges,
-        base_seed,
-        profile,
-        step_fn,
-        u64::MAX,
-        None,
-        None,
-        &mut |_, _| Ok(()),
-    )
-    .expect("infallible checkpoint sink");
-    debug_assert!(outcome.finished);
-    outcome.state.finish()
+    CrawlPlan::new(base_seed).fault_profile(profile.clone()).collect(web, sources, step_fn)
 }
 
-/// The complete resumable state of a multi-exchange crawl: one cursor
-/// and one record store per exchange, in exchange input order, plus the
+/// The complete resumable state of a multi-source crawl: one cursor
+/// and one record store per source, in source input order, plus the
 /// number of completed segment rounds. This is exactly what a crawl
 /// checkpoint persists.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrawlCheckpointState {
     /// Completed segment rounds (checkpoint files are numbered by it).
     pub round: u64,
-    /// Per-exchange loop cursors, in exchange input order.
+    /// Per-source loop cursors, in source input order.
     pub cursors: Vec<CrawlCursor>,
-    /// Per-exchange record stores, parallel to `cursors`.
+    /// Per-source record stores, parallel to `cursors`.
     pub stores: Vec<RecordStore>,
 }
 
-/// Line prefix marking a per-exchange cursor inside a checkpoint body.
+/// Line prefix marking a per-source cursor inside a checkpoint body.
 const CURSOR_PREFIX: &str = "#cursor ";
 
 impl CrawlCheckpointState {
-    /// True once every exchange has consumed its whole slot budget.
+    /// True once every source has consumed its whole slot budget.
     pub fn all_done(&self) -> bool {
         self.cursors.iter().all(|c| c.done)
     }
 
-    /// Total records held across all per-exchange stores.
+    /// Total records held across all per-source stores.
     pub fn records_total(&self) -> u64 {
         self.stores.iter().map(|s| s.len() as u64).sum()
     }
 
-    /// Serializes the state to a checkpoint body: for each exchange, a
-    /// `#cursor {json}` line followed by that exchange's records as
+    /// Serializes the state to a checkpoint body: for each source, a
+    /// `#cursor {json}` line followed by that source's records as
     /// JSON-lines.
     ///
     /// # Errors
@@ -320,8 +503,8 @@ impl CrawlCheckpointState {
         Ok(CrawlCheckpointState { round, cursors, stores })
     }
 
-    /// Consumes the state into the merged store, per-exchange stats and
-    /// health logs — in exchange input order, same as [`crawl_all`].
+    /// Consumes the state into the merged store, per-source stats and
+    /// health logs — in source input order, same as [`crawl_all`].
     pub fn finish(self) -> (RecordStore, Vec<(String, CrawlStats)>, Vec<CrawlHealth>) {
         let mut merged = RecordStore::new();
         let mut stats = Vec::with_capacity(self.cursors.len());
@@ -340,32 +523,25 @@ impl CrawlCheckpointState {
 pub struct SegmentedCrawl {
     /// The crawl state after the last completed round.
     pub state: CrawlCheckpointState,
-    /// True when every exchange finished; false when stopped early by
+    /// True when every source finished; false when stopped early by
     /// `stop_after_round`.
     pub finished: bool,
     /// Rounds executed by this call (excludes resumed-from rounds).
     pub rounds_run: u64,
 }
 
-/// Crawls every exchange in bounded segment rounds, invoking `on_round`
+/// Crawls every source in bounded segment rounds, invoking `on_round`
 /// with the full crawl state after each round — the checkpoint hook.
 ///
-/// Each round advances every unfinished exchange by up to
-/// `segment_budget` surf slots, in parallel (one thread per exchange,
-/// like [`crawl_all`]). Pass a `resume` state to continue an
-/// interrupted crawl; pass `stop_after_round` to simulate a kill after
-/// the N-th round of this call. Because every fault and RNG decision is
-/// keyed to cursor position — never to segment boundaries — the merged
-/// outcome is bit-identical regardless of `segment_budget`, resume
-/// points, or kills.
+/// Thin wrapper over [`CrawlPlan::run_segmented`].
 ///
 /// # Errors
 ///
 /// Propagates the first `on_round` error; the crawl stops there.
-#[allow(clippy::too_many_arguments)] // orchestration facade: every knob is an explicit argument
-pub fn crawl_all_segmented<F, E>(
+#[allow(clippy::too_many_arguments)] // legacy facade: every knob is an explicit argument
+pub fn crawl_all_segmented<S, F, E>(
     web: &SyntheticWeb,
-    exchanges: &mut [Exchange],
+    sources: &mut [S],
     base_seed: u64,
     profile: &CrawlFaultProfile,
     step_fn: F,
@@ -375,63 +551,20 @@ pub fn crawl_all_segmented<F, E>(
     on_round: &mut dyn FnMut(u64, &CrawlCheckpointState) -> Result<(), E>,
 ) -> Result<SegmentedCrawl, E>
 where
-    F: Fn(&Exchange) -> u64 + Sync,
+    S: TrafficSource + Send,
+    F: Fn(&S) -> u64 + Sync,
 {
     assert!(segment_budget > 0, "segment budget must be positive");
-    let plans = crawl_plans(exchanges, base_seed, profile, &step_fn);
-
-    let mut state = resume.unwrap_or_else(|| CrawlCheckpointState {
-        round: 0,
-        cursors: exchanges
-            .iter()
-            .zip(&plans)
-            .map(|(x, (config, _))| CrawlCursor::start(x, config))
-            .collect(),
-        stores: exchanges.iter().map(|_| RecordStore::new()).collect(),
-    });
-    assert_eq!(state.cursors.len(), exchanges.len(), "checkpoint/exchange count mismatch");
-    for (cursor, x) in state.cursors.iter().zip(exchanges.iter()) {
-        assert_eq!(cursor.exchange, x.name(), "checkpoint/exchange order mismatch");
+    let mut plan = CrawlPlan::new(base_seed)
+        .fault_profile(profile.clone())
+        .segment_budget(segment_budget);
+    if let Some(state) = resume {
+        plan = plan.resume(state);
     }
-
-    let mut rounds_run = 0u64;
-    while !state.all_done() {
-        thread::scope(|scope| {
-            let handles: Vec<_> = exchanges
-                .iter_mut()
-                .zip(state.cursors.iter_mut())
-                .zip(state.stores.iter_mut())
-                .zip(plans.iter())
-                .filter(|(((_, cursor), _), _)| !cursor.done)
-                .map(|(((exchange, cursor), store), (config, lifecycle))| {
-                    scope.spawn(move |_| {
-                        crawl_exchange_segment(
-                            web,
-                            exchange,
-                            config,
-                            lifecycle,
-                            &profile.retry,
-                            cursor,
-                            store,
-                            segment_budget,
-                        );
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().expect("crawl worker panicked");
-            }
-        })
-        .expect("crawl scope panicked");
-
-        state.round += 1;
-        rounds_run += 1;
-        on_round(state.round, &state)?;
-        if stop_after_round == Some(rounds_run) && !state.all_done() {
-            return Ok(SegmentedCrawl { state, finished: false, rounds_run });
-        }
+    if let Some(rounds) = stop_after_round {
+        plan = plan.stop_after_round(rounds);
     }
-    Ok(SegmentedCrawl { state, finished: true, rounds_run })
+    plan.run_segmented(web, sources, step_fn, on_round)
 }
 
 #[cfg(test)]
@@ -555,7 +688,7 @@ mod tests {
             let mut b = WebBuilder::new(135);
             let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
             let web = b.finish();
-            let outcome = crawl_all_segmented::<_, String>(
+            let outcome = crawl_all_segmented::<_, _, String>(
                 &web,
                 &mut exchanges,
                 11,
@@ -638,6 +771,52 @@ mod tests {
                 assert_eq!(health, one_shot.2, "{label}");
             }
         }
+    }
+
+    /// The builder and the legacy wrappers must produce identical
+    /// output for the same configuration.
+    #[test]
+    fn plan_collect_matches_legacy_wrappers() {
+        let profile = CrawlFaultProfile::default_profile();
+        let legacy = {
+            let mut b = WebBuilder::new(137);
+            let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+            let web = b.finish();
+            let (store, stats, health) =
+                crawl_all_resilient(&web, &mut exchanges, 17, &profile, |_| 25);
+            (store.to_jsonl().unwrap(), stats, health)
+        };
+        let mut b = WebBuilder::new(137);
+        let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+        let web = b.finish();
+        let (store, stats, health) = CrawlPlan::new(17)
+            .fault_profile(profile)
+            .segment_budget(9)
+            .collect(&web, &mut exchanges, |_| 25);
+        assert_eq!(store.to_jsonl().unwrap(), legacy.0);
+        assert_eq!(stats, legacy.1);
+        assert_eq!(health, legacy.2);
+    }
+
+    /// Boxed trait-object sources crawl bit-identically to the concrete
+    /// exchanges — the dispatch the substrate layer relies on.
+    #[test]
+    fn boxed_sources_crawl_identically_to_concrete() {
+        let concrete = {
+            let mut b = WebBuilder::new(138);
+            let mut exchanges = build_all_exchanges(&mut b, 0.02, 10_000);
+            let web = b.finish();
+            let (store, _, _) = CrawlPlan::new(23).collect(&web, &mut exchanges, |_| 20);
+            store.to_jsonl().unwrap()
+        };
+        let mut b = WebBuilder::new(138);
+        let mut boxed: Vec<Box<dyn TrafficSource + Send>> = build_all_exchanges(&mut b, 0.02, 10_000)
+            .into_iter()
+            .map(|x| Box::new(x) as Box<dyn TrafficSource + Send>)
+            .collect();
+        let web = b.finish();
+        let (store, _, _) = CrawlPlan::new(23).collect(&web, &mut boxed, |_| 20);
+        assert_eq!(store.to_jsonl().unwrap(), concrete);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod lifecycle;
 pub mod monetize;
 pub mod params;
 pub mod setup;
+pub mod source;
 
 pub use exchange::{Exchange, ExchangeKind, Listing, SurfStep};
 pub use params::{ExchangeProfile, PROFILES};
 pub use setup::build_exchange;
+pub use source::TrafficSource;

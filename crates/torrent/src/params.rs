@@ -1,0 +1,137 @@
+//! Per-index calibration profiles for the torrent substrate.
+//!
+//! Like the ad-network profiles these are synthetic (the paper measured
+//! exchanges), but the shape follows the ecosystem's folklore: open
+//! indexes with weak publisher vetting carry heavy fake-publisher
+//! seeding, while the gated community index is markedly cleaner.
+
+use serde::{Deserialize, Serialize};
+
+use slum_exchange::ExchangeKind;
+
+/// Calibration profile of one torrent index site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TorrentProfile {
+    /// Index display name.
+    pub name: &'static str,
+    /// Simulated host for the index's own pages.
+    pub host: &'static str,
+    /// Pacing class: gated indexes are crawled manual-surf (CAPTCHA on
+    /// the download gate); the RSS feed rotates auto-surf.
+    pub kind: ExchangeKind,
+    /// Listings followed over a full-scale crawl.
+    pub urls_crawled: u64,
+    /// Crawl hits on the index's own browse/search pages.
+    pub self_listings: u64,
+    /// Crawl hits on the community mirror sites.
+    pub mirror_referrals: u64,
+    /// Malicious payload pages among regular listings.
+    pub malicious_urls: u64,
+    /// Publisher population (the domain-pool analog).
+    pub publishers: u64,
+    /// Fake publishers seeding scam/malware payloads.
+    pub fake_publishers: u64,
+    /// Minimum dwell per payload page, in virtual seconds.
+    pub min_surf_secs: u32,
+}
+
+impl TorrentProfile {
+    /// Regular listings (crawled − self − mirror).
+    pub fn regular_urls(&self) -> u64 {
+        self.urls_crawled - self.self_listings - self.mirror_referrals
+    }
+
+    /// Fraction of crawl hits on the index's own pages.
+    pub fn self_fraction(&self) -> f64 {
+        self.self_listings as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of crawl hits on mirror sites.
+    pub fn mirror_fraction(&self) -> f64 {
+        self.mirror_referrals as f64 / self.urls_crawled as f64
+    }
+
+    /// Fraction of regular listings that are malicious.
+    pub fn malicious_fraction(&self) -> f64 {
+        self.malicious_urls as f64 / self.regular_urls() as f64
+    }
+
+    /// Fraction of publishers that are fake.
+    pub fn fake_publisher_fraction(&self) -> f64 {
+        self.fake_publishers as f64 / self.publishers as f64
+    }
+}
+
+/// The three modeled index sites.
+pub const PROFILES: [TorrentProfile; 3] = [
+    TorrentProfile {
+        name: "OpenBay",
+        host: "openbay.torrent.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 6_200,
+        self_listings: 930,
+        mirror_referrals: 496,
+        malicious_urls: 1_480,
+        publishers: 760,
+        fake_publishers: 152,
+        min_surf_secs: 25,
+    },
+    TorrentProfile {
+        name: "SeedNest",
+        host: "seednest.torrent.example",
+        kind: ExchangeKind::ManualSurf,
+        urls_crawled: 4_100,
+        self_listings: 779,
+        mirror_referrals: 328,
+        malicious_urls: 336,
+        publishers: 520,
+        fake_publishers: 42,
+        min_surf_secs: 35,
+    },
+    TorrentProfile {
+        name: "RssLeech",
+        host: "rssleech.torrent.example",
+        kind: ExchangeKind::AutoSurf,
+        urls_crawled: 112_000,
+        self_listings: 13_440,
+        mirror_referrals: 7_840,
+        malicious_urls: 24_450,
+        publishers: 1_900,
+        fake_publishers: 304,
+        min_surf_secs: 12,
+    },
+];
+
+/// Looks a profile up by name.
+pub fn profile(name: &str) -> Option<&'static TorrentProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_sane() {
+        for p in &PROFILES {
+            assert!(p.self_fraction() + p.mirror_fraction() < 1.0, "{}", p.name);
+            let f = p.malicious_fraction();
+            assert!(f > 0.0 && f < 0.6, "{}: {f}", p.name);
+            let pf = p.fake_publisher_fraction();
+            assert!(pf > 0.0 && pf < 0.3, "{}: {pf}", p.name);
+        }
+    }
+
+    #[test]
+    fn kinds_partition_two_manual_one_auto() {
+        let manual =
+            PROFILES.iter().filter(|p| p.kind == ExchangeKind::ManualSurf).count();
+        assert_eq!((manual, PROFILES.len() - manual), (2, 1));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(profile("OpenBay").unwrap().host, "openbay.torrent.example");
+        assert!(profile("PirateBay").is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Wires a [`TorrentIndex`] to the synthetic web: installs its
+//! publisher population and calibrates swarm weights so the crawl
+//! statistics land on the profile's malice marginals.
+
+use slum_websim::build::{BenignOptions, MaliciousOptions, WebBuilder};
+use slum_websim::{ContentCategory, JsAttack, MaliceKind, Url};
+
+use crate::index::{TorrentIndex, TorrentListing};
+use crate::params::TorrentProfile;
+
+/// Community mirror sites every index cross-links — the
+/// popular-referral analog of the exchanges' Google / Facebook /
+/// YouTube padding. Installed once; shared across indexes.
+pub const MIRROR_HOSTS: [&str; 3] =
+    ["mirrorbay.mirrors.example", "seedlist.mirrors.example", "trackerhub.mirrors.example"];
+
+/// Payload archetypes fake publishers seed, guaranteed at small
+/// publisher scales so every §V case-study flavor stays represented.
+/// Deceptive downloads dominate: the ecosystem's classic fake-codec /
+/// rebundled-installer scam. Taken in order up to the profile's
+/// fake-publisher budget; weights are in units of the base malicious
+/// weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FakePayload {
+    /// Fake codec / installer page with a deceptive download prompt.
+    DeceptiveDownload,
+    /// Blacklisted mirror domain.
+    Blacklisted,
+    /// Uncategorized scam page.
+    Misc,
+    /// Cloaked miscellaneous payload (hides from scanner user agents).
+    CloakedMisc,
+}
+
+/// Builds a torrent index from its profile.
+///
+/// * `domain_scale` scales the publisher population (1.0 = full size).
+/// * `planned_virtual_secs` is accepted for signature parity with the
+///   other substrates; torrent swarms have no time-boxed campaign
+///   analog, so it is unused.
+///
+/// Weight calibration matches the other substrates: with `M` fake and
+/// `B` genuine publishers and a target malicious listing fraction `f`,
+/// genuine listings get weight 1 and fake listings weight
+/// `f·B / ((1−f)·M)`.
+pub fn build_torrent_index(
+    builder: &mut WebBuilder,
+    profile: &TorrentProfile,
+    domain_scale: f64,
+    _planned_virtual_secs: u64,
+) -> TorrentIndex {
+    let n_publishers = ((profile.publishers as f64 * domain_scale).round() as usize).max(10);
+    let budget = ((n_publishers as f64 * profile.fake_publisher_fraction()).round() as usize)
+        .clamp(2, n_publishers.saturating_sub(2).max(2));
+    let forced_plan: Vec<(FakePayload, f64, ContentCategory)> = vec![
+        (FakePayload::DeceptiveDownload, 1.6, ContentCategory::Entertainment),
+        (FakePayload::Blacklisted, 1.0, ContentCategory::Entertainment),
+        (FakePayload::Misc, 1.2, ContentCategory::Entertainment),
+        (FakePayload::DeceptiveDownload, 0.9, ContentCategory::InformationTechnology),
+        (FakePayload::Misc, 0.8, ContentCategory::Business),
+        (FakePayload::CloakedMisc, 0.5, ContentCategory::Entertainment),
+        (FakePayload::Blacklisted, 0.6, ContentCategory::InformationTechnology),
+        (FakePayload::Misc, 0.4, ContentCategory::Other),
+    ];
+    let forced: Vec<(FakePayload, f64, ContentCategory)> =
+        forced_plan.into_iter().take(budget).collect();
+    let n_sampled = budget - forced.len();
+    let n_genuine = n_publishers.saturating_sub(budget).max(2);
+
+    let f = profile.malicious_fraction();
+    let forced_units: f64 = forced.iter().map(|(_, u, _)| u).sum();
+    let malicious_units = n_sampled as f64 + forced_units;
+    let malicious_weight = (f * n_genuine as f64) / ((1.0 - f) * malicious_units);
+
+    let mut listings = Vec::with_capacity(n_publishers);
+    for _ in 0..n_genuine {
+        let spec = builder.benign_site(BenignOptions::default());
+        listings.push(TorrentListing { url: spec.url, weight: 1.0, fake_publisher: false });
+    }
+    for _ in 0..n_sampled {
+        let spec = builder.malicious_site(MaliciousOptions::default());
+        use slum_websim::MaliceKind as Mk;
+        let unit = match spec.truth.malice_kind() {
+            Some(Mk::MaliciousShortened) | Some(Mk::MaliciousFlash) => 0.1,
+            _ => 1.0,
+        };
+        listings.push(TorrentListing {
+            url: spec.url,
+            weight: malicious_weight * unit,
+            fake_publisher: true,
+        });
+    }
+    for (payload, units, category) in &forced {
+        let url = match payload {
+            FakePayload::DeceptiveDownload => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::MaliciousJs(JsAttack::DeceptiveDownload)),
+                        cloaked: Some(false),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+            FakePayload::Blacklisted => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::Blacklisted),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+            FakePayload::Misc => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::Misc),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+            FakePayload::CloakedMisc => {
+                builder
+                    .malicious_site(MaliciousOptions {
+                        kind: Some(MaliceKind::Misc),
+                        cloaked: Some(true),
+                        category: Some(*category),
+                        ..Default::default()
+                    })
+                    .url
+            }
+        };
+        listings.push(TorrentListing {
+            url,
+            weight: malicious_weight * units,
+            fake_publisher: true,
+        });
+    }
+
+    let home = builder.exchange_home(profile.host).url;
+    let mirrors: Vec<Url> =
+        MIRROR_HOSTS.iter().map(|h| builder.popular_site(h).url).collect();
+
+    TorrentIndex::new(
+        profile.name,
+        profile.kind,
+        home,
+        mirrors,
+        listings,
+        profile.self_fraction(),
+        profile.mirror_fraction(),
+        profile.min_surf_secs,
+    )
+}
+
+/// Convenience: builds all three modeled indexes into one web.
+pub fn build_all_indexes(
+    builder: &mut WebBuilder,
+    domain_scale: f64,
+    planned_virtual_secs: u64,
+) -> Vec<TorrentIndex> {
+    crate::params::PROFILES
+        .iter()
+        .map(|p| build_torrent_index(builder, p, domain_scale, planned_virtual_secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::profile;
+    use slum_exchange::TrafficSource;
+    use slum_websim::rng::seeded;
+
+    #[test]
+    fn publisher_pool_respects_fake_fraction() {
+        let mut b = WebBuilder::new(70);
+        let p = profile("OpenBay").unwrap();
+        let idx = build_torrent_index(&mut b, p, 0.1, 50_000);
+        let fake = idx.listings().iter().filter(|l| l.fake_publisher).count();
+        let frac = fake as f64 / idx.listings().len() as f64;
+        assert!(
+            (frac - p.fake_publisher_fraction()).abs() < 0.05,
+            "fake-publisher fraction {frac} vs {}",
+            p.fake_publisher_fraction()
+        );
+    }
+
+    #[test]
+    fn listing_malice_fraction_matches_profile() {
+        let mut b = WebBuilder::new(71);
+        let p = profile("RssLeech").unwrap();
+        let mut idx = build_torrent_index(&mut b, p, 0.1, 50_000);
+        let fake_hosts: std::collections::BTreeSet<String> = idx
+            .listings()
+            .iter()
+            .filter(|l| l.fake_publisher)
+            .map(|l| l.url.host().to_string())
+            .collect();
+        let mut rng = seeded(29);
+        let (mut regular, mut malicious) = (0u64, 0u64);
+        for t in 0..30_000u64 {
+            let step = idx.next_step(t, &mut rng);
+            let host = step.url.host().to_string();
+            if host == p.host || MIRROR_HOSTS.contains(&host.as_str()) {
+                continue;
+            }
+            regular += 1;
+            if fake_hosts.contains(&host) {
+                malicious += 1;
+            }
+        }
+        let frac = malicious as f64 / regular as f64;
+        assert!(
+            (frac - p.malicious_fraction()).abs() < 0.03,
+            "listing malice {frac} vs {}",
+            p.malicious_fraction()
+        );
+    }
+
+    #[test]
+    fn all_three_build_with_population() {
+        let mut b = WebBuilder::new(72);
+        let indexes = build_all_indexes(&mut b, 0.05, 50_000);
+        assert_eq!(indexes.len(), 3);
+        let web = b.finish();
+        assert!(web.len() > 50, "population installed: {}", web.len());
+        for idx in &indexes {
+            assert!(!idx.listings().is_empty());
+            assert_eq!(
+                TrafficSource::kind(idx),
+                crate::params::profile(TrafficSource::name(idx)).unwrap().kind
+            );
+        }
+    }
+}

@@ -2,7 +2,6 @@
 //! assemble a synthetic web.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicUsize;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -421,10 +420,7 @@ impl WebBuilder {
             );
             targets.push(dest_url);
         }
-        self.install(
-            &rotor_url,
-            Resource::RotatingRedirect { targets, cursor: AtomicUsize::new(0) },
-        );
+        self.install(&rotor_url, Resource::RotatingRedirect { targets });
 
         let host = self.fresh_host(&Tld::Com);
         let url = Url::http(&host, "/");
@@ -634,10 +630,11 @@ mod tests {
         let rest = &page.html[src_start..];
         let src_end = rest.find('"').unwrap();
         let rotor = Url::parse(&rest[..src_end]).unwrap();
-        let ctx = RequestContext::browser();
-        let first = web.fetch(&rotor, &ctx).redirect_target().cloned().unwrap();
-        let second = web.fetch(&rotor, &ctx).redirect_target().cloned().unwrap();
-        assert_ne!(first, second, "rotator must rotate");
+        let at = |t: u64| {
+            let ctx = RequestContext::browser().with_time(t);
+            web.fetch(&rotor, &ctx).redirect_target().cloned().unwrap()
+        };
+        assert_ne!(at(0), at(1), "rotator must rotate as the clock advances");
     }
 
     #[test]

@@ -3,7 +3,6 @@
 //! hit accounting).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::page::Page;
 use crate::shortener::ShortenerRegistry;
@@ -36,6 +35,11 @@ pub struct RequestContext {
     pub country: String,
     /// Referrer domain, empty for direct navigation.
     pub referrer: String,
+    /// Virtual request time in seconds. Time-sensitive resources (the
+    /// rotating redirector) key their behaviour to this clock, so a
+    /// fetch is a pure function of `(url, context)` — replayable across
+    /// checkpoint/resume boundaries and worker counts.
+    pub time: u64,
 }
 
 impl RequestContext {
@@ -48,6 +52,7 @@ impl RequestContext {
             },
             country: "USA".into(),
             referrer: String::new(),
+            time: 0,
         }
     }
 
@@ -57,6 +62,7 @@ impl RequestContext {
             client: ClientKind::ScannerApi { service: service.into() },
             country: "USA".into(),
             referrer: String::new(),
+            time: 0,
         }
     }
 
@@ -69,6 +75,12 @@ impl RequestContext {
     /// Sets the referrer domain.
     pub fn with_referrer(mut self, referrer: impl Into<String>) -> Self {
         self.referrer = referrer.into();
+        self
+    }
+
+    /// Sets the virtual request time.
+    pub fn with_time(mut self, time: u64) -> Self {
+        self.time = time;
         self
     }
 
@@ -94,13 +106,14 @@ pub enum Resource {
         /// Where the refresh points.
         target: Url,
     },
-    /// A server-side rotating redirector: each fetch 302s to the next
-    /// destination in the cycle (the `company.ooo` pattern, §V-C).
+    /// A server-side rotating redirector: each fetch 302s to the cycle
+    /// entry keyed by the request clock (the `company.ooo` pattern,
+    /// §V-C). Clock-keyed rather than counter-keyed so a fetch stays a
+    /// pure function of `(url, context)` — visits replay identically
+    /// across checkpoint/resume boundaries and worker counts.
     RotatingRedirect {
         /// Destination cycle.
         targets: Vec<Url>,
-        /// Rotation cursor.
-        cursor: AtomicUsize,
     },
     /// A JavaScript file.
     Script {
@@ -251,8 +264,8 @@ impl SyntheticWeb {
             Some(Resource::MetaRefresh { target }) => FetchOutcome::Html {
                 body: crate::payload::meta_refresh_page(target),
             },
-            Some(Resource::RotatingRedirect { targets, cursor }) => {
-                let i = cursor.fetch_add(1, Ordering::Relaxed) % targets.len();
+            Some(Resource::RotatingRedirect { targets }) => {
+                let i = ctx.time as usize % targets.len();
                 FetchOutcome::Redirect { target: targets[i].clone(), status: 302 }
             }
             Some(Resource::Script { body }) => FetchOutcome::Script { body: body.clone() },
@@ -342,17 +355,18 @@ mod tests {
         let url = Url::http("company.ooo", "/tfjw2pmk.php");
         routes.insert(
             route_key(&url),
-            Resource::RotatingRedirect { targets: targets.clone(), cursor: AtomicUsize::new(0) },
+            Resource::RotatingRedirect { targets: targets.clone() },
         );
         let web = SyntheticWeb::new(routes, ShortenerRegistry::with_standard_services());
-        let ctx = RequestContext::browser();
-        let got: Vec<Url> = (0..4)
-            .map(|_| web.fetch(&url, &ctx).redirect_target().cloned().unwrap())
-            .collect();
-        assert_eq!(got[0], targets[0]);
-        assert_eq!(got[1], targets[1]);
-        assert_eq!(got[2], targets[2]);
-        assert_eq!(got[3], targets[0], "cycle wraps");
+        let at = |t: u64| {
+            let ctx = RequestContext::browser().with_time(t);
+            web.fetch(&url, &ctx).redirect_target().cloned().unwrap()
+        };
+        assert_eq!(at(0), targets[0]);
+        assert_eq!(at(1), targets[1]);
+        assert_eq!(at(2), targets[2]);
+        assert_eq!(at(3), targets[0], "cycle wraps");
+        assert_eq!(at(1), targets[1], "pure function of (url, time)");
     }
 
     #[test]

@@ -326,4 +326,81 @@ print(f"JSVM smoke test OK: {micro['executions']} executions/engine, "
       f"{len(doc['scales'])} scan scale(s)")
 EOF
 
+# Substrate smoke test: the pluggable-substrate dispatch must run the
+# same pipeline end to end over all three ecosystems, each reporting
+# its own sources in the SubstrateComparison artifact, with the
+# always-registered crawl.substrate.* counters tallying only the
+# active substrate.
+substrate_out="$(mktemp -t REPRO_SUBSTRATE.XXXXXX.txt)"
+substrate_metrics_file="$(mktemp -t METRICS_SUBSTRATE.XXXXXX.json)"
+golden_out="$(mktemp -t REPRO_GOLDEN.XXXXXX.txt)"
+trap 'rm -rf "$metrics_file" "$fault_metrics_file" "$ckpt_dir" \
+    "$straight_out" "$resumed_out" "$resumed_metrics_file" \
+    "$barrier_json" "$overlap_json" "$overlap_metrics_file" "$bench_dir" \
+    "$vm_json" "$interp_json" "$interp_metrics_file" \
+    "$substrate_out" "$substrate_metrics_file" "$golden_out"' EXIT
+
+for substrate in exchange adnet torrent; do
+    cargo run --release -p slum-bench --bin repro -- substrates \
+        --scale 0.0005 --seed 2016 --substrate "$substrate" \
+        --metrics "$substrate_metrics_file" > "$substrate_out" 2>/dev/null
+
+    python3 - "$substrate" "$substrate_out" "$substrate_metrics_file" <<'EOF'
+import json
+import sys
+
+substrate = sys.argv[1]
+with open(sys.argv[2]) as f:
+    rendered = f.read()
+with open(sys.argv[3]) as f:
+    snapshot = json.load(f)
+
+expected_sources = {
+    "exchange": ["10KHits", "SendSurf", "Easyhits4u"],
+    "adnet": ["AdRotor", "ClickNimbus", "PopMatrix", "BannerBloom"],
+    "torrent": ["OpenBay", "SeedNest", "RssLeech"],
+}[substrate]
+
+if f"substrate: {substrate}" not in rendered:
+    sys.exit(f"SUBSTRATE smoke test: render lacks 'substrate: {substrate}' line")
+for source in expected_sources:
+    if source not in rendered:
+        sys.exit(f"SUBSTRATE smoke test: {substrate} render lacks source {source!r}")
+if "overall:" not in rendered or "malicious /" not in rendered:
+    sys.exit(f"SUBSTRATE smoke test: {substrate} render lacks the overall summary row")
+
+counters = snapshot["counters"]
+# Every substrate's counters are always registered; only the active
+# one may be nonzero.
+for name in ("exchange", "adnet", "torrent"):
+    for suffix in ("pages", "sources"):
+        key = f"crawl.substrate.{name}.{suffix}"
+        if key not in counters:
+            sys.exit(f"SUBSTRATE smoke test: counter {key!r} missing")
+        if name != substrate and counters[key] != 0:
+            sys.exit(f"SUBSTRATE smoke test: inactive counter {key!r} = "
+                     f"{counters[key]}, expected 0")
+if counters[f"crawl.substrate.{substrate}.pages"] <= 0:
+    sys.exit(f"SUBSTRATE smoke test: {substrate} crawled no pages")
+if counters[f"crawl.substrate.{substrate}.sources"] != len(
+        {"exchange": range(9), "adnet": range(4), "torrent": range(3)}[substrate]):
+    sys.exit(f"SUBSTRATE smoke test: {substrate} reports wrong source count")
+
+print(f"SUBSTRATE smoke test OK ({substrate}): "
+      f"{counters[f'crawl.substrate.{substrate}.pages']} pages over "
+      f"{counters[f'crawl.substrate.{substrate}.sources']} sources")
+EOF
+done
+
+# Exchange golden byte-diff: the default substrate must stay
+# byte-identical to the pre-substrate pipeline at the pinned
+# seed/scale (the same pin tests/exchange_golden_regression.rs holds).
+cargo run --release -p slum-bench --bin repro -- \
+    table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
+    --scale 0.0005 --seed 2016 > "$golden_out" 2>/dev/null
+
+diff -u scripts/golden/exchange_artifacts.golden.txt "$golden_out" \
+    || { echo "GOLDEN smoke test: exchange artifacts diverged from the golden pin"; exit 1; }
+echo "GOLDEN smoke test OK: exchange artifacts byte-identical to the pin"
+
 echo "ci.sh: all checks passed"
