@@ -18,7 +18,13 @@
 //! across crawl scales, written to `BENCH_scanpipe.json`) and
 //! `bench-jsvm` (the JS-engine harness: tree-walk vs cold vs warm-cache
 //! bytecode VM over a repeated-payload corpus, plus per-scale scan
-//! wall-clock under each engine, written to `BENCH_jsvm.json`). Options:
+//! wall-clock under each engine, written to `BENCH_jsvm.json`),
+//! `bench-serve` (the multi-tenant service harness: two tenants running
+//! the same study through one resident service, cross-tenant cache hit
+//! rate and verdict-query throughput, written to `BENCH_serve.json`)
+//! and `serve` (run the resident study daemon: newline-delimited JSON
+//! over TCP, `--port 0` picks an ephemeral port printed as
+//! `SERVE_ADDR`, `--root DIR` holds per-tenant checkpoints). Options:
 //! `--scale <f64>` (crawl scale, default 0.002), `--seed <u64>`
 //! (default 2016), `--workers <N>` (scan-phase worker threads, default
 //! = available parallelism; `1` forces the serial path),
@@ -70,6 +76,8 @@ struct Args {
     quick: bool,
     js_engine: JsEngine,
     substrate: Substrate,
+    port: u16,
+    serve_root: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +96,8 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut js_engine = JsEngine::default();
     let mut substrate = Substrate::default();
+    let mut port = 0u16;
+    let mut serve_root = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -170,23 +180,36 @@ fn parse_args() -> Args {
                     ))
                 });
             }
+            "--port" => {
+                port = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs an integer (0 = ephemeral)"));
+            }
+            "--root" => {
+                serve_root = Some(iter.next().unwrap_or_else(|| die("--root needs a dir")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
                      [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
                      [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
                      [--metrics PATH] [--overlap] [--quick] [--js-engine NAME] \
-                     [--substrate NAME]\n\
+                     [--substrate NAME] [--port N] [--root DIR]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
                      substrates vetting burst cloaking staleness faultloss crawlloss cases json \
-                     bench-scan bench-jsvm\n\
+                     bench-scan bench-jsvm bench-serve serve\n\
                      fault profiles: none default harsh\n\
                      JS engines: vm (default; compiled bytecode) interp (tree-walking oracle) \
                      — scan output is bit-identical either way\n\
                      substrates: exchange (default; the paper's nine traffic exchanges) \
                      adnet (low-tier ad networks) torrent (torrent indexes)\n\
                      --overlap streams crawl chunks into the scan phase (no barrier); \
-                     --quick restricts bench-scan/bench-jsvm to their smallest scale"
+                     --quick restricts bench-scan/bench-jsvm/bench-serve to their smallest \
+                     scale\n\
+                     serve: run the resident multi-tenant study daemon (newline-delimited \
+                     JSON over TCP; --port 0 picks an ephemeral port, printed as \
+                     SERVE_ADDR; --root DIR holds per-tenant checkpoints)"
                 );
                 std::process::exit(0);
             }
@@ -218,6 +241,8 @@ fn parse_args() -> Args {
         quick,
         js_engine,
         substrate,
+        port,
+        serve_root,
     }
 }
 
@@ -228,6 +253,12 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    // `serve` owns the process: the daemon runs until a shutdown
+    // request arrives, no batch artifacts are produced.
+    if args.artifacts.iter().any(|a| a == "serve") {
+        run_serve(&args);
+        return;
+    }
     let wants = |name: &str| args.artifacts.iter().any(|a| a == name || a == "all");
     let study_cell: OnceLock<Study> = OnceLock::new();
     let study = || {
@@ -521,6 +552,10 @@ fn main() {
         println!("=== JS bytecode VM benchmark ===");
         bench_jsvm(args.seed, args.quick);
     }
+    if args.artifacts.iter().any(|a| a == "bench-serve") {
+        println!("=== Multi-tenant study service benchmark ===");
+        bench_serve(args.seed, args.quick);
+    }
     if let Some(path) = &args.metrics {
         let json = study().metrics().to_json();
         match std::fs::write(path, json) {
@@ -698,7 +733,13 @@ fn bench_scan(seed: u64, quick: bool) {
                     .runs
                     .iter()
                     .find(|r| r.workers == w || r.covers_workers.contains(&w))
-                    .map(|r| LegacyRun { workers: w, seconds: r.seconds, speedup: r.speedup })
+                    .map(|r| LegacyRun {
+                        workers: w,
+                        executed_workers: r.effective_workers,
+                        seconds: r.seconds,
+                        speedup: r.speedup,
+                        serial_fallback: r.serial_fallback,
+                    })
             })
             .collect(),
         host: BenchHost { cpus },
@@ -939,12 +980,229 @@ fn bench_jsvm(seed: u64, quick: bool) {
     }
 }
 
-/// The pre-scaling-harness row shape, kept for existing consumers.
+/// `repro serve`: the resident multi-tenant study daemon. Binds
+/// `--port` (0 = ephemeral), prints the bound address as a
+/// `SERVE_ADDR host:port` line for scripted clients, checkpoints every
+/// tenant's studies under `--root`, and blocks until a `shutdown`
+/// request arrives over the wire.
+fn run_serve(args: &Args) {
+    use std::io::Write as _;
+
+    let root = args.serve_root.clone().unwrap_or_else(|| "serve-root".to_string());
+    let service = slum_serve::Service::open(&root)
+        .unwrap_or_else(|e| die(&format!("could not open serve root {root}: {e}")));
+    let bind = format!("127.0.0.1:{}", args.port);
+    let mut daemon = slum_serve::Daemon::start(service, &bind)
+        .unwrap_or_else(|e| die(&format!("could not bind {bind}: {e}")));
+    println!("SERVE_ADDR {}", daemon.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "[repro] study service listening on {} (root {root}); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        daemon.addr()
+    );
+    daemon.wait();
+    eprintln!("[repro] study service stopped");
+}
+
+/// The multi-tenant service harness behind `repro bench-serve`, written
+/// to `BENCH_serve.json`.
+///
+/// Two tenants submit the *same* study config to one in-process
+/// [`slum_serve::Service`]: tenant `alpha` runs against cold shared
+/// caches, tenant `beta` runs after them. The cross-tenant section
+/// reports how much of beta's scan was answered by entries alpha
+/// inserted (lookups minus inserts over the shared cache group) and the
+/// wall-clock speedup that bought. Both tenants' exports are asserted
+/// bit-identical to a batch `Study::run` of the same config before any
+/// timing is trusted, and the verdict-query section times the shared
+/// verdict index over every regular URL of the study.
+fn bench_serve(seed: u64, quick: bool) {
+    use std::time::Instant;
+
+    use slum_serve::Service;
+
+    let scale = if quick { 0.0005 } else { 0.002 };
+    let checkpoint_every = 64u64;
+    let cpus = malware_slums::study::default_scan_workers();
+    let root = std::env::temp_dir().join(format!("slum-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let config = StudyConfig::builder()
+        .seed(seed)
+        .crawl_scale(scale)
+        .domain_scale((scale * 25.0).clamp(0.03, 1.0))
+        .checkpoint_every(checkpoint_every)
+        .build()
+        .expect("bench config");
+    let fingerprint = config.cache_fingerprint();
+    println!("host: {cpus} cpu(s); crawl_scale {scale}; two tenants, shared caches");
+
+    // The batch reference the daemon must reproduce bit-for-bit.
+    let mut batch_config = config.clone();
+    batch_config.checkpoint_every = None;
+    eprintln!("[bench] batch reference study ...");
+    let batch = Study::run(&batch_config);
+    let batch_export = malware_slums::export::to_json(&batch).expect("batch export");
+
+    let service =
+        Service::open(&root).unwrap_or_else(|e| die(&format!("serve root: {e}")));
+    let group_totals = |svc: &Service| -> (u64, u64) {
+        svc.cache_group_stats(&fingerprint)
+            .expect("cache group exists")
+            .iter()
+            .fold((0, 0), |(l, e), (_, s)| (l + s.lookups, e + s.entries))
+    };
+
+    let mut tenants = Vec::new();
+    let mut run_tenant = |svc: &Service, tenant: &str| -> u64 {
+        let id = svc.submit(tenant, config.clone()).expect("submit");
+        let t0 = Instant::now();
+        svc.run_to_completion().expect("scheduler");
+        let seconds = t0.elapsed().as_secs_f64();
+        let export = svc.export(id).expect("known study").expect("done study");
+        assert_eq!(
+            export, batch_export,
+            "{tenant}: daemon artifacts must be bit-identical to batch"
+        );
+        let status = svc.status(id).expect("status");
+        println!(
+            "  tenant {tenant}: {seconds:.3}s, {} records, digest {}",
+            status.records.unwrap_or(0),
+            status.digest.clone().unwrap_or_default()
+        );
+        tenants.push(ServeTenantRun {
+            tenant: tenant.to_string(),
+            seconds,
+            records: status.records.unwrap_or(0),
+            digest: status.digest.unwrap_or_default(),
+        });
+        id
+    };
+
+    eprintln!("[bench] tenant alpha (cold caches) ...");
+    let _a = run_tenant(&service, "alpha");
+    let (warm_lookups, warm_entries) = group_totals(&service);
+
+    eprintln!("[bench] tenant beta (warmed caches) ...");
+    let b = run_tenant(&service, "beta");
+    let (all_lookups, all_entries) = group_totals(&service);
+
+    let beta_lookups = all_lookups - warm_lookups;
+    let beta_inserts = all_entries - warm_entries;
+    let beta_hits = beta_lookups.saturating_sub(beta_inserts);
+    let hit_rate = beta_hits as f64 / beta_lookups.max(1) as f64;
+    let speedup = tenants[0].seconds / tenants[1].seconds.max(1e-9);
+    println!(
+        "  cross-tenant: {beta_hits}/{beta_lookups} of beta's cache lookups hit \
+         alpha's entries ({:.1}% hit rate, {speedup:.2}x speedup)",
+        hit_rate * 100.0
+    );
+
+    // Verdict-query throughput: the shared index already knows every
+    // regular URL of the study from both tenants' completions.
+    let urls: Vec<String> =
+        batch.regular_pairs().iter().map(|(r, _)| r.url.canonical()).collect();
+    let rounds = if quick { 20usize } else { 100 };
+    let mut known = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for url in &urls {
+            known += u64::from(
+                service.query_verdict(b, url).expect("known study").is_some(),
+            );
+        }
+    }
+    let verdict_seconds = t0.elapsed().as_secs_f64();
+    let queries = (urls.len() * rounds) as u64;
+    assert_eq!(known, queries, "every regular URL must have a shared verdict");
+    let per_sec = queries as f64 / verdict_seconds.max(1e-9);
+    println!(
+        "  verdict queries: {queries} in {verdict_seconds:.3}s ({per_sec:.0}/s, all known)"
+    );
+
+    let doc = ServeDoc {
+        benchmark: "serve".to_string(),
+        seed,
+        crawl_scale: scale,
+        checkpoint_every,
+        host: BenchHost { cpus },
+        tenants,
+        cross_tenant: ServeCrossTenant {
+            lookups: beta_lookups,
+            inserts: beta_inserts,
+            hits: beta_hits,
+            hit_rate,
+            second_tenant_speedup: speedup,
+        },
+        verdict_queries: ServeVerdictBench { queries, known, seconds: verdict_seconds, per_sec },
+    };
+    let json = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("serve document serializes")
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("repro: could not write BENCH_serve.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One tenant's timed run inside `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct ServeTenantRun {
+    tenant: String,
+    seconds: f64,
+    records: u64,
+    digest: String,
+}
+
+/// Shared-cache economics of the second tenant's run.
+#[derive(serde::Serialize)]
+struct ServeCrossTenant {
+    lookups: u64,
+    inserts: u64,
+    hits: u64,
+    hit_rate: f64,
+    second_tenant_speedup: f64,
+}
+
+/// Verdict-index throughput section of `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct ServeVerdictBench {
+    queries: u64,
+    known: u64,
+    seconds: f64,
+    per_sec: f64,
+}
+
+/// Top-level `BENCH_serve.json` document.
+#[derive(serde::Serialize)]
+struct ServeDoc {
+    benchmark: String,
+    seed: u64,
+    crawl_scale: f64,
+    checkpoint_every: u64,
+    host: BenchHost,
+    tenants: Vec<ServeTenantRun>,
+    cross_tenant: ServeCrossTenant,
+    verdict_queries: ServeVerdictBench,
+}
+
+/// The pre-scaling-harness row shape, kept for existing consumers. The
+/// legacy contract promises one entry per *requested* worker count; on
+/// hosts where the serial-fallback clamp collapses several requests
+/// onto one serial measurement, `executed_workers` and
+/// `serial_fallback` say so per row — without them, four rows with
+/// byte-identical seconds and speedup 1.0 read as four independent
+/// timings that mysteriously refused to scale.
 #[derive(serde::Serialize)]
 struct LegacyRun {
     workers: usize,
+    executed_workers: usize,
     seconds: f64,
     speedup: f64,
+    serial_fallback: bool,
 }
 
 /// One engine configuration's microbenchmark row in `BENCH_jsvm.json`.

@@ -70,7 +70,8 @@ pub struct CheckpointHeader {
     pub crawl_fault_profile: String,
     /// Canonical name of the traffic substrate crawled. Defaults to
     /// `exchange` when absent so pre-substrate checkpoints stay
-    /// readable (see [`parse_header`]).
+    /// readable.
+    #[serde(default = "default_substrate_name")]
     pub substrate: String,
     /// Configured segment budget (0 when unbounded).
     pub checkpoint_every: u64,
@@ -91,24 +92,15 @@ fn default_substrate_name() -> String {
     crate::substrate::Substrate::Exchange.name().to_string()
 }
 
-/// Parses a header line, defaulting `substrate` to `exchange` when the
-/// field is absent (checkpoints written before the substrate refactor
-/// carry no such field). The vendored serde shim has no per-field
-/// default support, so the compatibility shim lives here, at the only
-/// header parse site.
+/// Parses a header line. `substrate` defaults to `exchange` via
+/// `#[serde(default = "default_substrate_name")]` on the field, so
+/// checkpoints written before the substrate refactor (which carry no
+/// such field) stay readable.
 fn parse_header(header_line: &str) -> Result<CheckpointHeader, CheckpointError> {
     let malformed =
         |detail: String| CheckpointError::Malformed { line: 3, detail };
-    let mut value: serde_json::Value =
+    let value: serde_json::Value =
         serde_json::from_str(header_line).map_err(|e| malformed(e.to_string()))?;
-    if let serde_json::Value::Map(entries) = &mut value {
-        if !entries.iter().any(|(k, _)| k == "substrate") {
-            entries.push((
-                "substrate".to_string(),
-                serde_json::Value::Str(default_substrate_name()),
-            ));
-        }
-    }
     <CheckpointHeader as serde::Deserialize>::from_content(&value)
         .map_err(|e| malformed(e.to_string()))
 }

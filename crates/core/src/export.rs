@@ -410,6 +410,19 @@ pub fn to_json(study: &Study) -> Result<String, serde_json::Error> {
     serde_json::to_string_pretty(&export(study))
 }
 
+/// FNV-1a digest of the study's export JSON — a compact artifact
+/// fingerprint. Two studies digest equal iff their exports are
+/// byte-identical, so this is what the slum-serve daemon reports in
+/// study-status responses and what determinism checks compare without
+/// shipping whole documents around.
+///
+/// # Errors
+///
+/// Propagates `serde_json` failures (practically unreachable).
+pub fn artifact_digest(study: &Study) -> Result<String, serde_json::Error> {
+    Ok(format!("{:016x}", slum_detect::hash::fnv1a(to_json(study)?.as_bytes())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

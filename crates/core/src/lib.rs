@@ -68,6 +68,6 @@ pub use crawlloss::{run_crawl_loss_experiment, CrawlLossConfig, CrawlLossReport}
 pub use faultloss::{run_fault_loss_experiment, FaultLossConfig, FaultLossReport};
 pub use filter::ReferralClass;
 pub use report::Render;
-pub use scanpipe::{FaultLog, ScanOutcome, ScanPipeline, VerdictSource};
+pub use scanpipe::{FaultLog, ScanCaches, ScanOutcome, ScanPipeline, VerdictSource};
 pub use study::{ConfigError, Study, StudyConfig, StudyConfigBuilder};
 pub use substrate::{SourceMeta, Substrate};

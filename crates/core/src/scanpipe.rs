@@ -181,14 +181,19 @@ impl ScanOutcome {
     }
 }
 
-/// The scanning pipeline: detection services plus the shared
-/// memoization caches. Every method takes `&self`, so one pipeline can
-/// be driven from many scan workers at once.
-pub struct ScanPipeline<'w> {
-    web: &'w SyntheticWeb,
-    vt: VirusTotal<'w>,
-    quttera: Quttera<'w>,
-    blacklists: BlacklistDb,
+/// The complete memoization state of a [`ScanPipeline`], split out so
+/// several pipelines can share one warm set via `Arc` — the slum-serve
+/// daemon hands the same `ScanCaches` to every tenant studying the same
+/// synthetic web, so a URL scanned for one tenant answers from cache
+/// for the next.
+///
+/// Sharing is sound only between pipelines scanning the *same* web
+/// (same seed, scales, substrate and JS engine): every cached value is
+/// a pure function of `(web, key)`, so a shared entry is bit-identical
+/// to what a cold cache would recompute. Verdicts and artifacts cannot
+/// change under sharing — only the `scan.cache.*` / `js.vm.*` hit
+/// counters observe it.
+pub struct ScanCaches {
     /// URL-scan features: one scanner fetch per distinct canonical URL.
     url_features: ShardedCache<Features>,
     /// Content-upload features, keyed `canonical#content-hash`: the VT
@@ -207,16 +212,6 @@ pub struct ScanPipeline<'w> {
     /// Deduplicating pool behind `host_domains` values and
     /// `blacklisted_domain` outcomes.
     interner: Interner,
-    /// Optional compiled fault schedule. `None` (the default) keeps the
-    /// pipeline infallible and bit-identical to the pre-fault-layer
-    /// behaviour.
-    fault_plan: Option<FaultPlan>,
-    /// Which JavaScript engine sandboxed page execution uses (the
-    /// bytecode VM by default; the tree-walking interpreter as the
-    /// differential oracle). The choice is invisible in verdicts — the
-    /// engines are observably identical — only throughput and the
-    /// `js.vm.*` counters differ.
-    js_engine: JsEngine,
     /// Compiled-module cache shared across scan workers: campaign pages
     /// reusing the same packed payload compile it once. Only consulted
     /// under [`JsEngine::Vm`].
@@ -227,6 +222,101 @@ pub struct ScanPipeline<'w> {
     /// deterministic across worker counts: racing duplicate computes
     /// collapse to one entry per distinct sample.
     js_stats: ShardedCache<JsRunStats>,
+}
+
+impl ScanCaches {
+    /// Fresh, cold caches.
+    pub fn new() -> Self {
+        ScanCaches {
+            url_features: ShardedCache::new(),
+            content_features: ShardedCache::new(),
+            host_domains: ShardedCache::new(),
+            domain_blacklisted: ShardedCache::new(),
+            interner: Interner::new(),
+            js_modules: Arc::new(JsModuleCache::new()),
+            js_stats: ShardedCache::new(),
+        }
+    }
+
+    /// Drops all memoized state except the compiled-module cache (see
+    /// [`ScanPipeline::clear_caches`] for the rationale).
+    pub fn clear(&self) {
+        self.url_features.clear();
+        self.content_features.clear();
+        self.host_domains.clear();
+        self.domain_blacklisted.clear();
+        self.js_stats.clear();
+    }
+
+    /// Drops the compiled-JS module cache too (fully cold scans).
+    pub fn clear_modules(&self) {
+        self.js_modules.clear();
+    }
+
+    /// Number of distinct URLs whose scan features are currently cached.
+    pub fn cached_urls(&self) -> usize {
+        self.url_features.len()
+    }
+
+    /// Lookup/entry/hit statistics for each of the four memoization
+    /// caches, keyed by the metric group name used under
+    /// `scan.cache.*`. Hits are derived (`lookups - entries`), so the
+    /// numbers are deterministic for every worker count.
+    pub fn stats(&self) -> [(&'static str, slum_detect::CacheStats); 4] {
+        [
+            ("url_features", self.url_features.stats()),
+            ("content_features", self.content_features.stats()),
+            ("host_domains", self.host_domains.stats()),
+            ("domain_blacklisted", self.domain_blacklisted.stats()),
+        ]
+    }
+
+    /// Aggregated JS-engine statistics (see [`JsVmStats`]).
+    pub fn js_vm_stats(&self) -> JsVmStats {
+        let per_sample = self.js_stats.fold(JsRunStats::default(), |acc, _key, s| JsRunStats {
+            instructions: acc.instructions + s.instructions,
+            module_lookups: acc.module_lookups + s.module_lookups,
+            budget_exhaustions: acc.budget_exhaustions + s.budget_exhaustions,
+        });
+        let compiles = self.js_modules.len() as u64;
+        JsVmStats {
+            compiles,
+            compile_nanos: self.js_modules.total_compile_nanos(),
+            module_lookups: per_sample.module_lookups,
+            module_hits: per_sample.module_lookups.saturating_sub(compiles),
+            instructions: per_sample.instructions,
+            budget_exhaustions: per_sample.budget_exhaustions,
+        }
+    }
+}
+
+impl Default for ScanCaches {
+    fn default() -> Self {
+        ScanCaches::new()
+    }
+}
+
+/// The scanning pipeline: detection services plus the shared
+/// memoization caches. Every method takes `&self`, so one pipeline can
+/// be driven from many scan workers at once.
+pub struct ScanPipeline<'w> {
+    web: &'w SyntheticWeb,
+    vt: VirusTotal<'w>,
+    quttera: Quttera<'w>,
+    blacklists: BlacklistDb,
+    /// Memoization state — per-pipeline by default, shared across
+    /// pipelines when installed via [`ScanPipeline::with_shared_caches`].
+    caches: Arc<ScanCaches>,
+    /// Optional compiled fault schedule. `None` (the default) keeps the
+    /// pipeline infallible and bit-identical to the pre-fault-layer
+    /// behaviour.
+    fault_plan: Option<FaultPlan>,
+    /// Which JavaScript engine sandboxed page execution uses (the
+    /// bytecode VM by default; the tree-walking interpreter as the
+    /// differential oracle). The choice is invisible in verdicts — the
+    /// engines are observably identical — only throughput and the
+    /// `js.vm.*` counters differ.
+    js_engine: JsEngine,
 }
 
 /// JS execution counters for one distinct scanned sample.
@@ -291,15 +381,9 @@ impl<'w> ScanPipeline<'w> {
             vt: VirusTotal::new(web),
             quttera: Quttera::new(web),
             blacklists: BlacklistDb::populate_from_web(web),
-            url_features: ShardedCache::new(),
-            content_features: ShardedCache::new(),
-            host_domains: ShardedCache::new(),
-            domain_blacklisted: ShardedCache::new(),
-            interner: Interner::new(),
+            caches: Arc::new(ScanCaches::new()),
             fault_plan: None,
             js_engine: JsEngine::default(),
-            js_modules: Arc::new(JsModuleCache::new()),
-            js_stats: ShardedCache::new(),
         }
     }
 
@@ -309,6 +393,20 @@ impl<'w> ScanPipeline<'w> {
     pub fn with_js_engine(mut self, engine: JsEngine) -> Self {
         self.js_engine = engine;
         self
+    }
+
+    /// Installs a shared cache set (replacing this pipeline's own).
+    /// Callers must only share caches between pipelines scanning the
+    /// same synthetic web with the same JS engine — see [`ScanCaches`]
+    /// for why that makes sharing invisible in verdicts.
+    pub fn with_shared_caches(mut self, caches: Arc<ScanCaches>) -> Self {
+        self.caches = caches;
+        self
+    }
+
+    /// The pipeline's cache set (shared or private).
+    pub fn caches(&self) -> &Arc<ScanCaches> {
+        &self.caches
     }
 
     /// The JS engine this pipeline scans with.
@@ -345,21 +443,17 @@ impl<'w> ScanPipeline<'w> {
     /// exactly the configuration the JS-VM benchmark measures. Use
     /// [`ScanPipeline::clear_module_cache`] for a fully cold run.
     pub fn clear_caches(&self) {
-        self.url_features.clear();
-        self.content_features.clear();
-        self.host_domains.clear();
-        self.domain_blacklisted.clear();
-        self.js_stats.clear();
+        self.caches.clear();
     }
 
     /// Drops the compiled-JS module cache too (fully cold scans).
     pub fn clear_module_cache(&self) {
-        self.js_modules.clear();
+        self.caches.clear_modules();
     }
 
     /// Number of distinct URLs whose scan features are currently cached.
     pub fn cached_urls(&self) -> usize {
-        self.url_features.len()
+        self.caches.cached_urls()
     }
 
     /// Lookup/entry/hit statistics for each of the four memoization
@@ -367,32 +461,14 @@ impl<'w> ScanPipeline<'w> {
     /// `scan.cache.*`. Hits are derived (`lookups - entries`), so the
     /// numbers are deterministic for every worker count.
     pub fn cache_stats(&self) -> [(&'static str, slum_detect::CacheStats); 4] {
-        [
-            ("url_features", self.url_features.stats()),
-            ("content_features", self.content_features.stats()),
-            ("host_domains", self.host_domains.stats()),
-            ("domain_blacklisted", self.domain_blacklisted.stats()),
-        ]
+        self.caches.stats()
     }
 
     /// Aggregated JS-engine statistics (see [`JsVmStats`]). All-zero
     /// under [`JsEngine::TreeWalk`] and before any scan, so the
     /// `js.vm.*` counters derived from this are always present.
     pub fn js_vm_stats(&self) -> JsVmStats {
-        let per_sample = self.js_stats.fold(JsRunStats::default(), |acc, _key, s| JsRunStats {
-            instructions: acc.instructions + s.instructions,
-            module_lookups: acc.module_lookups + s.module_lookups,
-            budget_exhaustions: acc.budget_exhaustions + s.budget_exhaustions,
-        });
-        let compiles = self.js_modules.len() as u64;
-        JsVmStats {
-            compiles,
-            compile_nanos: self.js_modules.total_compile_nanos(),
-            module_lookups: per_sample.module_lookups,
-            module_hits: per_sample.module_lookups.saturating_sub(compiles),
-            instructions: per_sample.instructions,
-            budget_exhaustions: per_sample.budget_exhaustions,
-        }
+        self.caches.js_vm_stats()
     }
 
     /// Scans one crawl record, degrading gracefully when the fault plan
@@ -447,18 +523,19 @@ impl<'w> ScanPipeline<'w> {
             if url_scan_clean {
                 if let Some(content) = &record.content {
                     let content_key = format!("{canon}#{:x}", fnv1a(content.as_bytes()));
-                    let features = self.content_features.get_or_insert_with(&content_key, || {
-                        let (features, report) = Features::from_content_with_engine(
-                            &record.url,
-                            content,
-                            self.js_engine,
-                            self.module_store(),
-                        );
-                        self.js_stats.get_or_insert_with(&content_key, || {
-                            JsRunStats::from_report(&report)
+                    let features =
+                        self.caches.content_features.get_or_insert_with(&content_key, || {
+                            let (features, report) = Features::from_content_with_engine(
+                                &record.url,
+                                content,
+                                self.js_engine,
+                                self.module_store(),
+                            );
+                            self.caches.js_stats.get_or_insert_with(&content_key, || {
+                                JsRunStats::from_report(&report)
+                            });
+                            features
                         });
-                        features
-                    });
                     let vt_content =
                         vt_up.then(|| self.vt.aggregate(&content_key, &features));
                     let quttera_content =
@@ -570,10 +647,11 @@ impl<'w> ScanPipeline<'w> {
     /// chains cost two cache reads per hop.
     fn chain_blacklist_hit(&self, record: &CrawlRecord) -> Option<Arc<str>> {
         for host in &record.chain_hosts {
-            let domain = self.host_domains.get_or_insert_with(host, || {
-                self.interner.intern(&slum_websim::domain::registered_domain(host))
+            let domain = self.caches.host_domains.get_or_insert_with(host, || {
+                self.caches.interner.intern(&slum_websim::domain::registered_domain(host))
             });
             let hit = self
+                .caches
                 .domain_blacklisted
                 .get_or_insert_with(&domain, || self.blacklists.check(&domain).is_blacklisted());
             if hit {
@@ -589,7 +667,7 @@ impl<'w> ScanPipeline<'w> {
     /// computed once by the caller. Redirected loads mark the redirect
     /// feature the way the Quttera URL scan does.
     fn url_features(&self, url: &Url, canon: &str) -> Features {
-        self.url_features.get_or_insert_with(canon, || {
+        self.caches.url_features.get_or_insert_with(canon, || {
             let mut browser = Browser::new(self.web)
                 .with_context(RequestContext::scanner("pipeline"))
                 .with_js_engine(self.js_engine);
@@ -597,7 +675,7 @@ impl<'w> ScanPipeline<'w> {
                 browser = browser.with_module_store(store);
             }
             let load = browser.load(url);
-            self.js_stats.get_or_insert_with(canon, || JsRunStats::from_report(&load.js));
+            self.caches.js_stats.get_or_insert_with(canon, || JsRunStats::from_report(&load.js));
             let mut features = Features::from_load(&load);
             if load.was_redirected() {
                 features.js_redirect = true;
@@ -609,7 +687,7 @@ impl<'w> ScanPipeline<'w> {
     /// The shared module store, when the engine can use one.
     fn module_store(&self) -> Option<Arc<dyn ModuleStore>> {
         match self.js_engine {
-            JsEngine::Vm => Some(self.js_modules.clone()),
+            JsEngine::Vm => Some(self.caches.js_modules.clone()),
             JsEngine::TreeWalk => None,
         }
     }

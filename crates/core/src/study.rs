@@ -11,12 +11,12 @@
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use slum_crawler::{
-    crawl_all_resilient, crawl_all_segmented, crawl_all_streaming, CrawlFaultProfile, CrawlHealth,
-    CrawlRecord, RecordChunk, RecordStore,
+    crawl_all_resilient, crawl_all_segmented, crawl_all_streaming, replay_restored_loads,
+    CrawlFaultProfile, CrawlHealth, CrawlRecord, RecordChunk, RecordStore,
 };
 use slum_exchange::TrafficSource;
 use slum_obs::{LocalMetrics, MetricsSnapshot, Registry};
@@ -35,8 +35,8 @@ use crate::report::{Fig2Bar, Table1};
 use slum_js::sandbox::JsEngine;
 
 use crate::scanpipe::{
-    effective_scan_workers, scan_key, FaultLog, ScanOutcome, ScanPipeline, VerdictSource,
-    DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
+    effective_scan_workers, scan_key, FaultLog, ScanCaches, ScanOutcome, ScanPipeline,
+    VerdictSource, DEFAULT_SCAN_CHUNK, DEFAULT_SERIAL_SCAN_THRESHOLD,
 };
 use crate::shortened::ShortenedRow;
 use crate::substrate::{build_substrate, BuiltSubstrate, SourceMeta, Substrate};
@@ -131,6 +131,25 @@ impl StudyConfig {
     /// defaults.
     pub fn builder() -> StudyConfigBuilder {
         StudyConfigBuilder { config: StudyConfig::default() }
+    }
+
+    /// The identity of the synthetic web this config builds plus the
+    /// JS engine scanning it — everything a cached scan result depends
+    /// on. Two configs with equal fingerprints may share one
+    /// [`ScanCaches`] (the slum-serve daemon's sharing key): every
+    /// cached value is a pure function of `(web, key)`, so equal webs
+    /// mean bit-identical cache entries. Worker counts, chunk sizes,
+    /// fault profiles and checkpoint cadence are deliberately excluded —
+    /// they never change what a cache entry contains.
+    pub fn cache_fingerprint(&self) -> String {
+        format!(
+            "seed={}&crawl_ppm={}&domain_ppm={}&substrate={}&js={}",
+            self.seed,
+            crate::checkpoint::scale_ppm(self.crawl_scale),
+            crate::checkpoint::scale_ppm(self.domain_scale),
+            self.substrate.name(),
+            self.js_engine.name(),
+        )
     }
 }
 
@@ -445,12 +464,16 @@ struct ResumeStats {
     segments_restored: u64,
     /// Records restored from the checkpoint.
     records_restored: u64,
+    /// Restored records whose browser loads were replayed onto the
+    /// rebuilt web to reconstruct crawl-phase side effects (shortener
+    /// hit statistics).
+    loads_replayed: u64,
 }
 
 impl Study {
     /// Runs the full pipeline.
     pub fn run(config: &StudyConfig) -> Study {
-        match Study::run_pipeline(config, CrawlMode::Direct) {
+        match Study::run_pipeline(config, CrawlMode::Direct, None) {
             Ok(Some(study)) => study,
             Ok(None) => unreachable!("direct runs are never killed"),
             Err(e) => unreachable!("direct runs do no checkpoint I/O: {e}"),
@@ -466,7 +489,7 @@ impl Study {
     /// Propagates checkpoint I/O and serialization failures.
     pub fn run_checkpointed(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
         let mode = CrawlMode::Checkpointed { dir, resume: false, kill_after_round: None };
-        Ok(Study::run_pipeline(config, mode)?.expect("unkilled runs complete"))
+        Ok(Study::run_pipeline(config, mode, None)?.expect("unkilled runs complete"))
     }
 
     /// Like [`Study::run_checkpointed`], but abandons the run after
@@ -488,7 +511,7 @@ impl Study {
             resume: false,
             kill_after_round: Some(kill_after_round),
         };
-        Study::run_pipeline(config, mode)
+        Study::run_pipeline(config, mode, None)
     }
 
     /// Resumes an interrupted run from the latest checkpoint in `dir`
@@ -502,12 +525,44 @@ impl Study {
     /// mismatches between the checkpoint and `config`.
     pub fn resume_from(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
         let mode = CrawlMode::Checkpointed { dir, resume: true, kill_after_round: None };
-        Ok(Study::run_pipeline(config, mode)?.expect("unkilled runs complete"))
+        Ok(Study::run_pipeline(config, mode, None)?.expect("unkilled runs complete"))
+    }
+
+    /// One cooperative scheduling slice of a checkpointed study: crawls
+    /// at most `rounds` further checkpoint rounds (resuming from the
+    /// latest checkpoint in `dir` when one exists, starting fresh
+    /// otherwise), then yields. Returns `None` while the crawl is
+    /// unfinished — call again to advance — or the completed study once
+    /// the crawl ends inside the slice, scanned through `shared_caches`
+    /// when given (see [`ScanCaches`] for when sharing is sound).
+    ///
+    /// Because every slice funnels through the same segment driver as
+    /// batch runs, the completed study is bit-identical to
+    /// [`Study::run_checkpointed`] with the same config, no matter how
+    /// the slices interleave with other studies' — this is the
+    /// scheduling primitive the slum-serve daemon multiplexes tenants
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint I/O, serialization and config-mismatch
+    /// failures.
+    pub fn advance_checkpointed(
+        config: &StudyConfig,
+        dir: &Path,
+        rounds: u64,
+        shared_caches: Option<Arc<ScanCaches>>,
+    ) -> Result<Option<Study>, CheckpointError> {
+        let resume = !CheckpointStore::open(dir)?.list()?.is_empty();
+        let mode =
+            CrawlMode::Checkpointed { dir, resume, kill_after_round: Some(rounds) };
+        Study::run_pipeline(config, mode, shared_caches)
     }
 
     fn run_pipeline(
         config: &StudyConfig,
         mode: CrawlMode<'_>,
+        shared_caches: Option<Arc<ScanCaches>>,
     ) -> Result<Option<Study>, CheckpointError> {
         let obs = Registry::new();
         record_config(&obs, config);
@@ -543,8 +598,16 @@ impl Study {
             && matches!(mode, CrawlMode::Direct)
             && config.fault_profile.is_inert()
         {
-            let (store, outcomes, referrals, health) =
-                run_overlapped(config, &obs, &web, &mut traffic, &step_fn, &filter, planned);
+            let (store, outcomes, referrals, health) = run_overlapped(
+                config,
+                &obs,
+                &web,
+                &mut traffic,
+                &step_fn,
+                &filter,
+                planned,
+                shared_caches,
+            );
             record_substrate_tallies(&obs, config.substrate, meta.len(), store.len() as u64);
             return Ok(Some(Study {
                 web,
@@ -576,9 +639,15 @@ impl Study {
                     let (resume_state, resume_stats) = if resume {
                         let (header, state) = ckpt.load_latest()?;
                         header.verify(config)?;
+                        // The web above was rebuilt from seed; replay
+                        // the restored records' browser loads so the
+                        // crawl-phase web mutations (shortener hits)
+                        // survive the simulated crash.
+                        let loads_replayed = replay_restored_loads(&web, &traffic, &state);
                         let stats = ResumeStats {
                             segments_restored: state.round,
                             records_restored: state.records_total(),
+                            loads_replayed,
                         };
                         (Some(state), stats)
                     } else {
@@ -622,6 +691,9 @@ impl Study {
             record_filter_counts(&obs, &referrals);
 
             let mut pipeline = ScanPipeline::new(&web).with_js_engine(config.js_engine);
+            if let Some(caches) = shared_caches {
+                pipeline = pipeline.with_shared_caches(caches);
+            }
             if !config.fault_profile.is_inert() {
                 // Compile the fault schedule from the *corpus* (regular
                 // records in virtual-arrival order), never from scan
@@ -855,6 +927,7 @@ fn record_crawl_fault_tallies(obs: &Registry, health: &[CrawlHealth], resume: &R
         .add(health.iter().filter(|h| h.shutdown_at.is_some()).count() as u64);
     obs.counter("crawl.resume.segments_restored").add(resume.segments_restored);
     obs.counter("crawl.resume.records_restored").add(resume.records_restored);
+    obs.counter("crawl.resume.replayed_loads").add(resume.loads_replayed);
     for h in health {
         obs.gauge(&format!("crawl.health.{}.lost_steps", h.exchange)).set(h.lost_steps as i64);
         obs.gauge(&format!("crawl.health.{}.downtime_secs", h.exchange))
@@ -1168,12 +1241,16 @@ fn run_overlapped<S, F>(
     step_fn: &F,
     filter: &ReferralFilter,
     planned: u64,
+    shared_caches: Option<Arc<ScanCaches>>,
 ) -> (RecordStore, Vec<ScanOutcome>, Vec<ReferralClass>, Vec<CrawlHealth>)
 where
     S: TrafficSource + Send,
     F: Fn(&S) -> u64 + Sync,
 {
-    let pipeline = ScanPipeline::new(web).with_js_engine(config.js_engine);
+    let mut pipeline = ScanPipeline::new(web).with_js_engine(config.js_engine);
+    if let Some(caches) = shared_caches {
+        pipeline = pipeline.with_shared_caches(caches);
+    }
     let latency = obs.histogram("scan.record_nanos");
     // Worker selection needs a corpus size before the corpus exists;
     // the planned surf slots are an exact upper bound on records (and

@@ -38,7 +38,7 @@ pub use fault::{CrawlFaultProfile, CrawlHealth};
 pub use record::CrawlRecord;
 pub use run::{
     crawl_all, crawl_all_resilient, crawl_all_segmented, crawl_all_streaming,
-    CrawlCheckpointState, CrawlPlan, RecordChunk,
+    replay_restored_loads, CrawlCheckpointState, CrawlPlan, RecordChunk,
 };
 pub use slum_exchange::TrafficSource;
 pub use store::{JsonlError, RecordStore};

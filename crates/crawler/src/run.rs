@@ -567,6 +567,54 @@ where
     plan.run_segmented(web, sources, step_fn, on_round)
 }
 
+/// Replays the browser side effects of every checkpoint-restored record
+/// onto a freshly rebuilt web.
+///
+/// Crawl-phase page loads mutate the synthetic web — most visibly the
+/// shortener services' public hit statistics, which Table IV reads at
+/// export time. A resumed study rebuilds the web from the study seed,
+/// which reconstructs only the *initial* state; the hits accumulated by
+/// the already-crawled (checkpointed) visits lived in the crashed
+/// process and would silently vanish, making a kill/resume run diverge
+/// from an uninterrupted one. Re-loading each restored record's surfed
+/// URL at its recorded virtual time — under the same click mode the
+/// original visit used — reapplies exactly those mutations: a
+/// [`Browser`](slum_browser::Browser) load is a pure function of
+/// `(web, time, url, click-mode)`, and a record exists if and only if a
+/// load actually happened (lost slots and failed CAPTCHAs never touch
+/// the browser).
+///
+/// Call this once per resume, after rebuilding the web and before
+/// continuing the crawl. Callers that keep one web alive across
+/// segments (in-process round loops) must NOT call it — their web
+/// already carries the side effects.
+///
+/// Returns the number of loads replayed.
+pub fn replay_restored_loads<S: TrafficSource>(
+    web: &SyntheticWeb,
+    sources: &[S],
+    state: &CrawlCheckpointState,
+) -> u64 {
+    use slum_browser::Browser;
+    use slum_exchange::ExchangeKind;
+
+    let mut replayed = 0u64;
+    for (cursor, store) in state.cursors.iter().zip(&state.stores) {
+        let manual = sources
+            .iter()
+            .find(|s| s.name() == cursor.exchange)
+            .map(|s| s.kind() == ExchangeKind::ManualSurf)
+            .unwrap_or(false);
+        for record in store.records() {
+            let browser = Browser::new(web).at_time(record.at);
+            let browser = if manual { browser } else { browser.without_click() };
+            let _ = browser.load(&record.url);
+            replayed += 1;
+        }
+    }
+    replayed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +865,112 @@ mod tests {
         let web = b.finish();
         let (store, _, _) = CrawlPlan::new(23).collect(&web, &mut boxed, |_| 20);
         assert_eq!(store.to_jsonl().unwrap(), concrete);
+    }
+
+    /// A kill/resume cycle rebuilds the web from seed, which would
+    /// silently drop the shortener hits the pre-kill crawl visits
+    /// accumulated; [`replay_restored_loads`] reapplies them, so the
+    /// Table IV hit counts match an uninterrupted crawl (regression for
+    /// the ±1 `short_hits` divergence under repeated preemption).
+    #[test]
+    fn replayed_loads_restore_shortener_hits_after_web_rebuild() {
+        use rand::rngs::StdRng;
+        use slum_exchange::SurfStep;
+        use slum_websim::{ContentCategory, Tld, Url};
+
+        struct ShortLoop {
+            url: Url,
+        }
+        impl TrafficSource for ShortLoop {
+            fn name(&self) -> &str {
+                "ShortLoop"
+            }
+            fn kind(&self) -> ExchangeKind {
+                ExchangeKind::AutoSurf
+            }
+            fn min_surf_secs(&self) -> u32 {
+                1
+            }
+            fn next_step(&mut self, _t: u64, _rng: &mut StdRng) -> SurfStep {
+                SurfStep {
+                    url: self.url.clone(),
+                    min_surf_secs: 1,
+                    captcha: None,
+                    campaign_boosted: false,
+                }
+            }
+            fn captcha_nonce(&self) -> u64 {
+                0
+            }
+            fn restore_captcha_nonce(&mut self, _nonce: u64) {}
+        }
+
+        let build = || {
+            let mut b = WebBuilder::new(140);
+            let spec = b.shortened_site(Tld::Com, ContentCategory::Business);
+            (b.finish(), spec.url)
+        };
+        let hits_of = |web: &SyntheticWeb, short: &Url| {
+            web.shorteners()
+                .service(short.host())
+                .expect("shortener host")
+                .stats(short.path().trim_start_matches('/'))
+                .expect("registered code")
+                .hits
+        };
+        let run = |web: &SyntheticWeb,
+                   sources: &mut [ShortLoop],
+                   resume: Option<CrawlCheckpointState>,
+                   stop: Option<u64>,
+                   saved: &mut Option<CrawlCheckpointState>| {
+            crawl_all_segmented::<_, _, String>(
+                web,
+                sources,
+                7,
+                &CrawlFaultProfile::none(),
+                |_| 8,
+                4,
+                resume,
+                stop,
+                &mut |_, state| {
+                    *saved = Some(state.clone());
+                    Ok(())
+                },
+            )
+            .expect("crawl runs")
+        };
+
+        // One-shot reference: all 8 visits land on a single web.
+        let (web, short) = build();
+        let mut sources = [ShortLoop { url: short.clone() }];
+        let mut sink = None;
+        let one_shot = run(&web, &mut sources, None, None, &mut sink);
+        assert!(one_shot.finished);
+        let want = hits_of(&web, &short);
+
+        // Crash after round 1: the first 4 visits' hits die with web1.
+        let (web1, short) = build();
+        let mut sources = [ShortLoop { url: short.clone() }];
+        let mut saved = None;
+        let killed = run(&web1, &mut sources, None, Some(1), &mut saved);
+        assert!(!killed.finished);
+        drop(web1);
+
+        // Resume on a rebuilt web: replay reconstructs the lost hits.
+        let (web2, _) = build();
+        let state = saved.expect("checkpoint saved");
+        let restored = state.records_total();
+        assert!(restored > 0, "round 1 must have crawled something");
+        let mut sources = [ShortLoop { url: short.clone() }];
+        let replayed = replay_restored_loads(&web2, &sources, &state);
+        assert_eq!(replayed, restored);
+        let resumed = run(&web2, &mut sources, Some(state), None, &mut sink);
+        assert!(resumed.finished);
+        assert_eq!(
+            hits_of(&web2, &short),
+            want,
+            "replay must reconstruct the pre-kill shortener hits"
+        );
     }
 
     #[test]

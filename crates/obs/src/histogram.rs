@@ -61,6 +61,20 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Adds every bucket of a snapshot into this histogram. Snapshot
+    /// bounds map back to the exact bucket they came from (`bound + 1`
+    /// is a power of two, and `u64::MAX` is the last bucket, so
+    /// [`Histogram::bucket_index`] of a bound is the bucket it
+    /// summarizes) — absorbing N snapshots then snapshotting equals the
+    /// element-wise bucket sum.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for &(bound, n) in &snap.buckets {
+            self.buckets[Self::bucket_index(bound)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// An immutable copy of the current state (non-empty buckets only).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self

@@ -246,6 +246,13 @@ impl Parser<'_> {
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let hex = std::str::from_utf8(hex)
                                 .map_err(|_| self.err("invalid \\u escape"))?;
+                            // `from_str_radix` alone is too permissive:
+                            // it accepts a leading `+`, so `\u+1ff`
+                            // would silently parse. Require 4 hex
+                            // digits, as JSON does.
+                            if !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                                return Err(self.err("invalid \\u escape"));
+                            }
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("invalid \\u escape"))?;
                             out.push(

@@ -18,7 +18,10 @@
 //!   never contend on shared counters;
 //! - [`MetricsSnapshot`] — an immutable, ordered view of everything,
 //!   serializable to JSON and parseable back ([`MetricsSnapshot::to_json`],
-//!   [`MetricsSnapshot::from_json`]).
+//!   [`MetricsSnapshot::from_json`]);
+//! - [`TenantRegistries`] — per-tenant registries for a multi-study
+//!   service, with a namespaced global rollup
+//!   ([`TenantRegistries::global_snapshot`]).
 //!
 //! ## Determinism contract
 //!
@@ -51,9 +54,11 @@ pub mod histogram;
 pub mod json;
 pub mod local;
 pub mod registry;
+pub mod rollup;
 pub mod snapshot;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use local::LocalMetrics;
 pub use registry::{Counter, Gauge, Registry, SpanGuard};
+pub use rollup::TenantRegistries;
 pub use snapshot::{MetricsSnapshot, SpanSnapshot};

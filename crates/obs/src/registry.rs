@@ -137,6 +137,25 @@ impl Registry {
         }
     }
 
+    /// Folds a whole snapshot into this registry: counters add, gauges
+    /// set (last-write-wins, like [`Gauge::set`]), histogram buckets
+    /// add element-wise, spans append. The slum-serve global rollup
+    /// aggregates per-tenant snapshots this way.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name).absorb(h);
+        }
+        for s in &snap.spans {
+            self.record_span(&s.name, Duration::from_nanos(s.nanos));
+        }
+    }
+
     /// An immutable, ordered view of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self

@@ -1,0 +1,211 @@
+//! Property tests for the hand-rolled snapshot JSON layer: the writer
+//! (`json::write_escaped`, `MetricsSnapshot::to_json`) and the
+//! recursive-descent parser must be exact inverses over *arbitrary*
+//! metric names and the full value ranges — metric names come from
+//! scan-label families like `scan.labels.vt.Trojan:JS/Redirector` and
+//! are adversarial by assumption (labels embed quotes, backslashes and
+//! control characters from hostile page content).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use slum_obs::histogram::HistogramSnapshot;
+use slum_obs::json::{self, Value};
+use slum_obs::{MetricsSnapshot, Registry, SpanSnapshot};
+
+/// Arbitrary metric names over the whole Latin-1 range: includes every
+/// ASCII control character (escape sequences), quotes, backslashes and
+/// non-ASCII text. Built from bytes because regex strategies cannot
+/// spell control characters.
+fn name_strategy() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..16)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect::<String>())
+}
+
+/// Arbitrary unicode names: scalar values across all planes, surrogate
+/// range folded back into BMP text.
+fn unicode_name_strategy() -> impl Strategy<Value = String> {
+    vec(any::<u32>(), 0..8).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c % 0x11_0000).unwrap_or('\u{fffd}'))
+            .collect::<String>()
+    })
+}
+
+fn snapshot_from_parts(
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histogram_names: Vec<String>,
+    histogram_samples: Vec<u64>,
+    spans: Vec<(String, u64)>,
+) -> MetricsSnapshot {
+    let mut snapshot = MetricsSnapshot::default();
+    snapshot.counters = counters.into_iter().collect();
+    snapshot.gauges = gauges.into_iter().collect();
+    for name in histogram_names {
+        // A histogram with real bucket structure: record the sample
+        // values through the actual histogram type so bucket bounds are
+        // the ones production snapshots carry (incl. the u64::MAX
+        // top bucket).
+        let registry = Registry::new();
+        for v in &histogram_samples {
+            registry.histogram("h").record(*v);
+        }
+        let h = registry
+            .snapshot()
+            .histograms
+            .get("h")
+            .cloned()
+            .unwrap_or(HistogramSnapshot { count: 0, sum: 0, buckets: Vec::new() });
+        snapshot.histograms.insert(name, h);
+    }
+    snapshot.spans =
+        spans.into_iter().map(|(name, nanos)| SpanSnapshot { name, nanos }).collect();
+    snapshot
+}
+
+proptest! {
+    /// Escaping any Latin-1 string (controls, quotes, backslashes)
+    /// parses back to the identical string.
+    #[test]
+    fn escaped_strings_round_trip(name in name_strategy()) {
+        let mut doc = String::new();
+        json::write_escaped(&mut doc, &name);
+        prop_assert_eq!(json::parse(&doc).unwrap().as_str(), Some(name.as_str()));
+    }
+
+    /// Same for arbitrary unicode scalar values across all planes.
+    #[test]
+    fn unicode_strings_round_trip(name in unicode_name_strategy()) {
+        let mut doc = String::new();
+        json::write_escaped(&mut doc, &name);
+        prop_assert_eq!(json::parse(&doc).unwrap().as_str(), Some(name.as_str()));
+    }
+
+    /// Full snapshots — hostile names in every table, extreme counter
+    /// and gauge values (u64::MAX, i64::MIN), real histogram buckets,
+    /// repeated span names — survive to_json/from_json bit-for-bit.
+    #[test]
+    fn snapshot_round_trip_is_lossless(
+        counters in vec((name_strategy(), any::<u64>()), 0..6),
+        gauges in vec((unicode_name_strategy(), any::<i64>()), 0..4),
+        histogram_names in vec(name_strategy(), 0..3),
+        histogram_samples in vec(any::<u64>(), 0..10),
+        spans in vec((name_strategy(), any::<u64>()), 0..4),
+    ) {
+        // Pin the extremes alongside the random draws.
+        let mut counters = counters;
+        counters.push(("max".to_string(), u64::MAX));
+        let snapshot = snapshot_from_parts(
+            counters, gauges, histogram_names, histogram_samples, spans,
+        );
+        let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        prop_assert_eq!(parsed, snapshot);
+    }
+
+    /// An empty registry's snapshot round-trips (the writer's empty
+    /// object/array forms are parseable).
+    #[test]
+    fn empty_registry_round_trips(_nothing in any::<bool>()) {
+        let snapshot = Registry::new().snapshot();
+        prop_assert_eq!(snapshot.counters.len(), 0);
+        let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        prop_assert_eq!(parsed, snapshot);
+    }
+
+    /// The parser is total: arbitrary bytes either parse or error, no
+    /// panics — and whatever parses re-serializes to something that
+    /// parses to the same value (writer/parser agreement on the whole
+    /// value domain, not just snapshot-shaped documents).
+    #[test]
+    fn parser_is_total_and_reprint_agrees(input in name_strategy()) {
+        if let Ok(value) = json::parse(&input) {
+            let reprinted = print_value(&value);
+            prop_assert_eq!(json::parse(&reprinted).unwrap(), value);
+        }
+    }
+}
+
+/// Serializes a parsed [`Value`] back to JSON with the writer's own
+/// escaping rules.
+fn print_value(value: &Value) -> String {
+    fn go(value: &Value, out: &mut String) {
+        match value {
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(out, k);
+                    out.push(':');
+                    go(v, out);
+                }
+                out.push('}');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    go(v, out);
+                }
+                out.push(']');
+            }
+            Value::String(s) => json::write_escaped(out, s),
+            Value::Int(i) => out.push_str(&i.to_string()),
+        }
+    }
+    let mut out = String::new();
+    go(value, &mut out);
+    out
+}
+
+/// Regression pins for divergences the property hunt surfaced (kept as
+/// plain tests so they run even with `PROPTEST_CASES=0`).
+mod regressions {
+    use super::*;
+
+    /// `u32::from_str_radix` accepts a leading `+`, so the `\u` escape
+    /// parser used to accept `\u+1ff` (three digits and a sign) as
+    /// U+01FF instead of rejecting it.
+    #[test]
+    fn unicode_escape_requires_four_hex_digits() {
+        assert!(json::parse(r#""\u+1ff""#).is_err());
+        assert!(json::parse(r#""\u-1ff""#).is_err());
+        assert_eq!(json::parse(r#""ǿ""#).unwrap().as_str(), Some("\u{1ff}"));
+    }
+
+    /// Control characters below 0x20 that lack a shorthand escape are
+    /// written as `\u00XX` and parse back.
+    #[test]
+    fn bare_control_chars_round_trip() {
+        let name: String = (0u8..0x20).map(char::from).collect();
+        let mut doc = String::new();
+        json::write_escaped(&mut doc, &name);
+        assert!(!doc.bytes().any(|b| b < 0x20), "controls must be escaped");
+        assert_eq!(json::parse(&doc).unwrap().as_str(), Some(name.as_str()));
+    }
+
+    /// The extreme numeric corners of every table survive.
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("c".to_string(), u64::MAX);
+        snapshot.gauges.insert("g".to_string(), i64::MIN);
+        snapshot.gauges.insert("g2".to_string(), i64::MAX);
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        counts.insert("h".to_string(), 1);
+        let registry = Registry::new();
+        registry.histogram("h").record(u64::MAX);
+        snapshot.histograms = registry.snapshot().histograms;
+        registry.record_span("s", Duration::from_nanos(u64::MAX / 2));
+        snapshot.spans = registry.snapshot().spans;
+        let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(parsed, snapshot);
+    }
+}

@@ -1,0 +1,235 @@
+//! The thin TCP front end: newline-delimited JSON over a socket, one
+//! request per line, one response per line, with a background scheduler
+//! thread cooperatively advancing every submitted study.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::service::{ServeError, Service};
+
+/// How long the accept loop and the scheduler sleep when idle.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// A running daemon: a [`Service`] behind a TCP listener.
+///
+/// The daemon owns two kinds of threads: one scheduler thread that
+/// round-robins [`Service::step`] while any study is running, and one
+/// short-lived thread per accepted connection. `shutdown` requests (or
+/// [`Daemon::shutdown`]) stop the accept loop; the scheduler drains the
+/// in-flight studies before joining so no tenant's study is abandoned
+/// mid-slice.
+pub struct Daemon {
+    service: Arc<Service>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    scheduler_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept and scheduler threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(service: Service, addr: &str) -> Result<Daemon, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_service = Arc::clone(&service);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_service, &accept_stop);
+        });
+
+        let sched_service = Arc::clone(&service);
+        let sched_stop = Arc::clone(&stop);
+        let scheduler_thread = std::thread::spawn(move || {
+            scheduler_loop(&sched_service, &sched_stop);
+        });
+
+        Ok(Daemon {
+            service,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            scheduler_thread: Some(scheduler_thread),
+        })
+    }
+
+    /// The bound socket address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener, for in-process inspection.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Signals the accept loop and scheduler to stop, then joins them.
+    /// The scheduler finishes the current scheduling pass, so studies
+    /// stop at a checkpoint boundary and resume cleanly on the next
+    /// daemon over the same root.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a `shutdown` request (or [`Daemon::shutdown`] from
+    /// another thread) stops the daemon.
+    pub fn wait(&mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(IDLE_POLL);
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                handlers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &service, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn scheduler_loop(service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match service.step() {
+            Ok(0) => std::thread::sleep(IDLE_POLL),
+            Ok(_) => {}
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => {
+                let response = service.handle(&req);
+                if req.op == "shutdown" {
+                    stop.store(true, Ordering::SeqCst);
+                }
+                response
+            }
+            Err(e) => Response::failure("parse", format!("bad request line: {e}")),
+        };
+        let Ok(encoded) = serde_json::to_string(&response) else { return };
+        if writeln!(writer, "{encoded}").is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        line: &str,
+    ) -> Response {
+        writeln!(writer, "{line}").expect("write request");
+        writer.flush().expect("flush request");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read response");
+        serde_json::from_str(reply.trim()).expect("response parses")
+    }
+
+    #[test]
+    fn daemon_serves_a_tiny_study_over_tcp() {
+        let root = std::env::temp_dir()
+            .join(format!("slum-daemon-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let service = Service::open(&root).expect("service root");
+        let mut daemon = Daemon::start(service, "127.0.0.1:0").expect("daemon");
+
+        let stream = TcpStream::connect(daemon.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+
+        let submit = roundtrip(
+            &mut reader,
+            &mut writer,
+            r#"{"op":"submit-study","tenant":"smoke","crawl_scale":0.0002,"domain_scale":0.03,"checkpoint_every":7}"#,
+        );
+        assert!(submit.ok, "submit failed: {:?}", submit.error);
+        let id = submit.study.expect("study id");
+
+        let done = loop {
+            let status = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!(r#"{{"op":"study-status","study":{id}}}"#),
+            );
+            assert!(status.ok, "status failed: {:?}", status.error);
+            match status.state.as_deref() {
+                Some("done") => break status,
+                Some("failed") => panic!("study failed: {:?}", status.error),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        assert!(done.digest.is_some(), "done study reports a digest");
+
+        let metrics = roundtrip(&mut reader, &mut writer, r#"{"op":"stream-metrics"}"#);
+        let metrics_json = metrics.metrics.expect("metrics payload");
+        let snapshot =
+            slum_obs::MetricsSnapshot::from_json(&metrics_json).expect("metrics parse");
+        assert!(snapshot.counter("serve.studies.completed") >= 1);
+        assert!(snapshot.counter("tenant.smoke.crawl.pages") > 0);
+
+        let bye = roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+        assert!(bye.ok);
+        daemon.wait();
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

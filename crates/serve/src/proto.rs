@@ -1,0 +1,242 @@
+//! The newline-delimited JSON protocol: one request object per line in,
+//! one response object per line out.
+//!
+//! Requests are a single flat struct — the `op` field selects the
+//! operation, every other field is optional with a sensible default
+//! (`#[serde(default)]` / `#[serde(default = "...")]` on the vendored
+//! derive), so a submit line only needs to name what differs from the
+//! stock study configuration:
+//!
+//! ```json
+//! {"op":"submit-study","tenant":"alpha","crawl_scale":0.0002,"substrate":"adnet"}
+//! {"op":"study-status","study":1}
+//! {"op":"query-verdict","study":1,"url":"http://example.com/"}
+//! {"op":"stream-metrics"}
+//! {"op":"shutdown"}
+//! ```
+
+use malware_slums::StudyConfig;
+use serde::{Deserialize, Serialize};
+use slum_crawler::CrawlFaultProfile;
+use slum_detect::fault::FaultProfile;
+
+/// Default checkpoint cadence for daemon-submitted studies (surf slots
+/// per exchange between checkpoints — also the scheduler's preemption
+/// grain).
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
+
+fn default_tenant() -> String {
+    "default".to_string()
+}
+
+fn default_seed() -> u64 {
+    StudyConfig::default().seed
+}
+
+fn default_crawl_scale() -> f64 {
+    StudyConfig::default().crawl_scale
+}
+
+fn default_domain_scale() -> f64 {
+    StudyConfig::default().domain_scale
+}
+
+fn default_substrate() -> String {
+    StudyConfig::default().substrate.name().to_string()
+}
+
+fn default_js_engine() -> String {
+    StudyConfig::default().js_engine.name().to_string()
+}
+
+fn default_checkpoint_every() -> u64 {
+    DEFAULT_CHECKPOINT_EVERY
+}
+
+fn default_profile() -> String {
+    "none".to_string()
+}
+
+/// One protocol request. Fields irrelevant to the selected `op` are
+/// ignored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation: `submit-study`, `study-status`, `query-verdict`,
+    /// `stream-metrics` or `shutdown`.
+    pub op: String,
+    /// Tenant the operation acts for.
+    #[serde(default = "default_tenant")]
+    pub tenant: String,
+    /// Study id (`study-status`, `query-verdict`).
+    pub study: Option<u64>,
+    /// URL to look up (`query-verdict`).
+    pub url: Option<String>,
+    /// Master seed (`submit-study`).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Crawl scale fraction (`submit-study`).
+    #[serde(default = "default_crawl_scale")]
+    pub crawl_scale: f64,
+    /// Domain scale fraction (`submit-study`).
+    #[serde(default = "default_domain_scale")]
+    pub domain_scale: f64,
+    /// Traffic substrate name (`submit-study`).
+    #[serde(default = "default_substrate")]
+    pub substrate: String,
+    /// JS engine name (`submit-study`).
+    #[serde(default = "default_js_engine")]
+    pub js_engine: String,
+    /// Checkpoint cadence in surf slots (`submit-study`).
+    #[serde(default = "default_checkpoint_every")]
+    pub checkpoint_every: u64,
+    /// Scan workers; 0 means the library default (`submit-study`).
+    #[serde(default)]
+    pub scan_workers: usize,
+    /// Scan-fault profile name (`submit-study`).
+    #[serde(default = "default_profile")]
+    pub fault_profile: String,
+    /// Crawl-fault profile name (`submit-study`).
+    #[serde(default = "default_profile")]
+    pub crawl_fault_profile: String,
+    /// Include the full export JSON in a `study-status` response.
+    #[serde(default)]
+    pub include_export: bool,
+}
+
+impl Request {
+    /// A request skeleton for `op` with every other field defaulted.
+    pub fn new(op: &str) -> Request {
+        let line = format!("{{\"op\":{:?}}}", op);
+        serde_json::from_str(&line).expect("op-only request parses")
+    }
+
+    /// Builds the study configuration a `submit-study` request asks
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names or invalid
+    /// values (this is the protocol boundary — errors go back over the
+    /// wire as strings).
+    pub fn study_config(&self) -> Result<StudyConfig, String> {
+        let mut b = StudyConfig::builder()
+            .seed(self.seed)
+            .crawl_scale(self.crawl_scale)
+            .domain_scale(self.domain_scale)
+            .checkpoint_every(self.checkpoint_every)
+            .js_engine_name(&self.js_engine)
+            .map_err(|e| e.to_string())?
+            .substrate_name(&self.substrate)
+            .map_err(|e| e.to_string())?;
+        if self.scan_workers > 0 {
+            b = b.scan_workers(self.scan_workers);
+        }
+        let scan_fault = FaultProfile::parse(&self.fault_profile)
+            .ok_or_else(|| format!("unknown fault profile `{}`", self.fault_profile))?;
+        let crawl_fault = CrawlFaultProfile::parse(&self.crawl_fault_profile).ok_or_else(
+            || format!("unknown crawl fault profile `{}`", self.crawl_fault_profile),
+        )?;
+        b.fault_profile(scan_fault)
+            .crawl_fault_profile(crawl_fault)
+            .build()
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// One protocol response. `ok` is the success flag; `error` carries the
+/// failure message when `ok` is false. Every other field is populated
+/// only when the operation produces it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Success flag.
+    pub ok: bool,
+    /// Echo of the request's `op`.
+    pub op: String,
+    /// Failure message when `ok` is false.
+    pub error: Option<String>,
+    /// Study id (submit/status/verdict).
+    pub study: Option<u64>,
+    /// Tenant the study belongs to.
+    pub tenant: Option<String>,
+    /// Study state: `running`, `done` or `failed`.
+    pub state: Option<String>,
+    /// Scheduling slices executed so far.
+    pub slices: Option<u64>,
+    /// FNV-1a digest of the export JSON (done studies).
+    pub digest: Option<String>,
+    /// Crawled records (done studies).
+    pub records: Option<u64>,
+    /// Malicious regular records (done studies).
+    pub malicious_regular: Option<u64>,
+    /// A canonical URL the study scanned — a guaranteed-known probe
+    /// for `query-verdict` (done studies).
+    pub sample_url: Option<String>,
+    /// Whether the queried URL has a cached verdict.
+    pub known: Option<bool>,
+    /// The cached verdict, when known.
+    pub malicious: Option<bool>,
+    /// Full export JSON (status with `include_export`).
+    pub export: Option<String>,
+    /// Metrics snapshot JSON (`stream-metrics`).
+    pub metrics: Option<String>,
+}
+
+impl Response {
+    /// A failure response for `op`.
+    pub fn failure(op: &str, error: impl std::fmt::Display) -> Response {
+        Response {
+            ok: false,
+            op: op.to_string(),
+            error: Some(error.to_string()),
+            ..Response::default()
+        }
+    }
+
+    /// A success skeleton for `op`.
+    pub fn success(op: &str) -> Response {
+        Response { ok: true, op: op.to_string(), ..Response::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_submit_line_fills_defaults() {
+        let req: Request =
+            serde_json::from_str(r#"{"op":"submit-study","crawl_scale":0.0002}"#)
+                .expect("parses");
+        assert_eq!(req.op, "submit-study");
+        assert_eq!(req.tenant, "default");
+        assert_eq!(req.seed, StudyConfig::default().seed);
+        assert_eq!(req.crawl_scale, 0.0002);
+        assert_eq!(req.substrate, "exchange");
+        assert_eq!(req.checkpoint_every, DEFAULT_CHECKPOINT_EVERY);
+        assert!(!req.include_export);
+        let config = req.study_config().expect("valid config");
+        assert_eq!(config.checkpoint_every, Some(DEFAULT_CHECKPOINT_EVERY));
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let mut req = Request::new("submit-study");
+        req.substrate = "blogosphere".to_string();
+        assert!(req.study_config().is_err());
+        let mut req = Request::new("submit-study");
+        req.fault_profile = "catastrophic".to_string();
+        assert!(req.study_config().is_err());
+    }
+
+    #[test]
+    fn response_round_trips_one_line() {
+        let mut r = Response::success("study-status");
+        r.study = Some(3);
+        r.state = Some("done".to_string());
+        let line = serde_json::to_string(&r).expect("serializes");
+        assert!(!line.contains('\n'), "must stay newline-delimited");
+        let back: Response = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back.study, Some(3));
+        assert_eq!(back.state.as_deref(), Some("done"));
+    }
+}

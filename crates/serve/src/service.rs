@@ -1,0 +1,512 @@
+//! The in-process study service: job table, cooperative scheduler and
+//! the shared cross-tenant caches.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use malware_slums::export;
+use malware_slums::{CheckpointError, ScanCaches, Study, StudyConfig};
+use slum_detect::hash::fnv1a;
+use slum_detect::{CacheStats, ShardedCache};
+use slum_obs::{MetricsSnapshot, Registry, TenantRegistries};
+
+use crate::proto::{Request, Response};
+
+/// Checkpoint rounds one scheduling slice advances a study by. One
+/// round is the finest interleaving (maximal tenant fairness); the
+/// daemon uses a few rounds per slice to amortize web re-construction.
+pub const DEFAULT_ROUNDS_PER_SLICE: u64 = 1;
+
+/// Service-level failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Checkpoint scheduler failure while advancing a study.
+    Checkpoint(CheckpointError),
+    /// No study with the given id.
+    UnknownStudy(u64),
+    /// Invalid submit configuration.
+    Config(String),
+    /// Filesystem failure managing the study root.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::UnknownStudy(id) => write!(f, "unknown study {id}"),
+            ServeError::Config(msg) => write!(f, "config: {msg}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// What a finished study leaves behind: the artifacts the protocol can
+/// answer with, not the study itself (the web and corpus are dropped —
+/// their distilled verdicts live on in the shared verdict index).
+struct FinishedStudy {
+    export: String,
+    digest: String,
+    records: u64,
+    malicious_regular: u64,
+    sample_url: Option<String>,
+}
+
+/// The per-study lifecycle.
+enum JobState {
+    Running,
+    Done(FinishedStudy),
+    Failed(String),
+}
+
+struct Job {
+    id: u64,
+    tenant: String,
+    config: StudyConfig,
+    dir: PathBuf,
+    fingerprint: String,
+    slices: u64,
+    in_flight: bool,
+    state: JobState,
+}
+
+/// A study's externally visible status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyStatus {
+    /// Study id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// `running`, `done` or `failed`.
+    pub state: String,
+    /// Scheduling slices executed so far.
+    pub slices: u64,
+    /// Export-JSON digest, once done.
+    pub digest: Option<String>,
+    /// Crawled records, once done.
+    pub records: Option<u64>,
+    /// Malicious regular records, once done.
+    pub malicious_regular: Option<u64>,
+    /// A canonical URL the study scanned (its first regular record) —
+    /// a guaranteed-known probe for `query-verdict` clients.
+    pub sample_url: Option<String>,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+}
+
+/// The resident multi-tenant study service.
+///
+/// Studies are advanced cooperatively: each [`Service::advance`] call
+/// runs one bounded slice of one study's crawl through
+/// [`Study::advance_checkpointed`], so many tenants' studies interleave
+/// on one thread (or a few) without preemption. All studies with the
+/// same web fingerprint scan through one shared [`ScanCaches`], and
+/// every completed study publishes its per-URL verdicts into a shared
+/// index — a URL scanned for one tenant answers instantly for another.
+///
+/// Determinism: artifacts of a service-run study are bit-identical to
+/// the same config run through batch `repro`, no matter how its slices
+/// interleave with other tenants' (see `tests/serve_determinism.rs`).
+pub struct Service {
+    root: PathBuf,
+    rounds_per_slice: u64,
+    jobs: Mutex<Vec<Job>>,
+    cache_groups: Mutex<BTreeMap<String, Arc<ScanCaches>>>,
+    verdicts: ShardedCache<bool>,
+    tenants: TenantRegistries,
+    obs: Registry,
+}
+
+impl Service {
+    /// Opens a service whose studies checkpoint under `root` (created
+    /// if missing). A service re-opened over the same root resumes
+    /// interrupted studies from their checkpoints on resubmission.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Service, ServeError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Service {
+            root,
+            rounds_per_slice: DEFAULT_ROUNDS_PER_SLICE,
+            jobs: Mutex::new(Vec::new()),
+            cache_groups: Mutex::new(BTreeMap::new()),
+            verdicts: ShardedCache::new(),
+            tenants: TenantRegistries::new(),
+            obs: Registry::new(),
+        })
+    }
+
+    /// Sets the checkpoint rounds per scheduling slice (min 1).
+    pub fn with_rounds_per_slice(mut self, rounds: u64) -> Service {
+        self.rounds_per_slice = rounds.max(1);
+        self
+    }
+
+    /// Submits a study for `tenant`. The study's checkpoint directory
+    /// is a pure function of (tenant, config), so resubmitting the same
+    /// study after a daemon restart resumes from whatever checkpoints
+    /// the previous incarnation left behind.
+    ///
+    /// # Errors
+    ///
+    /// Rejects configs without `checkpoint_every` (the scheduler's
+    /// preemption grain) and propagates filesystem failures.
+    pub fn submit(&self, tenant: &str, config: StudyConfig) -> Result<u64, ServeError> {
+        if config.checkpoint_every.is_none() {
+            return Err(ServeError::Config(
+                "daemon studies need checkpoint_every (the scheduling grain)".to_string(),
+            ));
+        }
+        let fingerprint = config.cache_fingerprint();
+        let dir_key = format!(
+            "{fingerprint}&scan_fault={}&crawl_fault={}&every={}",
+            config.fault_profile.name,
+            config.crawl_fault_profile.name,
+            config.checkpoint_every.unwrap_or(0),
+        );
+        let dir = self
+            .root
+            .join(sanitize(tenant))
+            .join(format!("{:016x}", fnv1a(dir_key.as_bytes())));
+        std::fs::create_dir_all(&dir)?;
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let id = jobs.len() as u64 + 1;
+        jobs.push(Job {
+            id,
+            tenant: tenant.to_string(),
+            config,
+            dir,
+            fingerprint,
+            slices: 0,
+            in_flight: false,
+            state: JobState::Running,
+        });
+        self.obs.counter("serve.studies.submitted").inc();
+        self.obs.gauge("serve.studies.running").set(running_count(&jobs) as i64);
+        Ok(id)
+    }
+
+    /// The shared cache set for a web fingerprint, created on first
+    /// use. Studies with equal fingerprints get the same `Arc`.
+    fn cache_group(&self, fingerprint: &str) -> Arc<ScanCaches> {
+        let mut groups = self.cache_groups.lock().expect("cache groups poisoned");
+        Arc::clone(
+            groups.entry(fingerprint.to_string()).or_insert_with(|| Arc::new(ScanCaches::new())),
+        )
+    }
+
+    /// Aggregate stats of the shared scan caches for `fingerprint`
+    /// (`None` when no study with that fingerprint was submitted).
+    pub fn cache_group_stats(
+        &self,
+        fingerprint: &str,
+    ) -> Option<[(&'static str, CacheStats); 4]> {
+        self.cache_groups
+            .lock()
+            .expect("cache groups poisoned")
+            .get(fingerprint)
+            .map(|c| c.stats())
+    }
+
+    /// Advances study `id` by one scheduling slice. Returns the status
+    /// after the slice; completed or failed studies return immediately
+    /// without work.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids error; scheduler failures are recorded in the
+    /// study's state (and reported there), not returned.
+    pub fn advance(&self, id: u64) -> Result<StudyStatus, ServeError> {
+        // Claim the slice under the lock, run it outside (a slice does
+        // real crawl/scan work — status queries must not block on it).
+        let (config, dir, fingerprint, tenant) = {
+            let mut jobs = self.jobs.lock().expect("job table poisoned");
+            let job = job_mut(&mut jobs, id)?;
+            if !matches!(job.state, JobState::Running) || job.in_flight {
+                return status_of(job);
+            }
+            job.in_flight = true;
+            (job.config.clone(), job.dir.clone(), job.fingerprint.clone(), job.tenant.clone())
+        };
+
+        let caches = self.cache_group(&fingerprint);
+        let outcome =
+            Study::advance_checkpointed(&config, &dir, self.rounds_per_slice, Some(caches));
+        self.obs.counter("serve.slices.total").inc();
+
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let job = job_mut(&mut jobs, id)?;
+        job.in_flight = false;
+        job.slices += 1;
+        match outcome {
+            Ok(None) => {} // crawl still in progress; next slice continues
+            Ok(Some(study)) => {
+                match self.finish(&tenant, &fingerprint, &study) {
+                    Ok(finished) => job.state = JobState::Done(finished),
+                    Err(e) => job.state = JobState::Failed(e.to_string()),
+                }
+                self.obs.counter("serve.studies.completed").inc();
+            }
+            Err(e) => job.state = JobState::Failed(e.to_string()),
+        }
+        self.obs.gauge("serve.studies.running").set(running_count(&jobs) as i64);
+        status_of(job_mut(&mut jobs, id)?)
+    }
+
+    /// Publishes a completed study: verdicts into the shared index,
+    /// metrics into the tenant's registry, artifacts distilled for the
+    /// protocol.
+    fn finish(
+        &self,
+        tenant: &str,
+        fingerprint: &str,
+        study: &Study,
+    ) -> Result<FinishedStudy, serde_json::Error> {
+        let mut malicious_regular = 0u64;
+        let mut sample_url = None;
+        for (record, outcome) in study.regular_pairs() {
+            malicious_regular += u64::from(outcome.malicious);
+            let url = record.url.canonical();
+            self.verdicts
+                .get_or_insert_with(&format!("{fingerprint}#{url}"), || outcome.malicious);
+            sample_url.get_or_insert(url);
+        }
+        self.tenants.absorb(tenant, &study.metrics());
+        let export = export::to_json(study)?;
+        let digest = format!("{:016x}", fnv1a(export.as_bytes()));
+        Ok(FinishedStudy {
+            export,
+            digest,
+            records: study.store.len() as u64,
+            malicious_regular,
+            sample_url,
+        })
+    }
+
+    /// One round-robin pass: advances every running study one slice.
+    /// Returns how many studies are still running afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-id errors (impossible from the internal id
+    /// list — jobs are never removed).
+    pub fn step(&self) -> Result<usize, ServeError> {
+        let ids: Vec<u64> = {
+            let jobs = self.jobs.lock().expect("job table poisoned");
+            jobs.iter()
+                .filter(|j| matches!(j.state, JobState::Running) && !j.in_flight)
+                .map(|j| j.id)
+                .collect()
+        };
+        for id in ids {
+            self.advance(id)?;
+        }
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        Ok(running_count(&jobs))
+    }
+
+    /// Runs the scheduler until every submitted study completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Service::step`] failures.
+    pub fn run_to_completion(&self) -> Result<(), ServeError> {
+        while self.step()? > 0 {}
+        Ok(())
+    }
+
+    /// The status of study `id`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids error.
+    pub fn status(&self, id: u64) -> Result<StudyStatus, ServeError> {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        status_of(job_mut(&mut jobs, id)?)
+    }
+
+    /// The export JSON of a completed study.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids error; running or failed studies return `None`.
+    pub fn export(&self, id: u64) -> Result<Option<String>, ServeError> {
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        let job =
+            jobs.iter().find(|j| j.id == id).ok_or(ServeError::UnknownStudy(id))?;
+        Ok(match &job.state {
+            JobState::Done(f) => Some(f.export.clone()),
+            _ => None,
+        })
+    }
+
+    /// Looks up a URL's verdict in the shared index through study
+    /// `id`'s web fingerprint. `Some(malicious)` when any completed
+    /// study of the same web scanned the URL — including another
+    /// tenant's — `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids error.
+    pub fn query_verdict(&self, id: u64, url: &str) -> Result<Option<bool>, ServeError> {
+        let fingerprint = {
+            let jobs = self.jobs.lock().expect("job table poisoned");
+            jobs.iter()
+                .find(|j| j.id == id)
+                .ok_or(ServeError::UnknownStudy(id))?
+                .fingerprint
+                .clone()
+        };
+        self.obs.counter("serve.verdict.queries").inc();
+        let verdict = self.verdicts.get(&format!("{fingerprint}#{url}"));
+        match verdict {
+            Some(_) => self.obs.counter("serve.verdict.hits").inc(),
+            None => self.obs.counter("serve.verdict.misses").inc(),
+        }
+        Ok(verdict)
+    }
+
+    /// The service-wide metrics snapshot: every tenant's study metrics
+    /// namespaced `tenant.<name>.*` plus the bare cross-tenant rollup
+    /// (see [`TenantRegistries::global_snapshot`]), merged with the
+    /// service's own `serve.*` counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let merged = Registry::new();
+        merged.absorb(&self.tenants.global_snapshot());
+        merged.absorb(&self.obs.snapshot());
+        merged.snapshot()
+    }
+
+    /// Dispatches one protocol request (the shared front end behind the
+    /// TCP daemon and any in-process embedding).
+    pub fn handle(&self, req: &Request) -> Response {
+        match req.op.as_str() {
+            "submit-study" => {
+                let config = match req.study_config() {
+                    Ok(c) => c,
+                    Err(e) => return Response::failure(&req.op, e),
+                };
+                match self.submit(&req.tenant, config) {
+                    Ok(id) => {
+                        let mut r = Response::success(&req.op);
+                        r.study = Some(id);
+                        r.tenant = Some(req.tenant.clone());
+                        r
+                    }
+                    Err(e) => Response::failure(&req.op, e),
+                }
+            }
+            "study-status" => {
+                let Some(id) = req.study else {
+                    return Response::failure(&req.op, "study-status needs `study`");
+                };
+                match self.status(id) {
+                    Ok(status) => {
+                        let mut r = Response::success(&req.op);
+                        r.study = Some(status.id);
+                        r.tenant = Some(status.tenant);
+                        r.state = Some(status.state.clone());
+                        r.slices = Some(status.slices);
+                        r.digest = status.digest;
+                        r.records = status.records;
+                        r.malicious_regular = status.malicious_regular;
+                        r.sample_url = status.sample_url;
+                        r.error = status.error;
+                        if req.include_export {
+                            r.export = self.export(id).ok().flatten();
+                        }
+                        r
+                    }
+                    Err(e) => Response::failure(&req.op, e),
+                }
+            }
+            "query-verdict" => {
+                let (Some(id), Some(url)) = (req.study, req.url.as_deref()) else {
+                    return Response::failure(&req.op, "query-verdict needs `study` and `url`");
+                };
+                match self.query_verdict(id, url) {
+                    Ok(verdict) => {
+                        let mut r = Response::success(&req.op);
+                        r.study = Some(id);
+                        r.known = Some(verdict.is_some());
+                        r.malicious = verdict;
+                        r
+                    }
+                    Err(e) => Response::failure(&req.op, e),
+                }
+            }
+            "stream-metrics" => {
+                let mut r = Response::success(&req.op);
+                r.metrics = Some(self.metrics().to_json());
+                r
+            }
+            "shutdown" => Response::success(&req.op),
+            other => Response::failure(other, format!("unknown op `{other}`")),
+        }
+    }
+}
+
+fn running_count(jobs: &[Job]) -> usize {
+    jobs.iter().filter(|j| matches!(j.state, JobState::Running)).count()
+}
+
+fn job_mut<'j>(jobs: &'j mut [Job], id: u64) -> Result<&'j mut Job, ServeError> {
+    jobs.iter_mut().find(|j| j.id == id).ok_or(ServeError::UnknownStudy(id))
+}
+
+fn status_of(job: &mut Job) -> Result<StudyStatus, ServeError> {
+    let (state, digest, records, malicious_regular, sample_url, error) = match &job.state {
+        JobState::Running => ("running", None, None, None, None, None),
+        JobState::Done(f) => (
+            "done",
+            Some(f.digest.clone()),
+            Some(f.records),
+            Some(f.malicious_regular),
+            f.sample_url.clone(),
+            None,
+        ),
+        JobState::Failed(e) => ("failed", None, None, None, None, Some(e.clone())),
+    };
+    Ok(StudyStatus {
+        id: job.id,
+        tenant: job.tenant.clone(),
+        state: state.to_string(),
+        slices: job.slices,
+        digest,
+        records,
+        malicious_regular,
+        sample_url,
+        error,
+    })
+}
+
+/// Tenant names become path components; keep them boring.
+fn sanitize(tenant: &str) -> String {
+    let cleaned: String = tenant
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "default".to_string()
+    } else {
+        cleaned
+    }
+}

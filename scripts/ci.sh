@@ -212,6 +212,18 @@ if doc["benchmark"] != "scanpipe" or doc["host"].get("cpus", 0) < 1:
     sys.exit("BENCH smoke test: malformed benchmark/host fields")
 if [r["workers"] for r in doc["runs"]] != [1, 2, 4, 8]:
     sys.exit("BENCH smoke test: legacy runs must cover workers 1/2/4/8")
+for run in doc["runs"]:
+    # Legacy rows must disclose what actually executed: on a host where
+    # the serial-fallback clamp collapses multi-worker requests, four
+    # byte-identical timings are honest only if flagged as such.
+    for key in ("executed_workers", "serial_fallback"):
+        if key not in run:
+            sys.exit(f"BENCH smoke test: legacy run lacks {key!r}")
+    if run["executed_workers"] > doc["host"]["cpus"]:
+        sys.exit("BENCH smoke test: legacy executed_workers exceed host cpus")
+    if run["workers"] > 1 and run["executed_workers"] == 1 \
+            and not run["serial_fallback"]:
+        sys.exit("BENCH smoke test: collapsed legacy row not flagged serial_fallback")
 scale = doc["scales"][0]
 for key in ("crawl_seconds", "scan_seconds", "overlap_total_seconds",
             "overlap_savings_seconds", "regular_records"):
@@ -402,5 +414,118 @@ cargo run --release -p slum-bench --bin repro -- \
 diff -u scripts/golden/exchange_artifacts.golden.txt "$golden_out" \
     || { echo "GOLDEN smoke test: exchange artifacts diverged from the golden pin"; exit 1; }
 echo "GOLDEN smoke test OK: exchange artifacts byte-identical to the pin"
+
+# Study-service smoke test: the resident daemon must accept two
+# tenants' studies on different substrates, schedule them concurrently,
+# answer a verdict query for a URL one study scanned, stream a metrics
+# snapshot, and shut down cleanly — and a daemon-run study's export
+# must be byte-identical to the batch path's for the same config.
+serve_root="$(mktemp -d -t SLUMSERVE.XXXXXX)"
+serve_log="$(mktemp -t SERVE_LOG.XXXXXX.txt)"
+serve_export="$(mktemp -t SERVE_EXPORT.XXXXXX.json)"
+serve_batch="$(mktemp -t SERVE_BATCH.XXXXXX.json)"
+trap 'rm -rf "$metrics_file" "$fault_metrics_file" "$ckpt_dir" \
+    "$straight_out" "$resumed_out" "$resumed_metrics_file" \
+    "$barrier_json" "$overlap_json" "$overlap_metrics_file" "$bench_dir" \
+    "$vm_json" "$interp_json" "$interp_metrics_file" \
+    "$substrate_out" "$substrate_metrics_file" "$golden_out" \
+    "$serve_root" "$serve_log" "$serve_export" "$serve_batch"' EXIT
+
+"$repro_bin" serve --port 0 --root "$serve_root" > "$serve_log" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^SERVE_ADDR ' "$serve_log" 2>/dev/null && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "SERVE smoke test: daemon exited before binding"; exit 1; }
+    sleep 0.1
+done
+serve_addr="$(awk '/^SERVE_ADDR /{print $2; exit}' "$serve_log")"
+[ -n "$serve_addr" ] \
+    || { echo "SERVE smoke test: daemon never printed SERVE_ADDR"; exit 1; }
+
+python3 - "$serve_addr" "$serve_export" <<'EOF'
+import json
+import socket
+import sys
+import time
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=30)
+stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+def rpc(**request):
+    stream.write(json.dumps(request) + "\n")
+    stream.flush()
+    response = json.loads(stream.readline())
+    if not response.get("ok"):
+        sys.exit(f"SERVE smoke test: {request.get('op')} failed: "
+                 f"{response.get('error')}")
+    return response
+
+study_config = dict(seed=2016, crawl_scale=0.0002, domain_scale=0.03,
+                    checkpoint_every=7)
+# Both submissions land before either study finishes, so the scheduler
+# interleaves their crawl segments.
+alpha = rpc(op="submit-study", tenant="alpha", substrate="exchange",
+            **study_config)["study"]
+beta = rpc(op="submit-study", tenant="beta", substrate="adnet",
+           **study_config)["study"]
+
+deadline = time.time() + 120
+while True:
+    states = {i: rpc(op="study-status", study=i) for i in (alpha, beta)}
+    if all(s["state"] == "done" for s in states.values()):
+        break
+    if any(s["state"] == "failed" for s in states.values()):
+        sys.exit(f"SERVE smoke test: a study failed: {states}")
+    if time.time() > deadline:
+        sys.exit("SERVE smoke test: studies did not finish in time")
+    time.sleep(0.05)
+
+# Verdict query against a URL the exchange study scanned: the done
+# status carries a guaranteed-known probe URL.
+probe = states[alpha].get("sample_url")
+if not probe:
+    sys.exit("SERVE smoke test: done study reported no sample_url")
+verdict = rpc(op="query-verdict", study=alpha, url=probe)
+if verdict.get("known") is not True or verdict.get("malicious") is None:
+    sys.exit(f"SERVE smoke test: probe URL {probe!r} has no verdict: {verdict}")
+miss = rpc(op="query-verdict", study=alpha, url="http://never-crawled.example/")
+if miss.get("known") is not False:
+    sys.exit("SERVE smoke test: uncrawled URL reported as known")
+
+# One metrics stream: both tenants namespaced, service counters live.
+metrics = json.loads(rpc(op="stream-metrics")["metrics"])
+counters = metrics["counters"]
+for tenant in ("alpha", "beta"):
+    if counters.get(f"tenant.{tenant}.crawl.pages", 0) <= 0:
+        sys.exit(f"SERVE smoke test: no crawl.pages rollup for tenant {tenant}")
+if counters.get("serve.studies.completed", 0) < 2:
+    sys.exit("SERVE smoke test: completion counter below 2")
+
+# The exchange tenant's artifacts, for the batch diff below.
+status = rpc(op="study-status", study=alpha, include_export=True)
+export = status.get("export")
+if not export:
+    sys.exit("SERVE smoke test: include_export returned nothing")
+with open(sys.argv[2], "w") as out:
+    # `repro json` prints the document with a trailing newline.
+    out.write(export + "\n")
+
+rpc(op="shutdown")
+print(f"SERVE smoke test OK: 2 concurrent studies on {sys.argv[1]}, "
+      f"verdict known for {probe}, metrics streamed, clean shutdown")
+EOF
+
+wait "$serve_pid" \
+    || { echo "SERVE smoke test: daemon exited non-zero"; exit 1; }
+
+# Batch diff: the daemon-run exchange study must export byte-identical
+# JSON to the plain batch path at the same config.
+"$repro_bin" json --scale 0.0002 --seed 2016 --substrate exchange \
+    > "$serve_batch" 2>/dev/null
+cmp "$serve_export" "$serve_batch" \
+    || { echo "SERVE smoke test: daemon export diverged from the batch path"; exit 1; }
+echo "SERVE smoke test OK: daemon export byte-identical to the batch path"
 
 echo "ci.sh: all checks passed"

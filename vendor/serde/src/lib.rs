@@ -193,6 +193,25 @@ pub fn de_field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` / `#[serde(default =
+/// "path")]` fields: looks up `name` in a struct map and deserializes
+/// it, calling `default` instead of `from_missing` when absent.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error when present.
+pub fn de_field_or<T: Deserialize>(
+    map: &[(String, Content)],
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {}", e.msg))),
+        None => Ok(default()),
+    }
+}
+
 impl Serialize for Content {
     fn to_content(&self) -> Content {
         self.clone()

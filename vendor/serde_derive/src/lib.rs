@@ -16,6 +16,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     rust_name: String,
     json_name: String,
+    /// `#[serde(default)]` / `#[serde(default = "path")]`: expression
+    /// (a fn path) producing the value for an absent field, if any.
+    default: Option<String>,
+}
+
+/// Field-level `#[serde(...)]` attribute values.
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: Option<String>,
 }
 
 /// One parsed enum variant.
@@ -98,21 +108,20 @@ fn parse_target(input: TokenStream) -> Target {
     Target { name, generics, data }
 }
 
-/// Skips `#[...]` attribute groups, returning any `#[serde(rename = "x")]`
-/// value encountered.
-fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
-    let mut rename = None;
+/// Skips `#[...]` attribute groups, collecting any `#[serde(...)]`
+/// field attributes (`rename = "x"`, `default`, `default = "path"`)
+/// encountered.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match (tokens.get(*i), tokens.get(*i + 1)) {
             (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                if let Some(r) = parse_serde_rename(g.stream()) {
-                    rename = Some(r);
-                }
+                parse_serde_attrs(g.stream(), &mut attrs);
                 *i += 2;
             }
-            _ => return rename,
+            _ => return attrs,
         }
     }
 }
@@ -121,32 +130,49 @@ fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
     let _ = take_attributes(tokens, i);
 }
 
-/// Extracts the rename value from a `serde(rename = "...")` attribute body.
-fn parse_serde_rename(attr: TokenStream) -> Option<String> {
+/// Extracts supported keys from a `serde(...)` attribute body into `attrs`.
+///
+/// Recognizes `rename = "..."`, bare `default` (→ `Default::default`),
+/// and `default = "path"` (→ the named fn, resolved at the derive site
+/// like upstream serde).
+fn parse_serde_attrs(attr: TokenStream, attrs: &mut FieldAttrs) {
     let tokens: Vec<TokenTree> = attr.into_iter().collect();
-    match (tokens.first(), tokens.get(1)) {
-        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
-            if name.to_string() == "serde" =>
-        {
-            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
-            let mut j = 0;
-            while j < inner.len() {
-                if let TokenTree::Ident(key) = &inner[j] {
-                    if key.to_string() == "rename" {
-                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                            (inner.get(j + 1), inner.get(j + 2))
-                        {
-                            if eq.as_char() == '=' {
-                                return Some(unquote(&lit.to_string()));
-                            }
-                        }
+    let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+        (tokens.first(), tokens.get(1))
+    else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(key) = &inner[j] {
+            let value = match (inner.get(j + 1), inner.get(j + 2)) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    Some(unquote(&lit.to_string()))
+                }
+                _ => None,
+            };
+            match key.to_string().as_str() {
+                "rename" => {
+                    if let Some(v) = value {
+                        attrs.rename = Some(v);
                     }
                 }
-                j += 1;
+                "default" => {
+                    attrs.default =
+                        Some(value.unwrap_or_else(|| {
+                            "::std::default::Default::default".to_string()
+                        }));
+                }
+                _ => {}
             }
-            None
         }
-        _ => None,
+        j += 1;
     }
 }
 
@@ -234,7 +260,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        let rename = take_attributes(&tokens, &mut i);
+        let attrs = take_attributes(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -251,8 +277,8 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
                 i += 1;
             }
         }
-        let json_name = rename.unwrap_or_else(|| rust_name.clone());
-        fields.push(Field { rust_name, json_name });
+        let json_name = attrs.rename.unwrap_or_else(|| rust_name.clone());
+        fields.push(Field { rust_name, json_name, default: attrs.default });
     }
     fields
 }
@@ -428,15 +454,24 @@ fn gen_serialize(target: &Target) -> String {
     )
 }
 
+/// One `field: ::serde::de_field*(map, ...)?,` initializer, honouring
+/// the field's `#[serde(default)]` spec.
+fn field_init(f: &Field, map_var: &str) -> String {
+    match &f.default {
+        Some(expr) => format!(
+            "{}: ::serde::de_field_or({map_var}, {:?}, {expr})?,",
+            f.rust_name, f.json_name
+        ),
+        None => format!("{}: ::serde::de_field({map_var}, {:?})?,", f.rust_name, f.json_name),
+    }
+}
+
 fn gen_deserialize(target: &Target) -> String {
     let name = &target.name;
     let (impl_generics, ty_generics) = generics_strings(target, "::serde::Deserialize");
     let body = match &target.data {
         Data::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{}: ::serde::de_field(__m, {:?})?,", f.rust_name, f.json_name))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "__m")).collect();
             format!(
                 "let __m = __c.as_map().ok_or_else(|| \
                  ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
@@ -493,15 +528,8 @@ fn gen_deserialize(target: &Target) -> String {
                             ))
                         }
                         VariantShape::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{}: ::serde::de_field(__vm, {:?})?,",
-                                        f.rust_name, f.json_name
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "__vm")).collect();
                             Some(format!(
                                 "{vn:?} => {{\n\
                                  let __vm = __v.as_map().ok_or_else(|| \
