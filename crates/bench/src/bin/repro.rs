@@ -21,16 +21,24 @@
 //! wall-clock under each engine, written to `BENCH_jsvm.json`),
 //! `bench-serve` (the multi-tenant service harness: two tenants running
 //! the same study through one resident service, cross-tenant cache hit
-//! rate and verdict-query throughput, written to `BENCH_serve.json`)
-//! and `serve` (run the resident study daemon: newline-delimited JSON
-//! over TCP, `--port 0` picks an ephemeral port printed as
-//! `SERVE_ADDR`, `--root DIR` holds per-tenant checkpoints). Options:
-//! `--scale <f64>` (crawl scale, default 0.002), `--seed <u64>`
-//! (default 2016), `--workers <N>` (scan-phase worker threads, default
-//! = available parallelism; `1` forces the serial path),
+//! rate and verdict-query throughput, written to `BENCH_serve.json`),
+//! `chaos` (the seeded chaos storm: daemon kills, checkpoint
+//! corruption, harsh storage faults and tenant panics over a
+//! multi-tenant service, every survivor's export asserted bit-identical
+//! to a fault-free batch run, results merged as a `faults` section into
+//! `BENCH_serve.json`) and `serve` (run the resident study daemon:
+//! newline-delimited JSON over TCP, `--port 0` picks an ephemeral port
+//! printed as `SERVE_ADDR`, `--root DIR` holds per-tenant checkpoints).
+//! Options: `--scale <f64>` (crawl scale, default 0.002), `--seed
+//! <u64>` (default 2016), `--workers <N>` (scan-phase worker threads,
+//! default = available parallelism; `1` forces the serial path),
 //! `--fault-profile <name>` (scan under a named fault profile: `none`,
 //! `default`, `harsh`), `--crawl-fault-profile <name>` (crawl under a
 //! named exchange-fault profile: `none`, `default`, `harsh`),
+//! `--disk-fault-profile <name>` (inject checkpoint-storage faults —
+//! torn/short writes, bit flips, ENOSPC — on checkpointed runs and in
+//! the `serve` daemon: `none`, `default`, `harsh`; artifacts stay
+//! bit-identical, only durability work changes),
 //! `--checkpoint <dir>` (write crawl checkpoints into `<dir>`),
 //! `--checkpoint-every <N>` (surf slots per checkpoint segment,
 //! default 256), `--resume <dir>` (resume the crawl from the latest
@@ -56,6 +64,7 @@ use malware_slums::artifact::{Artifact, ArtifactKind};
 use malware_slums::report::Render;
 use malware_slums::study::{Study, StudyConfig};
 use malware_slums::substrate::Substrate;
+use malware_slums::DiskFaultProfile;
 use slum_crawler::CrawlFaultProfile;
 use slum_detect::fault::FaultProfile;
 use slum_js::sandbox::JsEngine;
@@ -67,6 +76,7 @@ struct Args {
     workers: usize,
     fault_profile: FaultProfile,
     crawl_fault_profile: CrawlFaultProfile,
+    disk_fault_profile: DiskFaultProfile,
     checkpoint: Option<String>,
     checkpoint_every: u64,
     resume: Option<String>,
@@ -87,6 +97,7 @@ fn parse_args() -> Args {
     let mut workers = malware_slums::study::default_scan_workers();
     let mut fault_profile = FaultProfile::none();
     let mut crawl_fault_profile = CrawlFaultProfile::none();
+    let mut disk_fault_profile = DiskFaultProfile::none();
     let mut checkpoint = None;
     let mut checkpoint_every = 256;
     let mut resume = None;
@@ -136,6 +147,16 @@ fn parse_args() -> Args {
                     die(&format!(
                         "unknown crawl fault profile '{name}' (known: {})",
                         CrawlFaultProfile::NAMES.join(", ")
+                    ))
+                });
+            }
+            "--disk-fault-profile" => {
+                let name =
+                    iter.next().unwrap_or_else(|| die("--disk-fault-profile needs a name"));
+                disk_fault_profile = DiskFaultProfile::parse(&name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown disk fault profile '{name}' (known: {})",
+                        DiskFaultProfile::NAMES.join(", ")
                     ))
                 });
             }
@@ -192,21 +213,27 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [artifacts..] [--scale F] [--seed N] [--workers W] \
-                     [--fault-profile NAME] [--crawl-fault-profile NAME] [--checkpoint DIR] \
+                     [--fault-profile NAME] [--crawl-fault-profile NAME] \
+                     [--disk-fault-profile NAME] [--checkpoint DIR] \
                      [--checkpoint-every N] [--resume DIR] [--kill-after-round N] \
                      [--metrics PATH] [--overlap] [--quick] [--js-engine NAME] \
                      [--substrate NAME] [--port N] [--root DIR]\n\
                      artifacts: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 \
                      substrates vetting burst cloaking staleness faultloss crawlloss cases json \
-                     bench-scan bench-jsvm bench-serve serve\n\
-                     fault profiles: none default harsh\n\
+                     bench-scan bench-jsvm bench-serve chaos serve\n\
+                     fault profiles: none default harsh (scan, crawl and disk alike; \
+                     --disk-fault-profile injects torn/short writes, bit flips and ENOSPC \
+                     into checkpoint storage — artifacts stay bit-identical)\n\
                      JS engines: vm (default; compiled bytecode) interp (tree-walking oracle) \
                      — scan output is bit-identical either way\n\
                      substrates: exchange (default; the paper's nine traffic exchanges) \
                      adnet (low-tier ad networks) torrent (torrent indexes)\n\
                      --overlap streams crawl chunks into the scan phase (no barrier); \
-                     --quick restricts bench-scan/bench-jsvm/bench-serve to their smallest \
-                     scale\n\
+                     --quick restricts bench-scan/bench-jsvm/bench-serve/chaos to their \
+                     smallest scale\n\
+                     chaos: seeded storm of daemon kills, checkpoint corruption, disk \
+                     faults and tenant panics; merges a faults section into \
+                     BENCH_serve.json\n\
                      serve: run the resident multi-tenant study daemon (newline-delimited \
                      JSON over TCP; --port 0 picks an ephemeral port, printed as \
                      SERVE_ADDR; --root DIR holds per-tenant checkpoints)"
@@ -232,6 +259,7 @@ fn parse_args() -> Args {
         workers,
         fault_profile,
         crawl_fault_profile,
+        disk_fault_profile,
         checkpoint,
         checkpoint_every,
         resume,
@@ -282,7 +310,8 @@ fn main() {
                 .js_engine(args.js_engine)
                 .substrate(args.substrate)
                 .fault_profile(args.fault_profile.clone())
-                .crawl_fault_profile(args.crawl_fault_profile.clone());
+                .crawl_fault_profile(args.crawl_fault_profile.clone())
+                .disk_fault_profile(args.disk_fault_profile.clone());
             if args.checkpoint.is_some() || args.resume.is_some() {
                 builder = builder.checkpoint_every(args.checkpoint_every);
             }
@@ -555,6 +584,10 @@ fn main() {
     if args.artifacts.iter().any(|a| a == "bench-serve") {
         println!("=== Multi-tenant study service benchmark ===");
         bench_serve(args.seed, args.quick);
+    }
+    if args.artifacts.iter().any(|a| a == "chaos") {
+        println!("=== Seeded chaos storm over the study service ===");
+        bench_chaos(args.seed, args.quick);
     }
     if let Some(path) = &args.metrics {
         let json = study().metrics().to_json();
@@ -990,7 +1023,8 @@ fn run_serve(args: &Args) {
 
     let root = args.serve_root.clone().unwrap_or_else(|| "serve-root".to_string());
     let service = slum_serve::Service::open(&root)
-        .unwrap_or_else(|e| die(&format!("could not open serve root {root}: {e}")));
+        .unwrap_or_else(|e| die(&format!("could not open serve root {root}: {e}")))
+        .with_disk_fault_profile(args.disk_fault_profile.clone());
     let bind = format!("127.0.0.1:{}", args.port);
     let mut daemon = slum_serve::Daemon::start(service, &bind)
         .unwrap_or_else(|e| die(&format!("could not bind {bind}: {e}")));
@@ -1121,6 +1155,13 @@ fn bench_serve(seed: u64, quick: bool) {
         "  verdict queries: {queries} in {verdict_seconds:.3}s ({per_sec:.0}/s, all known)"
     );
 
+    // A previous `repro chaos` run may have left a faults section in
+    // the document; re-timing must not erase it (and vice versa), so
+    // the two commands compose in either order.
+    let faults = std::fs::read_to_string("BENCH_serve.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| v.get("faults").cloned());
     let doc = ServeDoc {
         benchmark: "serve".to_string(),
         seed,
@@ -1136,6 +1177,7 @@ fn bench_serve(seed: u64, quick: bool) {
             second_tenant_speedup: speedup,
         },
         verdict_queries: ServeVerdictBench { queries, known, seconds: verdict_seconds, per_sec },
+        faults,
     };
     let json = format!(
         "{}\n",
@@ -1146,6 +1188,134 @@ fn bench_serve(seed: u64, quick: bool) {
         Err(e) => eprintln!("repro: could not write BENCH_serve.json: {e}"),
     }
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The seeded chaos harness behind `repro chaos`: runs the
+/// [`slum_serve::chaos`] storm (daemon kills, checkpoint corruption,
+/// harsh storage faults, tenant panics) over a multi-tenant service,
+/// asserts every survivor's export is bit-identical to a fault-free
+/// batch run, and merges a `faults` section into `BENCH_serve.json`
+/// (alongside the timing sections `bench-serve` writes, when present).
+///
+/// `--quick` keeps one chaos seed; the full run storms under two seeds
+/// — two completely different fault/scheduling orders — to document
+/// that the order of faults never leaks into artifacts.
+fn bench_chaos(seed: u64, quick: bool) {
+    use serde_json::Value;
+    use slum_serve::chaos::{run_storm, StormConfig};
+
+    // The vendored `Value` is a plain content tree; this is its
+    // object literal.
+    fn vmap(entries: Vec<(&str, Value)>) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    let base = StormConfig { study_seed: seed, ..StormConfig::default() };
+    eprintln!(
+        "[chaos] batch reference studies ({} tenant(s), crawl_scale {}) ...",
+        base.tenants, base.crawl_scale
+    );
+    let batches: Vec<String> = (0..base.tenants)
+        .map(|t| {
+            malware_slums::export::to_json(&Study::run(&base.batch_config(t)))
+                .expect("batch export")
+        })
+        .collect();
+
+    // The storm injects tenant panics that the service's slice
+    // supervision catches; without this filter every one of them would
+    // spray a backtrace over the report. Real (invariant) panics still
+    // reach the default hook. The filter stays installed — bench_chaos
+    // runs last and the process exits right after.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("chaos: injected"))
+            .or_else(|| {
+                info.payload().downcast_ref::<String>().map(|s| s.contains("chaos: injected"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let chaos_seeds: &[u64] =
+        if quick { &[0xbad5_eed0] } else { &[0xbad5_eed0, 0x5ca1_ab1e] };
+    let mut storms = Vec::new();
+    for &chaos_seed in chaos_seeds {
+        let root = std::env::temp_dir()
+            .join(format!("slum-chaos-bench-{chaos_seed:08x}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        eprintln!(
+            "[chaos] storm {chaos_seed:#010x}: {} actions, profile '{}' ...",
+            base.actions, base.disk_fault_profile.name
+        );
+        let report = run_storm(&root, &StormConfig { chaos_seed, ..base.clone() });
+        for (t, export) in report.exports.iter().enumerate() {
+            assert_eq!(
+                export, &batches[t],
+                "tenant t{t} diverged from the fault-free batch under chaos \
+                 seed {chaos_seed:#x}"
+            );
+        }
+        println!(
+            "  storm {chaos_seed:#010x}: {} kill(s), {} corruption(s), {} panic(s); \
+             {} quarantined, {} rollback(s); every export bit-identical to batch",
+            report.kills,
+            report.corruptions,
+            report.panics,
+            report.quarantined,
+            report.rollbacks
+        );
+        storms.push(vmap(vec![
+            ("chaos_seed", Value::Str(format!("{chaos_seed:#010x}"))),
+            ("kills", Value::U64(u64::from(report.kills))),
+            ("corruptions", Value::U64(u64::from(report.corruptions))),
+            ("panics", Value::U64(u64::from(report.panics))),
+            ("quarantined", Value::U64(report.quarantined)),
+            ("rollbacks", Value::U64(report.rollbacks)),
+        ]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    let faults = vmap(vec![
+        ("harness", Value::Str("chaos-storm".to_string())),
+        ("disk_fault_profile", Value::Str(base.disk_fault_profile.name.clone())),
+        ("tenants", Value::U64(base.tenants as u64)),
+        ("storm_actions", Value::U64(u64::from(base.actions))),
+        ("crawl_scale", Value::F64(base.crawl_scale)),
+        ("checkpoint_every", Value::U64(base.checkpoint_every)),
+        ("storms", Value::Seq(storms)),
+        ("exports_bit_identical_to_batch", Value::Bool(true)),
+    ]);
+    // Merge (never clobber) the timing document bench-serve writes:
+    // the faults section documents resilience, not throughput.
+    let path = "BENCH_serve.json";
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .filter(|v| v.as_map().is_some())
+        .unwrap_or_else(|| {
+            vmap(vec![
+                ("benchmark", Value::Str("serve".to_string())),
+                ("seed", Value::U64(seed)),
+            ])
+        });
+    if let Value::Map(entries) = &mut doc {
+        entries.retain(|(k, _)| k != "faults");
+        entries.push(("faults".to_string(), faults));
+    }
+    let json = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("serve document serializes")
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote the faults section into {path}"),
+        Err(e) => eprintln!("repro: could not write {path}: {e}"),
+    }
 }
 
 /// One tenant's timed run inside `BENCH_serve.json`.
@@ -1176,7 +1346,8 @@ struct ServeVerdictBench {
     per_sec: f64,
 }
 
-/// Top-level `BENCH_serve.json` document.
+/// Top-level `BENCH_serve.json` document. The `faults` section is
+/// owned by `repro chaos` and carried through re-timing runs verbatim.
 #[derive(serde::Serialize)]
 struct ServeDoc {
     benchmark: String,
@@ -1187,6 +1358,8 @@ struct ServeDoc {
     tenants: Vec<ServeTenantRun>,
     cross_tenant: ServeCrossTenant,
     verdict_queries: ServeVerdictBench,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    faults: Option<serde_json::Value>,
 }
 
 /// The pre-scaling-harness row shape, kept for existing consumers. The

@@ -20,15 +20,39 @@
 //! or CRC lines themselves is caught structurally. Files are written
 //! atomically (temp file + rename) as `ckpt-NNNNNN.slumckpt`, numbered
 //! by completed segment round.
+//!
+//! # Generations, quarantine and rollback
+//!
+//! [`CheckpointStore::save`] keeps the last
+//! [`DEFAULT_KEEP_GENERATIONS`] generations (configurable via
+//! [`CheckpointStore::with_keep_generations`]), pruning older files.
+//! [`CheckpointStore::load_latest`] never gives up on the first corrupt
+//! file: it walks the generation chain newest→oldest, moving every
+//! file that fails structural/CRC validation into a `quarantine/`
+//! subdirectory, and restores the newest *intact* generation — so a
+//! torn write costs one slice of re-crawled progress, never the study.
+//! Only when every generation is corrupt does it return the typed
+//! [`CheckpointError::Quarantined`].
+//!
+//! # Storage-fault injection
+//!
+//! [`CheckpointStore::with_disk_faults`] arms a seeded
+//! [`DiskFaultProfile`] that corrupts saves (torn/short writes,
+//! bit-flips) or refuses them ([`CheckpointError::DiskFull`]) on a
+//! deterministic schedule keyed by `(seed, round, quarantine epoch)` —
+//! see [`crate::diskfault`]. The default profile is inert.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use slum_crawler::CrawlCheckpointState;
 
+use crate::diskfault::{DiskFault, DiskFaultProfile};
 use crate::study::StudyConfig;
 
 /// Magic prefix of the first line; the format version follows it.
@@ -39,6 +63,12 @@ pub const FORMAT_VERSION: u32 = 1;
 
 /// File extension of checkpoint files.
 pub const EXTENSION: &str = "slumckpt";
+
+/// Checkpoint generations a store retains by default.
+pub const DEFAULT_KEEP_GENERATIONS: usize = 4;
+
+/// Name of the subdirectory corrupt checkpoints are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// IEEE CRC-32 (the zlib/PNG polynomial), bitwise implementation — the
 /// payloads are small enough that a table buys nothing.
@@ -213,6 +243,23 @@ pub enum CheckpointError {
         /// The directory searched.
         dir: String,
     },
+    /// The save was refused by the storage-fault injector: simulated
+    /// `ENOSPC`, nothing was written. Callers on the crawl path swallow
+    /// this (the next round's save retries); it is never a study
+    /// failure.
+    DiskFull {
+        /// The path the save would have written.
+        path: String,
+    },
+    /// Every generation in the directory failed validation; all were
+    /// moved into the `quarantine/` subdirectory and nothing is left to
+    /// restore from.
+    Quarantined {
+        /// The directory searched.
+        dir: String,
+        /// File names quarantined by this walk, newest first.
+        quarantined: Vec<String>,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -237,6 +284,16 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::NoCheckpoint { dir } => {
                 write!(f, "no checkpoint found in {dir}")
+            }
+            CheckpointError::DiskFull { path } => {
+                write!(f, "no space left on device (injected) writing {path}")
+            }
+            CheckpointError::Quarantined { dir, quarantined } => {
+                write!(
+                    f,
+                    "every checkpoint generation in {dir} was corrupt; quarantined {}",
+                    quarantined.join(", ")
+                )
             }
         }
     }
@@ -319,14 +376,63 @@ pub fn decode_checkpoint(
     Ok((header, state))
 }
 
+/// Per-store bookkeeping of the resilience machinery: save outcomes,
+/// injected faults, quarantine and rollback events, pruned generations.
+/// Counts cover this store instance's lifetime (one `run_pipeline`
+/// call on the study path) — except `quarantined`, which is seeded
+/// from the quarantine directory at open and therefore cumulative
+/// across the directory's whole history, matching
+/// [`CheckpointStore::epoch`].
+#[derive(Debug, Default)]
+pub struct CkptStats {
+    /// Checkpoint files that landed on disk (including corrupted ones —
+    /// a torn write still "succeeds" from the writer's view).
+    pub saves: AtomicU64,
+    /// Saves written torn (prefix only).
+    pub torn_writes: AtomicU64,
+    /// Saves written short (tail dropped).
+    pub short_writes: AtomicU64,
+    /// Saves with one byte flipped after the write.
+    pub bit_flips: AtomicU64,
+    /// Saves refused with simulated `ENOSPC`.
+    pub disk_full: AtomicU64,
+    /// Files ever moved into `quarantine/` (cumulative: seeded from
+    /// the directory at open, bumped per quarantine by this store).
+    pub quarantined: AtomicU64,
+    /// `load_latest` walks that had to roll back past at least one
+    /// corrupt generation.
+    pub rollbacks: AtomicU64,
+    /// Old generations pruned by the keep-K policy.
+    pub pruned: AtomicU64,
+}
+
+impl CkptStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads one counter.
+    pub fn get(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+}
+
 /// A directory of numbered checkpoint files.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    disk_faults: DiskFaultProfile,
+    seed: u64,
+    keep_generations: usize,
+    epoch: AtomicU64,
+    stats: Arc<CkptStats>,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a checkpoint directory.
+    /// Opens (creating if needed) a checkpoint directory. The store
+    /// starts with an inert fault profile and the default generation
+    /// retention; see [`Self::with_disk_faults`] and
+    /// [`Self::with_keep_generations`].
     ///
     /// # Errors
     ///
@@ -334,7 +440,40 @@ impl CheckpointStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
-        Ok(CheckpointStore { dir })
+        let names: Vec<String> = match fs::read_dir(dir.join(QUARANTINE_DIR)) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.file_name().to_str().map(str::to_string))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        let epoch = names.len() as u64;
+        let quarantined = names.iter().filter(|n| !n.ends_with(".marker")).count() as u64;
+        let stats = CkptStats::default();
+        stats.quarantined.store(quarantined, Ordering::Relaxed);
+        Ok(CheckpointStore {
+            dir,
+            disk_faults: DiskFaultProfile::none(),
+            seed: 0,
+            keep_generations: DEFAULT_KEEP_GENERATIONS,
+            epoch: AtomicU64::new(epoch),
+            stats: Arc::new(stats),
+        })
+    }
+
+    /// Arms the storage-fault injector: saves roll their fate on
+    /// `profile` under `seed` (see [`crate::diskfault`]).
+    pub fn with_disk_faults(mut self, profile: DiskFaultProfile, seed: u64) -> Self {
+        self.disk_faults = profile;
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many checkpoint generations [`Self::save`] retains
+    /// (0 = unlimited).
+    pub fn with_keep_generations(mut self, keep: usize) -> Self {
+        self.keep_generations = keep;
+        self
     }
 
     /// The directory this store writes into.
@@ -342,16 +481,43 @@ impl CheckpointStore {
         &self.dir
     }
 
+    /// The quarantine subdirectory (may not exist yet).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// This store's resilience bookkeeping.
+    pub fn stats(&self) -> &CkptStats {
+        &self.stats
+    }
+
+    /// Cumulative storage-incident count of the directory: files ever
+    /// moved into `quarantine/` plus injected-`ENOSPC` markers,
+    /// including those left by previous store instances. Also the
+    /// fault-schedule epoch: every incident re-rolls pending save
+    /// fates so recovery cannot livelock on a repeating torn write or
+    /// a sticky `ENOSPC`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
     fn file_name(round: u64) -> String {
         format!("ckpt-{round:06}.{EXTENSION}")
     }
 
     /// Atomically writes the checkpoint for `state` (numbered by its
-    /// round), returning the file path.
+    /// round), returning the file path, then prunes generations beyond
+    /// the retention limit. An armed fault profile may corrupt the
+    /// written bytes (torn/short/flip — still `Ok`: the writer cannot
+    /// see it, exactly like real storage) or refuse the write.
     ///
     /// # Errors
     ///
-    /// Propagates serialization and filesystem failures.
+    /// Propagates serialization and filesystem failures;
+    /// [`CheckpointError::DiskFull`] when the injector refuses the
+    /// write (no checkpoint lands on disk, only an epoch marker in
+    /// `quarantine/` — callers may treat this as a skipped checkpoint
+    /// and continue).
     pub fn save(
         &self,
         header: &CheckpointHeader,
@@ -359,10 +525,68 @@ impl CheckpointStore {
     ) -> Result<PathBuf, CheckpointError> {
         let content = encode_checkpoint(header, state)?;
         let path = self.dir.join(Self::file_name(state.round));
+        let epoch = self.epoch();
+        let mut bytes = content.into_bytes();
+        match self.disk_faults.fate(self.seed, state.round, epoch) {
+            Some(DiskFault::Full) => {
+                CkptStats::bump(&self.stats.disk_full);
+                // Persist the epoch bump with a marker entry: the fate
+                // is keyed on (seed, round, epoch), so without it a
+                // caller that retries the same round every slice (one
+                // round per scheduling slice) would roll `Full` forever
+                // — a livelock the injector itself must not create.
+                // Real ENOSPC clears nondeterministically; simulated
+                // ENOSPC clears on the next epoch.
+                let qdir = self.quarantine_dir();
+                fs::create_dir_all(&qdir).map_err(|e| io_err(&qdir, &e))?;
+                let marker =
+                    qdir.join(format!("q{epoch:04}-enospc-{:06}.marker", state.round));
+                fs::write(&marker, b"injected ENOSPC\n").map_err(|e| io_err(&marker, &e))?;
+                self.epoch.fetch_add(1, Ordering::Relaxed);
+                return Err(CheckpointError::DiskFull { path: path.display().to_string() });
+            }
+            Some(DiskFault::Torn) => {
+                let cut = self.disk_faults.damage_position(self.seed, state.round, epoch, bytes.len());
+                bytes.truncate(cut);
+                CkptStats::bump(&self.stats.torn_writes);
+            }
+            Some(DiskFault::Short) => {
+                let pos = self.disk_faults.damage_position(self.seed, state.round, epoch, bytes.len());
+                let drop = (1 + pos % 64).min(bytes.len());
+                bytes.truncate(bytes.len() - drop);
+                CkptStats::bump(&self.stats.short_writes);
+            }
+            Some(DiskFault::BitFlip) => {
+                let pos = self.disk_faults.damage_position(self.seed, state.round, epoch, bytes.len());
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 0x01;
+                }
+                CkptStats::bump(&self.stats.bit_flips);
+            }
+            None => {}
+        }
         let tmp = self.dir.join(format!(".{}.tmp", Self::file_name(state.round)));
-        fs::write(&tmp, &content).map_err(|e| io_err(&tmp, &e))?;
+        fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, &e))?;
         fs::rename(&tmp, &path).map_err(|e| io_err(&path, &e))?;
+        CkptStats::bump(&self.stats.saves);
+        self.prune()?;
         Ok(path)
+    }
+
+    /// Removes the oldest generations past the retention limit.
+    fn prune(&self) -> Result<(), CheckpointError> {
+        if self.keep_generations == 0 {
+            return Ok(());
+        }
+        let files = self.list()?;
+        if files.len() <= self.keep_generations {
+            return Ok(());
+        }
+        for old in &files[..files.len() - self.keep_generations] {
+            fs::remove_file(old).map_err(|e| io_err(old, &e))?;
+            CkptStats::bump(&self.stats.pruned);
+        }
+        Ok(())
     }
 
     /// Loads and validates one checkpoint file.
@@ -375,7 +599,8 @@ impl CheckpointStore {
         decode_checkpoint(&raw)
     }
 
-    /// Checkpoint files present, sorted ascending by round.
+    /// Checkpoint files present, sorted ascending by round. Quarantined
+    /// files live in a subdirectory and are never listed.
     ///
     /// # Errors
     ///
@@ -395,18 +620,67 @@ impl CheckpointStore {
         Ok(files)
     }
 
-    /// Loads the highest-numbered checkpoint in the directory.
+    /// Moves a corrupt checkpoint into `quarantine/` and advances the
+    /// fault-schedule epoch. The quarantined name is prefixed with the
+    /// epoch so repeated quarantines of the same round never collide.
+    fn quarantine(&self, path: &Path) -> Result<String, CheckpointError> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir).map_err(|e| io_err(&qdir, &e))?;
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unnamed")
+            .to_string();
+        let qname = format!("q{:04}-{file}", self.epoch());
+        fs::rename(path, qdir.join(&qname)).map_err(|e| io_err(path, &e))?;
+        CkptStats::bump(&self.stats.quarantined);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(file)
+    }
+
+    /// Restores the newest *intact* generation: walks the chain
+    /// newest→oldest, quarantining every file that fails structural or
+    /// CRC validation, and returns the first one that decodes.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::NoCheckpoint`] when the directory holds none;
-    /// otherwise as [`Self::load`].
+    /// [`CheckpointError::Quarantined`] when every generation was
+    /// corrupt (all moved to `quarantine/`); I/O failures propagate
+    /// unchanged (a transient read error must not quarantine a possibly
+    /// healthy file).
     pub fn load_latest(&self) -> Result<(CheckpointHeader, CrawlCheckpointState), CheckpointError> {
         let files = self.list()?;
-        let last = files
-            .last()
-            .ok_or_else(|| CheckpointError::NoCheckpoint { dir: self.dir.display().to_string() })?;
-        Self::load(last)
+        if files.is_empty() {
+            return Err(CheckpointError::NoCheckpoint { dir: self.dir.display().to_string() });
+        }
+        let mut quarantined = Vec::new();
+        for path in files.iter().rev() {
+            match Self::load(path) {
+                Ok(loaded) => {
+                    if !quarantined.is_empty() {
+                        CkptStats::bump(&self.stats.rollbacks);
+                    }
+                    return Ok(loaded);
+                }
+                Err(CheckpointError::Io { .. }) => {
+                    // fs::read_to_string also fails on non-UTF-8 bytes,
+                    // which *is* corruption (the format is pure text) —
+                    // but a vanished/unreadable file is not provably
+                    // corrupt, so only quarantine when the bytes are
+                    // actually present and wrong.
+                    match fs::read(path) {
+                        Ok(_) => quarantined.push(self.quarantine(path)?),
+                        Err(e) => return Err(io_err(path, &e)),
+                    }
+                }
+                Err(_) => quarantined.push(self.quarantine(path)?),
+            }
+        }
+        Err(CheckpointError::Quarantined {
+            dir: self.dir.display().to_string(),
+            quarantined,
+        })
     }
 }
 
@@ -562,6 +836,189 @@ mod tests {
             wrong_substrate.verify(&config),
             Err(CheckpointError::ConfigMismatch { field: "substrate", .. })
         ));
+    }
+
+    /// States for rounds 1..=n (same cursors, bumped round numbers —
+    /// enough to exercise the store's file machinery).
+    fn states(n: u64) -> Vec<CrawlCheckpointState> {
+        let base = sample_state();
+        (1..=n)
+            .map(|round| {
+                let mut s = base.clone();
+                s.round = round;
+                s
+            })
+            .collect()
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("slumckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Flips one mid-file byte — enough to break the CRC.
+    fn corrupt_file(path: &Path) {
+        let mut bytes = fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn generation_rollback_matrix_recovers_newest_intact() {
+        // Corrupt each of the newest 3 generations in every combination
+        // and pin exactly which generation load_latest restores, what
+        // lands in quarantine and what the counters say.
+        let header = sample_header();
+        for mask in 0u64..8 {
+            let corrupt: Vec<u64> =
+                (1..=3).filter(|r| mask & (1 << (r - 1)) != 0).collect();
+            let dir = scratch(&format!("matrix-{mask}"));
+            let store = CheckpointStore::open(&dir).unwrap();
+            for state in states(3) {
+                store.save(&header, &state).unwrap();
+            }
+            for r in &corrupt {
+                corrupt_file(&dir.join(CheckpointStore::file_name(*r)));
+            }
+            // load_latest walks newest→oldest: it quarantines exactly
+            // the corrupt files *newer* than the newest intact one.
+            let newest_intact = (1..=3).rev().find(|r| !corrupt.contains(r));
+            let expect_quarantined = match newest_intact {
+                Some(intact) => corrupt.iter().filter(|r| **r > intact).count() as u64,
+                None => 3,
+            };
+            match store.load_latest() {
+                Ok((h, state)) => {
+                    let intact = newest_intact.expect("recovered despite all corrupt");
+                    assert_eq!(h.round, intact, "mask {mask}: wrong generation restored");
+                    assert_eq!(state.round, intact);
+                    assert_eq!(
+                        CkptStats::get(&store.stats().rollbacks),
+                        u64::from(expect_quarantined > 0),
+                        "mask {mask}: rollback count"
+                    );
+                }
+                Err(CheckpointError::Quarantined { quarantined, .. }) => {
+                    assert_eq!(newest_intact, None, "mask {mask}: spurious Quarantined");
+                    assert_eq!(quarantined.len(), 3, "mask {mask}");
+                }
+                Err(e) => panic!("mask {mask}: unexpected error {e}"),
+            }
+            assert_eq!(
+                CkptStats::get(&store.stats().quarantined),
+                expect_quarantined,
+                "mask {mask}: quarantine counter"
+            );
+            assert_eq!(store.epoch(), expect_quarantined, "mask {mask}: epoch");
+            let in_quarantine = match fs::read_dir(store.quarantine_dir()) {
+                Ok(entries) => entries.count() as u64,
+                Err(_) => 0,
+            };
+            assert_eq!(in_quarantine, expect_quarantined, "mask {mask}: quarantine dir");
+            // Surviving (non-quarantined) files are still listed.
+            assert_eq!(
+                store.list().unwrap().len() as u64,
+                3 - expect_quarantined,
+                "mask {mask}: remaining generations"
+            );
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn save_prunes_to_the_retention_limit() {
+        let dir = scratch("prune");
+        let store = CheckpointStore::open(&dir).unwrap().with_keep_generations(4);
+        let header = sample_header();
+        for state in states(6) {
+            store.save(&header, &state).unwrap();
+        }
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 4, "keeps exactly K generations");
+        assert!(files[0].ends_with("ckpt-000003.slumckpt"), "oldest kept is round 3");
+        assert_eq!(CkptStats::get(&store.stats().pruned), 2);
+        // Unlimited retention keeps everything.
+        let dir2 = scratch("prune-unlimited");
+        let store2 = CheckpointStore::open(&dir2).unwrap().with_keep_generations(0);
+        for state in states(6) {
+            store2.save(&header, &state).unwrap();
+        }
+        assert_eq!(store2.list().unwrap().len(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn epoch_survives_reopen_and_rerolls_fates() {
+        // A quarantine by one store instance must advance the fault
+        // schedule seen by the next instance over the same directory —
+        // that is what breaks the repeated-torn-write livelock.
+        let dir = scratch("epoch");
+        let header = sample_header();
+        let store = CheckpointStore::open(&dir).unwrap();
+        for state in states(2) {
+            store.save(&header, &state).unwrap();
+        }
+        corrupt_file(&dir.join(CheckpointStore::file_name(2)));
+        let (h, _) = store.load_latest().unwrap();
+        assert_eq!(h.round, 1);
+        assert_eq!(store.epoch(), 1);
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 1, "epoch rebuilt from the quarantine dir");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_follow_the_seeded_schedule() {
+        use crate::diskfault::{DiskFault, DiskFaultProfile};
+        let profile = DiskFaultProfile::harsh();
+        let seed = 2016u64;
+        let header = sample_header();
+        let dir = scratch("faults");
+        let store = CheckpointStore::open(&dir)
+            .unwrap()
+            .with_disk_faults(profile.clone(), seed)
+            .with_keep_generations(0);
+        let mut landed = Vec::new();
+        // Each injected ENOSPC persistently advances the epoch (that is
+        // the anti-livelock mechanism), so the expected schedule walks
+        // the same moving key.
+        let mut epoch = 0u64;
+        for state in states(300) {
+            match store.save(&header, &state) {
+                Ok(path) => landed.push((state.round, epoch, path)),
+                Err(CheckpointError::DiskFull { .. }) => {
+                    assert_eq!(
+                        profile.fate(seed, state.round, epoch),
+                        Some(DiskFault::Full),
+                        "round {}: ENOSPC off schedule",
+                        state.round
+                    );
+                    epoch += 1;
+                    assert_eq!(store.epoch(), epoch, "ENOSPC must bump the epoch");
+                }
+                Err(e) => panic!("round {}: {e}", state.round),
+            }
+        }
+        let s = store.stats();
+        assert!(CkptStats::get(&s.torn_writes) > 0, "harsh must tear some writes");
+        assert!(CkptStats::get(&s.short_writes) > 0);
+        assert!(CkptStats::get(&s.bit_flips) > 0);
+        assert!(CkptStats::get(&s.disk_full) > 0);
+        // Every file the schedule says was damaged must fail to decode;
+        // every clean one must load.
+        for (round, epoch, path) in &landed {
+            let loadable = CheckpointStore::load(path).is_ok();
+            match profile.fate(seed, *round, *epoch) {
+                None => assert!(loadable, "round {round}: clean save must load"),
+                Some(DiskFault::Full) => unreachable!("ENOSPC never lands a file"),
+                Some(_) => assert!(!loadable, "round {round}: damaged save must not load"),
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

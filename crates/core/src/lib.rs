@@ -48,6 +48,7 @@ pub mod categorize;
 pub mod checkpoint;
 pub mod countermeasures;
 pub mod crawlloss;
+pub mod diskfault;
 pub mod export;
 pub mod faultloss;
 pub mod filter;
@@ -65,6 +66,7 @@ pub use artifact::{Artifact, ArtifactKind};
 pub use categorize::Category;
 pub use checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
 pub use crawlloss::{run_crawl_loss_experiment, CrawlLossConfig, CrawlLossReport};
+pub use diskfault::{DiskFault, DiskFaultProfile};
 pub use faultloss::{run_fault_loss_experiment, FaultLossConfig, FaultLossReport};
 pub use filter::ReferralClass;
 pub use report::Render;

@@ -24,8 +24,9 @@ use slum_websim::SyntheticWeb;
 
 use crate::artifact::ArtifactKind;
 use crate::breakdown::{ContentBreakdown, DomainRow, TldBreakdown};
-use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
+use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore, CkptStats};
 use crate::case_studies;
+use crate::diskfault::DiskFaultProfile;
 use crate::categorize::CategoryCounts;
 use crate::filter::{ReferralClass, ReferralFilter};
 use slum_detect::fault::{FaultPlan, FaultProfile, ScanService};
@@ -71,6 +72,13 @@ pub struct StudyConfig {
     /// default is [`CrawlFaultProfile::none`] — inert and RNG-neutral,
     /// so default runs stay bit-identical to the pre-resilience crawler.
     pub crawl_fault_profile: CrawlFaultProfile,
+    /// Storage-fault profile for checkpoint writes (torn/short writes,
+    /// bit-flips, simulated `ENOSPC`) on the checkpointed run paths.
+    /// The default is [`DiskFaultProfile::none`] — inert and RNG-free,
+    /// and even armed profiles never change study results: corrupt
+    /// generations are quarantined at resume and the lost rounds
+    /// re-crawled deterministically.
+    pub disk_fault_profile: DiskFaultProfile,
     /// Segment budget (surf slots per exchange) between crawl
     /// checkpoints on the checkpointed run paths. `None` writes a
     /// single checkpoint when the crawl completes. Segment boundaries
@@ -116,6 +124,7 @@ impl Default for StudyConfig {
             scan_workers: default_scan_workers(),
             fault_profile: FaultProfile::none(),
             crawl_fault_profile: CrawlFaultProfile::none(),
+            disk_fault_profile: DiskFaultProfile::none(),
             checkpoint_every: None,
             scan_chunk: DEFAULT_SCAN_CHUNK,
             serial_scan_threshold: DEFAULT_SERIAL_SCAN_THRESHOLD,
@@ -207,6 +216,13 @@ impl StudyConfigBuilder {
     /// [`Self::build`]).
     pub fn crawl_fault_profile(mut self, profile: CrawlFaultProfile) -> Self {
         self.config.crawl_fault_profile = profile;
+        self
+    }
+
+    /// Sets the checkpoint storage-fault profile (validated at
+    /// [`Self::build`]).
+    pub fn disk_fault_profile(mut self, profile: DiskFaultProfile) -> Self {
+        self.config.disk_fault_profile = profile;
         self
     }
 
@@ -302,6 +318,9 @@ impl StudyConfigBuilder {
         if let Err(reason) = self.config.crawl_fault_profile.validate() {
             return Err(ConfigError::InvalidCrawlFaultProfile { reason });
         }
+        if let Err(reason) = self.config.disk_fault_profile.validate() {
+            return Err(ConfigError::InvalidDiskFaultProfile { reason });
+        }
         if self.config.checkpoint_every == Some(0) {
             return Err(ConfigError::ZeroCheckpointInterval);
         }
@@ -337,6 +356,12 @@ pub enum ConfigError {
     /// The crawl-fault profile's parameters were inconsistent (see
     /// [`CrawlFaultProfile::validate`]).
     InvalidCrawlFaultProfile {
+        /// Human-readable description of the first invalid field.
+        reason: String,
+    },
+    /// The checkpoint storage-fault profile's parameters were
+    /// inconsistent (see [`DiskFaultProfile::validate`]).
+    InvalidDiskFaultProfile {
         /// Human-readable description of the first invalid field.
         reason: String,
     },
@@ -376,6 +401,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidCrawlFaultProfile { reason } => {
                 write!(f, "invalid crawl-fault profile: {reason}")
+            }
+            ConfigError::InvalidDiskFaultProfile { reason } => {
+                write!(f, "invalid disk-fault profile: {reason}")
             }
             ConfigError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint_every must be at least 1 surf slot")
@@ -454,6 +482,11 @@ enum CrawlMode<'a> {
         resume: bool,
         /// Abandon the run after this many rounds (simulated crash).
         kill_after_round: Option<u64>,
+        /// When every generation proves corrupt at resume, restart the
+        /// crawl from scratch instead of failing — the cooperative
+        /// scheduler's stance (a wiped checkpoint dir costs progress,
+        /// never the study). Explicit `resume_from` stays strict.
+        fallback_fresh: bool,
     },
 }
 
@@ -488,7 +521,12 @@ impl Study {
     ///
     /// Propagates checkpoint I/O and serialization failures.
     pub fn run_checkpointed(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
-        let mode = CrawlMode::Checkpointed { dir, resume: false, kill_after_round: None };
+        let mode = CrawlMode::Checkpointed {
+            dir,
+            resume: false,
+            kill_after_round: None,
+            fallback_fresh: false,
+        };
         Ok(Study::run_pipeline(config, mode, None)?.expect("unkilled runs complete"))
     }
 
@@ -510,6 +548,7 @@ impl Study {
             dir,
             resume: false,
             kill_after_round: Some(kill_after_round),
+            fallback_fresh: false,
         };
         Study::run_pipeline(config, mode, None)
     }
@@ -524,7 +563,12 @@ impl Study {
     /// Fails on missing/corrupt checkpoints and on configuration
     /// mismatches between the checkpoint and `config`.
     pub fn resume_from(config: &StudyConfig, dir: &Path) -> Result<Study, CheckpointError> {
-        let mode = CrawlMode::Checkpointed { dir, resume: true, kill_after_round: None };
+        let mode = CrawlMode::Checkpointed {
+            dir,
+            resume: true,
+            kill_after_round: None,
+            fallback_fresh: false,
+        };
         Ok(Study::run_pipeline(config, mode, None)?.expect("unkilled runs complete"))
     }
 
@@ -555,7 +599,12 @@ impl Study {
     ) -> Result<Option<Study>, CheckpointError> {
         let resume = !CheckpointStore::open(dir)?.list()?.is_empty();
         let mode =
-            CrawlMode::Checkpointed { dir, resume, kill_after_round: Some(rounds) };
+            CrawlMode::Checkpointed {
+                dir,
+                resume,
+                kill_after_round: Some(rounds),
+                fallback_fresh: true,
+            };
         Study::run_pipeline(config, mode, shared_caches)
     }
 
@@ -634,22 +683,37 @@ impl Study {
                     );
                     (store, stats, health, ResumeStats::default())
                 }
-                CrawlMode::Checkpointed { dir, resume, kill_after_round } => {
-                    let ckpt = CheckpointStore::open(dir)?;
+                CrawlMode::Checkpointed { dir, resume, kill_after_round, fallback_fresh } => {
+                    let ckpt = CheckpointStore::open(dir)?
+                        .with_disk_faults(config.disk_fault_profile.clone(), config.seed);
                     let (resume_state, resume_stats) = if resume {
-                        let (header, state) = ckpt.load_latest()?;
-                        header.verify(config)?;
-                        // The web above was rebuilt from seed; replay
-                        // the restored records' browser loads so the
-                        // crawl-phase web mutations (shortener hits)
-                        // survive the simulated crash.
-                        let loads_replayed = replay_restored_loads(&web, &traffic, &state);
-                        let stats = ResumeStats {
-                            segments_restored: state.round,
-                            records_restored: state.records_total(),
-                            loads_replayed,
-                        };
-                        (Some(state), stats)
+                        match ckpt.load_latest() {
+                            Ok((header, state)) => {
+                                header.verify(config)?;
+                                // The web above was rebuilt from seed;
+                                // replay the restored records' browser
+                                // loads so the crawl-phase web mutations
+                                // (shortener hits) survive the simulated
+                                // crash.
+                                let loads_replayed =
+                                    replay_restored_loads(&web, &traffic, &state);
+                                let stats = ResumeStats {
+                                    segments_restored: state.round,
+                                    records_restored: state.records_total(),
+                                    loads_replayed,
+                                };
+                                (Some(state), stats)
+                            }
+                            Err(CheckpointError::Quarantined { .. }) if fallback_fresh => {
+                                // Every generation was corrupt and is
+                                // now quarantined: restart the crawl
+                                // from scratch. Deterministic re-crawl
+                                // makes this cost progress, not
+                                // correctness.
+                                (None, ResumeStats::default())
+                            }
+                            Err(e) => return Err(e),
+                        }
                     } else {
                         (None, ResumeStats::default())
                     };
@@ -663,8 +727,15 @@ impl Study {
                         config.checkpoint_every.unwrap_or(u64::MAX),
                         resume_state,
                         kill_after_round,
-                        &mut |_round, state| ckpt.save(&header, state).map(|_| ()),
+                        // An injected ENOSPC is a skipped checkpoint (a
+                        // cadence hole the next round's save closes),
+                        // never a crawl abort.
+                        &mut |_round, state| match ckpt.save(&header, state) {
+                            Ok(_) | Err(CheckpointError::DiskFull { .. }) => Ok(()),
+                            Err(e) => Err(e),
+                        },
                     )?;
+                    record_ckpt_tallies(&obs, ckpt.stats());
                     if !outcome.finished {
                         // Simulated crash: the checkpoints are on disk,
                         // the study is abandoned here.
@@ -935,6 +1006,25 @@ fn record_crawl_fault_tallies(obs: &Registry, health: &[CrawlHealth], resume: &R
         obs.gauge(&format!("crawl.health.{}.shutdown", h.exchange))
             .set(i64::from(h.shutdown_at.is_some()));
     }
+}
+
+/// Tallies the checkpoint store's resilience bookkeeping. Always
+/// registered on the checkpointed paths — a fault-free run reports
+/// explicit zeros (which CI asserts) rather than absent keys.
+/// `ckpt.quarantined` is cumulative over the checkpoint directory's
+/// whole history (the store seeds it from `quarantine/` at open, so it
+/// survives kill/restart cycles); the remaining counters cover this pipeline
+/// invocation. Direct (non-checkpointed) runs record nothing here, the
+/// same way they record no `crawl.resume.*` activity.
+fn record_ckpt_tallies(obs: &Registry, stats: &CkptStats) {
+    obs.counter("ckpt.saves").add(CkptStats::get(&stats.saves));
+    obs.counter("ckpt.save.torn").add(CkptStats::get(&stats.torn_writes));
+    obs.counter("ckpt.save.short").add(CkptStats::get(&stats.short_writes));
+    obs.counter("ckpt.save.bitflip").add(CkptStats::get(&stats.bit_flips));
+    obs.counter("ckpt.save.disk_full").add(CkptStats::get(&stats.disk_full));
+    obs.counter("ckpt.quarantined").add(CkptStats::get(&stats.quarantined));
+    obs.counter("ckpt.rollback").add(CkptStats::get(&stats.rollbacks));
+    obs.counter("ckpt.pruned").add(CkptStats::get(&stats.pruned));
 }
 
 /// Records the regular-traffic filter partition: records in, and the

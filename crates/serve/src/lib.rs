@@ -46,14 +46,32 @@
 //! > {"op":"shutdown"}
 //! < {"ok":true,"op":"shutdown"}
 //! ```
+//!
+//! ## Resilience
+//!
+//! The service is built to survive its tenants and its disks:
+//! panicking studies are contained to a `poisoned` state by slice
+//! supervision, runaway studies stall at a slice budget, request
+//! floods shed with `overloaded` + `retry_after_ms` (per-tenant
+//! in-flight caps, a daemon-wide connection cap), and checkpoint
+//! storage faults (injectable via [`malware_slums::DiskFaultProfile`])
+//! cost at most one slice of recrawl thanks to checkpoint generations
+//! with quarantine/rollback. The seeded storm harness lives in
+//! [`chaos`]; `tests/serve_chaos.rs` and `repro chaos` both drive it
+//! to pin the headline guarantee: under a storm of kills, corruptions,
+//! disk faults and tenant panics, every surviving tenant's export is
+//! bit-identical to a fault-free run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod daemon;
 pub mod proto;
 pub mod service;
 
-pub use daemon::Daemon;
-pub use proto::{Request, Response, DEFAULT_CHECKPOINT_EVERY};
+pub use daemon::{Daemon, DaemonOptions};
+pub use proto::{
+    parse_request, ProtoError, Request, Response, DEFAULT_CHECKPOINT_EVERY, MAX_REQUEST_LINE,
+};
 pub use service::{ServeError, Service, StudyStatus, DEFAULT_ROUNDS_PER_SLICE};

@@ -15,7 +15,7 @@
 //! {"op":"shutdown"}
 //! ```
 
-use malware_slums::StudyConfig;
+use malware_slums::{DiskFaultProfile, StudyConfig};
 use serde::{Deserialize, Serialize};
 use slum_crawler::CrawlFaultProfile;
 use slum_detect::fault::FaultProfile;
@@ -24,6 +24,57 @@ use slum_detect::fault::FaultProfile;
 /// per exchange between checkpoints — also the scheduler's preemption
 /// grain).
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
+
+/// Hard cap on a single request line in bytes. Longer lines are
+/// rejected with [`ProtoError::RequestTooLarge`] before any JSON
+/// parsing happens — a client cannot make the daemon buffer an
+/// unbounded line.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// A typed parse failure at the protocol boundary. Every byte sequence
+/// a client sends maps to either a [`Request`] or one of these — never
+/// a panic, never an unbounded buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The request line exceeded [`MAX_REQUEST_LINE`] bytes.
+    RequestTooLarge {
+        /// Bytes received (may be a lower bound if the reader stopped
+        /// buffering early).
+        len: usize,
+        /// The enforced cap.
+        max: usize,
+    },
+    /// The line was not a valid request object (bad UTF-8 handled by
+    /// the transport; bad JSON or a non-object lands here).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::RequestTooLarge { len, max } => {
+                write!(f, "request line too large: {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Parses one request line, enforcing the [`MAX_REQUEST_LINE`] cap
+/// before touching the JSON parser.
+///
+/// # Errors
+///
+/// [`ProtoError::RequestTooLarge`] for oversized lines,
+/// [`ProtoError::Malformed`] for anything that is not a request object.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(ProtoError::RequestTooLarge { len: line.len(), max: MAX_REQUEST_LINE });
+    }
+    serde_json::from_str(line).map_err(|e| ProtoError::Malformed(e.to_string()))
+}
 
 fn default_tenant() -> String {
     "default".to_string()
@@ -98,6 +149,11 @@ pub struct Request {
     /// Crawl-fault profile name (`submit-study`).
     #[serde(default = "default_profile")]
     pub crawl_fault_profile: String,
+    /// Disk-fault profile name for checkpoint storage (`submit-study`).
+    /// The default (`none`) injects nothing; artifacts are identical
+    /// under every profile — faults only exercise recovery.
+    #[serde(default = "default_profile")]
+    pub disk_fault_profile: String,
     /// Include the full export JSON in a `study-status` response.
     #[serde(default)]
     pub include_export: bool,
@@ -136,8 +192,12 @@ impl Request {
         let crawl_fault = CrawlFaultProfile::parse(&self.crawl_fault_profile).ok_or_else(
             || format!("unknown crawl fault profile `{}`", self.crawl_fault_profile),
         )?;
+        let disk_fault = DiskFaultProfile::parse(&self.disk_fault_profile).ok_or_else(
+            || format!("unknown disk fault profile `{}`", self.disk_fault_profile),
+        )?;
         b.fault_profile(scan_fault)
             .crawl_fault_profile(crawl_fault)
+            .disk_fault_profile(disk_fault)
             .build()
             .map_err(|e| e.to_string())
     }
@@ -179,6 +239,9 @@ pub struct Response {
     pub export: Option<String>,
     /// Metrics snapshot JSON (`stream-metrics`).
     pub metrics: Option<String>,
+    /// Suggested client back-off when the daemon sheds the request
+    /// (`error` = `overloaded`).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
@@ -195,6 +258,20 @@ impl Response {
     /// A success skeleton for `op`.
     pub fn success(op: &str) -> Response {
         Response { ok: true, op: op.to_string(), ..Response::default() }
+    }
+
+    /// The load-shedding response: the daemon is over capacity for this
+    /// tenant or connection; the client should back off `retry_after_ms`
+    /// and retry. `error` is always the literal `"overloaded"` so
+    /// clients can match on it.
+    pub fn overloaded(op: &str, retry_after_ms: u64) -> Response {
+        Response {
+            ok: false,
+            op: op.to_string(),
+            error: Some("overloaded".to_string()),
+            retry_after_ms: Some(retry_after_ms),
+            ..Response::default()
+        }
     }
 }
 
@@ -226,6 +303,53 @@ mod tests {
         let mut req = Request::new("submit-study");
         req.fault_profile = "catastrophic".to_string();
         assert!(req.study_config().is_err());
+    }
+
+    #[test]
+    fn parse_request_caps_line_length() {
+        let huge = format!("{{\"op\":\"submit-study\",\"tenant\":\"{}\"}}", "x".repeat(MAX_REQUEST_LINE));
+        match parse_request(&huge) {
+            Err(ProtoError::RequestTooLarge { len, max }) => {
+                assert_eq!(len, huge.len());
+                assert_eq!(max, MAX_REQUEST_LINE);
+            }
+            other => panic!("expected RequestTooLarge, got {other:?}"),
+        }
+        assert!(parse_request("{\"op\":\"shutdown\"}").is_ok());
+    }
+
+    #[test]
+    fn parse_request_rejects_garbage_with_typed_errors() {
+        for junk in ["", "{", "[]", "42", "\"op\"", "{\"op\":3}", "{\"op\":\"x\",\"seed\":\"n\"}"] {
+            match parse_request(junk) {
+                Err(ProtoError::Malformed(_)) => {}
+                other => panic!("{junk:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disk_fault_profile_flows_into_the_config() {
+        let req: Request = serde_json::from_str(
+            r#"{"op":"submit-study","crawl_scale":0.0002,"disk_fault_profile":"harsh"}"#,
+        )
+        .expect("parses");
+        let config = req.study_config().expect("valid config");
+        assert_eq!(config.disk_fault_profile.name, "harsh");
+        let mut bad = Request::new("submit-study");
+        bad.disk_fault_profile = "meteor-strike".to_string();
+        assert!(bad.study_config().is_err());
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let r = Response::overloaded("submit-study", 25);
+        assert!(!r.ok);
+        assert_eq!(r.error.as_deref(), Some("overloaded"));
+        assert_eq!(r.retry_after_ms, Some(25));
+        let line = serde_json::to_string(&r).expect("serializes");
+        let back: Response = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back.retry_after_ms, Some(25));
     }
 
     #[test]

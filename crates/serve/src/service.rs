@@ -1,12 +1,34 @@
-//! The in-process study service: job table, cooperative scheduler and
-//! the shared cross-tenant caches.
+//! The in-process study service: job table, cooperative scheduler,
+//! shared cross-tenant caches, tenant supervision and admission
+//! control.
+//!
+//! # Supervision
+//!
+//! Every scheduling slice runs under `catch_unwind`: a panicking
+//! tenant's study transitions to the `poisoned` state and the scheduler
+//! skips it from then on — the panic never crosses a lock boundary, so
+//! `status`/`metrics` keep answering for every other tenant. A study
+//! that exceeds the configured slice budget transitions to `stalled`
+//! the same way. All internal locks recover from poisoning
+//! (`lock_recover`): even a panic at an unexpected point degrades one
+//! job, not the service.
+//!
+//! # Admission control
+//!
+//! [`Service::handle`] enforces a per-tenant in-flight request cap;
+//! requests over the cap get an explicit `overloaded` response carrying
+//! `retry_after_ms` instead of queueing without bound. The TCP daemon
+//! adds a connection cap on top (see `daemon.rs`). Shed work is counted
+//! under `serve.shed.*` — always registered, so clean runs export
+//! explicit zeros.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use malware_slums::export;
-use malware_slums::{CheckpointError, ScanCaches, Study, StudyConfig};
+use malware_slums::{CheckpointError, DiskFaultProfile, ScanCaches, Study, StudyConfig};
 use slum_detect::hash::fnv1a;
 use slum_detect::{CacheStats, ShardedCache};
 use slum_obs::{MetricsSnapshot, Registry, TenantRegistries};
@@ -17,6 +39,32 @@ use crate::proto::{Request, Response};
 /// round is the finest interleaving (maximal tenant fairness); the
 /// daemon uses a few rounds per slice to amortize web re-construction.
 pub const DEFAULT_ROUNDS_PER_SLICE: u64 = 1;
+
+/// Default per-tenant cap on concurrently handled protocol requests.
+pub const DEFAULT_MAX_INFLIGHT_PER_TENANT: usize = 8;
+
+/// Default `retry_after_ms` hint sent with `overloaded` responses.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 25;
+
+/// Locks a mutex, recovering from poisoning: a panic that died inside
+/// the critical section (already contained by the slice supervisor)
+/// must never wedge `status`/`metrics` for the surviving tenants. The
+/// guarded data are simple state tables kept consistent by
+/// single-field writes, so the recovered view is always usable.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a `catch_unwind` payload into the panic's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// Service-level failure.
 #[derive(Debug)]
@@ -67,11 +115,18 @@ struct FinishedStudy {
     sample_url: Option<String>,
 }
 
-/// The per-study lifecycle.
+/// The per-study lifecycle. `Poisoned` and `Stalled` are supervision
+/// quarantine states: the scheduler skips such jobs, their checkpoints
+/// stay on disk, and resubmitting the same (tenant, config) resumes
+/// from where the last intact checkpoint left off.
 enum JobState {
     Running,
     Done(FinishedStudy),
     Failed(String),
+    /// The study's slice panicked; the panic was contained here.
+    Poisoned(String),
+    /// The study exceeded the service's slice budget.
+    Stalled(String),
 }
 
 struct Job {
@@ -82,6 +137,9 @@ struct Job {
     fingerprint: String,
     slices: u64,
     in_flight: bool,
+    /// Chaos hook: the next claimed slice panics inside the supervised
+    /// region (see [`Service::chaos_panic_next_slice`]).
+    panic_next_slice: bool,
     state: JobState,
 }
 
@@ -92,7 +150,7 @@ pub struct StudyStatus {
     pub id: u64,
     /// Owning tenant.
     pub tenant: String,
-    /// `running`, `done` or `failed`.
+    /// `running`, `done`, `failed`, `poisoned` or `stalled`.
     pub state: String,
     /// Scheduling slices executed so far.
     pub slices: u64,
@@ -125,11 +183,35 @@ pub struct StudyStatus {
 pub struct Service {
     root: PathBuf,
     rounds_per_slice: u64,
+    max_slices: Option<u64>,
+    max_inflight_per_tenant: usize,
+    retry_after_ms: u64,
+    disk_fault_override: Option<DiskFaultProfile>,
     jobs: Mutex<Vec<Job>>,
+    inflight: Mutex<BTreeMap<String, usize>>,
     cache_groups: Mutex<BTreeMap<String, Arc<ScanCaches>>>,
     verdicts: ShardedCache<bool>,
     tenants: TenantRegistries,
     obs: Registry,
+}
+
+/// RAII token for one admitted request; releases the tenant's in-flight
+/// slot on drop.
+pub struct InflightGuard<'s> {
+    service: &'s Service,
+    tenant: String,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = lock_recover(&self.service.inflight);
+        if let Some(n) = inflight.get_mut(&self.tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+    }
 }
 
 impl Service {
@@ -143,14 +225,31 @@ impl Service {
     pub fn open(root: impl Into<PathBuf>) -> Result<Service, ServeError> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let obs = Registry::new();
+        // Always-registered zeros: clean runs export these explicitly
+        // (CI asserts their presence) rather than as absent keys.
+        for name in [
+            "serve.shed.requests",
+            "serve.shed.connections",
+            "serve.tenants.poisoned",
+            "serve.tenants.stalled",
+            "ckpt.quarantined",
+        ] {
+            obs.counter(name).add(0);
+        }
         Ok(Service {
             root,
             rounds_per_slice: DEFAULT_ROUNDS_PER_SLICE,
+            max_slices: None,
+            max_inflight_per_tenant: DEFAULT_MAX_INFLIGHT_PER_TENANT,
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            disk_fault_override: None,
             jobs: Mutex::new(Vec::new()),
+            inflight: Mutex::new(BTreeMap::new()),
             cache_groups: Mutex::new(BTreeMap::new()),
             verdicts: ShardedCache::new(),
             tenants: TenantRegistries::new(),
-            obs: Registry::new(),
+            obs,
         })
     }
 
@@ -158,6 +257,74 @@ impl Service {
     pub fn with_rounds_per_slice(mut self, rounds: u64) -> Service {
         self.rounds_per_slice = rounds.max(1);
         self
+    }
+
+    /// Caps the scheduling slices any one study may consume; a study
+    /// still running at the cap transitions to `stalled` and stops
+    /// being scheduled (its checkpoints remain for resubmission).
+    /// `None` (the default) never stalls.
+    pub fn with_max_slices(mut self, max: Option<u64>) -> Service {
+        self.max_slices = max;
+        self
+    }
+
+    /// Sets the per-tenant in-flight request cap (min 1).
+    pub fn with_max_inflight_per_tenant(mut self, cap: usize) -> Service {
+        self.max_inflight_per_tenant = cap.max(1);
+        self
+    }
+
+    /// Sets the `retry_after_ms` hint sent with `overloaded` responses.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Service {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Forces every submitted study onto `profile` for checkpoint
+    /// storage-fault injection — the operator chaos override behind
+    /// `repro serve --disk-fault-profile`. Disk faults never change
+    /// study artifacts, so tenants cannot observe the override in their
+    /// results.
+    pub fn with_disk_fault_profile(mut self, profile: DiskFaultProfile) -> Service {
+        self.disk_fault_override = Some(profile);
+        self
+    }
+
+    /// The `retry_after_ms` hint this service attaches to shed work.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.retry_after_ms
+    }
+
+    /// The service's own observability registry (shed/supervision
+    /// counters) — the daemon records connection sheds here.
+    pub(crate) fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Admits one request for `tenant`, or `None` when the tenant is at
+    /// its in-flight cap (the caller sheds with an `overloaded`
+    /// response). The returned guard releases the slot on drop.
+    pub fn admit(&self, tenant: &str) -> Option<InflightGuard<'_>> {
+        let mut inflight = lock_recover(&self.inflight);
+        let n = inflight.entry(tenant.to_string()).or_insert(0);
+        if *n >= self.max_inflight_per_tenant {
+            return None;
+        }
+        *n += 1;
+        Some(InflightGuard { service: self, tenant: tenant.to_string() })
+    }
+
+    /// Arms the chaos hook on study `id`: its next claimed slice panics
+    /// inside the supervised region. Drives the poisoned-tenant path in
+    /// chaos tests without a genuinely buggy study.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids error.
+    pub fn chaos_panic_next_slice(&self, id: u64) -> Result<(), ServeError> {
+        let mut jobs = lock_recover(&self.jobs);
+        job_mut(&mut jobs, id)?.panic_next_slice = true;
+        Ok(())
     }
 
     /// Submits a study for `tenant`. The study's checkpoint directory
@@ -170,16 +337,21 @@ impl Service {
     /// Rejects configs without `checkpoint_every` (the scheduler's
     /// preemption grain) and propagates filesystem failures.
     pub fn submit(&self, tenant: &str, config: StudyConfig) -> Result<u64, ServeError> {
+        let mut config = config;
         if config.checkpoint_every.is_none() {
             return Err(ServeError::Config(
                 "daemon studies need checkpoint_every (the scheduling grain)".to_string(),
             ));
         }
+        if let Some(profile) = &self.disk_fault_override {
+            config.disk_fault_profile = profile.clone();
+        }
         let fingerprint = config.cache_fingerprint();
         let dir_key = format!(
-            "{fingerprint}&scan_fault={}&crawl_fault={}&every={}",
+            "{fingerprint}&scan_fault={}&crawl_fault={}&disk_fault={}&every={}",
             config.fault_profile.name,
             config.crawl_fault_profile.name,
+            config.disk_fault_profile.name,
             config.checkpoint_every.unwrap_or(0),
         );
         let dir = self
@@ -187,7 +359,7 @@ impl Service {
             .join(sanitize(tenant))
             .join(format!("{:016x}", fnv1a(dir_key.as_bytes())));
         std::fs::create_dir_all(&dir)?;
-        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         let id = jobs.len() as u64 + 1;
         jobs.push(Job {
             id,
@@ -197,6 +369,7 @@ impl Service {
             fingerprint,
             slices: 0,
             in_flight: false,
+            panic_next_slice: false,
             state: JobState::Running,
         });
         self.obs.counter("serve.studies.submitted").inc();
@@ -207,7 +380,7 @@ impl Service {
     /// The shared cache set for a web fingerprint, created on first
     /// use. Studies with equal fingerprints get the same `Arc`.
     fn cache_group(&self, fingerprint: &str) -> Arc<ScanCaches> {
-        let mut groups = self.cache_groups.lock().expect("cache groups poisoned");
+        let mut groups = lock_recover(&self.cache_groups);
         Arc::clone(
             groups.entry(fingerprint.to_string()).or_insert_with(|| Arc::new(ScanCaches::new())),
         )
@@ -219,15 +392,15 @@ impl Service {
         &self,
         fingerprint: &str,
     ) -> Option<[(&'static str, CacheStats); 4]> {
-        self.cache_groups
-            .lock()
-            .expect("cache groups poisoned")
-            .get(fingerprint)
-            .map(|c| c.stats())
+        lock_recover(&self.cache_groups).get(fingerprint).map(|c| c.stats())
     }
 
-    /// Advances study `id` by one scheduling slice. Returns the status
-    /// after the slice; completed or failed studies return immediately
+    /// Advances study `id` by one scheduling slice, supervised: a
+    /// panicking slice transitions the study to `poisoned`, a study
+    /// over the slice budget to `stalled` — either way the panic or
+    /// runaway is contained to this job and the scheduler keeps serving
+    /// every other tenant. Returns the status after the slice;
+    /// completed, failed or quarantined studies return immediately
     /// without work.
     ///
     /// # Errors
@@ -237,35 +410,64 @@ impl Service {
     pub fn advance(&self, id: u64) -> Result<StudyStatus, ServeError> {
         // Claim the slice under the lock, run it outside (a slice does
         // real crawl/scan work — status queries must not block on it).
-        let (config, dir, fingerprint, tenant) = {
-            let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let (config, dir, fingerprint, tenant, panic_requested) = {
+            let mut jobs = lock_recover(&self.jobs);
             let job = job_mut(&mut jobs, id)?;
             if !matches!(job.state, JobState::Running) || job.in_flight {
                 return status_of(job);
             }
             job.in_flight = true;
-            (job.config.clone(), job.dir.clone(), job.fingerprint.clone(), job.tenant.clone())
+            let panic_requested = job.panic_next_slice;
+            job.panic_next_slice = false;
+            (
+                job.config.clone(),
+                job.dir.clone(),
+                job.fingerprint.clone(),
+                job.tenant.clone(),
+                panic_requested,
+            )
         };
 
         let caches = self.cache_group(&fingerprint);
-        let outcome =
-            Study::advance_checkpointed(&config, &dir, self.rounds_per_slice, Some(caches));
+        // The supervised region: no service lock is held here, so a
+        // panic can only lose this slice's work, never wedge the job
+        // table or the shared caches' cohabitants.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_requested {
+                panic!("chaos: injected tenant panic");
+            }
+            Study::advance_checkpointed(&config, &dir, self.rounds_per_slice, Some(caches))
+        }));
         self.obs.counter("serve.slices.total").inc();
 
-        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         let job = job_mut(&mut jobs, id)?;
         job.in_flight = false;
         job.slices += 1;
         match outcome {
-            Ok(None) => {} // crawl still in progress; next slice continues
-            Ok(Some(study)) => {
+            Err(payload) => {
+                job.state = JobState::Poisoned(panic_message(payload));
+                self.obs.counter("serve.tenants.poisoned").inc();
+            }
+            Ok(Ok(None)) => {
+                // Crawl still in progress; next slice continues —
+                // unless this study has exhausted its slice budget.
+                if self.max_slices.is_some_and(|max| job.slices >= max) {
+                    job.state = JobState::Stalled(format!(
+                        "slice budget exceeded ({} slices)",
+                        job.slices
+                    ));
+                    self.obs.counter("serve.tenants.stalled").inc();
+                }
+            }
+            Ok(Ok(Some(study))) => {
                 match self.finish(&tenant, &fingerprint, &study) {
                     Ok(finished) => job.state = JobState::Done(finished),
                     Err(e) => job.state = JobState::Failed(e.to_string()),
                 }
                 self.obs.counter("serve.studies.completed").inc();
             }
-            Err(e) => job.state = JobState::Failed(e.to_string()),
+            Ok(Err(e)) => job.state = JobState::Failed(e.to_string()),
         }
         self.obs.gauge("serve.studies.running").set(running_count(&jobs) as i64);
         status_of(job_mut(&mut jobs, id)?)
@@ -310,7 +512,7 @@ impl Service {
     /// list — jobs are never removed).
     pub fn step(&self) -> Result<usize, ServeError> {
         let ids: Vec<u64> = {
-            let jobs = self.jobs.lock().expect("job table poisoned");
+            let jobs = lock_recover(&self.jobs);
             jobs.iter()
                 .filter(|j| matches!(j.state, JobState::Running) && !j.in_flight)
                 .map(|j| j.id)
@@ -319,7 +521,7 @@ impl Service {
         for id in ids {
             self.advance(id)?;
         }
-        let jobs = self.jobs.lock().expect("job table poisoned");
+        let jobs = lock_recover(&self.jobs);
         Ok(running_count(&jobs))
     }
 
@@ -339,7 +541,7 @@ impl Service {
     ///
     /// Unknown ids error.
     pub fn status(&self, id: u64) -> Result<StudyStatus, ServeError> {
-        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         status_of(job_mut(&mut jobs, id)?)
     }
 
@@ -349,7 +551,7 @@ impl Service {
     ///
     /// Unknown ids error; running or failed studies return `None`.
     pub fn export(&self, id: u64) -> Result<Option<String>, ServeError> {
-        let jobs = self.jobs.lock().expect("job table poisoned");
+        let jobs = lock_recover(&self.jobs);
         let job =
             jobs.iter().find(|j| j.id == id).ok_or(ServeError::UnknownStudy(id))?;
         Ok(match &job.state {
@@ -368,7 +570,7 @@ impl Service {
     /// Unknown ids error.
     pub fn query_verdict(&self, id: u64, url: &str) -> Result<Option<bool>, ServeError> {
         let fingerprint = {
-            let jobs = self.jobs.lock().expect("job table poisoned");
+            let jobs = lock_recover(&self.jobs);
             jobs.iter()
                 .find(|j| j.id == id)
                 .ok_or(ServeError::UnknownStudy(id))?
@@ -396,8 +598,14 @@ impl Service {
     }
 
     /// Dispatches one protocol request (the shared front end behind the
-    /// TCP daemon and any in-process embedding).
+    /// TCP daemon and any in-process embedding). Requests over the
+    /// tenant's in-flight cap are shed with an `overloaded` response
+    /// carrying `retry_after_ms`.
     pub fn handle(&self, req: &Request) -> Response {
+        let Some(_guard) = self.admit(&req.tenant) else {
+            self.obs.counter("serve.shed.requests").inc();
+            return Response::overloaded(&req.op, self.retry_after_ms);
+        };
         match req.op.as_str() {
             "submit-study" => {
                 let config = match req.study_config() {
@@ -484,6 +692,8 @@ fn status_of(job: &mut Job) -> Result<StudyStatus, ServeError> {
             None,
         ),
         JobState::Failed(e) => ("failed", None, None, None, None, Some(e.clone())),
+        JobState::Poisoned(e) => ("poisoned", None, None, None, None, Some(e.clone())),
+        JobState::Stalled(e) => ("stalled", None, None, None, None, Some(e.clone())),
     };
     Ok(StudyStatus {
         id: job.id,
@@ -508,5 +718,143 @@ fn sanitize(tenant: &str) -> String {
         "default".to_string()
     } else {
         cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_service(tag: &str) -> (Service, PathBuf) {
+        let root = std::env::temp_dir()
+            .join(format!("slum-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let service = Service::open(&root).expect("service root");
+        (service, root)
+    }
+
+    fn tiny_config() -> StudyConfig {
+        StudyConfig::builder()
+            .seed(2016)
+            .crawl_scale(0.0002)
+            .domain_scale(0.03)
+            .scan_workers(1)
+            .checkpoint_every(7)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn admission_caps_inflight_per_tenant_and_sheds_requests() {
+        let (service, root) = scratch_service("admit");
+        let service = service.with_max_inflight_per_tenant(1).with_retry_after_ms(42);
+
+        let guard = service.admit("alpha").expect("first slot admits");
+        assert!(service.admit("alpha").is_none(), "cap of 1 must shed the second");
+        assert!(service.admit("beta").is_some(), "caps are per-tenant");
+
+        // handle() sheds through the same gate, with the typed
+        // overloaded response and the shed counter.
+        let mut req = Request::new("stream-metrics");
+        req.tenant = "alpha".to_string();
+        let shed = service.handle(&req);
+        assert!(!shed.ok);
+        assert_eq!(shed.error.as_deref(), Some("overloaded"));
+        assert_eq!(shed.retry_after_ms, Some(42));
+        assert!(service.metrics().counter("serve.shed.requests") >= 1);
+
+        // Dropping the guard frees the slot.
+        drop(guard);
+        let served = service.handle(&req);
+        assert!(served.ok, "slot must free on guard drop: {:?}", served.error);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clean_service_exports_zeroed_resilience_counters() {
+        let (service, root) = scratch_service("zeros");
+        let m = service.metrics();
+        for name in [
+            "serve.shed.requests",
+            "serve.shed.connections",
+            "serve.tenants.poisoned",
+            "serve.tenants.stalled",
+            "ckpt.quarantined",
+        ] {
+            assert_eq!(m.counter(name), 0, "{name} must be present and zero");
+            assert!(
+                m.to_json().contains(name),
+                "{name} must be exported explicitly on clean runs"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn service_survives_a_poisoned_job_table_lock() {
+        let (service, root) = scratch_service("poisonlock");
+        let id = service.submit("alpha", tiny_config()).expect("submit");
+
+        // Poison the jobs mutex the way a panicking thread would: grab
+        // it, panic, unwind. Before lock_recover, every later call
+        // died on `.lock().expect(...)`.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = service.jobs.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(service.jobs.is_poisoned(), "test precondition: lock is poisoned");
+
+        let status = service.status(id).expect("status still answers");
+        assert_eq!(status.state, "running");
+        let second = service.submit("alpha", tiny_config()).expect("submit still works");
+        assert_eq!(second, id + 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn panicking_slice_poisons_only_its_own_study() {
+        let (service, root) = scratch_service("panic");
+        let victim = service.submit("victim", tiny_config()).expect("submit");
+        let mut other_config = tiny_config();
+        other_config.seed = 2017;
+        let other = service.submit("bystander", other_config).expect("submit");
+
+        service.chaos_panic_next_slice(victim).expect("arm chaos hook");
+        let status = service.advance(victim).expect("supervised advance");
+        assert_eq!(status.state, "poisoned");
+        assert!(
+            status.error.as_deref().unwrap_or("").contains("chaos"),
+            "panic message must surface: {:?}",
+            status.error
+        );
+        assert_eq!(service.metrics().counter("serve.tenants.poisoned"), 1);
+
+        // The scheduler skips the poisoned job and completes everyone
+        // else.
+        service.run_to_completion().expect("scheduler");
+        assert_eq!(service.status(other).expect("status").state, "done");
+        assert_eq!(service.status(victim).expect("status").state, "poisoned");
+
+        // Resubmitting the same (tenant, config) maps to the same
+        // checkpoint dir and picks up where the intact checkpoints
+        // left off.
+        let retry = service.submit("victim", tiny_config()).expect("resubmit");
+        service.run_to_completion().expect("scheduler");
+        assert_eq!(service.status(retry).expect("status").state, "done");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn slice_budget_stalls_runaway_studies() {
+        let (service, root) = scratch_service("stall");
+        let service = service.with_rounds_per_slice(1).with_max_slices(Some(2));
+        let id = service.submit("greedy", tiny_config()).expect("submit");
+        service.run_to_completion().expect("scheduler");
+        let status = service.status(id).expect("status");
+        assert_eq!(status.state, "stalled", "2 one-round slices cannot finish a study");
+        assert_eq!(status.slices, 2);
+        assert!(status.error.as_deref().unwrap_or("").contains("slice budget"));
+        assert_eq!(service.metrics().counter("serve.tenants.stalled"), 1);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -1,0 +1,106 @@
+//! Fuzz hardening of the protocol boundary: every byte sequence a
+//! client can put on the wire maps to either a parsed [`Request`] or a
+//! typed [`ProtoError`] — never a panic, never an unbounded buffer,
+//! and every [`Response`] stays one newline-free line.
+
+use proptest::prelude::*;
+use slum_serve::proto::{parse_request, ProtoError, Request, Response, MAX_REQUEST_LINE};
+
+proptest! {
+    /// Parsing is total over arbitrary printable garbage.
+    #[test]
+    fn parse_total_over_arbitrary_text(line in ".{0,300}") {
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err(ProtoError::Malformed(msg)) => prop_assert!(!msg.is_empty()),
+            Err(ProtoError::RequestTooLarge { .. }) => {
+                prop_assert!(line.len() > MAX_REQUEST_LINE);
+            }
+        }
+    }
+
+    /// Parsing is total over arbitrary raw bytes (the transport decodes
+    /// lossily, so invalid UTF-8 arrives as replacement characters).
+    #[test]
+    fn parse_total_over_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+    }
+
+    /// Every strict prefix of a valid request line is rejected with a
+    /// typed error, never a panic or a false accept.
+    #[test]
+    fn truncated_requests_are_rejected(cut in 1usize..40, tenant in "[a-z]{1,8}") {
+        let line = format!(
+            r#"{{"op":"submit-study","tenant":"{tenant}","crawl_scale":0.0002}}"#
+        );
+        prop_assume!(cut < line.len());
+        let truncated = &line[..line.len() - cut];
+        match parse_request(truncated) {
+            Err(ProtoError::Malformed(_)) => {}
+            Ok(req) => {
+                // A truncation can only re-parse if it still closes the
+                // object — impossible for a strict prefix of this line.
+                prop_assert!(false, "truncation parsed as op {:?}", req.op);
+            }
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// Oversized lines are rejected by length before the JSON parser
+    /// ever sees them, whatever their content.
+    #[test]
+    fn oversized_lines_are_rejected_by_length(pad in 1usize..2000, filler in "[a-z]{1,16}") {
+        let line = format!(
+            "{{\"op\":\"submit-study\",\"tenant\":\"{}\"}}",
+            filler.repeat(MAX_REQUEST_LINE / filler.len() + pad)
+        );
+        match parse_request(&line) {
+            Err(ProtoError::RequestTooLarge { len, max }) => {
+                prop_assert_eq!(len, line.len());
+                prop_assert_eq!(max, MAX_REQUEST_LINE);
+            }
+            other => prop_assert!(false, "expected RequestTooLarge, got {other:?}"),
+        }
+    }
+
+    /// Anything that parses round-trips through serialization.
+    #[test]
+    fn parsed_requests_round_trip(op in "[a-z-]{1,16}", tenant in "[a-zA-Z0-9_-]{0,12}") {
+        let line = format!(r#"{{"op":"{op}","tenant":"{tenant}"}}"#);
+        let req = parse_request(&line).expect("well-formed line parses");
+        let encoded = serde_json::to_string(&req).expect("serializes");
+        let back = parse_request(&encoded).expect("round-trips");
+        prop_assert_eq!(back.op, req.op);
+        prop_assert_eq!(back.tenant, req.tenant);
+        prop_assert_eq!(back.seed, req.seed);
+    }
+
+    /// Config building is total over arbitrary profile names: unknown
+    /// names come back as wire errors, never panics.
+    #[test]
+    fn study_config_total_over_profile_names(
+        scan in "[ -~]{0,24}",
+        crawl in "[ -~]{0,24}",
+        disk in "[ -~]{0,24}",
+    ) {
+        let mut req = Request::new("submit-study");
+        req.fault_profile = scan;
+        req.crawl_fault_profile = crawl;
+        req.disk_fault_profile = disk;
+        if let Err(msg) = req.study_config() {
+            prop_assert!(msg.contains("profile"), "unhelpful error: {msg}");
+        }
+    }
+
+    /// Responses stay newline-free for arbitrary error payloads — a
+    /// multi-line error would desynchronize the framing.
+    #[test]
+    fn responses_stay_one_line(error in ".{0,120}", op in "[a-z-]{1,16}") {
+        let encoded = serde_json::to_string(&Response::failure(&op, &error))
+            .expect("serializes");
+        prop_assert!(!encoded.contains('\n'));
+        let back: Response = serde_json::from_str(&encoded).expect("parses");
+        prop_assert!(!back.ok);
+    }
+}

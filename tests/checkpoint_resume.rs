@@ -32,13 +32,14 @@ fn config_with(workers: usize, profile: CrawlFaultProfile) -> StudyConfig {
 }
 
 /// Deterministic counters/gauges minus the worker-count echoes and the
-/// `crawl.resume.*` recovery bookkeeping — the one intended difference
-/// between a straight and a resumed run.
+/// `crawl.resume.*` / `ckpt.*` recovery bookkeeping — the intended
+/// differences between a straight and a resumed run (the checkpoint
+/// subsystem deliberately records its own activity).
 fn comparable_metrics(study: &Study) -> BTreeMap<String, i128> {
     let mut m = study.metrics().deterministic_counters();
     m.remove("gauge:config.scan_workers");
     m.remove("gauge:scan.workers");
-    m.retain(|k, _| !k.starts_with("crawl.resume."));
+    m.retain(|k, _| !k.starts_with("crawl.resume.") && !k.starts_with("ckpt."));
     m
 }
 
@@ -51,20 +52,17 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Counts the checkpoint rounds a full run of `config` writes.
+/// Counts the checkpoint rounds a full run of `config` writes. The
+/// store prunes old generations, so the count comes from the newest
+/// checkpoint's header (its round number), not the surviving files.
 fn rounds_for(config: &StudyConfig, tag: &str) -> u64 {
     let dir = scratch_dir(tag);
     Study::run_checkpointed(config, &dir).expect("checkpointed run");
-    let rounds = std::fs::read_dir(&dir)
-        .expect("checkpoint dir")
-        .filter(|e| {
-            e.as_ref()
-                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "slumckpt"))
-        })
-        .count() as u64;
+    let store = malware_slums::CheckpointStore::open(&dir).expect("store");
+    let (header, _) = store.load_latest().expect("latest checkpoint");
     std::fs::remove_dir_all(&dir).ok();
-    assert!(rounds > 1, "scale must produce multiple checkpoint rounds");
-    rounds
+    assert!(header.round > 1, "scale must produce multiple checkpoint rounds");
+    header.round
 }
 
 fn assert_resume_matches(straight: &Study, config: &StudyConfig, kill_after: u64, tag: &str) {

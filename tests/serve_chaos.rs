@@ -1,0 +1,52 @@
+//! The storm test: a seeded chaos schedule (the [`slum_serve::chaos`]
+//! harness) interleaves daemon kills, checkpoint corruption, harsh
+//! storage-fault injection and tenant panics against a multi-tenant
+//! service — and every surviving tenant's export JSON must still be
+//! bit-identical to a fault-free batch run of the same config.
+//!
+//! One xorshift RNG drives the whole schedule, so a failure reproduces
+//! exactly. The storm runs under two different chaos seeds (two
+//! scheduling orders) to pin that the *order* of faults never leaks
+//! into artifacts. The harness panics on containment failures; this
+//! test owns the artifact comparison against its own batch references.
+
+use std::path::PathBuf;
+
+use malware_slums::export;
+use malware_slums::study::Study;
+use slum_serve::chaos::{run_storm, StormConfig};
+
+/// The fault-free reference: same config through batch `Study::run`,
+/// no service, no checkpoints, no injected faults.
+fn batch_export(config: &StormConfig, tenant: usize) -> String {
+    export::to_json(&Study::run(&config.batch_config(tenant))).expect("batch export")
+}
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("slum-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn storm_survivors_export_bit_identical_to_fault_free_batch() {
+    let base = StormConfig::default();
+    let batches: Vec<String> =
+        (0..base.tenants).map(|t| batch_export(&base, t)).collect();
+    // Two chaos seeds = two completely different fault/scheduling
+    // orders over the same tenants.
+    for (chaos_seed, tag) in [(0xbad5eed0u64, "order-a"), (0x5ca1ab1eu64, "order-b")] {
+        let root = scratch_root(tag);
+        let report = run_storm(&root, &StormConfig { chaos_seed, ..base.clone() });
+        assert!(report.kills >= 1 && report.corruptions >= 1 && report.panics >= 1);
+        assert!(report.quarantined >= 1, "corruption must leave quarantine scars");
+        for (t, export) in report.exports.iter().enumerate() {
+            assert_eq!(
+                export, &batches[t],
+                "tenant t{t} diverged from the fault-free batch under chaos seed {chaos_seed:#x}"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
